@@ -1,0 +1,131 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A 32-bit IPv4 address used as the node identifier within a MANET.
+///
+/// Addresses order numerically, which the protocol relies on: the lowest
+/// address in a network serves as the *network ID* for partition
+/// detection.
+///
+/// # Example
+///
+/// ```
+/// use addrspace::Addr;
+///
+/// let a = Addr::new(0x0A00_0001);
+/// assert_eq!(a.to_string(), "10.0.0.1");
+/// assert_eq!(a.offset(1), Addr::new(0x0A00_0002));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Addr(u32);
+
+impl Addr {
+    /// Creates an address from its 32-bit representation.
+    #[must_use]
+    pub const fn new(bits: u32) -> Self {
+        Addr(bits)
+    }
+
+    /// The numerically lowest address.
+    pub const MIN: Addr = Addr(0);
+
+    /// The numerically highest address.
+    pub const MAX: Addr = Addr(u32::MAX);
+
+    /// Returns the raw 32-bit representation.
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the address `delta` positions above this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow past `Addr::MAX` (debug builds; wraps in
+    /// release like the underlying `u32` — callers stay within a block).
+    #[must_use]
+    pub fn offset(self, delta: u32) -> Addr {
+        Addr(self.0 + delta)
+    }
+
+    /// Checked variant of [`Addr::offset`].
+    #[must_use]
+    pub fn checked_offset(self, delta: u32) -> Option<Addr> {
+        self.0.checked_add(delta).map(Addr)
+    }
+
+    /// Distance in address positions from `other` to `self`
+    /// (`self - other`), or `None` if `self < other`.
+    #[must_use]
+    pub fn distance_from(self, other: Addr) -> Option<u32> {
+        self.0.checked_sub(other.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Ipv4Addr::from(self.0).fmt(f)
+    }
+}
+
+impl From<Ipv4Addr> for Addr {
+    fn from(ip: Ipv4Addr) -> Self {
+        Addr(u32::from(ip))
+    }
+}
+
+impl From<Addr> for Ipv4Addr {
+    fn from(addr: Addr) -> Self {
+        Ipv4Addr::from(addr.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(bits: u32) -> Self {
+        Addr(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dotted_quad() {
+        assert_eq!(Addr::new(0xC0A8_0001).to_string(), "192.168.0.1");
+        assert_eq!(Addr::MIN.to_string(), "0.0.0.0");
+        assert_eq!(Addr::MAX.to_string(), "255.255.255.255");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Addr::new(1) < Addr::new(2));
+        assert!(Addr::new(0x0A00_0000) < Addr::new(0x0B00_0000));
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        let addr: Addr = ip.into();
+        let back: Ipv4Addr = addr.into();
+        assert_eq!(ip, back);
+    }
+
+    #[test]
+    fn offset_and_distance() {
+        let base = Addr::new(100);
+        assert_eq!(base.offset(5), Addr::new(105));
+        assert_eq!(base.offset(5).distance_from(base), Some(5));
+        assert_eq!(base.distance_from(base.offset(5)), None);
+    }
+
+    #[test]
+    fn checked_offset_detects_overflow() {
+        assert_eq!(Addr::MAX.checked_offset(1), None);
+        assert_eq!(Addr::new(10).checked_offset(1), Some(Addr::new(11)));
+    }
+}

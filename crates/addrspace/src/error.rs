@@ -1,0 +1,36 @@
+use crate::Addr;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from address-space operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AddrSpaceError {
+    /// A block was constructed with zero length or overflowing bounds.
+    InvalidBlock,
+    /// The address is not inside any block owned by this pool.
+    NotOwned(Addr),
+    /// The address is already allocated.
+    AlreadyAllocated(Addr),
+    /// The address is not currently allocated, so it cannot be released.
+    NotAllocated(Addr),
+    /// No free address remains in the pool.
+    Exhausted,
+    /// The block overlaps space the pool already owns.
+    Overlapping,
+}
+
+impl fmt::Display for AddrSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrSpaceError::InvalidBlock => write!(f, "invalid address block"),
+            AddrSpaceError::NotOwned(a) => write!(f, "address {a} is not owned by this pool"),
+            AddrSpaceError::AlreadyAllocated(a) => write!(f, "address {a} is already allocated"),
+            AddrSpaceError::NotAllocated(a) => write!(f, "address {a} is not allocated"),
+            AddrSpaceError::Exhausted => write!(f, "address pool exhausted"),
+            AddrSpaceError::Overlapping => write!(f, "block overlaps owned space"),
+        }
+    }
+}
+
+impl Error for AddrSpaceError {}

@@ -1,0 +1,90 @@
+//! Fragmentation metrics over address pools.
+//!
+//! The paper argues (§VI-C) that because every address is eventually
+//! "returned to its original allocator", the quorum protocol "would not
+//! suffer from address fragmentation" over long runs — unlike the C-tree
+//! baseline. These metrics let the harness quantify that claim.
+
+use crate::AddressPool;
+
+/// A summary of how fragmented a pool's owned space is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentationReport {
+    /// Number of disjoint owned blocks.
+    pub block_count: usize,
+    /// Size of the largest owned block.
+    pub largest_block: u32,
+    /// Total owned addresses.
+    pub total: u64,
+    /// External fragmentation in `[0, 1]`: `1 - largest_block / total`.
+    /// Zero when the pool is a single block (or empty).
+    pub external: f64,
+}
+
+/// Computes the fragmentation report for a pool.
+///
+/// # Example
+///
+/// ```
+/// use addrspace::{Addr, AddrBlock, AddressPool};
+/// use addrspace::fragmentation::report;
+///
+/// let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 8)?);
+/// pool.absorb(AddrBlock::new(Addr::new(100), 8)?)?;
+/// let r = report(&pool);
+/// assert_eq!(r.block_count, 2);
+/// assert!((r.external - 0.5).abs() < 1e-9);
+/// # Ok::<(), addrspace::AddrSpaceError>(())
+/// ```
+#[must_use]
+pub fn report(pool: &AddressPool) -> FragmentationReport {
+    let block_count = pool.blocks().len();
+    let largest_block = pool.blocks().iter().map(|b| b.len()).max().unwrap_or(0);
+    let total = pool.total_len();
+    let external = if total == 0 {
+        0.0
+    } else {
+        1.0 - largest_block as f64 / total as f64
+    };
+    FragmentationReport {
+        block_count,
+        largest_block,
+        total,
+        external,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, AddrBlock};
+
+    #[test]
+    fn empty_pool_reports_zero() {
+        let r = report(&AddressPool::new());
+        assert_eq!(r.block_count, 0);
+        assert_eq!(r.largest_block, 0);
+        assert_eq!(r.total, 0);
+        assert_eq!(r.external, 0.0);
+    }
+
+    #[test]
+    fn single_block_is_unfragmented() {
+        let p = AddressPool::from_block(AddrBlock::new(Addr::new(0), 64).unwrap());
+        let r = report(&p);
+        assert_eq!(r.block_count, 1);
+        assert_eq!(r.external, 0.0);
+    }
+
+    #[test]
+    fn fragmentation_grows_with_scattered_blocks() {
+        let mut p = AddressPool::from_block(AddrBlock::new(Addr::new(0), 8).unwrap());
+        p.absorb(AddrBlock::new(Addr::new(100), 4).unwrap()).unwrap();
+        p.absorb(AddrBlock::new(Addr::new(200), 4).unwrap()).unwrap();
+        let r = report(&p);
+        assert_eq!(r.block_count, 3);
+        assert_eq!(r.largest_block, 8);
+        assert_eq!(r.total, 16);
+        assert!((r.external - 0.5).abs() < 1e-9);
+    }
+}

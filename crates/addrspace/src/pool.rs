@@ -1,0 +1,535 @@
+use crate::{Addr, AddrBlock, AddrSpaceError, AddrStatus, AllocationTable};
+use quorum::VersionStamp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cluster head's `IPSpace`: the disjoint address blocks it owns plus the
+/// allocation state of every address inside them.
+///
+/// Supports the operations the protocol needs:
+///
+/// * [`AddressPool::first_free`] / [`AddressPool::allocate`] — configure a
+///   common node,
+/// * [`AddressPool::split_half`] — delegate half the space to a new
+///   cluster head,
+/// * [`AddressPool::release`] — graceful departure returns an address,
+/// * [`AddressPool::absorb`] — take back a departing cluster head's block,
+/// * [`AddressPool::table`] — snapshot for replication to the `QDSet`.
+///
+/// # Example
+///
+/// ```
+/// use addrspace::{Addr, AddrBlock, AddressPool};
+///
+/// let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 16)?);
+/// let ip = pool.first_free().unwrap();
+/// pool.allocate(ip, 1)?;
+/// assert_eq!(pool.free_count(), 15);
+/// pool.release(ip)?;
+/// assert_eq!(pool.free_count(), 16);
+/// # Ok::<(), addrspace::AddrSpaceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressPool {
+    /// Owned blocks, disjoint and sorted by base address.
+    blocks: Vec<AddrBlock>,
+    /// Allocation state of addresses within the owned blocks.
+    table: AllocationTable,
+}
+
+impl AddressPool {
+    /// Creates an empty pool owning no address space.
+    #[must_use]
+    pub fn new() -> Self {
+        AddressPool::default()
+    }
+
+    /// Creates a pool owning a single block, all free.
+    #[must_use]
+    pub fn from_block(block: AddrBlock) -> Self {
+        AddressPool {
+            blocks: vec![block],
+            table: AllocationTable::new(),
+        }
+    }
+
+    /// The owned blocks, disjoint and sorted by base address.
+    #[must_use]
+    pub fn blocks(&self) -> &[AddrBlock] {
+        &self.blocks
+    }
+
+    /// The allocation table (for replication to adjacent cluster heads).
+    #[must_use]
+    pub fn table(&self) -> &AllocationTable {
+        &self.table
+    }
+
+    /// Mutable access to the allocation table, for merging replicas.
+    pub fn table_mut(&mut self) -> &mut AllocationTable {
+        &mut self.table
+    }
+
+    /// Total number of owned addresses.
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.len())).sum()
+    }
+
+    /// Returns `true` if `addr` lies inside an owned block.
+    #[must_use]
+    pub fn owns(&self, addr: Addr) -> bool {
+        self.blocks.iter().any(|b| b.contains(addr))
+    }
+
+    /// Number of owned addresses currently available (free or vacant).
+    /// Merged tables may carry records for addresses outside the owned
+    /// blocks (absorbed lineages); only records inside them count.
+    #[must_use]
+    pub fn free_count(&self) -> u64 {
+        let allocated_inside = self
+            .table
+            .allocated()
+            .filter(|(a, _)| self.owns(*a))
+            .count() as u64;
+        self.total_len() - allocated_inside
+    }
+
+    /// The lowest available address, or `None` if the pool is exhausted.
+    #[must_use]
+    pub fn first_free(&self) -> Option<Addr> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .find(|a| self.table.status(*a).is_available())
+    }
+
+    /// The first available address at or after `from` in address order,
+    /// wrapping around to the lowest owned address. Proposing addresses
+    /// near the allocator's own keeps the far half of its block clean
+    /// for future delegation.
+    #[must_use]
+    pub fn first_free_from(&self, from: Addr) -> Option<Addr> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .filter(|a| *a >= from)
+            .find(|a| self.table.status(*a).is_available())
+            .or_else(|| self.first_free())
+    }
+
+    /// Marks `addr` as allocated to `owner`, bumping its stamp.
+    ///
+    /// # Errors
+    ///
+    /// * [`AddrSpaceError::NotOwned`] — the address is outside the pool,
+    /// * [`AddrSpaceError::AlreadyAllocated`] — the address is taken.
+    pub fn allocate(&mut self, addr: Addr, owner: u64) -> Result<VersionStamp, AddrSpaceError> {
+        if !self.owns(addr) {
+            return Err(AddrSpaceError::NotOwned(addr));
+        }
+        if !self.table.status(addr).is_available() {
+            return Err(AddrSpaceError::AlreadyAllocated(addr));
+        }
+        Ok(self.table.set(addr, AddrStatus::Allocated(owner)))
+    }
+
+    /// Allocates the lowest available address to `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrSpaceError::Exhausted`] if nothing is available.
+    pub fn allocate_first(&mut self, owner: u64) -> Result<Addr, AddrSpaceError> {
+        let addr = self.first_free().ok_or(AddrSpaceError::Exhausted)?;
+        self.allocate(addr, owner)?;
+        Ok(addr)
+    }
+
+    /// Marks an allocated address vacant (returned or reclaimed), bumping
+    /// its stamp.
+    ///
+    /// # Errors
+    ///
+    /// * [`AddrSpaceError::NotOwned`] — the address is outside the pool,
+    /// * [`AddrSpaceError::NotAllocated`] — the address is not in use.
+    pub fn release(&mut self, addr: Addr) -> Result<VersionStamp, AddrSpaceError> {
+        if !self.owns(addr) {
+            return Err(AddrSpaceError::NotOwned(addr));
+        }
+        match self.table.status(addr) {
+            AddrStatus::Allocated(_) => Ok(self.table.set(addr, AddrStatus::Vacant)),
+            _ => Err(AddrSpaceError::NotAllocated(addr)),
+        }
+    }
+
+    /// Splits off roughly half the pool's *largest* block for delegation
+    /// to a new cluster head. Only a fully available half may be handed
+    /// over (allocated addresses must stay with their allocator), so the
+    /// upper half is preferred and the lower half used as fallback.
+    ///
+    /// Returns the delegated block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrSpaceError::Exhausted`] if no block has a clean
+    /// half (every block is a single address or has allocations in both
+    /// halves).
+    pub fn split_half(&mut self) -> Result<AddrBlock, AddrSpaceError> {
+        #[derive(Clone, Copy)]
+        enum Side {
+            Upper,
+            Lower,
+        }
+        let mut best: Option<(usize, u32, Side)> = None;
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.len() < 2 {
+                continue;
+            }
+            let upper_len = b.len() / 2;
+            let upper_base = b.base().offset(b.len() - upper_len);
+            let upper_clean = (0..upper_len)
+                .all(|k| self.table.status(upper_base.offset(k)).is_available());
+            let lower_len = b.len() / 2;
+            let lower_clean = (0..lower_len)
+                .all(|k| self.table.status(b.base().offset(k)).is_available());
+            let side = if upper_clean {
+                Some(Side::Upper)
+            } else if lower_clean {
+                Some(Side::Lower)
+            } else {
+                None
+            };
+            if let Some(side) = side {
+                if best.is_none_or(|(_, len, _)| b.len() > len) {
+                    best = Some((i, b.len(), side));
+                }
+            }
+        }
+        let (idx, _, side) = best.ok_or(AddrSpaceError::Exhausted)?;
+        let half = match side {
+            Side::Upper => self.blocks[idx].split_half().expect("validated len >= 2"),
+            Side::Lower => self.blocks[idx]
+                .split_half_lower()
+                .expect("validated len >= 2"),
+        };
+        self.blocks.sort();
+        Ok(half)
+    }
+
+    /// Like [`AddressPool::split_half`], but never fails on allocated
+    /// addresses: the half with fewer allocations is delegated and the
+    /// allocation records inside it are carved out and returned with the
+    /// block, so the receiving head can import them ("only IPSpace of
+    /// the allocator is divided and assigned during configuration" —
+    /// existing assignments ride along).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrSpaceError::Exhausted`] only when no block has two
+    /// addresses.
+    pub fn split_half_carrying(
+        &mut self,
+    ) -> Result<(AddrBlock, Vec<(Addr, crate::AddrRecord)>), AddrSpaceError> {
+        // Prefer a clean half if one exists anywhere.
+        if let Ok(block) = self.split_half() {
+            return Ok((block, Vec::new()));
+        }
+        // Otherwise split the largest block on the side with fewer
+        // allocations and carve out the records.
+        let idx = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.len() >= 2)
+            .max_by_key(|(_, b)| b.len())
+            .map(|(i, _)| i)
+            .ok_or(AddrSpaceError::Exhausted)?;
+        let b = self.blocks[idx];
+        let upper_len = b.len() / 2;
+        let upper_base = b.base().offset(b.len() - upper_len);
+        let upper_allocs = (0..upper_len)
+            .filter(|k| !self.table.status(upper_base.offset(*k)).is_available())
+            .count();
+        let lower_len = b.len() / 2;
+        let lower_allocs = (0..lower_len)
+            .filter(|k| !self.table.status(b.base().offset(*k)).is_available())
+            .count();
+        let half = if upper_allocs <= lower_allocs {
+            self.blocks[idx].split_half().expect("len >= 2")
+        } else {
+            self.blocks[idx].split_half_lower().expect("len >= 2")
+        };
+        self.blocks.sort();
+        let mut carried = Vec::new();
+        let records: Vec<Addr> = self
+            .table
+            .iter()
+            .filter(|(a, _)| half.contains(*a))
+            .map(|(a, _)| a)
+            .collect();
+        for a in records {
+            let rec = self.table.record(a);
+            carried.push((a, rec));
+        }
+        Ok((half, carried))
+    }
+
+    /// Adds a block to the pool (a departing cluster head returning its
+    /// space, or address borrowing). Coalesces with adjoining blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrSpaceError::Overlapping`] if the block overlaps space
+    /// the pool already owns.
+    pub fn absorb(&mut self, block: AddrBlock) -> Result<(), AddrSpaceError> {
+        if self.blocks.iter().any(|b| b.overlaps(&block)) {
+            return Err(AddrSpaceError::Overlapping);
+        }
+        self.blocks.push(block);
+        self.blocks.sort();
+        // Coalesce adjoining runs.
+        let mut merged: Vec<AddrBlock> = Vec::with_capacity(self.blocks.len());
+        for b in self.blocks.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.adjoins(&b) => {
+                    last.coalesce(b).expect("adjoining blocks coalesce");
+                }
+                _ => merged.push(b),
+            }
+        }
+        self.blocks = merged;
+        Ok(())
+    }
+
+    /// Removes all owned space and allocation state, returning the blocks
+    /// (a cluster head handing everything back before departure).
+    pub fn surrender(&mut self) -> (Vec<AddrBlock>, AllocationTable) {
+        (
+            std::mem::take(&mut self.blocks),
+            std::mem::take(&mut self.table),
+        )
+    }
+
+    /// Iterates over every owned address with its status.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, AddrStatus)> + '_ {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|a| (a, self.table.status(a)))
+    }
+}
+
+impl fmt::Display for AddressPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pool of {} addresses in {} blocks ({} free)",
+            self.total_len(),
+            self.blocks.len(),
+            self.free_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(len: u32) -> AddressPool {
+        AddressPool::from_block(AddrBlock::new(Addr::new(0), len).unwrap())
+    }
+
+    #[test]
+    fn empty_pool_has_nothing() {
+        let p = AddressPool::new();
+        assert_eq!(p.total_len(), 0);
+        assert_eq!(p.first_free(), None);
+        assert!(!p.owns(Addr::new(0)));
+    }
+
+    #[test]
+    fn allocate_first_walks_upward() {
+        let mut p = pool(4);
+        assert_eq!(p.allocate_first(1).unwrap(), Addr::new(0));
+        assert_eq!(p.allocate_first(2).unwrap(), Addr::new(1));
+        assert_eq!(p.free_count(), 2);
+    }
+
+    #[test]
+    fn allocate_rejects_taken_and_foreign() {
+        let mut p = pool(4);
+        p.allocate(Addr::new(2), 1).unwrap();
+        assert_eq!(
+            p.allocate(Addr::new(2), 2).unwrap_err(),
+            AddrSpaceError::AlreadyAllocated(Addr::new(2))
+        );
+        assert_eq!(
+            p.allocate(Addr::new(99), 2).unwrap_err(),
+            AddrSpaceError::NotOwned(Addr::new(99))
+        );
+    }
+
+    #[test]
+    fn release_then_reallocate() {
+        let mut p = pool(2);
+        let a = p.allocate_first(1).unwrap();
+        p.release(a).unwrap();
+        assert_eq!(p.table().status(a), AddrStatus::Vacant);
+        // Vacant addresses are handed out again.
+        assert_eq!(p.allocate_first(2).unwrap(), a);
+    }
+
+    #[test]
+    fn release_errors() {
+        let mut p = pool(2);
+        assert_eq!(
+            p.release(Addr::new(0)).unwrap_err(),
+            AddrSpaceError::NotAllocated(Addr::new(0))
+        );
+        assert_eq!(
+            p.release(Addr::new(50)).unwrap_err(),
+            AddrSpaceError::NotOwned(Addr::new(50))
+        );
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut p = pool(2);
+        p.allocate_first(1).unwrap();
+        p.allocate_first(2).unwrap();
+        assert_eq!(p.allocate_first(3).unwrap_err(), AddrSpaceError::Exhausted);
+        assert_eq!(p.free_count(), 0);
+    }
+
+    #[test]
+    fn split_half_delegates_upper() {
+        let mut p = pool(16);
+        let upper = p.split_half().unwrap();
+        assert_eq!(upper, AddrBlock::new(Addr::new(8), 8).unwrap());
+        assert_eq!(p.total_len(), 8);
+        assert!(!p.owns(Addr::new(8)));
+    }
+
+    #[test]
+    fn split_half_falls_back_to_clean_lower() {
+        let mut p = pool(8);
+        p.allocate(Addr::new(6), 1).unwrap(); // dirty upper half
+        let lower = p.split_half().unwrap();
+        assert_eq!(lower, AddrBlock::new(Addr::new(0), 4).unwrap());
+        assert!(p.owns(Addr::new(6)));
+        assert!(!p.owns(Addr::new(0)));
+    }
+
+    #[test]
+    fn split_half_fails_when_both_halves_dirty() {
+        let mut p = pool(8);
+        p.allocate(Addr::new(1), 1).unwrap();
+        p.allocate(Addr::new(6), 1).unwrap();
+        assert_eq!(p.split_half().unwrap_err(), AddrSpaceError::Exhausted);
+    }
+
+    #[test]
+    fn split_carrying_hands_over_fewest_allocations() {
+        let mut p = pool(8);
+        p.allocate(Addr::new(1), 10).unwrap();
+        p.allocate(Addr::new(2), 11).unwrap();
+        p.allocate(Addr::new(6), 12).unwrap(); // upper half: 1 alloc
+        let (half, carried) = p.split_half_carrying().unwrap();
+        assert_eq!(half, AddrBlock::new(Addr::new(4), 4).unwrap());
+        assert_eq!(carried.len(), 1);
+        assert_eq!(carried[0].0, Addr::new(6));
+        assert!(matches!(carried[0].1.status, AddrStatus::Allocated(12)));
+        assert!(!p.owns(Addr::new(6)));
+    }
+
+    #[test]
+    fn split_carrying_prefers_clean_half() {
+        let mut p = pool(8);
+        p.allocate(Addr::new(1), 1).unwrap(); // lower dirty, upper clean
+        let (half, carried) = p.split_half_carrying().unwrap();
+        assert!(carried.is_empty());
+        assert_eq!(half.base(), Addr::new(4));
+    }
+
+    #[test]
+    fn first_free_from_wraps() {
+        let mut p = pool(8);
+        p.allocate(Addr::new(6), 1).unwrap();
+        p.allocate(Addr::new(7), 1).unwrap();
+        assert_eq!(p.first_free_from(Addr::new(6)), Some(Addr::new(0)));
+        assert_eq!(p.first_free_from(Addr::new(3)), Some(Addr::new(3)));
+    }
+
+    #[test]
+    fn split_half_prefers_largest_block() {
+        let mut p = pool(8);
+        p.absorb(AddrBlock::new(Addr::new(100), 32).unwrap()).unwrap();
+        let upper = p.split_half().unwrap();
+        assert_eq!(upper.base(), Addr::new(116));
+        assert_eq!(upper.len(), 16);
+    }
+
+    #[test]
+    fn absorb_rejects_overlap_and_coalesces() {
+        let mut p = pool(8);
+        assert_eq!(
+            p.absorb(AddrBlock::new(Addr::new(4), 8).unwrap()).unwrap_err(),
+            AddrSpaceError::Overlapping
+        );
+        p.absorb(AddrBlock::new(Addr::new(8), 8).unwrap()).unwrap();
+        assert_eq!(p.blocks().len(), 1, "adjoining blocks coalesce");
+        assert_eq!(p.total_len(), 16);
+    }
+
+    #[test]
+    fn absorb_nonadjacent_stays_separate() {
+        let mut p = pool(8);
+        p.absorb(AddrBlock::new(Addr::new(100), 8).unwrap()).unwrap();
+        assert_eq!(p.blocks().len(), 2);
+        assert_eq!(p.total_len(), 16);
+        assert!(p.owns(Addr::new(104)));
+    }
+
+    #[test]
+    fn surrender_empties_pool() {
+        let mut p = pool(8);
+        p.allocate_first(1).unwrap();
+        let (blocks, table) = p.surrender();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(table.allocated_count(), 1);
+        assert_eq!(p.total_len(), 0);
+    }
+
+    #[test]
+    fn iter_reports_statuses() {
+        let mut p = pool(3);
+        p.allocate(Addr::new(1), 9).unwrap();
+        let statuses: Vec<AddrStatus> = p.iter().map(|(_, s)| s).collect();
+        assert_eq!(
+            statuses,
+            vec![
+                AddrStatus::Free,
+                AddrStatus::Allocated(9),
+                AddrStatus::Free
+            ]
+        );
+    }
+
+    #[test]
+    fn free_count_ignores_foreign_records() {
+        let mut p = pool(4);
+        // A merged foreign record outside the owned blocks must not
+        // affect (let alone underflow) the free count.
+        p.table_mut().set(Addr::new(100), AddrStatus::Allocated(9));
+        assert_eq!(p.free_count(), 4);
+        p.allocate(Addr::new(1), 1).unwrap();
+        assert_eq!(p.free_count(), 3);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut p = pool(4);
+        p.allocate_first(1).unwrap();
+        assert_eq!(p.to_string(), "pool of 4 addresses in 1 blocks (3 free)");
+    }
+}

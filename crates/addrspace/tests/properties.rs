@@ -1,0 +1,107 @@
+//! Property-based tests of address-space management.
+
+use addrspace::{Addr, AddrBlock, AddrRecord, AddrStatus, AddressPool, AllocationTable};
+use proptest::prelude::*;
+use quorum::VersionStamp;
+
+proptest! {
+    /// Blocks never overlap after arbitrary split/absorb interleavings,
+    /// and the pool's address count is conserved.
+    #[test]
+    fn pool_split_absorb_conserves(ops in prop::collection::vec(prop::bool::ANY, 0..60)) {
+        let total = 1u64 << 12;
+        let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 1 << 12).unwrap());
+        let mut lent: Vec<AddrBlock> = Vec::new();
+        for op in ops {
+            if op {
+                if let Ok(b) = pool.split_half() {
+                    lent.push(b);
+                }
+            } else if let Some(b) = lent.pop() {
+                pool.absorb(b).unwrap();
+            }
+        }
+        let held: u64 = lent.iter().map(|b| u64::from(b.len())).sum();
+        prop_assert_eq!(pool.total_len() + held, total);
+        // Owned blocks are pairwise disjoint and disjoint from lent ones.
+        let blocks = pool.blocks();
+        for (i, a) in blocks.iter().enumerate() {
+            for b in blocks.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b));
+            }
+            for b in &lent {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    /// `first_free` always returns an available owned address, and skips
+    /// exactly the allocated ones.
+    #[test]
+    fn first_free_is_correct(allocs in prop::collection::vec(0u32..64, 0..64)) {
+        let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 64).unwrap());
+        for a in allocs {
+            let _ = pool.allocate(Addr::new(a), 1);
+        }
+        match pool.first_free() {
+            Some(addr) => {
+                prop_assert!(pool.owns(addr));
+                prop_assert!(pool.table().status(addr).is_available());
+                // Nothing below it is available.
+                for lower in 0..addr.bits() {
+                    prop_assert!(!pool.table().status(Addr::new(lower)).is_available());
+                }
+            }
+            None => prop_assert_eq!(pool.free_count(), 0),
+        }
+    }
+
+    /// Table merge implements freshest-copy-wins regardless of order.
+    #[test]
+    fn table_merge_freshest_wins(
+        records in prop::collection::vec((0u32..10, 0u64..2, 1u64..50), 1..40),
+    ) {
+        // Build two tables from interleaved records with distinct stamps.
+        let mut left = AllocationTable::new();
+        let mut right = AllocationTable::new();
+        let mut freshest: std::collections::HashMap<u32, (u64, AddrStatus)> =
+            std::collections::HashMap::new();
+        for (i, (addr, status_pick, stamp_base)) in records.iter().enumerate() {
+            let stamp = stamp_base * 100 + i as u64; // unique
+            let status = if *status_pick == 0 {
+                AddrStatus::Allocated(i as u64)
+            } else {
+                AddrStatus::Vacant
+            };
+            let rec = AddrRecord { status, stamp: VersionStamp::new(stamp) };
+            if i % 2 == 0 {
+                left.apply(Addr::new(*addr), rec);
+            } else {
+                right.apply(Addr::new(*addr), rec);
+            }
+            let e = freshest.entry(*addr).or_insert((0, AddrStatus::Free));
+            if stamp > e.0 {
+                *e = (stamp, status);
+            }
+        }
+        let mut merged_lr = left.clone();
+        merged_lr.merge(&right);
+        let mut merged_rl = right.clone();
+        merged_rl.merge(&left);
+        prop_assert_eq!(&merged_lr, &merged_rl, "merge must commute");
+        for (addr, (stamp, status)) in freshest {
+            let rec = merged_lr.record(Addr::new(addr));
+            prop_assert_eq!(rec.stamp.get(), stamp);
+            prop_assert_eq!(rec.status, status);
+        }
+    }
+
+    /// Display / Ipv4 conversion round-trips.
+    #[test]
+    fn addr_ipv4_roundtrip(bits in any::<u32>()) {
+        let a = Addr::new(bits);
+        let ip: std::net::Ipv4Addr = a.into();
+        prop_assert_eq!(Addr::from(ip), a);
+        prop_assert_eq!(a.to_string(), ip.to_string());
+    }
+}

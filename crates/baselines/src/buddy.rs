@@ -1,0 +1,420 @@
+//! The Mohsin–Prakash buddy protocol (MILCOM 2002): disjoint blocks with
+//! periodic global synchronization.
+//!
+//! Every configured node owns a disjoint address block and can configure
+//! a newcomer on its own by handing over half its block (binary-buddy
+//! split) — configuration is therefore fast and local. The cost moves
+//! elsewhere: all nodes maintain the global allocation table, kept
+//! consistent by periodic network-wide synchronization floods, and
+//! departures are announced network-wide so the departing block returns
+//! to circulation. Those floods are what Figures 8–9 of the paper show
+//! growing with network size.
+
+use addrspace::{Addr, AddrBlock, AddressPool};
+use manet_sim::{MsgCategory, NodeId, Protocol, SimDuration, World};
+use std::collections::HashMap;
+
+/// Parameters of the buddy baseline.
+#[derive(Debug, Clone)]
+pub struct BuddyConfig {
+    /// The network's total address space.
+    pub space: AddrBlock,
+    /// Interval of the periodic global table synchronization.
+    pub sync_interval: SimDuration,
+    /// Retry pause for joiners that found nobody.
+    pub join_retry: SimDuration,
+}
+
+impl Default for BuddyConfig {
+    fn default() -> Self {
+        BuddyConfig {
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
+                .expect("static block is valid"),
+            sync_interval: SimDuration::from_secs(4),
+            join_retry: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Wire messages of the buddy baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuddyMsg {
+    /// Newcomer → configured neighbor: configure me.
+    Req,
+    /// Allocator → newcomer: here is your half of my block.
+    Assign {
+        /// The delegated block; the newcomer takes its first address.
+        block: AddrBlock,
+        /// Allocator-side hops spent (for latency accounting).
+        spent_hops: u32,
+    },
+    /// Allocator cannot split (single address left).
+    Reject,
+    /// Periodic global synchronization of a node's view (flooded).
+    Sync {
+        /// The sender's address.
+        ip: Addr,
+        /// Size of the sender's block, for borrow decisions.
+        free: u64,
+    },
+    /// Flooded on graceful departure: the block returns to the buddy.
+    Departure {
+        /// The departing node's address.
+        ip: Addr,
+        /// The blocks being released.
+        blocks: Vec<AddrBlock>,
+        /// The buddy that should absorb them.
+        heir: NodeId,
+    },
+}
+
+#[derive(Debug)]
+struct BuddyNode {
+    pool: AddressPool,
+    ip: Addr,
+    /// The node we split from — inherits our space when we leave.
+    buddy: Option<NodeId>,
+}
+
+const TAG_SYNC: u64 = 1;
+const TAG_JOIN_RETRY: u64 = 2;
+
+/// The buddy protocol state over all simulated nodes.
+#[derive(Debug)]
+pub struct Buddy {
+    cfg: BuddyConfig,
+    nodes: HashMap<NodeId, BuddyNode>,
+    joining: HashMap<NodeId, (u32, u32)>, // (attempts, hops)
+}
+
+impl Buddy {
+    /// Creates the protocol with the given parameters.
+    #[must_use]
+    pub fn new(cfg: BuddyConfig) -> Self {
+        Buddy {
+            cfg,
+            nodes: HashMap::new(),
+            joining: HashMap::new(),
+        }
+    }
+
+    /// The address of `node`, if configured.
+    #[must_use]
+    pub fn ip_of(&self, node: NodeId) -> Option<Addr> {
+        self.nodes.get(&node).map(|n| n.ip)
+    }
+
+    /// Addresses of every alive configured node.
+    #[must_use]
+    pub fn assigned(&self, w: &World<BuddyMsg>) -> Vec<(NodeId, Addr)> {
+        let mut v: Vec<(NodeId, Addr)> = self
+            .nodes
+            .iter()
+            .filter(|(n, _)| w.is_alive(**n))
+            .map(|(n, s)| (*n, s.ip))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The block sizes of all alive nodes (fragmentation studies).
+    #[must_use]
+    pub fn block_sizes(&self, w: &World<BuddyMsg>) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .filter(|(n, _)| w.is_alive(**n))
+            .map(|(_, s)| s.pool.total_len())
+            .collect()
+    }
+
+    fn attempt_join(&mut self, w: &mut World<BuddyMsg>, node: NodeId) {
+        // Any configured neighbor can allocate; prefer the one with the
+        // largest block (the paper's [2] borrows from the largest
+        // holder). Fall back to the nearest configured node via
+        // multi-hop routing when no neighbor is configured yet.
+        let neighbor = w
+            .neighbors(node)
+            .into_iter()
+            .filter(|n| self.nodes.contains_key(n))
+            .max_by_key(|n| self.nodes[n].pool.total_len())
+            .or_else(|| {
+                let dists = w.topology().distances_from(node);
+                self.nodes
+                    .keys()
+                    .filter(|n| **n != node && w.is_alive(**n))
+                    .filter_map(|n| dists.get(n).map(|d| (*n, *d)))
+                    .min_by_key(|&(n, d)| (d, n))
+                    .map(|(n, _)| n)
+            });
+        if let Some(alloc) = neighbor {
+            if let Ok(h) = w.unicast(node, alloc, MsgCategory::Configuration, BuddyMsg::Req) {
+                if let Some(j) = self.joining.get_mut(&node) {
+                    j.1 += h;
+                }
+                return;
+            }
+        }
+        // Nobody reachable in this component: bootstrap it (mirrors the
+        // quorum protocol's first-node procedure so per-component network
+        // formation is comparable).
+        if neighbor.is_none() {
+            let _ = w.broadcast_within(node, 1, MsgCategory::Configuration, BuddyMsg::Req);
+            let mut pool = AddressPool::from_block(self.cfg.space);
+            let ip = pool.allocate_first(node.index()).expect("space non-empty");
+            self.nodes.insert(
+                node,
+                BuddyNode {
+                    pool,
+                    ip,
+                    buddy: None,
+                },
+            );
+            self.joining.remove(&node);
+            w.metrics_mut().record_config_latency(1);
+            w.mark_configured(node);
+            let sync = self.cfg.sync_interval;
+            w.set_timer(node, sync, TAG_SYNC);
+            return;
+        }
+        let Some(j) = self.joining.get_mut(&node) else {
+            return;
+        };
+        j.0 += 1;
+        if j.0 < 8 {
+            let retry = self.cfg.join_retry;
+            w.set_timer(node, retry, TAG_JOIN_RETRY);
+        } else {
+            w.metrics_mut().record_config_failure();
+        }
+    }
+}
+
+impl Default for Buddy {
+    fn default() -> Self {
+        Buddy::new(BuddyConfig::default())
+    }
+}
+
+impl Protocol for Buddy {
+    type Msg = BuddyMsg;
+
+    fn on_join(&mut self, w: &mut World<BuddyMsg>, node: NodeId) {
+        self.joining.insert(node, (0, 0));
+        self.attempt_join(w, node);
+    }
+
+    fn on_message(&mut self, w: &mut World<BuddyMsg>, to: NodeId, from: NodeId, msg: BuddyMsg) {
+        match msg {
+            BuddyMsg::Req => {
+                let Some(alloc) = self.nodes.get_mut(&to) else {
+                    return;
+                };
+                match alloc.pool.split_half() {
+                    Ok(block) => {
+                        let reply_hops = w.hops_between(to, from).unwrap_or(1);
+                        if w
+                            .unicast(
+                                to,
+                                from,
+                                MsgCategory::Configuration,
+                                BuddyMsg::Assign {
+                                    block,
+                                    spent_hops: reply_hops,
+                                },
+                            )
+                            .is_err()
+                        {
+                            // Take the block back if the joiner vanished.
+                            if let Some(a) = self.nodes.get_mut(&to) {
+                                let _ = a.pool.absorb(block);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        let _ = w.unicast(to, from, MsgCategory::Configuration, BuddyMsg::Reject);
+                    }
+                }
+            }
+            BuddyMsg::Assign { block, spent_hops } => {
+                let Some((_, req_hops)) = self.joining.remove(&to) else {
+                    return;
+                };
+                let mut pool = AddressPool::from_block(block);
+                let ip = pool.allocate_first(to.index()).expect("block non-empty");
+                self.nodes.insert(
+                    to,
+                    BuddyNode {
+                        pool,
+                        ip,
+                        buddy: Some(from),
+                    },
+                );
+                w.metrics_mut().record_config_latency(req_hops + spent_hops);
+                w.mark_configured(to);
+                let sync = self.cfg.sync_interval;
+                w.set_timer(to, sync, TAG_SYNC);
+            }
+            BuddyMsg::Reject => {
+                if self.joining.contains_key(&to) {
+                    let retry = self.cfg.join_retry;
+                    w.set_timer(to, retry, TAG_JOIN_RETRY);
+                }
+            }
+            BuddyMsg::Sync { .. } => {
+                // Tables are logically merged; cost is what matters here.
+            }
+            BuddyMsg::Departure { ip: _, blocks, heir } => {
+                if to == heir {
+                    if let Some(me) = self.nodes.get_mut(&to) {
+                        for b in blocks {
+                            let _ = me.pool.absorb(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, w: &mut World<BuddyMsg>, node: NodeId, tag: u64) {
+        match tag {
+            TAG_SYNC => {
+                let Some(me) = self.nodes.get(&node) else {
+                    return;
+                };
+                // Periodic global synchronization (the protocol's defining
+                // overhead).
+                let msg = BuddyMsg::Sync {
+                    ip: me.ip,
+                    free: me.pool.free_count(),
+                };
+                let _ = w.flood(node, MsgCategory::Sync, msg);
+                let sync = self.cfg.sync_interval;
+                w.set_timer(node, sync, TAG_SYNC);
+            }
+            TAG_JOIN_RETRY => {
+                if self.joining.contains_key(&node) {
+                    self.attempt_join(w, node);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_leave(&mut self, w: &mut World<BuddyMsg>, node: NodeId, graceful: bool) {
+        if graceful {
+            if let Some(me) = self.nodes.get(&node) {
+                let heir = me
+                    .buddy
+                    .filter(|b| w.is_alive(*b) && self.nodes.contains_key(b))
+                    .or_else(|| {
+                        self.nodes
+                            .keys()
+                            .find(|n| **n != node && w.is_alive(**n))
+                            .copied()
+                    });
+                if let Some(heir) = heir {
+                    // The whole network must learn the departure so the
+                    // global tables stay consistent — a flood (Figure 9's
+                    // cost driver).
+                    let msg = BuddyMsg::Departure {
+                        ip: me.ip,
+                        blocks: me.pool.blocks().to_vec(),
+                        heir,
+                    };
+                    let _ = w.flood(node, MsgCategory::Maintenance, msg);
+                }
+            }
+            w.remove_node(node);
+        }
+        // Abrupt: the buddy notices the loss at the next sync; the block
+        // leaks until then (the paper's address-leak discussion).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::{Point, Sim, SimDuration, WorldConfig};
+
+    fn still() -> WorldConfig {
+        WorldConfig {
+            speed: 0.0,
+            ..WorldConfig::default()
+        }
+    }
+
+    #[test]
+    fn blocks_halve_down_the_chain() {
+        let mut sim = Sim::new(still(), Buddy::default());
+        let a = sim.spawn_at(Point::new(500.0, 500.0));
+        sim.run_for(SimDuration::from_secs(1));
+        let b = sim.spawn_at(Point::new(560.0, 500.0));
+        sim.run_for(SimDuration::from_secs(1));
+        let c = sim.spawn_at(Point::new(540.0, 540.0));
+        sim.run_for(SimDuration::from_secs(1));
+
+        let p = sim.protocol();
+        let total: u64 = p.block_sizes(sim.world()).iter().sum();
+        assert_eq!(total, 1 << 16, "no addresses lost by splitting");
+        assert!(p.ip_of(a).is_some() && p.ip_of(b).is_some() && p.ip_of(c).is_some());
+    }
+
+    #[test]
+    fn configuration_is_local_and_fast() {
+        let mut sim = Sim::new(still(), Buddy::default());
+        sim.spawn_at(Point::new(500.0, 500.0));
+        sim.run_for(SimDuration::from_secs(1));
+        sim.spawn_at(Point::new(560.0, 500.0));
+        sim.run_for(SimDuration::from_secs(1));
+        let lat = sim.world().metrics().config_latencies();
+        assert!(
+            lat[1] <= 3,
+            "one-hop request + assign must stay local: {lat:?}"
+        );
+    }
+
+    #[test]
+    fn sync_floods_accumulate() {
+        let mut sim = Sim::new(still(), Buddy::default());
+        for i in 0..6 {
+            sim.spawn_at(Point::new(300.0 + 60.0 * i as f64, 500.0));
+        }
+        sim.run_for(SimDuration::from_secs(20));
+        let sync = sim.world().metrics().hops(MsgCategory::Sync);
+        // 6 nodes × ~5 sync rounds × component size 6.
+        assert!(sync >= 100, "periodic sync must dominate: {sync}");
+    }
+
+    #[test]
+    fn departure_returns_block_to_buddy() {
+        let mut sim = Sim::new(still(), Buddy::default());
+        let a = sim.spawn_at(Point::new(500.0, 500.0));
+        sim.run_for(SimDuration::from_secs(1));
+        let b = sim.spawn_at(Point::new(560.0, 500.0));
+        sim.run_for(SimDuration::from_secs(1));
+        let a_before = sim.protocol().nodes[&a].pool.total_len();
+        sim.leave_now(b, true);
+        sim.run_for(SimDuration::from_secs(1));
+        let a_after = sim.protocol().nodes[&a].pool.total_len();
+        assert!(a_after > a_before, "buddy inherits the departed block");
+        assert_eq!(a_after, 1 << 16);
+    }
+
+    #[test]
+    fn unique_addresses_under_load() {
+        let mut sim = Sim::new(still(), Buddy::default());
+        for i in 0..20 {
+            sim.spawn_at(Point::new(
+                200.0 + 120.0 * (i % 6) as f64,
+                300.0 + 120.0 * (i / 6) as f64,
+            ));
+            sim.run_for(SimDuration::from_secs(1));
+        }
+        let assigned = sim.protocol().assigned(sim.world());
+        assert_eq!(assigned.len(), 20);
+        let mut ips: Vec<Addr> = assigned.iter().map(|(_, ip)| *ip).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), 20);
+    }
+}

@@ -1,0 +1,98 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * location-update policy (periodic vs upon-leave),
+//! * address borrowing on vs off,
+//! * allocator choice (nearest vs largest block),
+//! * replication floor (`min_qdset`).
+//!
+//! Each variant runs the same churn scenario; Criterion times the runs
+//! and the resulting quality metrics (configured nodes, hops) are
+//! printed once per variant for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use harness::scenario::{run_scenario, Scenario};
+use manet_sim::SimDuration;
+use qbac_core::{AllocatorChoice, ProtocolConfig, Qbac, UpdatePolicy};
+
+fn churn_scenario(seed: u64) -> Scenario {
+    Scenario {
+        nn: 40,
+        depart_fraction: 0.3,
+        abrupt_ratio: 0.3,
+        settle: SimDuration::from_secs(5),
+        depart_window: SimDuration::from_secs(10),
+        cooldown: SimDuration::from_secs(10),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+fn run_variant(name: &str, cfg: ProtocolConfig) {
+    let (_, m) = run_scenario(&churn_scenario(3), Qbac::new(cfg));
+    println!(
+        "ablation {name:>24}: {} configured, latency {:.1}, {} total hops",
+        m.metrics.configured_nodes(),
+        m.metrics.mean_config_latency().unwrap_or(0.0),
+        m.metrics.protocol_hops()
+    );
+}
+
+fn variants() -> Vec<(&'static str, ProtocolConfig)> {
+    vec![
+        ("baseline", ProtocolConfig::default()),
+        (
+            "upon-leave updates",
+            ProtocolConfig {
+                update_policy: UpdatePolicy::UponLeave,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "no borrowing",
+            ProtocolConfig {
+                enable_borrowing: false,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "largest-block allocator",
+            ProtocolConfig {
+                allocator_choice: AllocatorChoice::LargestBlock,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "min_qdset=1",
+            ProtocolConfig {
+                min_qdset: 1,
+                ..ProtocolConfig::default()
+            },
+        ),
+        (
+            "min_qdset=5",
+            ProtocolConfig {
+                min_qdset: 5,
+                ..ProtocolConfig::default()
+            },
+        ),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    for (name, cfg) in variants() {
+        run_variant(name, cfg);
+    }
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, cfg) in variants() {
+        group.bench_with_input(BenchmarkId::new("churn", name), &cfg, |b, cfg| {
+            b.iter(|| run_scenario(&churn_scenario(3), Qbac::new(cfg.clone())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

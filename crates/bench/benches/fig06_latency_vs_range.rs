@@ -1,0 +1,22 @@
+//! Criterion bench regenerating Figure 6 of the paper (quick mode).
+//! The produced table is printed once alongside the timing.
+
+use bench::{bench_opts, print_once};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::figures::fig06;
+
+fn bench_fig(c: &mut Criterion) {
+    let opts = bench_opts();
+    print_once(&fig06(&opts));
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("fig06", |b| {
+        b.iter(|| fig06(&opts));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig);
+criterion_main!(benches);

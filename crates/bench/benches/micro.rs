@@ -1,0 +1,85 @@
+//! Microbenchmarks of the substrate data structures: topology
+//! construction and routing, address pools, allocation-table merges, and
+//! vote tallies.
+
+use addrspace::{Addr, AddrBlock, AddrStatus, AddressPool, AllocationTable};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet_sim::topology::Topology;
+use manet_sim::{Arena, NodeId, SimRng};
+use quorum::{MajorityRule, QuorumRule, VoteTally};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    for n in [50usize, 100, 200] {
+        let arena = Arena::default();
+        let mut rng = SimRng::seed_from(1);
+        let nodes: Vec<_> = (0..n)
+            .map(|i| (NodeId::new(i as u64), rng.point_in(&arena)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &nodes, |b, nodes| {
+            b.iter(|| Topology::build(black_box(nodes), 150.0));
+        });
+        let topo = Topology::build(&nodes, 150.0);
+        group.bench_with_input(BenchmarkId::new("bfs", n), &topo, |b, topo| {
+            b.iter(|| topo.distances_from(black_box(NodeId::new(0))));
+        });
+        group.bench_with_input(BenchmarkId::new("components", n), &topo, |b, topo| {
+            b.iter(|| topo.components());
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("address_pool");
+    group.bench_function("allocate_release_cycle", |b| {
+        let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 4096).unwrap());
+        b.iter(|| {
+            let a = pool.allocate_first(1).unwrap();
+            pool.release(a).unwrap();
+        });
+    });
+    group.bench_function("split_absorb_cycle", |b| {
+        let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 1 << 16).unwrap());
+        b.iter(|| {
+            let half = pool.split_half().unwrap();
+            pool.absorb(half).unwrap();
+        });
+    });
+    group.finish();
+}
+
+fn bench_table_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allocation_table");
+    for n in [64u32, 512, 4096] {
+        let mut a = AllocationTable::new();
+        let mut b_table = AllocationTable::new();
+        for i in 0..n {
+            a.set(Addr::new(i), AddrStatus::Allocated(u64::from(i)));
+            b_table.set(Addr::new(i + n / 2), AddrStatus::Vacant);
+        }
+        group.bench_with_input(BenchmarkId::new("merge", n), &(a, b_table), |bch, input| {
+            bch.iter(|| {
+                let mut local = input.0.clone();
+                local.merge(black_box(&input.1))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tally(c: &mut Criterion) {
+    c.bench_function("vote_tally_majority_of_16", |b| {
+        let rule = MajorityRule::new(16);
+        b.iter(|| {
+            let mut t: VoteTally<u32> = VoteTally::new(rule.threshold());
+            for v in 0..16u32 {
+                t.grant(black_box(v));
+            }
+            t.reached()
+        });
+    });
+}
+
+criterion_group!(benches, bench_topology, bench_pool, bench_table_merge, bench_tally);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared plumbing for the figure benchmarks.
+//!
+//! Every paper figure has a bench target (`fig04` … `fig14`) that runs
+//! the corresponding harness driver in quick mode and prints the
+//! resulting table once, so `cargo bench` both times the regeneration
+//! and emits the figure's data. `micro` covers the substrate data
+//! structures; `ablations` times the design-choice variants called out
+//! in `DESIGN.md`.
+
+use harness::figures::FigOpts;
+
+/// Quick options used inside benches: one replication, shrunken sweeps.
+#[must_use]
+pub fn bench_opts() -> FigOpts {
+    FigOpts {
+        rounds: 1,
+        quick: true,
+        seed: 7,
+    }
+}
+
+/// Prints each produced table once per process (so `cargo bench` output
+/// contains the regenerated figure data without drowning in repeats).
+pub fn print_once(tables: &[harness::Table]) {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for t in tables {
+            println!("{}", t.to_ascii());
+        }
+    });
+}

@@ -1,0 +1,165 @@
+//! Inspection and auditing helpers for tests and the experiment harness.
+
+use crate::msg::Msg;
+use crate::protocol::Qbac;
+use crate::roles::{HeadState, NodeRole};
+use addrspace::Addr;
+use manet_sim::{NodeId, World};
+use std::collections::HashMap;
+
+/// A duplicate-address violation found by [`Qbac::audit_unique`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateAddress {
+    /// The address assigned twice.
+    pub addr: Addr,
+    /// First holder.
+    pub a: NodeId,
+    /// Second holder.
+    pub b: NodeId,
+}
+
+impl Qbac {
+    /// Addresses of every alive configured node.
+    #[must_use]
+    pub fn assigned(&self, w: &World<Msg>) -> Vec<(NodeId, Addr)> {
+        let mut v: Vec<(NodeId, Addr)> = self
+            .roles_iter()
+            .filter(|(n, _)| w.is_alive(*n))
+            .filter_map(|(n, r)| r.ip().map(|ip| (n, ip)))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Alive cluster heads.
+    #[must_use]
+    pub fn heads(&self, w: &World<Msg>) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .roles_iter()
+            .filter(|(n, r)| w.is_alive(*n) && r.is_head())
+            .map(|(n, _)| n)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Alive configured common nodes.
+    #[must_use]
+    pub fn common_nodes(&self, w: &World<Msg>) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .roles_iter()
+            .filter(|(n, r)| {
+                w.is_alive(*n) && matches!(r, NodeRole::Common(_))
+            })
+            .map(|(n, _)| n)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Read-only access to a head's full state (for the harness's
+    /// Figure 12/13 measurements).
+    #[must_use]
+    pub fn head(&self, node: NodeId) -> Option<&HeadState> {
+        self.head_state(node)
+    }
+
+    /// `|QDSet|` of every alive head.
+    #[must_use]
+    pub fn qdset_sizes(&self, w: &World<Msg>) -> Vec<usize> {
+        self.heads(w)
+            .into_iter()
+            .filter_map(|h| self.head_state(h).map(|s| s.qd_set.len()))
+            .collect()
+    }
+
+    /// For every alive head, the ratio of its extended space (own +
+    /// replicated) to its own space — the Figure 12 quantity.
+    #[must_use]
+    pub fn extension_ratios(&self, w: &World<Msg>) -> Vec<f64> {
+        self.heads(w)
+            .into_iter()
+            .filter_map(|h| self.head_state(h))
+            .filter(|s| s.pool.total_len() > 0)
+            .map(|s| s.extended_space() as f64 / s.pool.total_len() as f64)
+            .collect()
+    }
+
+    /// Checks the core safety property: within one connected component
+    /// and one network, no two alive configured nodes share an address.
+    ///
+    /// # Errors
+    ///
+    /// Returns all violations found.
+    pub fn audit_unique(&self, w: &mut World<Msg>) -> Result<(), Vec<DuplicateAddress>> {
+        let mut seen: HashMap<(usize, Addr), NodeId> = HashMap::new();
+        let mut dups = Vec::new();
+        let components = w.components();
+        let comp_of: HashMap<NodeId, usize> = components
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.iter().map(move |n| (*n, i)))
+            .collect();
+        for (n, ip) in self.assigned(w) {
+            let Some(&comp) = comp_of.get(&n) else {
+                continue;
+            };
+            match seen.insert((comp, ip), n) {
+                Some(prev) if prev != n => dups.push(DuplicateAddress {
+                    addr: ip,
+                    a: prev,
+                    b: n,
+                }),
+                _ => {}
+            }
+        }
+        if dups.is_empty() {
+            Ok(())
+        } else {
+            Err(dups)
+        }
+    }
+
+    /// For Figure 13: the vanished heads whose state survived. A departed
+    /// head's state is preserved if at least half of its `QDSet` is still
+    /// alive ("as long as half of the cluster heads in its QDSet exist
+    /// ... at least one quorum remains").
+    ///
+    /// Returns `(preserved, lost)` counts over the given set of heads
+    /// that left abruptly.
+    #[must_use]
+    pub fn preservation_audit(
+        &self,
+        w: &World<Msg>,
+        departed_heads: &[NodeId],
+    ) -> (usize, usize) {
+        let mut preserved = 0;
+        let mut lost = 0;
+        for &h in departed_heads {
+            let Some(state) = self.head_state(h) else {
+                continue; // was not a head when it left
+            };
+            if state.qd_set.is_empty() {
+                lost += 1;
+                continue;
+            }
+            let alive = state
+                .qd_set
+                .keys()
+                .filter(|m| w.is_alive(**m))
+                .count();
+            // Ceiling half: a quorum (majority with the allocator's copy
+            // gone) survives when at least half the replicas remain.
+            if 2 * alive >= state.qd_set.len() {
+                preserved += 1;
+            } else {
+                lost += 1;
+            }
+        }
+        (preserved, lost)
+    }
+
+    fn roles_iter(&self) -> impl Iterator<Item = (NodeId, &NodeRole)> {
+        self.roles.iter().map(|(n, r)| (*n, r))
+    }
+}

@@ -1,0 +1,263 @@
+use addrspace::{Addr, AddrBlock, AddrRecord, AllocationTable};
+use manet_sim::NodeId;
+use quorum::VersionStamp;
+use serde::{Deserialize, Serialize};
+
+/// The operation an allocator asks its quorum to vote on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuorumOp {
+    /// "Is this address of `owner`'s space free, per your replica?"
+    CheckAddr {
+        /// The cluster head whose space the address belongs to.
+        owner: NodeId,
+        /// The proposed address.
+        addr: Addr,
+    },
+    /// "May I split half of my block for a new cluster head?"
+    SplitBlock {
+        /// The allocator whose block is being halved.
+        owner: NodeId,
+    },
+}
+
+/// Wire messages of the quorum-based autoconfiguration protocol.
+///
+/// Names follow the paper: `COM_*` for common-node configuration, `CH_*`
+/// for cluster-head configuration (Table 1), `QUORUM_*` for voting,
+/// `UPDATE_LOC` / `RETURN_ADDR` for movement and departure (§IV-C),
+/// `ADDR_REC` / `REC_REP` for reclamation (§IV-D), and `REP_REQ` for
+/// liveness probing during quorum adjustment (§V-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Periodic beacon: sender identity plus the cluster heads it knows
+    /// within three hops, and its network ID for partition detection.
+    Hello {
+        /// Sender's configured address, if any.
+        sender_ip: Option<Addr>,
+        /// Whether the sender is a cluster head.
+        is_head: bool,
+        /// The sender's network ID (lowest address of its network).
+        network_id: Option<Addr>,
+    },
+
+    // -------------------- common-node configuration --------------------
+    /// Requestor → allocator: request one IP address.
+    ComReq,
+    /// Allocator → requestor: here is your address.
+    ComCfg {
+        /// The assigned address.
+        ip: Addr,
+        /// The allocator's address (the node's *configurer*).
+        configurer: Addr,
+        /// Network ID inherited from the allocator.
+        network_id: Addr,
+        /// Hop cost the allocator accumulated on this node's behalf
+        /// (quorum collection), folded into the latency metric.
+        spent_hops: u32,
+    },
+    /// Requestor → allocator: configuration acknowledged.
+    ComAck,
+    /// Allocator → requestor: cannot serve (no space, no quorum); the
+    /// requestor retries elsewhere.
+    ComRej,
+
+    // -------------------- cluster-head configuration -------------------
+    /// Requestor → nearest cluster head: request an address block.
+    ChReq,
+    /// Allocator → requestor: proposal (Table 1's `CH_PRP`).
+    ChPrp {
+        /// Size of the allocator's available space, for the
+        /// largest-block selection policy.
+        available: u64,
+    },
+    /// Requestor → allocator: proposal accepted (`CH_CNF`).
+    ChCnf,
+    /// Allocator → requestor: block delegated (`CH_CFG`).
+    ChCfg {
+        /// The delegated block.
+        block: AddrBlock,
+        /// The new head's own address (first free of the block).
+        ip: Addr,
+        /// The allocator's address.
+        configurer: Addr,
+        /// Network ID inherited from the allocator.
+        network_id: Addr,
+        /// Hop cost accumulated by the allocator for this configuration.
+        spent_hops: u32,
+        /// Allocation records riding along with the block (addresses in
+        /// the delegated half that were already assigned; the new head
+        /// imports them and takes over as their allocator).
+        records: Vec<(Addr, AddrRecord)>,
+    },
+    /// Requestor → allocator: block received (`CH_ACK`).
+    ChAck,
+    /// Allocator → requestor: cannot delegate.
+    ChRej,
+
+    // -------------------------- quorum voting --------------------------
+    /// Allocator → `QDSet` member: vote request (`QUORUM_CLT`).
+    QuorumClt {
+        /// Identifies the collection round at the allocator.
+        seq: u64,
+        /// The operation to vote on.
+        op: QuorumOp,
+    },
+    /// `QDSet` member → allocator: vote (`QUORUM_CFM`).
+    QuorumCfm {
+        /// Round being answered.
+        seq: u64,
+        /// Whether the replica supports the operation.
+        grant: bool,
+        /// Stamp of the voter's replica record, for freshest-copy wins.
+        stamp: VersionStamp,
+    },
+    /// Allocator → quorum members: commit an address-state change to
+    /// their replicas after a successful operation.
+    QuorumCommit {
+        /// The cluster head whose space changed.
+        owner: NodeId,
+        /// The address updated.
+        addr: Addr,
+        /// The new record (status + stamp).
+        record: AddrRecord,
+    },
+
+    // ------------------------ replica management -----------------------
+    /// A cluster head pushes a full copy of its space to a `QDSet`
+    /// member (initial distribution and quorum growth).
+    ReplicaPush {
+        /// The space's owner.
+        owner: NodeId,
+        /// The owner's address.
+        owner_ip: Addr,
+        /// The owner's blocks.
+        blocks: Vec<AddrBlock>,
+        /// The owner's allocation table.
+        table: AllocationTable,
+        /// If `true`, the receiver should answer with its own
+        /// `ReplicaPush` (mutual backup on first contact).
+        reply_requested: bool,
+    },
+
+    // ----------------------- movement & departure ----------------------
+    /// Common node → nearest cluster head: location update (§IV-C.1).
+    UpdateLoc {
+        /// The node's configurer address.
+        configurer: Addr,
+        /// The node's own address.
+        ip: Addr,
+    },
+    /// Common node → nearest cluster head: graceful departure, return
+    /// this address.
+    ReturnAddr {
+        /// The node's configurer address.
+        configurer: Addr,
+        /// The address being returned.
+        ip: Addr,
+    },
+    /// Acknowledgement for `ReturnAddr`; the node may now leave.
+    ReturnAddrAck,
+    /// Departing cluster head → chosen successor: take over my space.
+    ReturnBlock {
+        /// The departing head's blocks.
+        blocks: Vec<AddrBlock>,
+        /// The departing head's allocation table.
+        table: AllocationTable,
+        /// The departing head's own address (to be vacated).
+        ip: Addr,
+        /// Members configured by the departing head, for allocator-change
+        /// notification.
+        members: Vec<(Addr, NodeId)>,
+    },
+    /// Acknowledgement for `ReturnBlock`; the head may now leave.
+    ReturnBlockAck,
+    /// Departing cluster head → `QDSet` member: drop me from your
+    /// `QDSet` (§IV-C.2 "resigning itself in their QDSet").
+    Resign,
+    /// New allocator → member of a departed head: your allocator changed.
+    AllocatorChange {
+        /// The new allocator's address.
+        new_configurer: Addr,
+    },
+
+    // --------------------------- reclamation ---------------------------
+    /// Flooded by the reclamation initiator: cluster head `target`
+    /// vanished; its members must report in (`ADDR_REC`).
+    AddrRec {
+        /// Simulator id of the vanished head.
+        target: NodeId,
+        /// The vanished head's address.
+        target_ip: Addr,
+        /// The initiator (absorbs the space).
+        initiator: NodeId,
+        /// The initiator's address (members' new configurer).
+        initiator_ip: Addr,
+    },
+    /// Member of the vanished head → closest cluster head: I still hold
+    /// this address (`REC_REP`).
+    RecRep {
+        /// The vanished head's address.
+        target_ip: Addr,
+        /// The reporting node's address.
+        ip: Addr,
+        /// The reporting node's simulator id.
+        node: NodeId,
+        /// The vanished head's simulator id.
+        target: NodeId,
+    },
+
+    // ------------------------ quorum adjustment ------------------------
+    /// Liveness probe to a silent `QDSet` member (`REP_REQ`).
+    RepReq,
+    /// Liveness probe response.
+    RepAck,
+
+    // ---------------------- borrowing & partition ----------------------
+    /// Agent forwarding (§V-A): a depleted cluster head relays a
+    /// configuration request to its configurer on behalf of `requestor`;
+    /// the remote head answers the requestor directly.
+    ComReqFwd {
+        /// The node ultimately being configured.
+        requestor: NodeId,
+    },
+    /// An isolated cluster head re-initialized its partition as a fresh
+    /// network (§V-C), or a duplicate network dissolved after a merge;
+    /// the receiver must reacquire an address in `network_id`.
+    Reinit {
+        /// The network to (re)join.
+        network_id: Addr,
+        /// Reconfigure even when the receiver's network ID already
+        /// matches (duplicate-space dissolution: the IDs collide).
+        force: bool,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_cloneable_and_comparable() {
+        let m = Msg::ComCfg {
+            ip: Addr::new(1),
+            configurer: Addr::new(2),
+            network_id: Addr::new(0),
+            spent_hops: 3,
+        };
+        assert_eq!(m.clone(), m);
+    }
+
+    #[test]
+    fn quorum_ops_distinguish_owner() {
+        let a = QuorumOp::CheckAddr {
+            owner: NodeId::new(4),
+            addr: Addr::new(9),
+        };
+        let b = QuorumOp::CheckAddr {
+            owner: NodeId::new(5),
+            addr: Addr::new(9),
+        };
+        assert_ne!(a, b);
+        assert_ne!(a, QuorumOp::SplitBlock { owner: NodeId::new(4) });
+    }
+}

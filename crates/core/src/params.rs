@@ -1,0 +1,114 @@
+use addrspace::{Addr, AddrBlock};
+use manet_sim::SimDuration;
+
+/// How a common node reports its location as it moves (§IV-C.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdatePolicy {
+    /// Periodic `UPDATE_LOC` whenever the node drifts more than three hops
+    /// from its configurer/administrator (the paper's default).
+    #[default]
+    Periodic,
+    /// The "upon-leave update" alternative: no location updates; the node
+    /// only sends `RETURN_ADDR` to the nearest cluster head on departure.
+    UponLeave,
+}
+
+/// How an entering node picks its allocator among candidate cluster heads
+/// (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorChoice {
+    /// The nearest cluster head (fewest hops).
+    #[default]
+    Nearest,
+    /// The paper's alternative for even address distribution: the
+    /// candidate with the largest available IP block.
+    LargestBlock,
+}
+
+/// Tunable parameters of the quorum-based autoconfiguration protocol.
+///
+/// Defaults follow the paper where it gives values and otherwise use
+/// conservative settings consistent with its simulation setup.
+#[derive(Debug, Clone)]
+pub struct ProtocolConfig {
+    /// The network's total address space, owned by the first cluster head.
+    pub space: AddrBlock,
+    /// First-node retry period `T_e`: how long the very first node waits
+    /// for a response to its broadcast before retrying.
+    pub te: SimDuration,
+    /// First-node retry threshold `Max_r`.
+    pub max_r: u32,
+    /// Quorum-collection patience `T_d`: after this, unresponsive `QDSet`
+    /// members are excluded (quorum shrink) and probed with `REP_REQ`.
+    pub td: SimDuration,
+    /// Liveness-probe patience `T_r`: a `REP_REQ` unanswered for this long
+    /// is retried; after [`ProtocolConfig::probe_attempts`] silent rounds
+    /// the cluster head is declared gone and reclaimed.
+    pub tr: SimDuration,
+    /// How many `REP_REQ` rounds a silent head gets before reclamation.
+    pub probe_attempts: u64,
+    /// Interval between hello beacons.
+    pub hello_interval: SimDuration,
+    /// Interval at which common nodes check their distance to their
+    /// configurer/administrator (periodic update policy).
+    pub loc_update_interval: SimDuration,
+    /// Location-update policy.
+    pub update_policy: UpdatePolicy,
+    /// Allocator-selection policy.
+    pub allocator_choice: AllocatorChoice,
+    /// Replication floor: cluster heads grow their quorum set when
+    /// `|QDSet|` drops below this (§V-B gives 3).
+    pub min_qdset: usize,
+    /// Enables address borrowing from `QuorumSpace` (§V-A). Disabling it
+    /// is the ablation: depleted heads must agent-forward or reject.
+    pub enable_borrowing: bool,
+    /// How long a reclamation initiator collects `REC_REP` responses
+    /// before finalizing.
+    pub reclaim_collect: SimDuration,
+    /// How long an entering node that found no allocator waits before
+    /// retrying its join.
+    pub join_retry: SimDuration,
+    /// How many times an entering node retries before giving up.
+    pub join_attempts: u32,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            // 10.0.0.0 with 2^16 addresses: plenty for 200 nodes while
+            // keeping block arithmetic visible in traces.
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
+                .expect("static block is valid"),
+            te: SimDuration::from_millis(200),
+            max_r: 3,
+            td: SimDuration::from_millis(300),
+            tr: SimDuration::from_secs(1),
+            probe_attempts: 3,
+            hello_interval: SimDuration::from_secs(1),
+            loc_update_interval: SimDuration::from_secs(2),
+            update_policy: UpdatePolicy::Periodic,
+            allocator_choice: AllocatorChoice::Nearest,
+            min_qdset: 3,
+            enable_borrowing: true,
+            reclaim_collect: SimDuration::from_millis(500),
+            join_retry: SimDuration::from_millis(600),
+            join_attempts: 12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ProtocolConfig::default();
+        assert_eq!(c.space.len(), 1 << 16);
+        assert_eq!(c.max_r, 3);
+        assert_eq!(c.min_qdset, 3);
+        assert!(c.tr > c.td);
+        assert_eq!(c.update_policy, UpdatePolicy::Periodic);
+        assert_eq!(c.allocator_choice, AllocatorChoice::Nearest);
+    }
+}

@@ -1,0 +1,74 @@
+//! Network partition and merging (§V-C).
+//!
+//! Partitions are identified by a network ID (the lowest address of the
+//! network, assigned at creation and inherited by every configured node).
+//! Detection is passive: a hello carrying a different network ID means two
+//! networks are in contact, and every node of the higher-ID network
+//! reacquires an address in the lower-ID one (handled in
+//! [`Qbac::on_hello`](crate::Qbac)).
+//!
+//! This module covers the *isolated cluster head* case: a head cut off
+//! from its entire `QDSet` with no other head reachable "becomes the
+//! first cluster head in the network and regains all the addresses" —
+//! it re-initializes its partition as a fresh network and makes its
+//! stranded members reacquire addresses from it.
+
+use crate::msg::Msg;
+use crate::protocol::Qbac;
+use crate::roles::{HeadState, NodeRole};
+use addrspace::{Addr, AddressPool};
+use manet_sim::{MsgCategory, NodeId, World};
+
+impl Qbac {
+    /// Re-initializes an isolated head's partition (§V-C).
+    ///
+    /// The head regains the full address space under a fresh random
+    /// founder address (= new network ID), so later contact with any
+    /// other network is detected and resolved by the merge rule.
+    pub(crate) fn reinitialize_network(&mut self, w: &mut World<Msg>, head: NodeId) {
+        if self.head_state(head).is_none() {
+            return;
+        }
+        self.stats.reinits += 1;
+
+        let mut pool = AddressPool::from_block(self.cfg.space);
+        // Fresh random founder address — see `become_first_head`: the new
+        // network's ID must differ from every other live network's.
+        let offset = w.rng_mut().range_u64(0..u64::from(self.cfg.space.len())) as u32;
+        let ip = self.cfg.space.base().offset(offset);
+        pool.allocate(ip, head.index())
+            .expect("random address lies inside the fresh space");
+        let network_id = ip;
+        let mut state = HeadState::new(ip, pool, network_id);
+        state.configurer = None;
+        state.configurer_ip = None;
+        self.roles.insert(head, NodeRole::Head(state));
+
+        // Tell the partition: everyone must reacquire an address here.
+        let _ = w.flood(
+            head,
+            MsgCategory::Maintenance,
+            Msg::Reinit {
+                network_id,
+                force: false,
+            },
+        );
+    }
+
+    /// A node hears that its partition was re-initialized (or that its
+    /// network dissolved as a duplicate).
+    pub(crate) fn on_reinit(
+        &mut self,
+        w: &mut World<Msg>,
+        node: NodeId,
+        _from: NodeId,
+        network_id: Addr,
+        force: bool,
+    ) {
+        match self.roles.get(&node) {
+            Some(NodeRole::Unconfigured(_)) | None => {}
+            Some(role) if !force && role.network_id() == Some(network_id) => {}
+            Some(_) => self.rejoin_network(w, node, network_id),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+use addrspace::{Addr, AddrBlock, AddressPool, AllocationTable};
+use manet_sim::NodeId;
+use std::collections::BTreeMap;
+
+/// A copy of another cluster head's space held in this head's
+/// `QuorumSpace` (§IV-A): its blocks plus its allocation table. Freshness
+/// is tracked per address inside the table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicatedSpace {
+    /// The owner's address, for routing returns.
+    pub owner_ip: Addr,
+    /// The owner's blocks as of the last push.
+    pub blocks: Vec<AddrBlock>,
+    /// The owner's per-address allocation records.
+    pub table: AllocationTable,
+}
+
+impl ReplicatedSpace {
+    /// Total number of addresses in the replicated blocks.
+    #[must_use]
+    pub fn space_len(&self) -> u64 {
+        self.blocks.iter().map(|b| u64::from(b.len())).sum()
+    }
+
+    /// The lowest address in the replicated space that the table records
+    /// as available.
+    #[must_use]
+    pub fn first_free(&self) -> Option<Addr> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .find(|a| self.table.status(*a).is_available())
+    }
+}
+
+/// State of a configured common node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonState {
+    /// The node's address.
+    pub ip: Addr,
+    /// The cluster head that configured it (by simulator id and address).
+    pub configurer: NodeId,
+    /// The configurer's address.
+    pub configurer_ip: Addr,
+    /// The nearest head recorded by the last `UPDATE_LOC`, if the node
+    /// has drifted from its configurer (§IV-C.1).
+    pub administrator: Option<NodeId>,
+    /// Network ID (lowest address of the network) for partition
+    /// detection.
+    pub network_id: Addr,
+}
+
+/// State of a cluster head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadState {
+    /// The head's own address.
+    pub ip: Addr,
+    /// The head's `IPSpace`: blocks it owns and their allocation state.
+    pub pool: AddressPool,
+    /// Replicas of adjacent heads' spaces (`QuorumSpace`), keyed by owner.
+    pub quorum_space: BTreeMap<NodeId, ReplicatedSpace>,
+    /// Adjacent cluster heads within three hops (`QDSet`), with their
+    /// addresses.
+    pub qd_set: BTreeMap<NodeId, Addr>,
+    /// `QDSet` members currently excluded from voting after a quorum
+    /// shrink (§V-B); probed with `REP_REQ` and either restored or
+    /// reclaimed.
+    pub suspended: BTreeMap<NodeId, Addr>,
+    /// The head that configured this one, if any (the first head has
+    /// none).
+    pub configurer: Option<NodeId>,
+    /// The configurer's address.
+    pub configurer_ip: Option<Addr>,
+    /// Common nodes this head configured, by address.
+    pub members: BTreeMap<Addr, NodeId>,
+    /// Network ID for partition detection.
+    pub network_id: Addr,
+}
+
+impl HeadState {
+    /// Creates the state of a head owning `pool`, with its own `ip`
+    /// already allocated inside it.
+    #[must_use]
+    pub fn new(ip: Addr, pool: AddressPool, network_id: Addr) -> Self {
+        HeadState {
+            ip,
+            pool,
+            quorum_space: BTreeMap::new(),
+            qd_set: BTreeMap::new(),
+            suspended: BTreeMap::new(),
+            configurer: None,
+            configurer_ip: None,
+            members: BTreeMap::new(),
+            network_id,
+        }
+    }
+
+    /// The head's *extended* space: its own plus everything replicated in
+    /// its `QuorumSpace` — the quantity Figure 12 reports (the paper
+    /// finds it up to 5.5× the own space).
+    #[must_use]
+    pub fn extended_space(&self) -> u64 {
+        self.pool.total_len()
+            + self
+                .quorum_space
+                .values()
+                .map(ReplicatedSpace::space_len)
+                .sum::<u64>()
+    }
+
+    /// Current quorum electorate: the active (non-suspended) `QDSet`.
+    #[must_use]
+    pub fn electorate(&self) -> Vec<NodeId> {
+        self.qd_set
+            .keys()
+            .filter(|n| !self.suspended.contains_key(n))
+            .copied()
+            .collect()
+    }
+}
+
+/// A node's current role in the protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeRole {
+    /// Still acquiring an address.
+    Unconfigured(JoinState),
+    /// Configured as a common node.
+    Common(CommonState),
+    /// Configured as a cluster head.
+    Head(HeadState),
+}
+
+impl NodeRole {
+    /// The node's address, if configured.
+    #[must_use]
+    pub fn ip(&self) -> Option<Addr> {
+        match self {
+            NodeRole::Unconfigured(_) => None,
+            NodeRole::Common(c) => Some(c.ip),
+            NodeRole::Head(h) => Some(h.ip),
+        }
+    }
+
+    /// The node's network ID, if configured.
+    #[must_use]
+    pub fn network_id(&self) -> Option<Addr> {
+        match self {
+            NodeRole::Unconfigured(_) => None,
+            NodeRole::Common(c) => Some(c.network_id),
+            NodeRole::Head(h) => Some(h.network_id),
+        }
+    }
+
+    /// Returns `true` for cluster heads.
+    #[must_use]
+    pub fn is_head(&self) -> bool {
+        matches!(self, NodeRole::Head(_))
+    }
+
+    /// Returns `true` once configured (common or head).
+    #[must_use]
+    pub fn is_configured(&self) -> bool {
+        !matches!(self, NodeRole::Unconfigured(_))
+    }
+}
+
+/// Progress of an unconfigured node's join attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinState {
+    /// Hop cost spent on this node's configuration so far (its own
+    /// messages; the allocator adds its quorum costs via `spent_hops`).
+    pub hops_spent: u32,
+    /// Attempts so far (for the first-node `Max_r` bound and join
+    /// retries).
+    pub attempts: u32,
+    /// The allocator currently being tried.
+    pub pending_allocator: Option<NodeId>,
+    /// Set when this node is waiting out the first-node procedure (`T_e`
+    /// retries, becoming the first head when they exhaust).
+    pub first_node_probe: bool,
+    /// When rejoining after a network merge (§V-C), the network the node
+    /// must join; `None` joins any network.
+    pub target_network: Option<Addr>,
+    /// Set once the node has ever observed a configured network. Such a
+    /// node never runs the first-node bootstrap — it keeps retrying
+    /// until reconnected (founding a second network would only create a
+    /// duplicate space that a later merge must dissolve).
+    pub seen_network: bool,
+}
+
+impl Default for JoinState {
+    fn default() -> Self {
+        JoinState {
+            hops_spent: 0,
+            attempts: 0,
+            pending_allocator: None,
+            first_node_probe: false,
+            target_network: None,
+            seen_network: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use addrspace::AddrBlock;
+
+    #[test]
+    fn replicated_space_len_and_first_free() {
+        let mut rs = ReplicatedSpace {
+            owner_ip: Addr::new(0),
+            blocks: vec![
+                AddrBlock::new(Addr::new(0), 4).unwrap(),
+                AddrBlock::new(Addr::new(100), 4).unwrap(),
+            ],
+            table: AllocationTable::new(),
+        };
+        assert_eq!(rs.space_len(), 8);
+        assert_eq!(rs.first_free(), Some(Addr::new(0)));
+        for i in 0..4 {
+            rs.table.set(Addr::new(i), addrspace::AddrStatus::Allocated(1));
+        }
+        assert_eq!(rs.first_free(), Some(Addr::new(100)));
+    }
+
+    #[test]
+    fn extended_space_sums_replicas() {
+        let pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 16).unwrap());
+        let mut h = HeadState::new(Addr::new(0), pool, Addr::new(0));
+        assert_eq!(h.extended_space(), 16);
+        h.quorum_space.insert(
+            NodeId::new(2),
+            ReplicatedSpace {
+                owner_ip: Addr::new(100),
+                blocks: vec![AddrBlock::new(Addr::new(100), 32).unwrap()],
+                table: AllocationTable::new(),
+            },
+        );
+        assert_eq!(h.extended_space(), 48);
+    }
+
+    #[test]
+    fn electorate_excludes_suspended() {
+        let pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), 4).unwrap());
+        let mut h = HeadState::new(Addr::new(0), pool, Addr::new(0));
+        h.qd_set.insert(NodeId::new(1), Addr::new(10));
+        h.qd_set.insert(NodeId::new(2), Addr::new(20));
+        h.suspended.insert(NodeId::new(2), Addr::new(20));
+        assert_eq!(h.electorate(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn role_accessors() {
+        let role = NodeRole::Unconfigured(JoinState::default());
+        assert_eq!(role.ip(), None);
+        assert!(!role.is_configured());
+        assert!(!role.is_head());
+
+        let common = NodeRole::Common(CommonState {
+            ip: Addr::new(5),
+            configurer: NodeId::new(0),
+            configurer_ip: Addr::new(0),
+            administrator: None,
+            network_id: Addr::new(0),
+        });
+        assert_eq!(common.ip(), Some(Addr::new(5)));
+        assert_eq!(common.network_id(), Some(Addr::new(0)));
+        assert!(common.is_configured());
+    }
+}

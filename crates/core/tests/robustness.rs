@@ -1,0 +1,86 @@
+//! Robustness under lossy delivery — an ablation of the paper's
+//! "reliable delivery within transmission range" assumption (§IV-B).
+//! The protocol's retries (T_e, T_d, join retries) must carry it through
+//! moderate loss.
+
+use manet_sim::{Point, Sim, SimDuration, SimTime, WorldConfig};
+use qbac_core::{ProtocolConfig, Qbac};
+
+fn lossy_world(loss: f64, seed: u64) -> WorldConfig {
+    WorldConfig {
+        speed: 0.0,
+        loss_rate: loss,
+        seed,
+        ..WorldConfig::default()
+    }
+}
+
+fn run(loss: f64, seed: u64, nn: u64) -> (u64, bool) {
+    let mut sim = Sim::new(lossy_world(loss, seed), Qbac::new(ProtocolConfig::default()));
+    // A compact cluster so connectivity is never the bottleneck.
+    for i in 0..nn {
+        let at = SimTime::from_micros(i * 1_000_000);
+        let x = 450.0 + 15.0 * (i % 8) as f64;
+        let y = 450.0 + 15.0 * (i / 8) as f64;
+        sim.schedule_spawn_at(at, Point::new(x, y));
+    }
+    sim.run_until(SimTime::from_micros(nn * 1_000_000) + SimDuration::from_secs(60));
+    let configured = sim.world().metrics().configured_nodes();
+    let (w, p) = sim.parts_mut();
+    (configured, p.audit_unique(w).is_ok())
+}
+
+#[test]
+fn ten_percent_loss_still_configures_everyone() {
+    let (configured, unique) = run(0.10, 3, 16);
+    assert!(
+        configured >= 15,
+        "retries must overcome 10% loss: {configured}/16"
+    );
+    assert!(unique, "loss must never cause duplicates");
+}
+
+#[test]
+fn thirty_percent_loss_degrades_but_stays_safe() {
+    let (configured, unique) = run(0.30, 4, 16);
+    assert!(
+        configured >= 8,
+        "even heavy loss should configure many: {configured}/16"
+    );
+    assert!(unique, "safety holds regardless of loss");
+}
+
+#[test]
+fn loss_increases_config_latency() {
+    let latency = |loss: f64| {
+        let mut sim = Sim::new(lossy_world(loss, 9), Qbac::new(ProtocolConfig::default()));
+        for i in 0..12u64 {
+            let at = SimTime::from_micros(i * 1_000_000);
+            sim.schedule_spawn_at(at, Point::new(460.0 + 12.0 * i as f64, 500.0));
+        }
+        sim.run_until(SimTime::from_micros(80_000_000));
+        sim.world().metrics().mean_config_latency().unwrap_or(0.0)
+    };
+    let clean = latency(0.0);
+    let lossy = latency(0.25);
+    assert!(
+        lossy >= clean,
+        "loss-induced retries must not lower latency: clean {clean:.1}, lossy {lossy:.1}"
+    );
+}
+
+#[test]
+fn reliable_runs_unchanged_by_loss_feature() {
+    // loss_rate = 0 must not consume RNG draws: identical to a config
+    // without the field ever being touched.
+    let run_once = || {
+        let mut sim = Sim::new(lossy_world(0.0, 77), Qbac::new(ProtocolConfig::default()));
+        for i in 0..10u64 {
+            let at = SimTime::from_micros(i * 1_000_000);
+            sim.schedule_spawn_at(at, Point::new(470.0 + 10.0 * i as f64, 500.0));
+        }
+        sim.run_until(SimTime::from_micros(30_000_000));
+        sim.world().metrics().clone()
+    };
+    assert_eq!(run_once(), run_once());
+}

@@ -1,0 +1,194 @@
+//! Property-based tests of the wire codec: arbitrary messages round-trip
+//! and arbitrary bytes never panic the decoder.
+
+use addrspace::{Addr, AddrBlock, AddrRecord, AddrStatus, AllocationTable};
+use manet_sim::NodeId;
+use proptest::prelude::*;
+use qbac_core::{wire, Msg, QuorumOp};
+use quorum::VersionStamp;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr::new)
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    any::<u64>().prop_map(NodeId::new)
+}
+
+fn arb_block() -> impl Strategy<Value = AddrBlock> {
+    (0u32..u32::MAX / 2, 1u32..1_000_000).prop_map(|(base, len)| {
+        AddrBlock::new(Addr::new(base), len).expect("bounded block is valid")
+    })
+}
+
+fn arb_status() -> impl Strategy<Value = AddrStatus> {
+    prop_oneof![
+        Just(AddrStatus::Free),
+        any::<u64>().prop_map(AddrStatus::Allocated),
+        Just(AddrStatus::Vacant),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = AddrRecord> {
+    (arb_status(), any::<u64>()).prop_map(|(status, s)| AddrRecord {
+        status,
+        stamp: VersionStamp::new(s),
+    })
+}
+
+fn arb_table() -> impl Strategy<Value = AllocationTable> {
+    prop::collection::vec((arb_addr(), arb_record()), 0..20)
+        .prop_map(|entries| entries.into_iter().collect())
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        (prop::option::of(arb_addr()), any::<bool>(), prop::option::of(arb_addr()))
+            .prop_map(|(sender_ip, is_head, network_id)| Msg::Hello {
+                sender_ip,
+                is_head,
+                network_id
+            }),
+        Just(Msg::ComReq),
+        arb_node().prop_map(|requestor| Msg::ComReqFwd { requestor }),
+        (arb_addr(), arb_addr(), arb_addr(), any::<u32>()).prop_map(
+            |(ip, configurer, network_id, spent_hops)| Msg::ComCfg {
+                ip,
+                configurer,
+                network_id,
+                spent_hops
+            }
+        ),
+        Just(Msg::ComAck),
+        Just(Msg::ComRej),
+        Just(Msg::ChReq),
+        any::<u64>().prop_map(|available| Msg::ChPrp { available }),
+        Just(Msg::ChCnf),
+        (
+            arb_block(),
+            arb_addr(),
+            arb_addr(),
+            arb_addr(),
+            any::<u32>(),
+            prop::collection::vec((arb_addr(), arb_record()), 0..6)
+        )
+            .prop_map(|(block, ip, configurer, network_id, spent_hops, records)| {
+                Msg::ChCfg {
+                    block,
+                    ip,
+                    configurer,
+                    network_id,
+                    spent_hops,
+                    records,
+                }
+            }),
+        Just(Msg::ChAck),
+        Just(Msg::ChRej),
+        (any::<u64>(), arb_node(), arb_addr()).prop_map(|(seq, owner, addr)| Msg::QuorumClt {
+            seq,
+            op: QuorumOp::CheckAddr { owner, addr }
+        }),
+        (any::<u64>(), arb_node()).prop_map(|(seq, owner)| Msg::QuorumClt {
+            seq,
+            op: QuorumOp::SplitBlock { owner }
+        }),
+        (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(seq, grant, s)| Msg::QuorumCfm {
+            seq,
+            grant,
+            stamp: VersionStamp::new(s)
+        }),
+        (arb_node(), arb_addr(), arb_record()).prop_map(|(owner, addr, record)| {
+            Msg::QuorumCommit { owner, addr, record }
+        }),
+        (
+            arb_node(),
+            arb_addr(),
+            prop::collection::vec(arb_block(), 0..5),
+            arb_table(),
+            any::<bool>()
+        )
+            .prop_map(|(owner, owner_ip, blocks, table, reply_requested)| {
+                Msg::ReplicaPush {
+                    owner,
+                    owner_ip,
+                    blocks,
+                    table,
+                    reply_requested,
+                }
+            }),
+        (arb_addr(), arb_addr())
+            .prop_map(|(configurer, ip)| Msg::UpdateLoc { configurer, ip }),
+        (arb_addr(), arb_addr())
+            .prop_map(|(configurer, ip)| Msg::ReturnAddr { configurer, ip }),
+        Just(Msg::ReturnAddrAck),
+        (
+            prop::collection::vec(arb_block(), 0..4),
+            arb_table(),
+            arb_addr(),
+            prop::collection::vec((arb_addr(), arb_node()), 0..6)
+        )
+            .prop_map(|(blocks, table, ip, members)| Msg::ReturnBlock {
+                blocks,
+                table,
+                ip,
+                members
+            }),
+        Just(Msg::ReturnBlockAck),
+        Just(Msg::Resign),
+        arb_addr().prop_map(|new_configurer| Msg::AllocatorChange { new_configurer }),
+        (arb_node(), arb_addr(), arb_node(), arb_addr()).prop_map(
+            |(target, target_ip, initiator, initiator_ip)| Msg::AddrRec {
+                target,
+                target_ip,
+                initiator,
+                initiator_ip
+            }
+        ),
+        (arb_addr(), arb_addr(), arb_node(), arb_node()).prop_map(
+            |(target_ip, ip, node, target)| Msg::RecRep {
+                target_ip,
+                ip,
+                node,
+                target
+            }
+        ),
+        Just(Msg::RepReq),
+        Just(Msg::RepAck),
+        (arb_addr(), any::<bool>())
+            .prop_map(|(network_id, force)| Msg::Reinit { network_id, force }),
+    ]
+}
+
+proptest! {
+    /// Every encodable message decodes back to itself.
+    #[test]
+    fn roundtrip(msg in arb_msg()) {
+        let bytes = wire::encode(&msg);
+        prop_assert_eq!(wire::decode(&bytes).unwrap(), msg);
+    }
+
+    /// Truncating an encoded message is always detected (never panics,
+    /// never silently succeeds with different content).
+    #[test]
+    fn truncation_never_panics(msg in arb_msg(), cut in 0usize..64) {
+        let bytes = wire::encode(&msg);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let sliced = &bytes[..cut];
+        match wire::decode(sliced) {
+            Ok(decoded) => prop_assert_eq!(decoded, msg, "partial decode equal only if whole"),
+            Err(_) => {}
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Encoded length is consistent with `encoded_len`.
+    #[test]
+    fn encoded_len_matches(msg in arb_msg()) {
+        prop_assert_eq!(wire::encoded_len(&msg), wire::encode(&msg).len());
+    }
+}

@@ -1,0 +1,109 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro                 # every figure, default replication
+//! repro --fig 5         # one figure
+//! repro --rounds 50     # more replications (paper used 1000)
+//! repro --quick         # shrunken sweeps (seconds, for smoke tests)
+//! repro --csv out/      # also write one CSV per table
+//! ```
+
+use harness::figures::{self, FigOpts};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    fig: Option<u32>,
+    opts: FigOpts,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut fig = None;
+    let mut opts = FigOpts::default();
+    let mut csv_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fig" => {
+                let v = it.next().ok_or("--fig needs a number (4-18)")?;
+                fig = Some(v.parse::<u32>().map_err(|e| format!("--fig: {e}"))?);
+            }
+            "--rounds" => {
+                let v = it.next().ok_or("--rounds needs a number")?;
+                opts.rounds = v.parse::<u64>().map_err(|e| format!("--rounds: {e}"))?;
+                if opts.rounds == 0 {
+                    return Err("--rounds must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a number")?;
+                opts.seed = v.parse::<u64>().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--quick" => opts.quick = true,
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--fig N] [--rounds R] [--seed S] [--quick] [--csv DIR]\n\
+                     Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
+                     IP autoconfiguration paper. Default: all figures, {} rounds.",
+                    FigOpts::default().rounds
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(Args { fig, opts, csv_dir })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let tables = match args.fig {
+        Some(n) => match figures::by_number(n, &args.opts) {
+            Some(t) => t,
+            None => {
+                eprintln!("error: no figure {n}; figures are 4-14 plus extras 15 (fragmentation), 16 (ablation), 17 (stateless DAD), 18 (routing staleness)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => figures::all(&args.opts),
+    };
+
+    for t in &tables {
+        println!("{}", t.to_ascii());
+    }
+
+    if let Some(dir) = args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for t in &tables {
+            let slug: String = t
+                .title
+                .chars()
+                .take_while(|c| *c != '—')
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_lowercase();
+            let path = dir.join(format!("{slug}.csv"));
+            if let Err(e) = std::fs::write(&path, t.to_csv()) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}

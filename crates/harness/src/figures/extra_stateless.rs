@@ -1,0 +1,95 @@
+//! Extra experiment: the stateless category made measurable.
+//!
+//! §III of the paper criticizes query-based DAD (Perkins et al.): "the
+//! latency and message overhead of the configuring can be very high" and
+//! merging is unhandled. This driver puts numbers on that critique by
+//! running the stateless scheme and the quorum protocol through the same
+//! formation workload.
+
+use super::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use baselines::dad::QueryDad;
+use manet_sim::{MsgCategory, SimDuration};
+use qbac_core::{ProtocolConfig, Qbac};
+
+fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
+    Scenario {
+        nn,
+        speed: 0.0,
+        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+/// Runs the stateless-vs-quorum comparison. Regenerated with
+/// `repro --fig 17`.
+#[must_use]
+pub fn extra_stateless(opts: &FigOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "Extra — stateless DAD vs quorum (formation workload)",
+        "nn",
+        vec![
+            "quorum latency".into(),
+            "DAD latency".into(),
+            "quorum hops/node".into(),
+            "DAD hops/node".into(),
+        ],
+    );
+    for nn in opts.nn_sweep() {
+        let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(
+                &scenario(nn, s, opts.quick),
+                Qbac::new(ProtocolConfig::default()),
+            );
+            (
+                m.metrics.mean_config_latency().unwrap_or(0.0),
+                m.metrics.hops(MsgCategory::Configuration) as f64
+                    / m.metrics.configured_nodes().max(1) as f64,
+            )
+        });
+        let dad = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), QueryDad::default());
+            (
+                m.metrics.mean_config_latency().unwrap_or(0.0),
+                m.metrics.hops(MsgCategory::Configuration) as f64
+                    / m.metrics.configured_nodes().max(1) as f64,
+            )
+        });
+        t.push_row(
+            nn.to_string(),
+            vec![
+                mean(&ours.iter().map(|v| v.0).collect::<Vec<_>>()),
+                mean(&dad.iter().map(|v| v.0).collect::<Vec<_>>()),
+                mean(&ours.iter().map(|v| v.1).collect::<Vec<_>>()),
+                mean(&dad.iter().map(|v| v.1).collect::<Vec<_>>()),
+            ],
+        );
+    }
+    t.note("DAD floods AREQ_RETRIES times per node; hop latency hides its timeout waits");
+    t.note("paper §III: stateless configuring latency and message overhead can be very high");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dad_overhead_scales_worse_than_quorum() {
+        let opts = FigOpts {
+            rounds: 1,
+            quick: true,
+            seed: 17,
+        };
+        let t = &extra_stateless(&opts)[0];
+        let last = t.rows.last().unwrap();
+        let (q_hops, dad_hops) = (last.1[2], last.1[3]);
+        assert!(
+            dad_hops > q_hops,
+            "repeated flooding must cost more per node: quorum {q_hops:.1}, dad {dad_hops:.1}"
+        );
+    }
+}

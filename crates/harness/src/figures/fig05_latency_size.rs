@@ -1,0 +1,79 @@
+//! Figure 5: configuration latency (hop counts) vs. network size —
+//! quorum protocol vs. MANETconf, tr = 150 m, 1 km².
+//!
+//! Paper's shape: the quorum protocol halves MANETconf's latency, which
+//! grows with the network because full replication needs a global flood
+//! and confirmations from everyone.
+
+use super::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use baselines::manetconf::ManetConf;
+use qbac_core::{ProtocolConfig, Qbac};
+
+fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
+    Scenario {
+        nn,
+        tr: 150.0,
+        settle: manet_sim::SimDuration::from_secs(if quick { 5 } else { 10 }),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+pub(crate) fn ours_latency(nn: usize, seed: u64, quick: bool) -> f64 {
+    let (_, m) = run_scenario(&scenario(nn, seed, quick), Qbac::new(ProtocolConfig::default()));
+    m.metrics.mean_config_latency().unwrap_or(0.0)
+}
+
+pub(crate) fn manetconf_latency(nn: usize, seed: u64, quick: bool) -> f64 {
+    let (_, m) = run_scenario(&scenario(nn, seed, quick), ManetConf::default());
+    m.metrics.mean_config_latency().unwrap_or(0.0)
+}
+
+/// Runs the Figure 5 driver.
+#[must_use]
+pub fn fig05(opts: &FigOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig. 5 — configuration latency (hops) vs network size (tr=150m)",
+        "nn",
+        vec!["quorum".into(), "MANETconf".into(), "ratio".into()],
+    );
+    for nn in opts.nn_sweep() {
+        let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
+            ours_latency(nn, s, opts.quick)
+        });
+        let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
+            manetconf_latency(nn, s, opts.quick)
+        });
+        let (o, th) = (mean(&ours), mean(&theirs));
+        t.push_row(nn.to_string(), vec![o, th, th / o.max(1e-9)]);
+    }
+    t.note("paper: quorum roughly halves MANETconf's latency");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_beats_manetconf_at_scale() {
+        let opts = FigOpts {
+            rounds: 2,
+            quick: true,
+            seed: 42,
+        };
+        let tables = fig05(&opts);
+        let t = &tables[0];
+        // At the largest quick size the flood-based baseline must be
+        // slower.
+        let last = t.rows.last().unwrap();
+        let (ours, theirs) = (last.1[0], last.1[1]);
+        assert!(
+            theirs > ours,
+            "MANETconf ({theirs:.1}) must exceed quorum ({ours:.1})"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Figure 6: configuration latency vs. transmission range — quorum
+//! protocol vs. MANETconf, nn = 100.
+//!
+//! Paper's shape: the quorum protocol stays below ~10 hops across
+//! ranges; MANETconf stays above ~15.
+
+use super::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use baselines::manetconf::ManetConf;
+use manet_sim::SimDuration;
+use qbac_core::{ProtocolConfig, Qbac};
+
+fn scenario(tr: f64, nn: usize, seed: u64, quick: bool) -> Scenario {
+    Scenario {
+        nn,
+        tr,
+        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+/// Runs the Figure 6 driver.
+#[must_use]
+pub fn fig06(opts: &FigOpts) -> Vec<Table> {
+    let nn = if opts.quick { 40 } else { 100 };
+    let mut t = Table::new(
+        format!("Fig. 6 — configuration latency (hops) vs transmission range (nn={nn})"),
+        "tr_m",
+        vec!["quorum".into(), "MANETconf".into()],
+    );
+    for tr in opts.tr_sweep() {
+        let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(
+                &scenario(tr, nn, s, opts.quick),
+                Qbac::new(ProtocolConfig::default()),
+            );
+            m.metrics.mean_config_latency().unwrap_or(0.0)
+        });
+        let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(&scenario(tr, nn, s, opts.quick), ManetConf::default());
+            m.metrics.mean_config_latency().unwrap_or(0.0)
+        });
+        t.push_row(format!("{tr:.0}"), vec![mean(&ours), mean(&theirs)]);
+    }
+    t.note("paper: quorum stays below ~10 hops, MANETconf above ~15");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_ranges() {
+        let opts = FigOpts {
+            rounds: 1,
+            quick: true,
+            seed: 5,
+        };
+        let t = &fig06(&opts)[0];
+        assert_eq!(t.rows.len(), opts.tr_sweep().len());
+        for (x, vals) in &t.rows {
+            assert!(vals[0] > 0.0, "quorum latency at tr={x} must be positive");
+        }
+    }
+}

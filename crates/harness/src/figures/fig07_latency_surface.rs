@@ -1,0 +1,63 @@
+//! Figure 7: the quorum protocol's configuration latency over the
+//! (transmission range × network size) surface.
+//!
+//! Paper's shape: latency falls as range shrinks (allocators are closer,
+//! quorums smaller) and rises gently with network size.
+
+use super::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use manet_sim::SimDuration;
+use qbac_core::{ProtocolConfig, Qbac};
+
+/// Runs the Figure 7 driver.
+#[must_use]
+pub fn fig07(opts: &FigOpts) -> Vec<Table> {
+    let nns = opts.nn_sweep();
+    let columns: Vec<String> = nns.iter().map(|nn| format!("nn={nn}")).collect();
+    let mut t = Table::new(
+        "Fig. 7 — quorum configuration latency (hops) vs (tr x nn)",
+        "tr_m",
+        columns,
+    );
+    for tr in opts.tr_sweep() {
+        let mut row = Vec::new();
+        for &nn in &nns {
+            let vals = parallel_rounds(opts.rounds, opts.seed, |s| {
+                let scen = Scenario {
+                    nn,
+                    tr,
+                    settle: SimDuration::from_secs(if opts.quick { 5 } else { 10 }),
+                    seed: s,
+                    ..Scenario::default()
+                };
+                let (_, m) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+                m.metrics.mean_config_latency().unwrap_or(0.0)
+            });
+            row.push(mean(&vals));
+        }
+        t.push_row(format!("{tr:.0}"), row);
+    }
+    t.note("paper: latency decreases with smaller range, grows mildly with size");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_is_fully_populated() {
+        let opts = FigOpts {
+            rounds: 1,
+            quick: true,
+            seed: 6,
+        };
+        let t = &fig07(&opts)[0];
+        assert_eq!(t.rows.len(), opts.tr_sweep().len());
+        for (_, vals) in &t.rows {
+            assert_eq!(vals.len(), opts.nn_sweep().len());
+        }
+    }
+}

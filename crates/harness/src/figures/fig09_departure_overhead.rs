@@ -1,0 +1,80 @@
+//! Figure 9: message overhead for node departure vs. network size —
+//! quorum protocol vs. the buddy protocol.
+//!
+//! Paper's shape: the quorum protocol's graceful departure is a local
+//! exchange (return to the nearest head, quorum commit); the buddy
+//! protocol floods the departure so all global tables stay consistent,
+//! so its cost scales with the network.
+
+use super::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use baselines::buddy::Buddy;
+use manet_sim::{MsgCategory, SimDuration};
+use qbac_core::{ProtocolConfig, Qbac};
+
+fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
+    Scenario {
+        nn,
+        // Stationary so the maintenance category isolates departures.
+        speed: 0.0,
+        depart_fraction: 0.4,
+        abrupt_ratio: 0.0, // graceful departures only
+        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
+        depart_window: SimDuration::from_secs(20),
+        cooldown: SimDuration::from_secs(10),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+/// Runs the Figure 9 driver.
+#[must_use]
+pub fn fig09(opts: &FigOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig. 9 — departure message overhead (hops per departure) vs network size",
+        "nn",
+        vec!["quorum".into(), "buddy [2]".into()],
+    );
+    for nn in opts.nn_sweep() {
+        let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(
+                &scenario(nn, s, opts.quick),
+                Qbac::new(ProtocolConfig::default()),
+            );
+            m.metrics.hops(MsgCategory::Maintenance) as f64
+                / m.graceful_departures.len().max(1) as f64
+        });
+        let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), Buddy::default());
+            m.metrics.hops(MsgCategory::Maintenance) as f64
+                / m.graceful_departures.len().max(1) as f64
+        });
+        t.push_row(nn.to_string(), vec![mean(&ours), mean(&theirs)]);
+    }
+    t.note("40% of nodes depart gracefully; nodes stationary to isolate departures");
+    t.note("paper: buddy departure floods scale with network size, quorum stays local");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_departures_cheaper_than_buddy_floods() {
+        let opts = FigOpts {
+            rounds: 1,
+            quick: true,
+            seed: 21,
+        };
+        let t = &fig09(&opts)[0];
+        let last = t.rows.last().unwrap();
+        assert!(
+            last.1[0] < last.1[1],
+            "quorum departure must be cheaper: {:?}",
+            last.1
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 10: maintenance message overhead (movement + departure) vs.
+//! network size — quorum protocol (periodic and upon-leave variants) vs.
+//! the C-tree scheme, node speed 20 m/s.
+//!
+//! Paper's shape: quorum (periodic) and C-tree land close together; the
+//! upon-leave variant is far cheaper because it drops location updates.
+
+use super::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use baselines::ctree::CTree;
+use manet_sim::{MsgCategory, SimDuration};
+use qbac_core::{ProtocolConfig, Qbac, UpdatePolicy};
+
+fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
+    Scenario {
+        nn,
+        speed: 20.0,
+        depart_fraction: 0.3,
+        abrupt_ratio: 0.0,
+        settle: SimDuration::from_secs(if quick { 5 } else { 15 }),
+        depart_window: SimDuration::from_secs(20),
+        cooldown: SimDuration::from_secs(10),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+/// Runs the Figure 10 driver.
+#[must_use]
+pub fn fig10(opts: &FigOpts) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig. 10 — maintenance overhead (hops per node) vs network size (20 m/s)",
+        "nn",
+        vec![
+            "quorum (periodic)".into(),
+            "quorum (upon-leave)".into(),
+            "C-tree [3]".into(),
+        ],
+    );
+    for nn in opts.nn_sweep() {
+        let run_ours = |policy: UpdatePolicy| {
+            parallel_rounds(opts.rounds, opts.seed, move |s| {
+                let cfg = ProtocolConfig {
+                    update_policy: policy,
+                    ..ProtocolConfig::default()
+                };
+                let (_, m) = run_scenario(&scenario(nn, s, opts.quick), Qbac::new(cfg));
+                m.metrics.hops(MsgCategory::Maintenance) as f64 / nn as f64
+            })
+        };
+        let periodic = run_ours(UpdatePolicy::Periodic);
+        let upon_leave = run_ours(UpdatePolicy::UponLeave);
+        let ctree = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), CTree::default());
+            // C-tree maintenance = departures + its periodic coordinator
+            // reports to the C-root.
+            (m.metrics.hops(MsgCategory::Maintenance) + m.metrics.hops(MsgCategory::Sync)) as f64
+                / nn as f64
+        });
+        t.push_row(
+            nn.to_string(),
+            vec![mean(&periodic), mean(&upon_leave), mean(&ctree)],
+        );
+    }
+    t.note("C-tree column folds in its periodic coordinator→root reports");
+    t.note("paper: quorum(periodic) ≈ C-tree; upon-leave far cheaper");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upon_leave_is_cheapest() {
+        let opts = FigOpts {
+            rounds: 1,
+            quick: true,
+            seed: 33,
+        };
+        let t = &fig10(&opts)[0];
+        for (x, vals) in &t.rows {
+            assert!(
+                vals[1] <= vals[0],
+                "upon-leave must not exceed periodic at nn={x}: {vals:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§VI).
+//!
+//! Each figure has a driver in [`figures`] that builds the workload,
+//! runs the protocols under identical scenarios, and returns a
+//! [`render::Table`] with the same rows/series the paper plots. The
+//! `repro` binary prints them; the `bench` crate wraps the same drivers
+//! in Criterion benchmarks.
+//!
+//! Absolute numbers depend on the simulator substrate; what is expected
+//! to reproduce is the *shape*: who wins, by roughly what factor, and
+//! where the crossovers fall. `EXPERIMENTS.md` records paper-reported
+//! vs. measured values.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod render;
+pub mod scenario;
+pub mod stats;
+
+pub use render::Table;
+pub use scenario::{run_scenario, RunMeasurements, Scenario};

@@ -1,0 +1,208 @@
+//! Rendering: ASCII tables for the terminal, CSV for plotting, and an
+//! SVG scatter for network layouts (Figure 4).
+
+use manet_sim::topology::Topology;
+use manet_sim::{Arena, NodeId, Point};
+use std::fmt::Write as _;
+
+/// A figure's data as a table: one row per x-axis point, one column per
+/// series.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure title (e.g. `"Fig. 5 — Configuration latency vs network size"`).
+    pub title: String,
+    /// Name of the x-axis column.
+    pub x_label: String,
+    /// Names of the value columns.
+    pub columns: Vec<String>,
+    /// Rows: x value plus one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Free-form notes (parameters, caveats) printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.columns.len());
+        self.rows.push((x.into(), values));
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders an aligned ASCII table.
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|(x, _)| x.len())
+                .chain([self.x_label.len()])
+                .max()
+                .unwrap_or(4),
+        );
+        for (i, c) in self.columns.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|(_, v)| format!("{:.2}", v[i]).len())
+                .chain([c.len()])
+                .max()
+                .unwrap_or(6);
+            widths.push(w);
+        }
+
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let mut header = format!("{:>w$}", self.x_label, w = widths[0]);
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(header, "  {:>w$}", c, w = widths[i + 1]);
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for (x, vals) in &self.rows {
+            let mut line = format!("{:>w$}", x, w = widths[0]);
+            for (i, v) in vals.iter().enumerate() {
+                let _ = write!(line, "  {:>w$.2}", v, w = widths[i + 1]);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (title and notes as `#` comments).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        for n in &self.notes {
+            let _ = writeln!(out, "# {n}");
+        }
+        let _ = writeln!(out, "{},{}", self.x_label, self.columns.join(","));
+        for (x, vals) in &self.rows {
+            let vals: Vec<String> = vals.iter().map(|v| format!("{v:.4}")).collect();
+            let _ = writeln!(out, "{},{}", x, vals.join(","));
+        }
+        out
+    }
+}
+
+/// Renders a network layout as an SVG scatter plot with radio links —
+/// the visual form of the paper's Figure 4.
+#[must_use]
+pub fn layout_svg(nodes: &[(NodeId, Point)], arena: Arena, range: f64) -> String {
+    let (w, h) = (arena.width(), arena.height());
+    let topo = Topology::build(nodes, range);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {w:.0} {h:.0}" width="600" height="600">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect width="{w:.0}" height="{h:.0}" fill="white" stroke="black"/>"#
+    );
+    // Links first so nodes draw on top.
+    for (a, pa) in nodes {
+        for b in topo.neighbors(*a) {
+            if b.index() > a.index() {
+                if let Some((_, pb)) = nodes.iter().find(|(n, _)| *n == b) {
+                    let _ = writeln!(
+                        out,
+                        r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="1"/>"##,
+                        pa.x, pa.y, pb.x, pb.y
+                    );
+                }
+            }
+        }
+    }
+    for (n, p) in nodes {
+        let _ = writeln!(
+            out,
+            r##"<circle cx="{:.1}" cy="{:.1}" r="6" fill="#336"><title>{n}</title></circle>"##,
+            p.x, p.y
+        );
+    }
+    out.push_str("</svg>
+");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_nodes_and_links() {
+        let nodes = vec![
+            (NodeId::new(0), Point::new(100.0, 100.0)),
+            (NodeId::new(1), Point::new(200.0, 100.0)),
+            (NodeId::new(2), Point::new(900.0, 900.0)),
+        ];
+        let svg = layout_svg(&nodes, Arena::default(), 150.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        // Exactly one link: nodes 0-1 are in range, node 2 is isolated.
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert!(svg.contains("<title>n1</title>"));
+    }
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig. X — demo", "nn", vec!["ours".into(), "theirs".into()]);
+        t.push_row("50", vec![4.2, 15.0]);
+        t.push_row("100", vec![5.0, 18.5]);
+        t.note("tr = 150 m");
+        t
+    }
+
+    #[test]
+    fn ascii_contains_everything() {
+        let s = sample().to_ascii();
+        assert!(s.contains("Fig. X — demo"));
+        assert!(s.contains("ours"));
+        assert!(s.contains("theirs"));
+        assert!(s.contains("4.20"));
+        assert!(s.contains("18.50"));
+        assert!(s.contains("# tr = 150 m"));
+    }
+
+    #[test]
+    fn ascii_columns_align() {
+        let s = sample().to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        // Header and data lines have equal width.
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let s = sample().to_csv();
+        assert!(s.contains("nn,ours,theirs"));
+        assert!(s.contains("50,4.2000,15.0000"));
+        assert!(s.starts_with("# Fig. X — demo"));
+    }
+}

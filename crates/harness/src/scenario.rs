@@ -1,0 +1,289 @@
+//! Workload generation: the paper's simulation setup (§VI-A).
+//!
+//! "Simulations are performed on a MANET with nodes moving to a random
+//! destination at the speed of 20 m/s after configuration. Networks with
+//! a maximum of 50–200 nodes are simulated and the simulation area is
+//! 1 km × 1 km. Nodes arrive in a sequential manner and are randomly
+//! chosen to depart gracefully or abruptly."
+
+use manet_sim::{
+    Arena, Metrics, NodeId, Protocol, Sim, SimDuration, SimTime, World, WorldConfig,
+};
+
+/// A reproducible experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of nodes (the paper sweeps 50–200).
+    pub nn: usize,
+    /// Transmission range in meters (baseline 150).
+    pub tr: f64,
+    /// Arena side length in meters (paper: 1000).
+    pub area: f64,
+    /// Node speed after configuration, m/s (paper: 20).
+    pub speed: f64,
+    /// Gap between sequential arrivals.
+    pub arrival_gap: SimDuration,
+    /// Extra time after the last arrival before departures begin.
+    pub settle: SimDuration,
+    /// Fraction of nodes that depart during the departure phase
+    /// (0 disables departures).
+    pub depart_fraction: f64,
+    /// Probability that a departure is abrupt (paper sweeps 5%–50%).
+    pub abrupt_ratio: f64,
+    /// Time window over which departures are spread.
+    pub depart_window: SimDuration,
+    /// Time to keep running after the departure window (detection,
+    /// reclamation).
+    pub cooldown: SimDuration,
+    /// Nodes that arrive *after* the departure window — they trigger
+    /// allocation traffic that detects vanished heads (reclamation
+    /// studies).
+    pub post_arrivals: usize,
+    /// When `true` (default), each arrival is placed within radio range
+    /// of the existing network, as the paper's sequential-arrival setup
+    /// implies. Uniform placement would found several independent
+    /// networks that all carry the same network ID (the lowest address),
+    /// an ambiguity the paper's merge scheme cannot resolve.
+    pub connected_arrivals: bool,
+    /// RNG seed; also perturbs node placement and departures.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            nn: 100,
+            tr: 150.0,
+            area: 1000.0,
+            speed: 20.0,
+            arrival_gap: SimDuration::from_millis(1000),
+            settle: SimDuration::from_secs(10),
+            depart_fraction: 0.0,
+            abrupt_ratio: 0.2,
+            depart_window: SimDuration::from_secs(30),
+            cooldown: SimDuration::from_secs(20),
+            post_arrivals: 0,
+            connected_arrivals: true,
+            seed: 1,
+        }
+    }
+}
+
+impl Scenario {
+    /// The world configuration this scenario induces.
+    #[must_use]
+    pub fn world_config(&self) -> WorldConfig {
+        WorldConfig {
+            arena: Arena::new(self.area, self.area),
+            range: self.tr,
+            speed: self.speed,
+            seed: self.seed,
+            ..WorldConfig::default()
+        }
+    }
+
+    /// When the last arrival happens.
+    #[must_use]
+    pub fn arrivals_done(&self) -> SimTime {
+        SimTime::ZERO + self.arrival_gap * (self.nn as u64)
+    }
+}
+
+/// What a scenario run produced, for figure drivers.
+#[derive(Debug, Clone)]
+pub struct RunMeasurements {
+    /// Final metrics snapshot.
+    pub metrics: Metrics,
+    /// Nodes that departed abruptly during the departure phase.
+    pub abrupt_departures: Vec<NodeId>,
+    /// Nodes that departed gracefully during the departure phase.
+    pub graceful_departures: Vec<NodeId>,
+    /// All spawned nodes in arrival order.
+    pub nodes: Vec<NodeId>,
+}
+
+/// Runs `protocol` through the scenario: sequential random arrivals, a
+/// settling period, then the departure phase, then cooldown. Returns the
+/// simulation (for protocol-state inspection) plus the measurements.
+pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> (Sim<P>, RunMeasurements) {
+    let mut sim = Sim::new(s.world_config(), protocol);
+
+    // Sequential arrivals. Positions are drawn when the node powers on,
+    // so connected arrivals can anchor to wherever the network is *now*.
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(s.nn);
+    for i in 0..s.nn {
+        let at = SimTime::ZERO + s.arrival_gap * (i as u64);
+        sim.run_until(at);
+        nodes.push(spawn_arrival(&mut sim, s));
+    }
+
+    let settled = s.arrivals_done() + s.settle;
+    sim.run_until(settled);
+
+    // Departure phase: a random subset leaves, each graceful or abrupt.
+    let departures = ((s.nn as f64) * s.depart_fraction).round() as usize;
+    let mut abrupt = Vec::new();
+    let mut graceful = Vec::new();
+    if departures > 0 {
+        let mut order = nodes.clone();
+        sim.world_mut().rng_mut().shuffle(&mut order);
+        let window_us = s.depart_window.as_micros().max(1);
+        for (k, node) in order.into_iter().take(departures).enumerate() {
+            let jitter = sim.world_mut().rng_mut().range_u64(0..window_us);
+            let at = settled + SimDuration::from_micros(jitter);
+            let is_abrupt = sim.world_mut().rng_mut().chance(s.abrupt_ratio);
+            sim.schedule_leave(at, node, !is_abrupt);
+            if is_abrupt {
+                abrupt.push(node);
+            } else {
+                graceful.push(node);
+            }
+            let _ = k;
+        }
+        let after_departures = settled + s.depart_window;
+        for i in 0..s.post_arrivals {
+            let at = after_departures + s.arrival_gap * (i as u64 + 1);
+            sim.run_until(at);
+            spawn_arrival(&mut sim, s);
+        }
+        sim.run_until(after_departures + s.cooldown);
+    }
+
+    let metrics = sim.world().metrics().clone();
+    (
+        sim,
+        RunMeasurements {
+            metrics,
+            abrupt_departures: abrupt,
+            graceful_departures: graceful,
+            nodes,
+        },
+    )
+}
+
+/// Spawns one arrival: uniform for the first node (or when connected
+/// arrivals are disabled), otherwise within radio range of a random
+/// alive node.
+fn spawn_arrival<P: Protocol>(sim: &mut Sim<P>, s: &Scenario) -> NodeId {
+    let arena = sim.world().arena();
+    let alive = sim.world().alive_nodes();
+    if !s.connected_arrivals || alive.is_empty() {
+        return sim.spawn_random();
+    }
+    // Prefer anchoring next to an already-configured node so the joiner
+    // lands inside the network, not beside another stranded joiner.
+    let configured: Vec<_> = alive
+        .iter()
+        .copied()
+        .filter(|n| sim.world().is_configured(*n))
+        .collect();
+    let pool = if configured.is_empty() { &alive } else { &configured };
+    let anchor = *sim
+        .world_mut()
+        .rng_mut()
+        .choose(pool)
+        .expect("pool is non-empty");
+    let center = sim.world().position(anchor).expect("anchor is alive");
+    let (r, theta) = {
+        let rng = sim.world_mut().rng_mut();
+        (
+            rng.range_f64(0.0..s.tr * 0.9),
+            rng.range_f64(0.0..std::f64::consts::TAU),
+        )
+    };
+    let p = arena.clamp(manet_sim::Point::new(
+        center.x + r * theta.cos(),
+        center.y + r * theta.sin(),
+    ));
+    sim.spawn_at(p)
+}
+
+/// Runs `rounds` independent replications in parallel, mapping each seed
+/// through `f` and collecting the results in seed order.
+pub fn parallel_rounds<T, F>(rounds: u64, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = (0..rounds).map(|_| None).collect();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(rounds.max(1) as usize);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results = parking_lot::Mutex::new(&mut out);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= rounds {
+                    break;
+                }
+                let value = f(base_seed.wrapping_add(i));
+                results.lock()[i as usize] = Some(value);
+            });
+        }
+    })
+    .expect("round worker panicked");
+    out.into_iter().map(|v| v.expect("all rounds ran")).collect()
+}
+
+/// Convenience: the world type used by figure drivers when they only
+/// need metrics.
+pub type AnyWorld<M> = World<M>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qbac_core::{ProtocolConfig, Qbac};
+
+    #[test]
+    fn scenario_runs_and_configures_most_nodes() {
+        let s = Scenario {
+            nn: 30,
+            settle: SimDuration::from_secs(5),
+            ..Scenario::default()
+        };
+        let (sim, m) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        assert_eq!(m.nodes.len(), 30);
+        assert!(
+            m.metrics.configured_nodes() >= 25,
+            "most nodes configured: {}",
+            m.metrics.configured_nodes()
+        );
+        let _ = sim;
+    }
+
+    #[test]
+    fn departures_split_graceful_abrupt() {
+        let s = Scenario {
+            nn: 20,
+            depart_fraction: 0.5,
+            abrupt_ratio: 0.5,
+            settle: SimDuration::from_secs(5),
+            depart_window: SimDuration::from_secs(5),
+            cooldown: SimDuration::from_secs(5),
+            ..Scenario::default()
+        };
+        let (_sim, m) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        assert_eq!(m.abrupt_departures.len() + m.graceful_departures.len(), 10);
+    }
+
+    #[test]
+    fn same_seed_same_measurements() {
+        let s = Scenario {
+            nn: 15,
+            settle: SimDuration::from_secs(3),
+            ..Scenario::default()
+        };
+        let (_, a) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        let (_, b) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn parallel_rounds_preserve_order_and_count() {
+        let vals = parallel_rounds(8, 100, |seed| seed * 2);
+        assert_eq!(vals, vec![200, 202, 204, 206, 208, 210, 212, 214]);
+    }
+}

@@ -1,0 +1,181 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in the simulation plane, in meters.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::Point;
+///
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.distance(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The point a fraction `t ∈ [0,1]` of the way toward `dest`.
+    #[must_use]
+    pub fn lerp(self, dest: Point, t: f64) -> Point {
+        Point {
+            x: self.x + (dest.x - self.x) * t,
+            y: self.y + (dest.y - self.y) * t,
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// The rectangular simulation area (the paper: 1 km × 1 km).
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::{Arena, Point};
+///
+/// let arena = Arena::new(1000.0, 1000.0);
+/// assert!(arena.contains(Point::new(500.0, 999.0)));
+/// assert!(!arena.contains(Point::new(500.0, 1001.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arena {
+    width: f64,
+    height: f64,
+}
+
+impl Arena {
+    /// Creates an arena of `width` × `height` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is not strictly positive and finite.
+    #[must_use]
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "arena dimensions must be positive and finite"
+        );
+        Arena { width, height }
+    }
+
+    /// Arena width in meters.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Arena height in meters.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Returns `true` if the point lies inside the arena (inclusive of
+    /// the lower edges, exclusive of nothing — boundaries count).
+    #[must_use]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x <= self.width && p.y <= self.height
+    }
+
+    /// Clamps a point into the arena.
+    #[must_use]
+    pub fn clamp(&self, p: Point) -> Point {
+        Point {
+            x: p.x.clamp(0.0, self.width),
+            y: p.y.clamp(0.0, self.height),
+        }
+    }
+}
+
+impl Default for Arena {
+    /// The paper's 1 km × 1 km simulation area.
+    fn default() -> Self {
+        Arena::new(1000.0, 1000.0)
+    }
+}
+
+impl fmt::Display for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}m x {:.0}m", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_345() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+        assert_eq!(Point::new(1.0, 1.0).distance(Point::new(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert_eq!((mid.x, mid.y), (5.0, 10.0));
+    }
+
+    #[test]
+    fn arena_contains_boundaries() {
+        let a = Arena::new(100.0, 50.0);
+        assert!(a.contains(Point::new(0.0, 0.0)));
+        assert!(a.contains(Point::new(100.0, 50.0)));
+        assert!(!a.contains(Point::new(-0.1, 0.0)));
+        assert!(!a.contains(Point::new(0.0, 50.1)));
+    }
+
+    #[test]
+    fn arena_clamp() {
+        let a = Arena::new(100.0, 50.0);
+        let c = a.clamp(Point::new(150.0, -10.0));
+        assert_eq!((c.x, c.y), (100.0, 0.0));
+    }
+
+    #[test]
+    fn default_is_paper_area() {
+        let a = Arena::default();
+        assert_eq!((a.width(), a.height()), (1000.0, 1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_arena_panics() {
+        let _ = Arena::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Arena::default().to_string(), "1000m x 1000m");
+        assert_eq!(Point::new(1.25, 3.0).to_string(), "(1.2, 3.0)");
+    }
+}

@@ -1,0 +1,69 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simulator-level node identifier (stable across the node's lifetime,
+/// unrelated to the IP address a protocol assigns it).
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from its index.
+    #[must_use]
+    pub const fn new(index: u64) -> Self {
+        NodeId(index)
+    }
+
+    /// The underlying index.
+    #[must_use]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(index: u64) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> u64 {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let id = NodeId::new(7);
+        assert_eq!(u64::from(id), 7);
+        assert_eq!(NodeId::from(7u64), id);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+}

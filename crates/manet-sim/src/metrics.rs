@@ -1,0 +1,282 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Traffic categories under which message costs are accounted, matching
+/// the paper's evaluation axes.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MsgCategory {
+    /// Address configuration exchanges (Figures 5-8).
+    #[default]
+    Configuration,
+    /// Location updates and graceful departures (Figures 9-11).
+    Maintenance,
+    /// Address reclamation after abrupt departures (Figure 14).
+    Reclamation,
+    /// Periodic state synchronization (the Buddy and C-tree baselines).
+    Sync,
+    /// Periodic hello beacons (excluded from the paper's comparisons,
+    /// tracked separately so figures can ignore them).
+    Hello,
+}
+
+impl MsgCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [MsgCategory; 5] = [
+        MsgCategory::Configuration,
+        MsgCategory::Maintenance,
+        MsgCategory::Reclamation,
+        MsgCategory::Sync,
+        MsgCategory::Hello,
+    ];
+}
+
+impl fmt::Display for MsgCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MsgCategory::Configuration => "configuration",
+            MsgCategory::Maintenance => "maintenance",
+            MsgCategory::Reclamation => "reclamation",
+            MsgCategory::Sync => "sync",
+            MsgCategory::Hello => "hello",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-category message and hop counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryCounter {
+    /// Number of logical messages (a flood counts once).
+    pub messages: u64,
+    /// Total hop cost (transmissions) charged.
+    pub hops: u64,
+}
+
+/// Simulation-wide measurement sink.
+///
+/// The delivery engine records every send's hop cost here; protocols add
+/// latency samples when a configuration completes. The harness reads the
+/// totals to produce the paper's figures.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::{Metrics, MsgCategory};
+///
+/// let mut m = Metrics::default();
+/// m.add_send(MsgCategory::Configuration, 3);
+/// m.record_config_latency(5);
+/// assert_eq!(m.hops(MsgCategory::Configuration), 3);
+/// assert_eq!(m.mean_config_latency(), Some(5.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<MsgCategory, CategoryCounter>,
+    config_latencies: Vec<u32>,
+    configured_nodes: u64,
+    failed_configurations: u64,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Charges one message of `hops` transmissions to `category`.
+    pub fn add_send(&mut self, category: MsgCategory, hops: u64) {
+        let c = self.counters.entry(category).or_default();
+        c.messages += 1;
+        c.hops += hops;
+    }
+
+    /// Records the hop-count latency of one completed configuration.
+    pub fn record_config_latency(&mut self, hops: u32) {
+        self.config_latencies.push(hops);
+        self.configured_nodes += 1;
+    }
+
+    /// Records a configuration attempt that was abandoned.
+    pub fn record_config_failure(&mut self) {
+        self.failed_configurations += 1;
+    }
+
+    /// Hop total for a category.
+    #[must_use]
+    pub fn hops(&self, category: MsgCategory) -> u64 {
+        self.counters.get(&category).map_or(0, |c| c.hops)
+    }
+
+    /// Message count for a category.
+    #[must_use]
+    pub fn messages(&self, category: MsgCategory) -> u64 {
+        self.counters.get(&category).map_or(0, |c| c.messages)
+    }
+
+    /// Total messages across all categories.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.counters.values().map(|c| c.messages).sum()
+    }
+
+    /// Total hops across all categories.
+    #[must_use]
+    pub fn total_hops(&self) -> u64 {
+        self.counters.values().map(|c| c.hops).sum()
+    }
+
+    /// Total protocol hops excluding hello beacons — the quantity the
+    /// paper's overhead figures compare.
+    #[must_use]
+    pub fn protocol_hops(&self) -> u64 {
+        MsgCategory::ALL
+            .iter()
+            .filter(|c| **c != MsgCategory::Hello)
+            .map(|c| self.hops(*c))
+            .sum()
+    }
+
+    /// All recorded configuration latencies, in completion order.
+    #[must_use]
+    pub fn config_latencies(&self) -> &[u32] {
+        &self.config_latencies
+    }
+
+    /// Mean configuration latency in hops, `None` before any completion.
+    #[must_use]
+    pub fn mean_config_latency(&self) -> Option<f64> {
+        if self.config_latencies.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.config_latencies.iter().map(|&h| u64::from(h)).sum();
+        Some(sum as f64 / self.config_latencies.len() as f64)
+    }
+
+    /// Number of nodes that completed configuration.
+    #[must_use]
+    pub fn configured_nodes(&self) -> u64 {
+        self.configured_nodes
+    }
+
+    /// Number of abandoned configuration attempts.
+    #[must_use]
+    pub fn failed_configurations(&self) -> u64 {
+        self.failed_configurations
+    }
+
+    /// Merges another sink into this one (for aggregating replications).
+    pub fn merge(&mut self, other: &Metrics) {
+        for (cat, c) in &other.counters {
+            let mine = self.counters.entry(*cat).or_default();
+            mine.messages += c.messages;
+            mine.hops += c.hops;
+        }
+        self.config_latencies
+            .extend_from_slice(&other.config_latencies);
+        self.configured_nodes += other.configured_nodes;
+        self.failed_configurations += other.failed_configurations;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} msgs / {} hops, {} configured",
+            self.total_messages(),
+            self.total_hops(),
+            self.configured_nodes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_category() {
+        let mut m = Metrics::new();
+        m.add_send(MsgCategory::Configuration, 3);
+        m.add_send(MsgCategory::Configuration, 2);
+        m.add_send(MsgCategory::Hello, 1);
+        assert_eq!(m.hops(MsgCategory::Configuration), 5);
+        assert_eq!(m.messages(MsgCategory::Configuration), 2);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_hops(), 6);
+    }
+
+    #[test]
+    fn protocol_hops_excludes_hello() {
+        let mut m = Metrics::new();
+        m.add_send(MsgCategory::Hello, 100);
+        m.add_send(MsgCategory::Maintenance, 7);
+        m.add_send(MsgCategory::Reclamation, 2);
+        assert_eq!(m.protocol_hops(), 9);
+        assert_eq!(m.total_hops(), 109);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut m = Metrics::new();
+        assert_eq!(m.mean_config_latency(), None);
+        m.record_config_latency(4);
+        m.record_config_latency(8);
+        assert_eq!(m.mean_config_latency(), Some(6.0));
+        assert_eq!(m.configured_nodes(), 2);
+        assert_eq!(m.config_latencies(), &[4, 8]);
+    }
+
+    #[test]
+    fn failures_tracked_separately() {
+        let mut m = Metrics::new();
+        m.record_config_failure();
+        assert_eq!(m.failed_configurations(), 1);
+        assert_eq!(m.configured_nodes(), 0);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = Metrics::new();
+        a.add_send(MsgCategory::Sync, 5);
+        a.record_config_latency(3);
+        let mut b = Metrics::new();
+        b.add_send(MsgCategory::Sync, 7);
+        b.record_config_latency(5);
+        b.record_config_failure();
+        a.merge(&b);
+        assert_eq!(a.hops(MsgCategory::Sync), 12);
+        assert_eq!(a.messages(MsgCategory::Sync), 2);
+        assert_eq!(a.mean_config_latency(), Some(4.0));
+        assert_eq!(a.failed_configurations(), 1);
+    }
+
+    #[test]
+    fn zero_hop_send_counts_message() {
+        let mut m = Metrics::new();
+        m.add_send(MsgCategory::Maintenance, 0);
+        assert_eq!(m.messages(MsgCategory::Maintenance), 1);
+        assert_eq!(m.hops(MsgCategory::Maintenance), 0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut m = Metrics::new();
+        m.add_send(MsgCategory::Configuration, 4);
+        m.record_config_latency(4);
+        assert_eq!(m.to_string(), "1 msgs / 4 hops, 1 configured");
+    }
+
+    #[test]
+    fn category_display_names() {
+        let names: Vec<String> = MsgCategory::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(
+            names,
+            vec!["configuration", "maintenance", "reclamation", "sync", "hello"]
+        );
+    }
+}

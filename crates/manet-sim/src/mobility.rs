@@ -1,0 +1,223 @@
+//! Random-waypoint mobility.
+//!
+//! The paper's setup (§VI-A): "nodes moving to a random destination at the
+//! speed of 20 m/s after its configuration with the network". A node is
+//! stationary until the protocol marks it configured, then repeatedly picks
+//! a uniform random destination in the arena and travels there in a
+//! straight line at constant speed (zero pause time).
+
+use crate::{Arena, Point, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Per-node mobility state: either parked, or en route to a waypoint.
+///
+/// Positions are interpolated lazily — [`MobilityState::position`] is exact
+/// for any query time between the leg's start and arrival.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::mobility::MobilityState;
+/// use manet_sim::{Point, SimDuration, SimTime};
+///
+/// let mut m = MobilityState::parked(Point::new(0.0, 0.0));
+/// let t0 = SimTime::ZERO;
+/// m.set_leg(t0, Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0);
+/// let mid = t0 + SimDuration::from_secs(5);
+/// assert_eq!(m.position(mid).x, 50.0);
+/// assert_eq!(m.arrival(), Some(t0 + SimDuration::from_secs(10)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MobilityState {
+    origin: Point,
+    depart: SimTime,
+    dest: Point,
+    arrival: Option<SimTime>,
+    speed: f64,
+}
+
+impl MobilityState {
+    /// A stationary node at `at`.
+    #[must_use]
+    pub fn parked(at: Point) -> Self {
+        MobilityState {
+            origin: at,
+            depart: SimTime::ZERO,
+            dest: at,
+            arrival: None,
+            speed: 0.0,
+        }
+    }
+
+    /// Starts a leg from `from` to `to` at `speed` m/s, departing `now`.
+    /// A zero or negative speed parks the node at `from` instead.
+    pub fn set_leg(&mut self, now: SimTime, from: Point, to: Point, speed: f64) {
+        if speed <= 0.0 {
+            *self = MobilityState::parked(from);
+            return;
+        }
+        let dist = from.distance(to);
+        let travel = crate::SimDuration::from_secs_f64(dist / speed);
+        self.origin = from;
+        self.depart = now;
+        self.dest = to;
+        self.speed = speed;
+        self.arrival = Some(now + travel);
+    }
+
+    /// Parks the node at its position as of `now`.
+    pub fn park(&mut self, now: SimTime) {
+        let here = self.position(now);
+        *self = MobilityState::parked(here);
+    }
+
+    /// The node's exact position at `at`.
+    #[must_use]
+    pub fn position(&self, at: SimTime) -> Point {
+        match self.arrival {
+            None => self.origin,
+            Some(arrival) => {
+                if at >= arrival {
+                    self.dest
+                } else if at <= self.depart {
+                    self.origin
+                } else {
+                    let total = (arrival - self.depart).as_secs_f64();
+                    let gone = (at - self.depart).as_secs_f64();
+                    self.origin.lerp(self.dest, gone / total)
+                }
+            }
+        }
+    }
+
+    /// When the node reaches its current waypoint, if moving.
+    #[must_use]
+    pub fn arrival(&self) -> Option<SimTime> {
+        self.arrival
+    }
+
+    /// Returns `true` if the node is currently en route.
+    #[must_use]
+    pub fn is_moving(&self) -> bool {
+        self.arrival.is_some()
+    }
+
+    /// Current speed in m/s (zero when parked).
+    #[must_use]
+    pub fn speed(&self) -> f64 {
+        if self.is_moving() {
+            self.speed
+        } else {
+            0.0
+        }
+    }
+
+    /// Picks the next random waypoint: starts a new leg from the current
+    /// position to a uniform random point in the arena.
+    pub fn retarget(&mut self, now: SimTime, arena: &Arena, speed: f64, rng: &mut SimRng) {
+        let here = self.position(now);
+        let dest = rng.point_in(arena);
+        self.set_leg(now, here, dest, speed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn parked_never_moves() {
+        let m = MobilityState::parked(Point::new(5.0, 5.0));
+        assert!(!m.is_moving());
+        assert_eq!(m.speed(), 0.0);
+        assert_eq!(
+            m.position(SimTime::from_micros(u64::MAX)),
+            Point::new(5.0, 5.0)
+        );
+    }
+
+    #[test]
+    fn linear_interpolation() {
+        let mut m = MobilityState::parked(Point::new(0.0, 0.0));
+        m.set_leg(
+            SimTime::ZERO,
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 100.0),
+            20.0,
+        );
+        assert!(m.is_moving());
+        assert_eq!(m.speed(), 20.0);
+        let quarter = SimTime::ZERO + SimDuration::from_millis(1250);
+        let p = m.position(quarter);
+        assert!((p.y - 25.0).abs() < 1e-6);
+        assert_eq!(m.arrival(), Some(SimTime::ZERO + SimDuration::from_secs(5)));
+    }
+
+    #[test]
+    fn position_clamps_outside_leg() {
+        let mut m = MobilityState::parked(Point::new(0.0, 0.0));
+        let t0 = SimTime::from_micros(1_000_000);
+        m.set_leg(t0, Point::new(10.0, 0.0), Point::new(20.0, 0.0), 10.0);
+        // Before departure → origin; after arrival → destination.
+        assert_eq!(m.position(SimTime::ZERO), Point::new(10.0, 0.0));
+        assert_eq!(
+            m.position(t0 + SimDuration::from_secs(100)),
+            Point::new(20.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn zero_speed_parks() {
+        let mut m = MobilityState::parked(Point::new(0.0, 0.0));
+        m.set_leg(
+            SimTime::ZERO,
+            Point::new(3.0, 3.0),
+            Point::new(50.0, 50.0),
+            0.0,
+        );
+        assert!(!m.is_moving());
+        assert_eq!(m.position(SimTime::from_micros(10)), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn park_freezes_current_position() {
+        let mut m = MobilityState::parked(Point::new(0.0, 0.0));
+        m.set_leg(
+            SimTime::ZERO,
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            10.0,
+        );
+        let mid = SimTime::ZERO + SimDuration::from_secs(5);
+        m.park(mid);
+        assert!(!m.is_moving());
+        assert_eq!(m.position(mid + SimDuration::from_secs(60)).x, 50.0);
+    }
+
+    #[test]
+    fn retarget_stays_in_arena() {
+        let arena = Arena::new(200.0, 200.0);
+        let mut rng = SimRng::seed_from(1);
+        let mut m = MobilityState::parked(Point::new(100.0, 100.0));
+        for step in 0..20 {
+            let now = SimTime::from_micros(step * 1_000_000);
+            m.retarget(now, &arena, 20.0, &mut rng);
+            let arrival = m.arrival().unwrap_or(now);
+            assert!(arena.contains(m.position(arrival)));
+        }
+    }
+
+    #[test]
+    fn zero_distance_leg_arrives_immediately() {
+        let mut m = MobilityState::parked(Point::new(1.0, 1.0));
+        m.set_leg(
+            SimTime::ZERO,
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            20.0,
+        );
+        assert_eq!(m.arrival(), Some(SimTime::ZERO));
+        assert_eq!(m.position(SimTime::from_micros(1)), Point::new(1.0, 1.0));
+    }
+}

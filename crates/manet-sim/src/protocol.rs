@@ -1,0 +1,48 @@
+use crate::{NodeId, World};
+use std::fmt::Debug;
+
+/// A network protocol driven by the simulator.
+///
+/// One `Protocol` value holds the state of *every* node (the simulator is
+/// a single-process model of the whole network); callbacks identify which
+/// node the event concerns. Implementations react by querying and sending
+/// through the [`World`].
+///
+/// # Lifecycle
+///
+/// * [`Protocol::on_join`] — the node has just entered the network
+///   (powered on in radio range of whoever is nearby). Protocols usually
+///   begin their configuration exchange here.
+/// * [`Protocol::on_message`] — a message addressed to `to` arrived.
+/// * [`Protocol::on_timer`] — a timer set via
+///   [`World::set_timer`](crate::World::set_timer) fired.
+/// * [`Protocol::on_leave`] — the node is departing. For graceful leaves
+///   the node is still alive and may run its departure handshake; the
+///   protocol must eventually call
+///   [`World::remove_node`](crate::World::remove_node). For abrupt leaves
+///   the node is already dead and can no longer send.
+pub trait Protocol {
+    /// The protocol's wire message type.
+    type Msg: Clone + Debug;
+
+    /// A node has entered the network.
+    fn on_join(&mut self, w: &mut World<Self::Msg>, node: NodeId);
+
+    /// A message has been delivered to `to`.
+    fn on_message(&mut self, w: &mut World<Self::Msg>, to: NodeId, from: NodeId, msg: Self::Msg);
+
+    /// A timer set by this protocol fired on `node`. `tag` is the value
+    /// passed to `set_timer`. Default: ignore.
+    fn on_timer(&mut self, w: &mut World<Self::Msg>, node: NodeId, tag: u64) {
+        let _ = (w, node, tag);
+    }
+
+    /// `node` is leaving. `graceful` nodes are still alive and should run
+    /// their departure handshake; abrupt nodes are already dead.
+    /// Default: for graceful leaves, remove the node immediately.
+    fn on_leave(&mut self, w: &mut World<Self::Msg>, node: NodeId, graceful: bool) {
+        if graceful {
+            w.remove_node(node);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+use crate::{Arena, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The simulator's deterministic random number generator.
+///
+/// All randomness in a simulation flows through one seeded [`SimRng`], so a
+/// run is exactly reproducible from `(WorldConfig, scenario)`.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::SimRng;
+///
+/// let mut a = SimRng::seed_from(42);
+/// let mut b = SimRng::seed_from(42);
+/// assert_eq!(a.range_u64(0..100), b.range_u64(0..100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in the given range.
+    pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform float in the given range.
+    pub fn range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// A uniform random point inside the arena.
+    pub fn point_in(&mut self, arena: &Arena) -> Point {
+        Point::new(
+            self.inner.gen_range(0.0..=arena.width()),
+            self.inner.gen_range(0.0..=arena.height()),
+        )
+    }
+
+    /// Chooses a uniformly random element of a slice, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.inner.gen_range(0..items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator (for parallel replications).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from(self.inner.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..32 {
+            assert_eq!(a.range_u64(0..1000), b.range_u64(0..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        let same = (0..16).all(|_| a.range_u64(0..u64::MAX) == b.range_u64(0..u64::MAX));
+        assert!(!same);
+    }
+
+    #[test]
+    fn point_in_arena_bounds() {
+        let arena = Arena::new(100.0, 200.0);
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..100 {
+            let p = rng.point_in(&arena);
+            assert!(arena.contains(p), "{p} outside {arena}");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from(4);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities clamp instead of panicking.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = SimRng::seed_from(5);
+        let empty: [u8; 0] = [];
+        assert_eq!(rng.choose(&empty), None);
+        let items = [10u8, 20, 30];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from(6);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.range_u64(0..100), fb.range_u64(0..100));
+    }
+}

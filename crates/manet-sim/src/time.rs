@@ -1,0 +1,230 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Virtual simulation time, in integer microseconds since the simulation
+/// epoch. Integer time keeps the event queue total-order deterministic.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(1500);
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(1500));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from microseconds since the epoch.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Microseconds since the epoch.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the epoch as a float, for plotting.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating addition of a duration.
+    #[must_use]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, in integer microseconds.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::SimDuration;
+///
+/// assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+/// assert_eq!(SimDuration::from_secs(3) / 2, SimDuration::from_millis(1500));
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, truncating below one
+    /// microsecond. Negative values clamp to zero.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration((secs.max(0.0) * 1e6) as u64)
+    }
+
+    /// The duration in microseconds.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Multiplies the duration by an integer factor.
+    #[must_use]
+    pub const fn mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0 * factor)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_secs(1).as_micros(), 1_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_micros(100);
+        let u = t + SimDuration::from_micros(50);
+        assert_eq!(u.as_micros(), 150);
+        assert_eq!(u - t, SimDuration::from_micros(50));
+        let mut v = t;
+        v += SimDuration::from_micros(1);
+        assert_eq!(v.as_micros(), 101);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(SimDuration::from_secs(4) / 4, SimDuration::from_secs(1));
+        assert_eq!(SimDuration::from_secs(1) * 3, SimDuration::from_secs(3));
+        assert_eq!(SimDuration::from_secs(1).mul(3), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_micros(1_500_000).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+
+    #[test]
+    fn secs_truncation() {
+        assert_eq!(SimTime::from_micros(1_999_999).as_secs(), 1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Instantaneous connectivity graph under the unit-disk radio model.
+//!
+//! Two nodes are linked iff their Euclidean distance is at most the
+//! transmission range. A [`Topology`] is a snapshot built from node
+//! positions at one instant; it answers the queries protocols and the
+//! delivery engine need: neighbors, k-hop neighborhoods, shortest-path hop
+//! counts, and connected components.
+
+use crate::{NodeId, Point};
+use std::collections::{HashMap, VecDeque};
+
+/// A snapshot of the connectivity graph at one instant.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::topology::Topology;
+/// use manet_sim::{NodeId, Point};
+///
+/// let topo = Topology::build(
+///     &[
+///         (NodeId::new(0), Point::new(0.0, 0.0)),
+///         (NodeId::new(1), Point::new(100.0, 0.0)),
+///         (NodeId::new(2), Point::new(200.0, 0.0)),
+///     ],
+///     150.0,
+/// );
+/// assert_eq!(topo.hops(NodeId::new(0), NodeId::new(2)), Some(2));
+/// assert_eq!(topo.neighbors(NodeId::new(1)).len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds the unit-disk graph over `nodes` with transmission range
+    /// `range` meters.
+    #[must_use]
+    pub fn build(nodes: &[(NodeId, Point)], range: f64) -> Self {
+        let ids: Vec<NodeId> = nodes.iter().map(|(id, _)| *id).collect();
+        let index: HashMap<NodeId, usize> =
+            ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        let mut adj = vec![Vec::new(); nodes.len()];
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if nodes[i].1.distance(nodes[j].1) <= range {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        Topology { ids, index, adj }
+    }
+
+    /// Number of nodes in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the snapshot contains no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Returns `true` if the snapshot contains `node`.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.index.contains_key(&node)
+    }
+
+    /// One-hop neighbors of `node` (empty if unknown).
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        match self.index.get(&node) {
+            Some(&i) => self.adj[i].iter().map(|&j| self.ids[j]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// BFS distances (in hops) from `node` to every reachable node,
+    /// including itself at distance 0. Empty if `node` is unknown.
+    #[must_use]
+    pub fn distances_from(&self, node: NodeId) -> HashMap<NodeId, u32> {
+        let mut out = HashMap::new();
+        let Some(&start) = self.index.get(&node) else {
+            return out;
+        };
+        let mut dist = vec![u32::MAX; self.ids.len()];
+        let mut queue = VecDeque::new();
+        dist[start] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adj[u] {
+                if dist[v] == u32::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (i, d) in dist.into_iter().enumerate() {
+            if d != u32::MAX {
+                out.insert(self.ids[i], d);
+            }
+        }
+        out
+    }
+
+    /// Shortest-path hop count between two nodes, `None` if disconnected
+    /// or either node is unknown. `Some(0)` when `a == b`.
+    #[must_use]
+    pub fn hops(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        if a == b {
+            return self.contains(a).then_some(0);
+        }
+        self.distances_from(a).get(&b).copied()
+    }
+
+    /// All nodes within `k` hops of `node` (excluding the node itself),
+    /// with their distances, sorted by `(distance, id)`.
+    #[must_use]
+    pub fn within(&self, node: NodeId, k: u32) -> Vec<(NodeId, u32)> {
+        let mut v: Vec<(NodeId, u32)> = self
+            .distances_from(node)
+            .into_iter()
+            .filter(|&(n, d)| n != node && d <= k)
+            .collect();
+        v.sort_by_key(|&(n, d)| (d, n));
+        v
+    }
+
+    /// The connected component containing `node`, sorted by id. Empty if
+    /// `node` is unknown.
+    #[must_use]
+    pub fn component_of(&self, node: NodeId) -> Vec<NodeId> {
+        let mut comp: Vec<NodeId> = self.distances_from(node).into_keys().collect();
+        comp.sort_unstable();
+        comp
+    }
+
+    /// All connected components, each sorted by id, ordered by their
+    /// smallest member.
+    #[must_use]
+    pub fn components(&self) -> Vec<Vec<NodeId>> {
+        let mut seen = vec![false; self.ids.len()];
+        let mut comps = Vec::new();
+        for i in 0..self.ids.len() {
+            if seen[i] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([i]);
+            seen[i] = true;
+            while let Some(u) = queue.pop_front() {
+                comp.push(self.ids[u]);
+                for &v in &self.adj[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps.sort_by_key(|c| c[0]);
+        comps
+    }
+
+    /// Returns `true` if `a` and `b` can reach each other.
+    #[must_use]
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.hops(a, b).is_some()
+    }
+
+    /// Total number of undirected links.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, spacing: f64) -> Vec<(NodeId, Point)> {
+        (0..n)
+            .map(|i| (NodeId::new(i as u64), Point::new(i as f64 * spacing, 0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::build(&[], 100.0);
+        assert!(t.is_empty());
+        assert_eq!(t.neighbors(NodeId::new(0)), vec![]);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(1)), None);
+        assert!(t.components().is_empty());
+    }
+
+    #[test]
+    fn line_graph_hops() {
+        let t = Topology::build(&line(5, 100.0), 100.0);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(4)), Some(4));
+        assert_eq!(t.hops(NodeId::new(2), NodeId::new(2)), Some(0));
+        assert_eq!(t.link_count(), 4);
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let nodes = [
+            (NodeId::new(0), Point::new(0.0, 0.0)),
+            (NodeId::new(1), Point::new(150.0, 0.0)),
+        ];
+        let t = Topology::build(&nodes, 150.0);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(1)), Some(1));
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let nodes = [
+            (NodeId::new(0), Point::new(0.0, 0.0)),
+            (NodeId::new(1), Point::new(50.0, 0.0)),
+            (NodeId::new(5), Point::new(900.0, 900.0)),
+        ];
+        let t = Topology::build(&nodes, 100.0);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(5)), None);
+        assert!(!t.connected(NodeId::new(1), NodeId::new(5)));
+        let comps = t.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(5)]);
+        assert_eq!(t.component_of(NodeId::new(1)), comps[0]);
+    }
+
+    #[test]
+    fn within_k_sorted_and_excludes_self() {
+        let t = Topology::build(&line(6, 100.0), 100.0);
+        let near = t.within(NodeId::new(2), 2);
+        assert_eq!(
+            near,
+            vec![
+                (NodeId::new(1), 1),
+                (NodeId::new(3), 1),
+                (NodeId::new(0), 2),
+                (NodeId::new(4), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_node_queries_are_safe() {
+        let t = Topology::build(&line(3, 100.0), 100.0);
+        let ghost = NodeId::new(99);
+        assert!(!t.contains(ghost));
+        assert!(t.distances_from(ghost).is_empty());
+        assert_eq!(t.hops(ghost, ghost), None);
+        assert!(t.component_of(ghost).is_empty());
+        assert!(t.within(ghost, 3).is_empty());
+    }
+
+    #[test]
+    fn dense_clique() {
+        let nodes: Vec<(NodeId, Point)> = (0..4)
+            .map(|i| (NodeId::new(i), Point::new(i as f64, 0.0)))
+            .collect();
+        let t = Topology::build(&nodes, 10.0);
+        assert_eq!(t.link_count(), 6);
+        for i in 0..4 {
+            assert_eq!(t.neighbors(NodeId::new(i)).len(), 3);
+        }
+    }
+}

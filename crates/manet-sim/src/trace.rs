@@ -1,0 +1,225 @@
+//! Bounded event tracing for debugging simulations.
+//!
+//! A [`Trace`] is a ring buffer of the most recent simulation events.
+//! It is off by default (zero capacity) so the hot path stays free of
+//! allocation; tests and debugging sessions enable it with
+//! [`World::enable_trace`](crate::World::enable_trace).
+
+use crate::{MsgCategory, NodeId, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One traced simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A unicast was sent (`hops` = charged path length).
+    Unicast {
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Traffic category.
+        category: MsgCategory,
+        /// Charged hops.
+        hops: u32,
+    },
+    /// A bounded or global flood was sent.
+    Broadcast {
+        /// Originator.
+        from: NodeId,
+        /// Hop bound (`None` = component-wide flood).
+        k: Option<u32>,
+        /// Traffic category.
+        category: MsgCategory,
+        /// Number of recipients.
+        recipients: usize,
+        /// Charged transmissions.
+        charge: u64,
+    },
+    /// A node joined the network.
+    Join {
+        /// The node.
+        node: NodeId,
+    },
+    /// A node was removed.
+    Remove {
+        /// The node.
+        node: NodeId,
+    },
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.event {
+            TraceEvent::Unicast {
+                from,
+                to,
+                category,
+                hops,
+            } => write!(f, "[{}] {from} -> {to} ({category}, {hops} hops)", self.at),
+            TraceEvent::Broadcast {
+                from,
+                k,
+                category,
+                recipients,
+                charge,
+            } => match k {
+                Some(k) => write!(
+                    f,
+                    "[{}] {from} bcast k={k} ({category}, {recipients} rcpt, {charge} tx)",
+                    self.at
+                ),
+                None => write!(
+                    f,
+                    "[{}] {from} flood ({category}, {recipients} rcpt, {charge} tx)",
+                    self.at
+                ),
+            },
+            TraceEvent::Join { node } => write!(f, "[{}] {node} joined", self.at),
+            TraceEvent::Remove { node } => write!(f, "[{}] {node} removed", self.at),
+        }
+    }
+}
+
+/// A bounded ring buffer of recent [`TraceRecord`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace retaining at most `capacity` records (0 disables).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
+    }
+
+    /// Returns `true` if tracing is enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (drops the oldest when full).
+    pub fn record(&mut self, at: SimTime, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// The retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained records, one per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.records
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::Join {
+            node: NodeId::new(n),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::default();
+        assert!(!t.is_enabled());
+        t.record(SimTime::ZERO, ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(3);
+        for i in 0..5 {
+            t.record(SimTime::from_micros(i), ev(i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.records().next().unwrap();
+        assert_eq!(first.at, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn render_formats_events() {
+        let mut t = Trace::with_capacity(8);
+        t.record(
+            SimTime::from_micros(1_000_000),
+            TraceEvent::Unicast {
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                category: MsgCategory::Configuration,
+                hops: 3,
+            },
+        );
+        t.record(
+            SimTime::from_micros(2_000_000),
+            TraceEvent::Broadcast {
+                from: NodeId::new(1),
+                k: None,
+                category: MsgCategory::Reclamation,
+                recipients: 9,
+                charge: 10,
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("n1 -> n2"));
+        assert!(s.contains("3 hops"));
+        assert!(s.contains("flood"));
+        assert!(s.contains("9 rcpt"));
+    }
+}

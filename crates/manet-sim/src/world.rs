@@ -1,0 +1,606 @@
+use crate::event::{EventKind, Scheduled, TimerId};
+use crate::mobility::MobilityState;
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent};
+use crate::{Arena, Metrics, MsgCategory, NodeId, Point, SimDuration, SimRng, SimTime};
+use std::collections::{BinaryHeap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Static parameters of a simulation run.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Simulation area (paper: 1 km × 1 km).
+    pub arena: Arena,
+    /// Radio transmission range in meters (paper: 150 m baseline).
+    pub range: f64,
+    /// Node speed once configured, m/s (paper: 20 m/s). Zero disables
+    /// mobility.
+    pub speed: f64,
+    /// Virtual time one hop takes (per-hop transmission + processing).
+    pub hop_delay: SimDuration,
+    /// Per-message delivery loss probability in `[0, 1]`. The paper
+    /// assumes reliable in-range delivery (0.0, the default); non-zero
+    /// values are the robustness ablation — transmissions are still
+    /// charged, deliveries silently vanish.
+    pub loss_rate: f64,
+    /// Topology-cache quantum: within one quantum the connectivity
+    /// snapshot is reused instead of rebuilt per event. At the paper's
+    /// 20 m/s a node moves 2 m per default 100 ms quantum — noise next
+    /// to the 150 m radio range — while large simulations get orders of
+    /// magnitude fewer O(n²) rebuilds. Set to zero to rebuild per
+    /// instant.
+    pub topology_quantum: SimDuration,
+    /// RNG seed; runs with equal configs and scenarios are bit-identical.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            arena: Arena::default(),
+            range: 150.0,
+            speed: 20.0,
+            hop_delay: SimDuration::from_millis(5),
+            loss_rate: 0.0,
+            topology_quantum: SimDuration::from_millis(100),
+            seed: 0,
+        }
+    }
+}
+
+/// Why a send failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SendError {
+    /// The sender is not alive.
+    SenderDead,
+    /// No multi-hop path currently exists to the destination (different
+    /// partition, or the destination is gone).
+    Unreachable,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendError::SenderDead => write!(f, "sender is not alive"),
+            SendError::Unreachable => write!(f, "destination unreachable"),
+        }
+    }
+}
+
+impl Error for SendError {}
+
+#[derive(Debug, Clone)]
+struct NodeSlot {
+    alive: bool,
+    /// Created but not yet joined (scheduled arrival).
+    dormant: bool,
+    configured: bool,
+    mobility: MobilityState,
+    mobility_epoch: u64,
+    joined_at: SimTime,
+}
+
+/// The simulated network: virtual time, nodes, radio, event queue, and
+/// measurement sink. Protocols interact with the simulation exclusively
+/// through this type.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct World<M> {
+    config: WorldConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    nodes: Vec<NodeSlot>,
+    rng: SimRng,
+    metrics: Metrics,
+    cancelled_timers: HashSet<TimerId>,
+    next_timer: u64,
+    topo_cache: Option<(SimTime, u64, Topology)>,
+    topo_version: u64,
+    trace: Trace,
+}
+
+impl<M: Clone + fmt::Debug> World<M> {
+    pub(crate) fn new(config: WorldConfig) -> Self {
+        let rng = SimRng::seed_from(config.seed);
+        World {
+            config,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            rng,
+            metrics: Metrics::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            topo_cache: None,
+            topo_version: 0,
+            trace: Trace::default(),
+        }
+    }
+
+    /// Enables event tracing, retaining up to `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
+    }
+
+    /// The event trace (empty unless enabled).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulation arena.
+    #[must_use]
+    pub fn arena(&self) -> Arena {
+        self.config.arena
+    }
+
+    /// Radio transmission range in meters.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.config.range
+    }
+
+    /// The run's configuration.
+    #[must_use]
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    /// The measurement sink.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the measurement sink (protocols record latency
+    /// samples here).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The deterministic RNG.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Returns `true` if `node` exists and is alive.
+    #[must_use]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.slot(node).is_some_and(|s| s.alive)
+    }
+
+    /// Returns `true` if `node` has been marked configured.
+    #[must_use]
+    pub fn is_configured(&self, node: NodeId) -> bool {
+        self.slot(node).is_some_and(|s| s.configured)
+    }
+
+    /// When `node` joined the network (meaningless for dormant nodes).
+    #[must_use]
+    pub fn joined_at(&self, node: NodeId) -> Option<SimTime> {
+        self.slot(node).filter(|s| s.alive).map(|s| s.joined_at)
+    }
+
+    /// Position of `node` right now, if alive.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> Option<Point> {
+        self.slot(node)
+            .filter(|s| s.alive)
+            .map(|s| s.mobility.position(self.now))
+    }
+
+    /// All alive node ids, ascending.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| NodeId::new(i as u64))
+            .collect()
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|s| s.alive).count()
+    }
+
+    fn slot(&self, node: NodeId) -> Option<&NodeSlot> {
+        self.nodes.get(node.index() as usize)
+    }
+
+    fn slot_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot> {
+        self.nodes.get_mut(node.index() as usize)
+    }
+
+    // ------------------------------------------------------------------
+    // Topology queries
+    // ------------------------------------------------------------------
+
+    /// A connectivity snapshot for the current instant. Cached for the
+    /// configured quantum (and until membership/mobility changes).
+    pub fn topology(&mut self) -> &Topology {
+        let quantum = self.config.topology_quantum.as_micros();
+        let bucket = if quantum == 0 {
+            self.now
+        } else {
+            SimTime::from_micros((self.now.as_micros() / quantum) * quantum)
+        };
+        let key = (bucket, self.topo_version);
+        let stale = !matches!(&self.topo_cache, Some((t, v, _)) if (*t, *v) == key);
+        if stale {
+            let positions: Vec<(NodeId, Point)> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive)
+                .map(|(i, s)| (NodeId::new(i as u64), s.mobility.position(self.now)))
+                .collect();
+            let topo = Topology::build(&positions, self.config.range);
+            self.topo_cache = Some((key.0, key.1, topo));
+        }
+        &self.topo_cache.as_ref().expect("cache just filled").2
+    }
+
+    /// One-hop neighbors of `node`.
+    pub fn neighbors(&mut self, node: NodeId) -> Vec<NodeId> {
+        self.topology().neighbors(node)
+    }
+
+    /// Alive nodes within `k` hops of `node`, with distances.
+    pub fn nodes_within(&mut self, node: NodeId, k: u32) -> Vec<(NodeId, u32)> {
+        self.topology().within(node, k)
+    }
+
+    /// Shortest-path hop count between two alive nodes.
+    pub fn hops_between(&mut self, a: NodeId, b: NodeId) -> Option<u32> {
+        self.topology().hops(a, b)
+    }
+
+    /// The connected component containing `node`.
+    pub fn component_of(&mut self, node: NodeId) -> Vec<NodeId> {
+        self.topology().component_of(node)
+    }
+
+    /// All connected components.
+    pub fn components(&mut self) -> Vec<Vec<NodeId>> {
+        self.topology().components()
+    }
+
+    // ------------------------------------------------------------------
+    // Sending
+    // ------------------------------------------------------------------
+
+    /// Sends `msg` from `from` to `to` along the current shortest path.
+    /// Charges the hop count to `category` and returns it. Delivery is
+    /// scheduled `hops × hop_delay` in the future.
+    ///
+    /// # Errors
+    ///
+    /// * [`SendError::SenderDead`] — `from` is not alive,
+    /// * [`SendError::Unreachable`] — no path to `to` exists right now
+    ///   (nothing is charged).
+    pub fn unicast(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        category: MsgCategory,
+        msg: M,
+    ) -> Result<u32, SendError> {
+        if !self.is_alive(from) {
+            return Err(SendError::SenderDead);
+        }
+        let hops = self
+            .topology()
+            .hops(from, to)
+            .ok_or(SendError::Unreachable)?;
+        self.metrics.add_send(category, u64::from(hops));
+        self.trace.record(
+            self.now,
+            TraceEvent::Unicast {
+                from,
+                to,
+                category,
+                hops,
+            },
+        );
+        if self.lost() {
+            return Ok(hops); // charged but never delivered
+        }
+        let delay = self.config.hop_delay * u64::from(hops);
+        self.push_at(
+            self.now + delay,
+            EventKind::Deliver { to, from, msg },
+        );
+        Ok(hops)
+    }
+
+    /// Bounded flood: delivers `msg` to every alive node within `k` hops
+    /// of `from`. Charges one transmission for the originator plus one per
+    /// relaying node (nodes closer than `k` hops), and returns the
+    /// recipients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::SenderDead`] if `from` is not alive.
+    pub fn broadcast_within(
+        &mut self,
+        from: NodeId,
+        k: u32,
+        category: MsgCategory,
+        msg: M,
+    ) -> Result<Vec<NodeId>, SendError> {
+        if !self.is_alive(from) {
+            return Err(SendError::SenderDead);
+        }
+        let reach = self.topology().within(from, k);
+        // Relays: the originator plus every node strictly inside the rim.
+        let relays = 1 + reach.iter().filter(|&&(_, d)| d < k).count() as u64;
+        self.metrics.add_send(category, relays);
+        self.trace.record(
+            self.now,
+            TraceEvent::Broadcast {
+                from,
+                k: Some(k),
+                category,
+                recipients: reach.len(),
+                charge: relays,
+            },
+        );
+        let hop_delay = self.config.hop_delay;
+        let now = self.now;
+        let recipients: Vec<NodeId> = reach.iter().map(|&(n, _)| n).collect();
+        for (to, d) in reach {
+            if self.lost() {
+                continue;
+            }
+            self.push_at(
+                now + hop_delay * u64::from(d),
+                EventKind::Deliver { to, from, msg: msg.clone() },
+            );
+        }
+        Ok(recipients)
+    }
+
+    /// Global flood: delivers `msg` to every node in `from`'s connected
+    /// component (classic flooding — every node retransmits once, so the
+    /// charge is the component size). Returns the recipients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError::SenderDead`] if `from` is not alive.
+    pub fn flood(
+        &mut self,
+        from: NodeId,
+        category: MsgCategory,
+        msg: M,
+    ) -> Result<Vec<NodeId>, SendError> {
+        if !self.is_alive(from) {
+            return Err(SendError::SenderDead);
+        }
+        let dists = self.topology().distances_from(from);
+        self.metrics.add_send(category, dists.len() as u64);
+        self.trace.record(
+            self.now,
+            TraceEvent::Broadcast {
+                from,
+                k: None,
+                category,
+                recipients: dists.len().saturating_sub(1),
+                charge: dists.len() as u64,
+            },
+        );
+        let hop_delay = self.config.hop_delay;
+        let now = self.now;
+        // Deterministic scheduling order: sort by (depth, id) — the
+        // BFS result is an unordered map, and event sequence numbers
+        // break same-instant ties, so insertion order must be stable.
+        let mut ordered: Vec<(NodeId, u32)> = dists.into_iter().collect();
+        ordered.sort_unstable_by_key(|&(n, d)| (d, n));
+        let mut recipients = Vec::with_capacity(ordered.len().saturating_sub(1));
+        for (to, d) in ordered {
+            if to == from {
+                continue;
+            }
+            recipients.push(to);
+            if self.lost() {
+                continue;
+            }
+            self.push_at(
+                now + hop_delay * u64::from(d),
+                EventKind::Deliver { to, from, msg: msg.clone() },
+            );
+        }
+        recipients.sort_unstable();
+        Ok(recipients)
+    }
+
+    /// Draws a loss event. Never touches the RNG at the default zero
+    /// rate, so reliable runs stay bit-identical.
+    fn lost(&mut self) -> bool {
+        self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate)
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Arms a timer on `node` that fires after `delay`, delivering `tag`
+    /// to [`Protocol::on_timer`](crate::Protocol::on_timer).
+    pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        self.push_at(self.now + delay, EventKind::Timer { node, id, tag });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Node lifecycle & mobility
+    // ------------------------------------------------------------------
+
+    /// Creates a node slot at `pos`. Dormant until joined.
+    pub(crate) fn create_node(&mut self, pos: Point) -> NodeId {
+        let id = NodeId::new(self.nodes.len() as u64);
+        self.nodes.push(NodeSlot {
+            alive: false,
+            dormant: true,
+            configured: false,
+            mobility: MobilityState::parked(self.config.arena.clamp(pos)),
+            mobility_epoch: 0,
+            joined_at: SimTime::ZERO,
+        });
+        id
+    }
+
+    /// Marks a dormant node alive. Returns `false` if it was already
+    /// joined or removed.
+    pub(crate) fn activate(&mut self, node: NodeId) -> bool {
+        let now = self.now;
+        let Some(slot) = self.slot_mut(node) else {
+            return false;
+        };
+        if !slot.dormant {
+            return false;
+        }
+        slot.dormant = false;
+        slot.alive = true;
+        slot.joined_at = now;
+        self.topo_version += 1;
+        self.trace.record(now, TraceEvent::Join { node });
+        true
+    }
+
+    /// Removes `node` from the network: it stops receiving messages and
+    /// timers, and disappears from the topology. Graceful departures call
+    /// this after their handshake completes; abrupt departures are removed
+    /// by the simulator before the protocol hears about them.
+    pub fn remove_node(&mut self, node: NodeId) {
+        let now = self.now;
+        if let Some(slot) = self.slot_mut(node) {
+            if slot.alive {
+                slot.alive = false;
+                slot.dormant = false;
+                self.topo_version += 1;
+                self.trace.record(now, TraceEvent::Remove { node });
+            }
+        }
+    }
+
+    /// Marks `node` configured: records the fact and, if the world has a
+    /// positive speed, starts random-waypoint movement (the paper's nodes
+    /// move only "after configuration with the network").
+    pub fn mark_configured(&mut self, node: NodeId) {
+        let now = self.now;
+        let arena = self.config.arena;
+        let speed = self.config.speed;
+        let mut rng = self.rng.clone();
+        let Some(slot) = self.slot_mut(node) else {
+            return;
+        };
+        if !slot.alive || slot.configured {
+            return;
+        }
+        slot.configured = true;
+        if speed > 0.0 {
+            slot.mobility.retarget(now, &arena, speed, &mut rng);
+            slot.mobility_epoch += 1;
+            let epoch = slot.mobility_epoch;
+            let arrival = slot.mobility.arrival().unwrap_or(now);
+            self.rng = rng;
+            self.topo_version += 1;
+            self.push_at(arrival, EventKind::Waypoint { node, epoch });
+        } else {
+            self.rng = rng;
+        }
+    }
+
+    /// Stops `node` where it stands.
+    pub fn park_node(&mut self, node: NodeId) {
+        let now = self.now;
+        if let Some(slot) = self.slot_mut(node) {
+            slot.mobility.park(now);
+            slot.mobility_epoch += 1;
+            self.topo_version += 1;
+        }
+    }
+
+    /// Handles a waypoint-arrival event: picks the next leg.
+    pub(crate) fn handle_waypoint(&mut self, node: NodeId, epoch: u64) {
+        let now = self.now;
+        let arena = self.config.arena;
+        let speed = self.config.speed;
+        let mut rng = self.rng.clone();
+        let Some(slot) = self.slot_mut(node) else {
+            return;
+        };
+        if !slot.alive || slot.mobility_epoch != epoch || speed <= 0.0 {
+            return;
+        }
+        slot.mobility.retarget(now, &arena, speed, &mut rng);
+        slot.mobility_epoch += 1;
+        let epoch = slot.mobility_epoch;
+        let arrival = slot.mobility.arrival().unwrap_or(now);
+        self.rng = rng;
+        self.topo_version += 1;
+        self.push_at(arrival, EventKind::Waypoint { node, epoch });
+    }
+
+    // ------------------------------------------------------------------
+    // Event queue internals (used by Sim)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn push_at(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<Scheduled<M>> {
+        if self.queue.peek().is_some_and(|e| e.at <= until) {
+            let ev = self.queue.pop().expect("peeked");
+            debug_assert!(ev.at >= self.now, "time went backwards");
+            self.now = ev.at;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn advance_to(&mut self, t: SimTime) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    pub(crate) fn timer_cancelled(&mut self, id: TimerId) -> bool {
+        self.cancelled_timers.remove(&id)
+    }
+
+    /// Number of events still queued (including cancelled timers).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}

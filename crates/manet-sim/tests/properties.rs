@@ -1,0 +1,117 @@
+//! Property-based tests of the simulator substrate: topology invariants,
+//! mobility kinematics, and metric accounting.
+
+use manet_sim::mobility::MobilityState;
+use manet_sim::topology::Topology;
+use manet_sim::{Arena, NodeId, Point, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+fn arb_nodes(max: usize) -> impl Strategy<Value = Vec<(NodeId, Point)>> {
+    prop::collection::vec((0.0f64..1000.0, 0.0f64..1000.0), 1..max).prop_map(|pts| {
+        pts.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (NodeId::new(i as u64), Point::new(x, y)))
+            .collect()
+    })
+}
+
+proptest! {
+    /// Adjacency is symmetric: if a lists b, b lists a.
+    #[test]
+    fn neighbors_symmetric(nodes in arb_nodes(40), range in 50.0f64..400.0) {
+        let topo = Topology::build(&nodes, range);
+        for (a, _) in &nodes {
+            for b in topo.neighbors(*a) {
+                prop_assert!(topo.neighbors(b).contains(a), "{a} -> {b} not symmetric");
+            }
+        }
+    }
+
+    /// Hop distance is symmetric and satisfies the triangle inequality
+    /// through any intermediate node.
+    #[test]
+    fn hops_metric_properties(nodes in arb_nodes(25), range in 100.0f64..400.0) {
+        let topo = Topology::build(&nodes, range);
+        let ids: Vec<NodeId> = nodes.iter().map(|(n, _)| *n).collect();
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+            }
+        }
+        // Triangle inequality on a sample of triples.
+        for chunk in ids.chunks(3) {
+            if let [a, b, c] = chunk {
+                if let (Some(ab), Some(bc)) = (topo.hops(*a, *b), topo.hops(*b, *c)) {
+                    let ac = topo.hops(*a, *c).expect("connected through b");
+                    prop_assert!(ac <= ab + bc, "d({a},{c})={ac} > {ab}+{bc}");
+                }
+            }
+        }
+    }
+
+    /// Components partition the node set: every node in exactly one.
+    #[test]
+    fn components_partition(nodes in arb_nodes(40), range in 50.0f64..400.0) {
+        let topo = Topology::build(&nodes, range);
+        let comps = topo.components();
+        let mut seen = std::collections::BTreeSet::new();
+        for comp in &comps {
+            for n in comp {
+                prop_assert!(seen.insert(*n), "{n} in two components");
+            }
+        }
+        prop_assert_eq!(seen.len(), nodes.len());
+        // Nodes in the same component are mutually reachable.
+        for comp in &comps {
+            if comp.len() >= 2 {
+                prop_assert!(topo.connected(comp[0], comp[1]));
+            }
+        }
+    }
+
+    /// A node within k hops is also within k+1 hops (monotone balls).
+    #[test]
+    fn k_hop_balls_are_monotone(nodes in arb_nodes(30), range in 50.0f64..300.0, k in 1u32..5) {
+        let topo = Topology::build(&nodes, range);
+        let center = nodes[0].0;
+        let near: Vec<NodeId> = topo.within(center, k).into_iter().map(|(n, _)| n).collect();
+        let wider: Vec<NodeId> = topo.within(center, k + 1).into_iter().map(|(n, _)| n).collect();
+        for n in near {
+            prop_assert!(wider.contains(&n));
+        }
+    }
+
+    /// Mobility never moves a node faster than its speed.
+    #[test]
+    fn mobility_respects_speed(
+        seed in 0u64..500,
+        speed in 1.0f64..50.0,
+        dt_ms in 1u64..20_000,
+    ) {
+        let arena = Arena::default();
+        let mut rng = SimRng::seed_from(seed);
+        let start = rng.point_in(&arena);
+        let mut m = MobilityState::parked(start);
+        m.retarget(SimTime::ZERO, &arena, speed, &mut rng);
+        let t = SimTime::ZERO + SimDuration::from_millis(dt_ms);
+        let moved = start.distance(m.position(t));
+        // Travel time is quantized to whole microseconds, so the
+        // effective speed can exceed the nominal one by up to
+        // speed * 1 µs of distance; allow that plus float slack.
+        let budget = (speed * (dt_ms as f64 / 1000.0)) * (1.0 + 1e-9) + speed * 1e-6 + 1e-3;
+        prop_assert!(moved <= budget, "moved {moved} > budget {budget}");
+    }
+
+    /// Positions are continuous: nearby times give nearby positions.
+    #[test]
+    fn mobility_is_continuous(seed in 0u64..500, speed in 1.0f64..50.0, t_ms in 0u64..30_000) {
+        let arena = Arena::default();
+        let mut rng = SimRng::seed_from(seed);
+        let mut m = MobilityState::parked(rng.point_in(&arena));
+        m.retarget(SimTime::ZERO, &arena, speed, &mut rng);
+        let t1 = SimTime::ZERO + SimDuration::from_millis(t_ms);
+        let t2 = t1 + SimDuration::from_millis(10);
+        let jump = m.position(t1).distance(m.position(t2));
+        prop_assert!(jump <= speed * 0.010 * (1.0 + 1e-9) + speed * 1e-6 + 1e-3, "jump {jump}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Epoch-based dynamic voting (Jajodia & Mutchler, VLDB '87) — the full
+//! algorithm behind the *dynamic linear voting* tiebreak the
+//! autoconfiguration paper cites as reference [19].
+//!
+//! Static majority voting counts votes against the *original* replica
+//! set forever: once half the replicas are gone, no quorum can ever form
+//! again. Dynamic voting instead tracks, per replica, a *version number*
+//! and the *participant set* of the last committed update (the "sites
+//! cardinality"). A partition may commit if it holds a majority **of the
+//! participants of the latest committed epoch** — so the epoch can
+//! shrink as replicas fail, keeping the data writable as long as a
+//! majority-of-the-previous-majority survives, while two disjoint
+//! partitions still can never both commit. The linear tiebreak orders
+//! replicas so that exactly one of two half-sized partitions (the one
+//! holding the highest-ordered replica of the epoch) wins.
+//!
+//! The autoconfiguration protocol uses the one-shot rule
+//! ([`DynamicLinearRule`](crate::DynamicLinearRule)); this module
+//! provides the stateful algorithm for completeness and for the
+//! simulator's consistency audits.
+
+use crate::QuorumError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Per-replica dynamic-voting state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaState<S: Ord> {
+    /// Version number of the last committed update this replica saw.
+    pub version: u64,
+    /// The participant set of that update (the epoch).
+    pub epoch: BTreeSet<S>,
+}
+
+impl<S: Ord + Clone> ReplicaState<S> {
+    /// Initial state: version zero, epoch = the full initial site set.
+    pub fn initial<I: IntoIterator<Item = S>>(sites: I) -> Self {
+        ReplicaState {
+            version: 0,
+            epoch: sites.into_iter().collect(),
+        }
+    }
+}
+
+/// Outcome of a commit attempt in a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome<S: Ord> {
+    /// The partition may commit; the new epoch is the given site set.
+    Commit {
+        /// Version the update will carry.
+        version: u64,
+        /// The new epoch (the reachable participants).
+        epoch: BTreeSet<S>,
+    },
+    /// The partition lacks a quorum of the latest epoch.
+    Refuse,
+}
+
+/// The dynamic-voting coordinator logic: given the states of the
+/// reachable replicas, decide whether this partition may commit.
+///
+/// # Example
+///
+/// ```
+/// use quorum::dynamic::{attempt_commit, ReplicaState};
+///
+/// // Five replicas, all at the initial epoch.
+/// let all = ["a", "b", "c", "d", "e"];
+/// let states: Vec<(&str, ReplicaState<&str>)> = all
+///     .iter()
+///     .map(|s| (*s, ReplicaState::initial(all)))
+///     .collect();
+///
+/// // A partition of three of five holds a majority and may commit;
+/// // the epoch shrinks to the three survivors.
+/// let partition: Vec<(&str, ReplicaState<&str>)> =
+///     states.iter().take(3).cloned().collect();
+/// let outcome = attempt_commit(&partition)?;
+/// # Ok::<(), quorum::QuorumError>(())
+/// ```
+pub fn attempt_commit<S: Ord + Clone>(
+    reachable: &[(S, ReplicaState<S>)],
+) -> Result<CommitOutcome<S>, QuorumError> {
+    if reachable.is_empty() {
+        return Err(QuorumError::Empty);
+    }
+    // The authoritative epoch is the one with the highest version among
+    // reachable replicas.
+    let latest_version = reachable
+        .iter()
+        .map(|(_, st)| st.version)
+        .max()
+        .expect("non-empty");
+    let epoch = reachable
+        .iter()
+        .find(|(_, st)| st.version == latest_version)
+        .map(|(_, st)| st.epoch.clone())
+        .expect("non-empty");
+    if epoch.is_empty() {
+        return Err(QuorumError::Empty);
+    }
+
+    // Count reachable members of that epoch (replicas with stale
+    // versions still count as present — they will be brought current).
+    let reachable_ids: BTreeSet<&S> = reachable.iter().map(|(s, _)| s).collect();
+    let present: BTreeSet<&S> = epoch.iter().filter(|s| reachable_ids.contains(s)).collect();
+
+    let n = epoch.len();
+    let have = present.len();
+    let quorum = if 2 * have > n {
+        true
+    } else if 2 * have == n {
+        // Linear tiebreak: the partition holding the highest-ordered
+        // epoch member wins.
+        let distinguished = epoch.iter().max().expect("epoch non-empty");
+        present.contains(distinguished)
+    } else {
+        false
+    };
+
+    if !quorum {
+        return Ok(CommitOutcome::Refuse);
+    }
+    // New epoch: the reachable epoch members (the update's participants).
+    let new_epoch: BTreeSet<S> = present.into_iter().cloned().collect();
+    Ok(CommitOutcome::Commit {
+        version: latest_version + 1,
+        epoch: new_epoch,
+    })
+}
+
+/// Applies a successful commit to the participating replicas.
+pub fn apply_commit<S: Ord + Clone>(
+    states: &mut [(S, ReplicaState<S>)],
+    version: u64,
+    epoch: &BTreeSet<S>,
+) {
+    for (site, st) in states {
+        if epoch.contains(site) {
+            st.version = version;
+            st.epoch = epoch.clone();
+        }
+    }
+}
+
+impl<S: Ord + fmt::Debug> fmt::Display for ReplicaState<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{} epoch {:?}", self.version, self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(n: usize) -> Vec<(u32, ReplicaState<u32>)> {
+        let all: Vec<u32> = (0..n as u32).collect();
+        all.iter()
+            .map(|s| (*s, ReplicaState::initial(all.clone())))
+            .collect()
+    }
+
+    fn commit(states: &mut Vec<(u32, ReplicaState<u32>)>, reachable: &[u32]) -> bool {
+        let part: Vec<(u32, ReplicaState<u32>)> = states
+            .iter()
+            .filter(|(s, _)| reachable.contains(s))
+            .cloned()
+            .collect();
+        match attempt_commit(&part).unwrap() {
+            CommitOutcome::Commit { version, epoch } => {
+                apply_commit(states, version, &epoch);
+                true
+            }
+            CommitOutcome::Refuse => false,
+        }
+    }
+
+    #[test]
+    fn majority_partition_commits_and_shrinks_epoch() {
+        let mut states = fresh(5);
+        assert!(commit(&mut states, &[0, 1, 2]));
+        // Epoch shrank to {0,1,2}; version advanced on participants only.
+        assert_eq!(states[0].1.version, 1);
+        assert_eq!(states[0].1.epoch.len(), 3);
+        assert_eq!(states[3].1.version, 0, "outsider is stale");
+    }
+
+    #[test]
+    fn minority_of_original_but_majority_of_epoch_commits() {
+        let mut states = fresh(5);
+        assert!(commit(&mut states, &[0, 1, 2])); // epoch {0,1,2}
+        // {0,1} is a minority of 5 but a majority of the current epoch.
+        assert!(commit(&mut states, &[0, 1]));
+        assert_eq!(states[0].1.epoch.len(), 2);
+        // Static majority voting would have refused here — the gain of
+        // dynamic voting.
+    }
+
+    #[test]
+    fn two_disjoint_partitions_cannot_both_commit() {
+        let mut states = fresh(5);
+        // Epoch is all five. {0,1,2} vs {3,4}: only the majority commits.
+        let a = commit(&mut states, &[0, 1, 2]);
+        let b = {
+            let part: Vec<_> = states
+                .iter()
+                .filter(|(s, _)| [3, 4].contains(s))
+                .cloned()
+                .collect();
+            matches!(attempt_commit(&part).unwrap(), CommitOutcome::Commit { .. })
+        };
+        assert!(a);
+        assert!(!b, "the stale minority must refuse");
+    }
+
+    #[test]
+    fn half_split_resolved_by_linear_order() {
+        let mut states = fresh(4);
+        // {2,3} holds the highest-ordered replica (3) → wins the tie.
+        assert!(commit(&mut states, &[2, 3]));
+        // The other half {0,1} is now stale AND tie-loses.
+        let part: Vec<_> = states
+            .iter()
+            .filter(|(s, _)| [0, 1].contains(s))
+            .cloned()
+            .collect();
+        assert!(matches!(
+            attempt_commit(&part).unwrap(),
+            CommitOutcome::Refuse
+        ));
+    }
+
+    #[test]
+    fn stale_replica_is_counted_and_caught_up() {
+        let mut states = fresh(3);
+        assert!(commit(&mut states, &[0, 1])); // epoch {0,1}, v1; 2 stale
+        // Partition {1, 2}: latest epoch among reachable is {0,1} (from
+        // replica 1). Present members of it: just {1} — half of 2, and
+        // the distinguished member of {0,1} is 1 → tie-win.
+        assert!(commit(&mut states, &[1, 2]));
+        assert_eq!(states[1].1.version, 2);
+    }
+
+    #[test]
+    fn chain_of_shrinks_keeps_single_writer() {
+        let mut states = fresh(7);
+        assert!(commit(&mut states, &[0, 1, 2, 3])); // epoch 4
+        assert!(commit(&mut states, &[0, 1, 2])); // epoch 3
+        assert!(commit(&mut states, &[0, 1])); // epoch 2, 0<1 so need 1
+        // The long-stale original majority {2,3,4,5,6} must refuse: its
+        // freshest epoch is {0,1,2} and only replica 2 is present (< 2).
+        let part: Vec<_> = states
+            .iter()
+            .filter(|(s, _)| [2, 3, 4, 5, 6].contains(s))
+            .cloned()
+            .collect();
+        assert!(matches!(
+            attempt_commit(&part).unwrap(),
+            CommitOutcome::Refuse
+        ));
+    }
+
+    #[test]
+    fn empty_partition_is_an_error() {
+        let empty: Vec<(u32, ReplicaState<u32>)> = vec![];
+        assert!(attempt_commit(&empty).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quorum-system construction and voting operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuorumError {
+    /// A quorum system was constructed whose member sets do not pairwise
+    /// intersect, violating Definition 1.
+    NonIntersecting {
+        /// Index of the first offending quorum set.
+        first: usize,
+        /// Index of the second offending quorum set.
+        second: usize,
+    },
+    /// A quorum set referenced an element outside the declared universe.
+    OutsideUniverse,
+    /// An empty quorum set or empty universe was supplied.
+    Empty,
+    /// Read/write quorum sizes violate `w > v/2` or `r + w > v`.
+    InvalidReadWriteSplit {
+        /// Requested read quorum size.
+        read: usize,
+        /// Requested write quorum size.
+        write: usize,
+        /// Total number of votes.
+        votes: usize,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumError::NonIntersecting { first, second } => write!(
+                f,
+                "quorum sets {first} and {second} do not intersect"
+            ),
+            QuorumError::OutsideUniverse => {
+                write!(f, "quorum set references an element outside the universe")
+            }
+            QuorumError::Empty => write!(f, "empty quorum set or universe"),
+            QuorumError::InvalidReadWriteSplit { read, write, votes } => write!(
+                f,
+                "read/write quorum split r={read}, w={write} invalid for v={votes} votes"
+            ),
+        }
+    }
+}
+
+impl Error for QuorumError {}

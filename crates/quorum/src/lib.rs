@@ -1,0 +1,50 @@
+//! Quorum systems, majority voting, and timestamped replica stores.
+//!
+//! This crate provides the consistency-control machinery used by the
+//! quorum-based IP autoconfiguration protocol (Xu & Wu, ICDCS 2007):
+//!
+//! * [`VoteTally`] — collecting votes for an operation and deciding whether
+//!   a quorum has been reached,
+//! * [`MajorityRule`] and [`DynamicLinearRule`] — quorum predicates,
+//!   including the dynamic-linear-voting tiebreak with a *distinguished
+//!   node* (Jajodia & Mutchler) for even replica counts,
+//! * [`ReadWriteQuorum`] — classical weighted read/write quorum constraints
+//!   (`w > v/2`, `r + w > v`),
+//! * [`QuorumSystem`] — explicit set systems with pairwise-intersection
+//!   checking (Definition 1 in the paper),
+//! * [`Replica`] / [`ReplicaStore`] — timestamped copies of replicated
+//!   state with freshest-read semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use quorum::{MajorityRule, QuorumRule, VoteTally};
+//!
+//! // Five replicas; a majority write quorum needs three voters.
+//! let rule = MajorityRule::new(5);
+//! let mut tally = VoteTally::new(rule.threshold());
+//! tally.grant(1u32);
+//! tally.grant(2);
+//! assert!(!tally.reached());
+//! tally.grant(3);
+//! assert!(tally.reached());
+//! assert!(rule.is_quorum(tally.granted()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+mod error;
+mod replica;
+mod rules;
+mod stamp;
+mod system;
+mod tally;
+
+pub use error::QuorumError;
+pub use replica::{Replica, ReplicaStore};
+pub use rules::{DynamicLinearRule, MajorityRule, QuorumRule, ReadWriteQuorum};
+pub use stamp::VersionStamp;
+pub use system::QuorumSystem;
+pub use tally::{TallyOutcome, VoteTally};

@@ -1,0 +1,261 @@
+use crate::VersionStamp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A timestamped copy of a replicated value.
+///
+/// Replicas follow the paper's update discipline: the stamp starts at zero
+/// and is bumped on every local update; on a quorum read, the copy with the
+/// latest stamp wins.
+///
+/// # Example
+///
+/// ```
+/// use quorum::{Replica, VersionStamp};
+///
+/// let mut r = Replica::new("free");
+/// assert_eq!(r.stamp(), VersionStamp::ZERO);
+/// r.update("taken");
+/// assert_eq!(*r.value(), "taken");
+/// assert_eq!(r.stamp(), VersionStamp::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Replica<T> {
+    value: T,
+    stamp: VersionStamp,
+}
+
+impl<T> Replica<T> {
+    /// Creates a replica at version zero.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Replica {
+            value,
+            stamp: VersionStamp::ZERO,
+        }
+    }
+
+    /// Creates a replica at an explicit version (e.g. when copying state
+    /// from another holder).
+    #[must_use]
+    pub fn at(value: T, stamp: VersionStamp) -> Self {
+        Replica { value, stamp }
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// The current version stamp.
+    #[must_use]
+    pub fn stamp(&self) -> VersionStamp {
+        self.stamp
+    }
+
+    /// Replaces the value and bumps the stamp, returning the new stamp.
+    pub fn update(&mut self, value: T) -> VersionStamp {
+        self.value = value;
+        self.stamp.bump()
+    }
+
+    /// Overwrites this replica from a fresher copy. Returns `true` if the
+    /// incoming copy superseded the local one; stale copies are ignored.
+    pub fn merge(&mut self, incoming: Replica<T>) -> bool {
+        if incoming.stamp.supersedes(self.stamp) {
+            *self = incoming;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the replica, returning its value.
+    #[must_use]
+    pub fn into_value(self) -> T {
+        self.value
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Replica<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.stamp)
+    }
+}
+
+/// A keyed collection of [`Replica`]s — the store a cluster head keeps for
+/// each adjacent cluster head's address block (`QuorumSpace` backing).
+///
+/// # Example
+///
+/// ```
+/// use quorum::{Replica, ReplicaStore, VersionStamp};
+///
+/// let mut store: ReplicaStore<&str, u32> = ReplicaStore::new();
+/// store.insert("blk", Replica::new(0));
+/// store.apply("blk", Replica::at(7, VersionStamp::new(3)));
+/// assert_eq!(store.get(&"blk").map(|r| *r.value()), Some(7));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaStore<K: Ord, T> {
+    entries: BTreeMap<K, Replica<T>>,
+}
+
+impl<K: Ord + Clone, T> ReplicaStore<K, T> {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        ReplicaStore {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts or replaces a replica unconditionally, returning the
+    /// previous one if any.
+    pub fn insert(&mut self, key: K, replica: Replica<T>) -> Option<Replica<T>> {
+        self.entries.insert(key, replica)
+    }
+
+    /// Merges an incoming copy: inserted if absent, replaced only if the
+    /// incoming stamp is fresher. Returns `true` if the store changed.
+    pub fn apply(&mut self, key: K, incoming: Replica<T>) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(existing) => existing.merge(incoming),
+            None => {
+                self.entries.insert(key, incoming);
+                true
+            }
+        }
+    }
+
+    /// Looks up a replica.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&Replica<T>> {
+        self.entries.get(key)
+    }
+
+    /// Looks up a replica mutably.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut Replica<T>> {
+        self.entries.get_mut(key)
+    }
+
+    /// Removes a replica.
+    pub fn remove(&mut self, key: &K) -> Option<Replica<T>> {
+        self.entries.remove(key)
+    }
+
+    /// Number of replicas held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no replicas are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, replica)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Replica<T>)> {
+        self.entries.iter()
+    }
+
+    /// Iterates over the keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+}
+
+impl<K: Ord + Clone, T> FromIterator<(K, Replica<T>)> for ReplicaStore<K, T> {
+    fn from_iter<I: IntoIterator<Item = (K, Replica<T>)>>(iter: I) -> Self {
+        ReplicaStore {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord + Clone, T> Extend<(K, Replica<T>)> for ReplicaStore<K, T> {
+    fn extend<I: IntoIterator<Item = (K, Replica<T>)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_replica_starts_at_zero() {
+        let r = Replica::new(5u32);
+        assert_eq!(r.stamp(), VersionStamp::ZERO);
+        assert_eq!(*r.value(), 5);
+    }
+
+    #[test]
+    fn update_bumps_stamp() {
+        let mut r = Replica::new(1u32);
+        let s1 = r.update(2);
+        let s2 = r.update(3);
+        assert!(s2.supersedes(s1));
+        assert_eq!(r.into_value(), 3);
+    }
+
+    #[test]
+    fn merge_takes_fresher_only() {
+        let mut local = Replica::at("old", VersionStamp::new(5));
+        assert!(!local.merge(Replica::at("stale", VersionStamp::new(4))));
+        assert!(!local.merge(Replica::at("same", VersionStamp::new(5))));
+        assert_eq!(*local.value(), "old");
+        assert!(local.merge(Replica::at("new", VersionStamp::new(6))));
+        assert_eq!(*local.value(), "new");
+    }
+
+    #[test]
+    fn store_apply_semantics() {
+        let mut store: ReplicaStore<u8, &str> = ReplicaStore::new();
+        assert!(store.apply(1, Replica::new("a")));
+        assert!(!store.apply(1, Replica::new("b"))); // same stamp → ignored
+        assert!(store.apply(1, Replica::at("c", VersionStamp::new(2))));
+        assert_eq!(store.get(&1).map(|r| *r.value()), Some("c"));
+    }
+
+    #[test]
+    fn store_insert_replaces_unconditionally() {
+        let mut store: ReplicaStore<u8, &str> = ReplicaStore::new();
+        store.insert(1, Replica::at("v5", VersionStamp::new(5)));
+        let prev = store.insert(1, Replica::new("v0"));
+        assert_eq!(prev.map(|r| r.stamp()), Some(VersionStamp::new(5)));
+        assert_eq!(store.get(&1).map(|r| r.stamp()), Some(VersionStamp::ZERO));
+    }
+
+    #[test]
+    fn store_remove_and_len() {
+        let mut store: ReplicaStore<u8, u8> = ReplicaStore::new();
+        assert!(store.is_empty());
+        store.insert(1, Replica::new(1));
+        store.insert(2, Replica::new(2));
+        assert_eq!(store.len(), 2);
+        assert!(store.remove(&1).is_some());
+        assert!(store.remove(&1).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn store_collect_and_iterate() {
+        let store: ReplicaStore<u8, u8> =
+            (0..4).map(|k| (k, Replica::new(k * 10))).collect();
+        let keys: Vec<u8> = store.keys().copied().collect();
+        assert_eq!(keys, vec![0, 1, 2, 3]);
+        let vals: Vec<u8> = store.iter().map(|(_, r)| *r.value()).collect();
+        assert_eq!(vals, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn replica_display() {
+        let r = Replica::at(42u32, VersionStamp::new(3));
+        assert_eq!(r.to_string(), "42@v3");
+    }
+}

@@ -1,0 +1,320 @@
+use crate::QuorumError;
+
+/// A predicate deciding whether a number of granted votes constitutes a
+/// quorum over a replica group of known size.
+///
+/// Implementations are value types describing the *rule*; the actual vote
+/// collection is tracked by [`VoteTally`](crate::VoteTally).
+pub trait QuorumRule {
+    /// Total number of voters (replica holders) the rule is defined over.
+    fn voters(&self) -> usize;
+
+    /// Minimum number of granted votes required to form a quorum.
+    fn threshold(&self) -> usize;
+
+    /// Returns `true` if `granted` votes form a quorum under this rule.
+    fn is_quorum(&self, granted: usize) -> bool {
+        granted >= self.threshold()
+    }
+}
+
+/// Plain majority voting: a quorum is any strict majority of the voters.
+///
+/// For `v` voters the threshold is `⌊v/2⌋ + 1`, so two disjoint quorums can
+/// never coexist — the intersection property of Definition 1 holds by
+/// counting.
+///
+/// # Example
+///
+/// ```
+/// use quorum::{MajorityRule, QuorumRule};
+///
+/// let rule = MajorityRule::new(6);
+/// assert_eq!(rule.threshold(), 4);
+/// assert!(!rule.is_quorum(3)); // exactly half is NOT a quorum
+/// assert!(rule.is_quorum(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MajorityRule {
+    voters: usize,
+}
+
+impl MajorityRule {
+    /// Creates a majority rule over `voters` replica holders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voters` is zero.
+    #[must_use]
+    pub fn new(voters: usize) -> Self {
+        assert!(voters > 0, "majority rule needs at least one voter");
+        MajorityRule { voters }
+    }
+}
+
+impl QuorumRule for MajorityRule {
+    fn voters(&self) -> usize {
+        self.voters
+    }
+
+    fn threshold(&self) -> usize {
+        self.voters / 2 + 1
+    }
+}
+
+/// Dynamic linear voting (Jajodia & Mutchler): with an **even** number of
+/// voters, a set containing *exactly half* the voters still forms a quorum
+/// provided it contains the *distinguished node*.
+///
+/// In the autoconfiguration protocol the distinguished node is "the cluster
+/// head that has the address in its IPSpace" (Definition 2) — i.e. the
+/// block owner breaks ties for its own addresses.
+///
+/// # Example
+///
+/// ```
+/// use quorum::{DynamicLinearRule, QuorumRule};
+///
+/// // Six voters: plain majority needs 4, but 3 including the
+/// // distinguished node suffices.
+/// let rule = DynamicLinearRule::new(6);
+/// assert!(!rule.is_quorum(3));
+/// assert!(rule.is_quorum_with(3, true));
+/// assert!(!rule.is_quorum_with(2, true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DynamicLinearRule {
+    voters: usize,
+}
+
+impl DynamicLinearRule {
+    /// Creates a dynamic-linear-voting rule over `voters` replica holders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voters` is zero.
+    #[must_use]
+    pub fn new(voters: usize) -> Self {
+        assert!(voters > 0, "dynamic linear rule needs at least one voter");
+        DynamicLinearRule { voters }
+    }
+
+    /// Returns `true` if `granted` votes form a quorum, where
+    /// `has_distinguished` reports whether the distinguished node is among
+    /// the granters.
+    ///
+    /// The tiebreak only applies when the voter count is even and the vote
+    /// count is exactly half; otherwise plain majority applies.
+    #[must_use]
+    pub fn is_quorum_with(&self, granted: usize, has_distinguished: bool) -> bool {
+        if granted > self.voters / 2 {
+            return true;
+        }
+        self.voters % 2 == 0 && granted == self.voters / 2 && has_distinguished
+    }
+}
+
+impl QuorumRule for DynamicLinearRule {
+    fn voters(&self) -> usize {
+        self.voters
+    }
+
+    /// The threshold *without* the distinguished node, i.e. a strict
+    /// majority. Use [`DynamicLinearRule::is_quorum_with`] to apply the
+    /// tiebreak.
+    fn threshold(&self) -> usize {
+        self.voters / 2 + 1
+    }
+}
+
+/// Weighted read/write quorum sizes satisfying the classical constraints
+///
+/// * `w > v / 2` — two write quorums always intersect, and
+/// * `r + w > v` — every read quorum intersects every write quorum,
+///
+/// which together guarantee that every read observes the latest committed
+/// write (§II-C of the paper).
+///
+/// # Example
+///
+/// ```
+/// use quorum::ReadWriteQuorum;
+///
+/// let rw = ReadWriteQuorum::new(2, 4, 5)?;
+/// assert_eq!(rw.read(), 2);
+/// assert_eq!(rw.write(), 4);
+///
+/// // Balanced majority split for five votes: r = w = 3.
+/// let bal = ReadWriteQuorum::balanced(5);
+/// assert_eq!((bal.read(), bal.write()), (3, 3));
+/// # Ok::<(), quorum::QuorumError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadWriteQuorum {
+    read: usize,
+    write: usize,
+    votes: usize,
+}
+
+impl ReadWriteQuorum {
+    /// Creates a read/write quorum configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::InvalidReadWriteSplit`] if `w <= v/2`,
+    /// `r + w <= v`, either size is zero, or either size exceeds `v`.
+    pub fn new(read: usize, write: usize, votes: usize) -> Result<Self, QuorumError> {
+        let invalid = read == 0
+            || write == 0
+            || votes == 0
+            || read > votes
+            || write > votes
+            || 2 * write <= votes
+            || read + write <= votes;
+        if invalid {
+            return Err(QuorumError::InvalidReadWriteSplit { read, write, votes });
+        }
+        Ok(ReadWriteQuorum { read, write, votes })
+    }
+
+    /// The balanced majority configuration `r = w = ⌊v/2⌋ + 1` — the one
+    /// the autoconfiguration protocol uses, since every configuration both
+    /// reads (checks availability) and writes (commits the allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is zero.
+    #[must_use]
+    pub fn balanced(votes: usize) -> Self {
+        assert!(votes > 0, "balanced quorum needs at least one vote");
+        let maj = votes / 2 + 1;
+        ReadWriteQuorum {
+            read: maj,
+            write: maj,
+            votes,
+        }
+    }
+
+    /// Read quorum size.
+    #[must_use]
+    pub fn read(&self) -> usize {
+        self.read
+    }
+
+    /// Write quorum size.
+    #[must_use]
+    pub fn write(&self) -> usize {
+        self.write
+    }
+
+    /// Total number of votes.
+    #[must_use]
+    pub fn votes(&self) -> usize {
+        self.votes
+    }
+
+    /// Returns `true` if `granted` votes suffice for a read.
+    #[must_use]
+    pub fn read_quorum(&self, granted: usize) -> bool {
+        granted >= self.read
+    }
+
+    /// Returns `true` if `granted` votes suffice for a write.
+    #[must_use]
+    pub fn write_quorum(&self, granted: usize) -> bool {
+        granted >= self.write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_thresholds() {
+        for (v, t) in [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4)] {
+            let rule = MajorityRule::new(v);
+            assert_eq!(rule.threshold(), t, "v={v}");
+            assert!(rule.is_quorum(t));
+            assert!(!rule.is_quorum(t - 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one voter")]
+    fn majority_zero_voters_panics() {
+        let _ = MajorityRule::new(0);
+    }
+
+    #[test]
+    fn two_majorities_always_intersect() {
+        // Counting argument: threshold * 2 > voters for all sizes.
+        for v in 1..=50 {
+            let t = MajorityRule::new(v).threshold();
+            assert!(2 * t > v, "two quorums of {t} could be disjoint in {v}");
+        }
+    }
+
+    #[test]
+    fn dlv_even_tiebreak() {
+        let rule = DynamicLinearRule::new(4);
+        assert!(rule.is_quorum_with(3, false));
+        assert!(rule.is_quorum_with(2, true));
+        assert!(!rule.is_quorum_with(2, false));
+        assert!(!rule.is_quorum_with(1, true));
+    }
+
+    #[test]
+    fn dlv_odd_ignores_distinguished() {
+        let rule = DynamicLinearRule::new(5);
+        assert!(rule.is_quorum_with(3, false));
+        // 2 of 5 is less than half — the tiebreak never applies.
+        assert!(!rule.is_quorum_with(2, true));
+    }
+
+    #[test]
+    fn dlv_no_two_disjoint_quorums() {
+        // For even v, any two quorums intersect: either one has > v/2
+        // members, or both have exactly v/2 and both contain the (single)
+        // distinguished node.
+        let rule = DynamicLinearRule::new(6);
+        // Two disjoint halves: only one can contain the distinguished node.
+        assert!(rule.is_quorum_with(3, true));
+        assert!(!rule.is_quorum_with(3, false));
+    }
+
+    #[test]
+    fn rw_rejects_bad_splits() {
+        assert!(ReadWriteQuorum::new(1, 2, 5).is_err()); // w <= v/2
+        assert!(ReadWriteQuorum::new(2, 3, 6).is_err()); // r + w <= v
+        assert!(ReadWriteQuorum::new(0, 3, 5).is_err());
+        assert!(ReadWriteQuorum::new(3, 0, 5).is_err());
+        assert!(ReadWriteQuorum::new(6, 3, 5).is_err());
+        assert!(ReadWriteQuorum::new(3, 6, 5).is_err());
+        assert!(ReadWriteQuorum::new(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn rw_accepts_valid_splits() {
+        let rw = ReadWriteQuorum::new(2, 4, 5).unwrap();
+        assert!(rw.read_quorum(2));
+        assert!(!rw.read_quorum(1));
+        assert!(rw.write_quorum(4));
+        assert!(!rw.write_quorum(3));
+    }
+
+    #[test]
+    fn rw_balanced_is_valid() {
+        for v in 1..=20 {
+            let b = ReadWriteQuorum::balanced(v);
+            assert!(ReadWriteQuorum::new(b.read(), b.write(), v).is_ok(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_sizes() {
+        let err = ReadWriteQuorum::new(1, 2, 5).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("r=1") && s.contains("w=2") && s.contains("v=5"));
+    }
+}

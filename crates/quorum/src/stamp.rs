@@ -1,0 +1,126 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotonically increasing logical timestamp attached to every replica.
+///
+/// The paper (§II-C): *"Each copy of an IP address is associated with a time
+/// stamp which is equal to zero initially and is incrementally increased
+/// each time the copy is updated."* The copy with the **latest** stamp wins
+/// on a quorum read.
+///
+/// # Example
+///
+/// ```
+/// use quorum::VersionStamp;
+///
+/// let mut a = VersionStamp::ZERO;
+/// let b = a.bump();
+/// assert!(b > VersionStamp::ZERO);
+/// assert_eq!(a, b); // bump advances in place and returns the new stamp
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VersionStamp(u64);
+
+impl VersionStamp {
+    /// The initial timestamp carried by a freshly created replica.
+    pub const ZERO: VersionStamp = VersionStamp(0);
+
+    /// Creates a stamp with an explicit counter value.
+    #[must_use]
+    pub const fn new(counter: u64) -> Self {
+        VersionStamp(counter)
+    }
+
+    /// Returns the raw counter value.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Advances this stamp by one update and returns the new value.
+    pub fn bump(&mut self) -> VersionStamp {
+        self.0 += 1;
+        *self
+    }
+
+    /// Returns the later of two stamps.
+    #[must_use]
+    pub fn max(self, other: VersionStamp) -> VersionStamp {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `true` if this stamp supersedes `other` (is strictly later).
+    #[must_use]
+    pub fn supersedes(self, other: VersionStamp) -> bool {
+        self > other
+    }
+}
+
+impl fmt::Display for VersionStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for VersionStamp {
+    fn from(counter: u64) -> Self {
+        VersionStamp(counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(VersionStamp::default(), VersionStamp::ZERO);
+        assert_eq!(VersionStamp::ZERO.get(), 0);
+    }
+
+    #[test]
+    fn bump_is_monotonic() {
+        let mut s = VersionStamp::ZERO;
+        let mut prev = s;
+        for _ in 0..100 {
+            let next = s.bump();
+            assert!(next.supersedes(prev));
+            prev = next;
+        }
+        assert_eq!(s.get(), 100);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = VersionStamp::new(3);
+        let b = VersionStamp::new(7);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+        assert_eq!(a.max(a), a);
+    }
+
+    #[test]
+    fn supersedes_is_strict() {
+        let a = VersionStamp::new(4);
+        assert!(!a.supersedes(a));
+        assert!(VersionStamp::new(5).supersedes(a));
+        assert!(!VersionStamp::new(3).supersedes(a));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(VersionStamp::new(12).to_string(), "v12");
+    }
+
+    #[test]
+    fn from_u64_roundtrip() {
+        let s: VersionStamp = 42u64.into();
+        assert_eq!(s.get(), 42);
+    }
+}

@@ -1,0 +1,270 @@
+use crate::QuorumError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An explicit quorum system: a family of subsets of a universe in which
+/// every two member sets intersect (Definition 1 of the paper).
+///
+/// The autoconfiguration protocol mostly uses *implicit* majority quorums
+/// over a cluster head's `QDSet`, but the explicit representation is useful
+/// for validating quorum adjustments and for the simulation's consistency
+/// audits.
+///
+/// # Example
+///
+/// ```
+/// use quorum::QuorumSystem;
+///
+/// // The quorum system from Figure 1 of the paper.
+/// let sys = QuorumSystem::new(
+///     [1u32, 2, 3, 4, 5, 6],
+///     vec![vec![1, 2, 3, 4], vec![1, 2, 3, 5], vec![2, 3, 4, 5]],
+/// )?;
+/// assert_eq!(sys.quorums().len(), 3);
+/// assert!(sys.contains_quorum(&[2, 3, 4, 5, 6]));
+/// # Ok::<(), quorum::QuorumError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumSystem<V> {
+    universe: BTreeSet<V>,
+    quorums: Vec<BTreeSet<V>>,
+}
+
+impl<V: Ord + Clone> QuorumSystem<V> {
+    /// Builds a quorum system, validating the pairwise-intersection
+    /// property.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuorumError::Empty`] — empty universe, no quorum sets, or an
+    ///   empty quorum set,
+    /// * [`QuorumError::OutsideUniverse`] — a quorum set references an
+    ///   element not in the universe,
+    /// * [`QuorumError::NonIntersecting`] — two quorum sets are disjoint.
+    pub fn new<U, Q>(universe: U, quorums: Q) -> Result<Self, QuorumError>
+    where
+        U: IntoIterator<Item = V>,
+        Q: IntoIterator<Item = Vec<V>>,
+    {
+        let universe: BTreeSet<V> = universe.into_iter().collect();
+        if universe.is_empty() {
+            return Err(QuorumError::Empty);
+        }
+        let quorums: Vec<BTreeSet<V>> = quorums
+            .into_iter()
+            .map(|q| q.into_iter().collect())
+            .collect();
+        if quorums.is_empty() {
+            return Err(QuorumError::Empty);
+        }
+        for q in &quorums {
+            if q.is_empty() {
+                return Err(QuorumError::Empty);
+            }
+            if !q.is_subset(&universe) {
+                return Err(QuorumError::OutsideUniverse);
+            }
+        }
+        for (i, a) in quorums.iter().enumerate() {
+            for (j, b) in quorums.iter().enumerate().skip(i + 1) {
+                if a.is_disjoint(b) {
+                    return Err(QuorumError::NonIntersecting { first: i, second: j });
+                }
+            }
+        }
+        Ok(QuorumSystem { universe, quorums })
+    }
+
+    /// Builds the *majority* quorum system over a universe: all subsets of
+    /// size `⌊n/2⌋ + 1` are quorums. The sets are not materialized;
+    /// membership is decided by counting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::Empty`] for an empty universe.
+    pub fn majority<U>(universe: U) -> Result<MajoritySystem<V>, QuorumError>
+    where
+        U: IntoIterator<Item = V>,
+    {
+        let universe: BTreeSet<V> = universe.into_iter().collect();
+        if universe.is_empty() {
+            return Err(QuorumError::Empty);
+        }
+        Ok(MajoritySystem { universe })
+    }
+
+    /// The universe of voters.
+    #[must_use]
+    pub fn universe(&self) -> &BTreeSet<V> {
+        &self.universe
+    }
+
+    /// The explicit quorum sets.
+    #[must_use]
+    pub fn quorums(&self) -> &[BTreeSet<V>] {
+        &self.quorums
+    }
+
+    /// Returns `true` if the given voter set contains (is a superset of)
+    /// at least one quorum.
+    #[must_use]
+    pub fn contains_quorum(&self, voters: &[V]) -> bool {
+        let voters: BTreeSet<&V> = voters.iter().collect();
+        self.quorums
+            .iter()
+            .any(|q| q.iter().all(|m| voters.contains(m)))
+    }
+
+    /// Removes a voter from the universe and from all quorum sets (the
+    /// protocol's *quorum shrink* when an adjacent cluster head departs).
+    /// Quorum sets that become empty are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError::NonIntersecting`] if the shrunken system
+    /// loses the intersection property, or [`QuorumError::Empty`] if no
+    /// quorum sets remain; in either case `self` is left unchanged.
+    pub fn shrink(&mut self, voter: &V) -> Result<(), QuorumError> {
+        let mut universe = self.universe.clone();
+        universe.remove(voter);
+        let quorums: Vec<Vec<V>> = self
+            .quorums
+            .iter()
+            .map(|q| q.iter().filter(|m| *m != voter).cloned().collect())
+            .filter(|q: &Vec<V>| !q.is_empty())
+            .collect();
+        let next = QuorumSystem::new(universe, quorums)?;
+        *self = next;
+        Ok(())
+    }
+}
+
+impl<V: Ord + Clone + fmt::Debug> fmt::Display for QuorumSystem<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "quorum system over {} voters with {} quorum sets",
+            self.universe.len(),
+            self.quorums.len()
+        )
+    }
+}
+
+/// The implicit majority quorum system produced by
+/// [`QuorumSystem::majority`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajoritySystem<V> {
+    universe: BTreeSet<V>,
+}
+
+impl<V: Ord + Clone> MajoritySystem<V> {
+    /// The universe of voters.
+    #[must_use]
+    pub fn universe(&self) -> &BTreeSet<V> {
+        &self.universe
+    }
+
+    /// Majority threshold: `⌊n/2⌋ + 1`.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.universe.len() / 2 + 1
+    }
+
+    /// Returns `true` if the distinct universe members among `voters` form
+    /// a majority.
+    #[must_use]
+    pub fn contains_quorum(&self, voters: &[V]) -> bool {
+        let distinct: BTreeSet<&V> = voters
+            .iter()
+            .filter(|v| self.universe.contains(*v))
+            .collect();
+        distinct.len() >= self.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1() -> QuorumSystem<u32> {
+        QuorumSystem::new(
+            [1u32, 2, 3, 4, 5, 6],
+            vec![vec![1, 2, 3, 4], vec![1, 2, 3, 5], vec![2, 3, 4, 5]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure1_system_is_valid() {
+        let sys = figure1();
+        assert_eq!(sys.universe().len(), 6);
+        assert!(sys.contains_quorum(&[1, 2, 3, 4]));
+        assert!(sys.contains_quorum(&[1, 2, 3, 4, 5, 6]));
+        assert!(!sys.contains_quorum(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn disjoint_sets_rejected() {
+        let err = QuorumSystem::new([1u32, 2, 3, 4], vec![vec![1, 2], vec![3, 4]]).unwrap_err();
+        assert_eq!(err, QuorumError::NonIntersecting { first: 0, second: 1 });
+    }
+
+    #[test]
+    fn outside_universe_rejected() {
+        let err = QuorumSystem::new([1u32, 2], vec![vec![1, 9]]).unwrap_err();
+        assert_eq!(err, QuorumError::OutsideUniverse);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert_eq!(
+            QuorumSystem::<u32>::new([], vec![vec![]]).unwrap_err(),
+            QuorumError::Empty
+        );
+        assert_eq!(
+            QuorumSystem::new([1u32], Vec::<Vec<u32>>::new()).unwrap_err(),
+            QuorumError::Empty
+        );
+        assert_eq!(
+            QuorumSystem::new([1u32], vec![vec![]]).unwrap_err(),
+            QuorumError::Empty
+        );
+    }
+
+    #[test]
+    fn shrink_preserves_validity_or_fails_atomically() {
+        let mut sys = figure1();
+        // Removing 6 (present in no quorum set) always works.
+        sys.shrink(&6).unwrap();
+        assert_eq!(sys.universe().len(), 5);
+        assert!(sys.contains_quorum(&[1, 2, 3, 4]));
+
+        // Shrinking {1,2} and {2,3} from a system where only "2" is shared
+        // must fail once sets become disjoint.
+        let mut tight = QuorumSystem::new([1u32, 2, 3], vec![vec![1, 2], vec![2, 3]]).unwrap();
+        let before = tight.clone();
+        assert!(tight.shrink(&2).is_err());
+        assert_eq!(tight, before, "failed shrink must not mutate");
+    }
+
+    #[test]
+    fn majority_system_threshold() {
+        let sys = QuorumSystem::majority([10u32, 20, 30, 40, 50]).unwrap();
+        assert_eq!(sys.threshold(), 3);
+        assert!(sys.contains_quorum(&[10, 20, 30]));
+        assert!(!sys.contains_quorum(&[10, 20]));
+        // Duplicates and strangers don't inflate the count.
+        assert!(!sys.contains_quorum(&[10, 10, 10, 99]));
+    }
+
+    #[test]
+    fn majority_empty_universe_rejected() {
+        assert!(QuorumSystem::<u32>::majority([]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let sys = figure1();
+        assert_eq!(sys.to_string(), "quorum system over 6 voters with 3 quorum sets");
+    }
+}

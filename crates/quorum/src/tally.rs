@@ -1,0 +1,243 @@
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hash;
+
+/// Outcome of adding a vote to a [`VoteTally`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TallyOutcome {
+    /// The vote was counted but the quorum is not yet complete.
+    Pending,
+    /// This vote completed the quorum.
+    Reached,
+    /// The vote was a duplicate or arrived after the quorum completed.
+    Ignored,
+}
+
+/// An in-flight vote collection for a single operation (one proposed IP
+/// address, one reclamation round, …).
+///
+/// The tally deduplicates voters and remembers refusals, so callers can
+/// distinguish "quorum impossible" (too many refusals) from "still
+/// waiting".
+///
+/// # Example
+///
+/// ```
+/// use quorum::{TallyOutcome, VoteTally};
+///
+/// let mut tally: VoteTally<&str> = VoteTally::new(2);
+/// assert_eq!(tally.grant("a"), TallyOutcome::Pending);
+/// assert_eq!(tally.grant("a"), TallyOutcome::Ignored); // duplicate
+/// assert_eq!(tally.grant("b"), TallyOutcome::Reached);
+/// assert!(tally.reached());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoteTally<V> {
+    threshold: usize,
+    granted: BTreeSet<V>,
+    refused: BTreeSet<V>,
+    electorate: Option<usize>,
+}
+
+impl<V: Ord + Clone> VoteTally<V> {
+    /// Creates a tally requiring `threshold` distinct granting voters.
+    #[must_use]
+    pub fn new(threshold: usize) -> Self {
+        VoteTally {
+            threshold,
+            granted: BTreeSet::new(),
+            refused: BTreeSet::new(),
+            electorate: None,
+        }
+    }
+
+    /// Creates a tally that also knows the total electorate size, enabling
+    /// [`VoteTally::unreachable`] detection.
+    #[must_use]
+    pub fn with_electorate(threshold: usize, electorate: usize) -> Self {
+        VoteTally {
+            threshold,
+            granted: BTreeSet::new(),
+            refused: BTreeSet::new(),
+            electorate: Some(electorate),
+        }
+    }
+
+    /// Records a granting vote from `voter`.
+    pub fn grant(&mut self, voter: V) -> TallyOutcome {
+        if self.reached() || self.granted.contains(&voter) {
+            return TallyOutcome::Ignored;
+        }
+        self.refused.remove(&voter);
+        self.granted.insert(voter);
+        if self.reached() {
+            TallyOutcome::Reached
+        } else {
+            TallyOutcome::Pending
+        }
+    }
+
+    /// Records a refusing vote from `voter` (e.g. the replica reports the
+    /// address is already taken).
+    pub fn refuse(&mut self, voter: V) {
+        if !self.granted.contains(&voter) {
+            self.refused.insert(voter);
+        }
+    }
+
+    /// Number of distinct granting voters so far.
+    #[must_use]
+    pub fn granted(&self) -> usize {
+        self.granted.len()
+    }
+
+    /// Number of distinct refusing voters so far.
+    #[must_use]
+    pub fn refused(&self) -> usize {
+        self.refused.len()
+    }
+
+    /// The threshold this tally requires.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Returns `true` once the threshold of grants has been met.
+    #[must_use]
+    pub fn reached(&self) -> bool {
+        self.granted.len() >= self.threshold
+    }
+
+    /// Returns `true` if the quorum can no longer be reached because too
+    /// many electorate members refused. Requires an electorate size
+    /// ([`VoteTally::with_electorate`]); otherwise always `false`.
+    #[must_use]
+    pub fn unreachable(&self) -> bool {
+        match self.electorate {
+            Some(total) => {
+                let remaining = total.saturating_sub(self.refused.len());
+                remaining < self.threshold
+            }
+            None => false,
+        }
+    }
+
+    /// Returns `true` if `voter` has already granted.
+    #[must_use]
+    pub fn has_granted(&self, voter: &V) -> bool {
+        self.granted.contains(voter)
+    }
+
+    /// Iterates over the granting voters in sorted order.
+    pub fn granters(&self) -> impl Iterator<Item = &V> {
+        self.granted.iter()
+    }
+}
+
+impl<V: Ord + Clone + Hash + fmt::Debug> fmt::Display for VoteTally<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tally {}/{} granted, {} refused",
+            self.granted.len(),
+            self.threshold,
+            self.refused.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_accumulate_to_threshold() {
+        let mut t: VoteTally<u32> = VoteTally::new(3);
+        assert_eq!(t.grant(1), TallyOutcome::Pending);
+        assert_eq!(t.grant(2), TallyOutcome::Pending);
+        assert_eq!(t.grant(3), TallyOutcome::Reached);
+        assert!(t.reached());
+        assert_eq!(t.granted(), 3);
+    }
+
+    #[test]
+    fn duplicates_do_not_count() {
+        let mut t: VoteTally<u32> = VoteTally::new(2);
+        t.grant(7);
+        assert_eq!(t.grant(7), TallyOutcome::Ignored);
+        assert_eq!(t.granted(), 1);
+        assert!(!t.reached());
+    }
+
+    #[test]
+    fn votes_after_completion_ignored() {
+        let mut t: VoteTally<u32> = VoteTally::new(1);
+        assert_eq!(t.grant(1), TallyOutcome::Reached);
+        assert_eq!(t.grant(2), TallyOutcome::Ignored);
+        assert_eq!(t.granted(), 1);
+    }
+
+    #[test]
+    fn grant_overrides_refusal() {
+        let mut t: VoteTally<u32> = VoteTally::with_electorate(2, 3);
+        t.refuse(1);
+        assert_eq!(t.refused(), 1);
+        t.grant(1);
+        assert_eq!(t.refused(), 0);
+        assert_eq!(t.granted(), 1);
+    }
+
+    #[test]
+    fn refusal_after_grant_ignored() {
+        let mut t: VoteTally<u32> = VoteTally::new(5);
+        t.grant(1);
+        t.refuse(1);
+        assert_eq!(t.granted(), 1);
+        assert_eq!(t.refused(), 0);
+    }
+
+    #[test]
+    fn unreachable_detection() {
+        let mut t: VoteTally<u32> = VoteTally::with_electorate(3, 4);
+        t.refuse(1);
+        assert!(!t.unreachable()); // 3 possible granters remain
+        t.refuse(2);
+        assert!(t.unreachable()); // only 2 remain < threshold 3
+    }
+
+    #[test]
+    fn unreachable_without_electorate_is_false() {
+        let mut t: VoteTally<u32> = VoteTally::new(3);
+        for v in 0..100 {
+            t.refuse(v);
+        }
+        assert!(!t.unreachable());
+    }
+
+    #[test]
+    fn zero_threshold_is_immediately_reached() {
+        let t: VoteTally<u32> = VoteTally::new(0);
+        assert!(t.reached());
+    }
+
+    #[test]
+    fn granters_sorted() {
+        let mut t: VoteTally<u32> = VoteTally::new(10);
+        t.grant(5);
+        t.grant(1);
+        t.grant(3);
+        let order: Vec<u32> = t.granters().copied().collect();
+        assert_eq!(order, vec![1, 3, 5]);
+        assert!(t.has_granted(&3));
+        assert!(!t.has_granted(&4));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut t: VoteTally<u32> = VoteTally::new(4);
+        t.grant(1);
+        t.refuse(2);
+        assert_eq!(t.to_string(), "tally 1/4 granted, 1 refused");
+    }
+}

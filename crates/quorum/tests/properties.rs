@@ -1,0 +1,100 @@
+//! Property-based tests of the quorum machinery.
+
+use proptest::prelude::*;
+use quorum::{
+    DynamicLinearRule, MajorityRule, QuorumRule, QuorumSystem, ReadWriteQuorum, Replica,
+    ReplicaStore, VersionStamp,
+};
+
+proptest! {
+    /// Any valid read/write split guarantees read-write and write-write
+    /// intersection by counting.
+    #[test]
+    fn rw_splits_guarantee_intersection(r in 1usize..50, w in 1usize..50, v in 1usize..50) {
+        if let Ok(rw) = ReadWriteQuorum::new(r, w, v) {
+            // Two write quorums overlap.
+            prop_assert!(2 * rw.write() > v);
+            // Every read quorum overlaps every write quorum.
+            prop_assert!(rw.read() + rw.write() > v);
+        }
+    }
+
+    /// The balanced split is always valid and symmetric.
+    #[test]
+    fn balanced_split_is_valid(v in 1usize..200) {
+        let b = ReadWriteQuorum::balanced(v);
+        prop_assert_eq!(b.read(), b.write());
+        prop_assert!(ReadWriteQuorum::new(b.read(), b.write(), v).is_ok());
+    }
+
+    /// Majority and dynamic-linear agree whenever the tiebreak is moot
+    /// (odd electorate, or vote counts away from exactly half).
+    #[test]
+    fn dlv_equals_majority_away_from_ties(v in 1usize..100, g in 0usize..100) {
+        let g = g % (v + 1);
+        let majority = MajorityRule::new(v).is_quorum(g);
+        let dlv = DynamicLinearRule::new(v);
+        if v % 2 == 1 || g != v / 2 {
+            prop_assert_eq!(dlv.is_quorum_with(g, true), majority);
+            prop_assert_eq!(dlv.is_quorum_with(g, false), majority);
+        }
+    }
+
+    /// Explicit majority quorum systems validate: all (t = ⌊n/2⌋+1)-sized
+    /// subsets pairwise intersect.
+    #[test]
+    fn majority_subsets_form_a_quorum_system(n in 1usize..12) {
+        let universe: Vec<u32> = (0..n as u32).collect();
+        let t = n / 2 + 1;
+        // Enumerate all t-subsets (n ≤ 12 keeps this small).
+        let mut subsets = Vec::new();
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize == t {
+                subsets.push(
+                    (0..n)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| i as u32)
+                        .collect::<Vec<_>>(),
+                );
+            }
+        }
+        prop_assert!(QuorumSystem::new(universe, subsets).is_ok());
+    }
+
+    /// Replica merge is monotone in stamps: after any merge sequence the
+    /// stamp never decreases and equals the max stamp seen.
+    #[test]
+    fn replica_merge_monotone(stamps in prop::collection::vec(0u64..1000, 1..30)) {
+        let mut local = Replica::new(0usize);
+        let mut max_seen = 0u64;
+        for (i, s) in stamps.iter().enumerate() {
+            local.merge(Replica::at(i, VersionStamp::new(*s)));
+            max_seen = max_seen.max(*s);
+            prop_assert_eq!(local.stamp().get(), max_seen);
+        }
+    }
+
+    /// Applying the same set of replicas in any two orders converges to
+    /// the same store (last-writer-wins by stamp is order-independent
+    /// when stamps are distinct).
+    #[test]
+    fn store_apply_is_order_independent(
+        mut entries in prop::collection::vec((0u8..5, 0u64..100), 1..20),
+    ) {
+        // Make stamps unique so ties cannot make order matter.
+        for (i, e) in entries.iter_mut().enumerate() {
+            e.1 = e.1 * 100 + i as u64;
+        }
+        let mut a: ReplicaStore<u8, u64> = ReplicaStore::new();
+        for (k, s) in &entries {
+            a.apply(*k, Replica::at(*s, VersionStamp::new(*s)));
+        }
+        let mut rev = entries.clone();
+        rev.reverse();
+        let mut b: ReplicaStore<u8, u64> = ReplicaStore::new();
+        for (k, s) in &rev {
+            b.apply(*k, Replica::at(*s, VersionStamp::new(*s)));
+        }
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,60 @@
+//! Campus mesh: a mobile 80-node network with continuous churn — the
+//! workload the paper's overhead figures (8–11) study. Runs the same
+//! deployment under both location-update policies and prints the cost
+//! breakdown per traffic category.
+//!
+//! ```sh
+//! cargo run --release --example campus_mesh
+//! ```
+
+use qbac::core::{ProtocolConfig, Qbac, UpdatePolicy};
+use qbac::harness::scenario::{run_scenario, Scenario};
+use qbac::sim::{MsgCategory, SimDuration};
+
+fn main() {
+    for policy in [UpdatePolicy::Periodic, UpdatePolicy::UponLeave] {
+        let scen = Scenario {
+            nn: 80,
+            speed: 20.0,           // students on scooters
+            depart_fraction: 0.3,  // devices leave through the day
+            abrupt_ratio: 0.2,     // some just run out of battery
+            settle: SimDuration::from_secs(20),
+            depart_window: SimDuration::from_secs(30),
+            cooldown: SimDuration::from_secs(20),
+            seed: 99,
+            ..Scenario::default()
+        };
+        let (sim, m) = run_scenario(&scen, {
+            Qbac::new(ProtocolConfig {
+                update_policy: policy,
+                ..ProtocolConfig::default()
+            })
+        });
+
+        println!("== policy {policy:?} ==");
+        println!(
+            "  configured {} nodes, mean latency {:.1} hops, {} failures",
+            m.metrics.configured_nodes(),
+            m.metrics.mean_config_latency().unwrap_or(0.0),
+            m.metrics.failed_configurations()
+        );
+        for cat in MsgCategory::ALL {
+            println!(
+                "  {cat:>13}: {:>6} msgs, {:>7} hops",
+                m.metrics.messages(cat),
+                m.metrics.hops(cat)
+            );
+        }
+        let stats = sim.protocol().stats();
+        println!(
+            "  heads {} / common {} | borrows {}, shrinks {}, reclamations {}, merges {}",
+            stats.heads_configured,
+            stats.common_configured,
+            stats.borrows,
+            stats.quorum_shrinks,
+            stats.reclamations,
+            stats.merges
+        );
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+//! Renders the paper's Figure 4 — an example random 100-node layout in a
+//! 1 km² arena — as `fig4.svg` in the working directory.
+//!
+//! ```sh
+//! cargo run --example layout_svg && open fig4.svg
+//! ```
+
+use qbac::harness::render::layout_svg;
+use qbac::sim::{Arena, NodeId, Point, SimRng};
+
+fn main() -> Result<(), std::io::Error> {
+    let arena = Arena::default();
+    let mut rng = SimRng::seed_from(4);
+    let nodes: Vec<(NodeId, Point)> = (0..100)
+        .map(|i| (NodeId::new(i), rng.point_in(&arena)))
+        .collect();
+    let svg = layout_svg(&nodes, arena, 150.0);
+    std::fs::write("fig4.svg", &svg)?;
+    println!(
+        "wrote fig4.svg ({} nodes, {} bytes)",
+        nodes.len(),
+        svg.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Umbrella crate for the quorum-based IP autoconfiguration
+//! reproduction (Xu & Wu, ICDCS 2007).
+//!
+//! Re-exports the workspace crates under a single dependency so examples
+//! and downstream users can write `use qbac::core::...`:
+//!
+//! * [`core`] — the protocol itself ([`core::Qbac`]),
+//! * [`sim`] — the discrete-event MANET simulator it runs on,
+//! * [`quorum`] — voting rules and replica stores,
+//! * [`addrspace`] — address blocks, pools, and allocation tables,
+//! * [`baselines`] — the comparison protocols,
+//! * [`harness`] — scenario generation and the figure drivers.
+//!
+//! # Example
+//!
+//! ```
+//! use qbac::core::{ProtocolConfig, Qbac};
+//! use qbac::sim::{Point, Sim, SimDuration, WorldConfig};
+//!
+//! let mut sim = Sim::new(WorldConfig::default(), Qbac::new(ProtocolConfig::default()));
+//! let first = sim.spawn_at(Point::new(500.0, 500.0));
+//! sim.run_for(SimDuration::from_secs(2));
+//! assert!(sim.protocol().role(first).unwrap().is_head());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use addrspace;
+pub use baselines;
+pub use harness;
+pub use manet_sim as sim;
+pub use qbac_core as core;
+pub use quorum;

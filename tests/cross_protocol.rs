@@ -1,0 +1,130 @@
+//! Cross-protocol integration: all four autoconfiguration protocols run
+//! the same scenarios and uphold the same basic guarantees.
+
+use qbac::baselines::buddy::Buddy;
+use qbac::baselines::ctree::CTree;
+use qbac::baselines::manetconf::ManetConf;
+use qbac::core::{ProtocolConfig, Qbac};
+use qbac::harness::scenario::{run_scenario, Scenario};
+use qbac::sim::SimDuration;
+use std::collections::BTreeSet;
+
+fn scen(seed: u64) -> Scenario {
+    Scenario {
+        nn: 40,
+        settle: SimDuration::from_secs(10),
+        seed,
+        ..Scenario::default()
+    }
+}
+
+/// Static variant for the baselines: MANETconf handles merges only
+/// partially and the buddy/C-tree schemes not at all (the paper's
+/// related-work critique), so their uniqueness guarantee covers network
+/// formation, not mobility-induced partitions.
+fn static_scen(seed: u64) -> Scenario {
+    Scenario {
+        speed: 0.0,
+        ..scen(seed)
+    }
+}
+
+#[test]
+fn quorum_configures_everyone_uniquely() {
+    let (mut sim, m) = run_scenario(&scen(1), Qbac::new(ProtocolConfig::default()));
+    assert!(m.metrics.configured_nodes() >= 38);
+    let (w, p) = sim.parts_mut();
+    p.audit_unique(w).unwrap();
+}
+
+#[test]
+fn manetconf_configures_everyone_uniquely() {
+    let (sim, m) = run_scenario(&static_scen(2), ManetConf::default());
+    assert!(
+        m.metrics.configured_nodes() >= 36,
+        "got {}",
+        m.metrics.configured_nodes()
+    );
+    let assigned = sim.protocol().assigned(sim.world());
+    let distinct: BTreeSet<_> = assigned.iter().map(|(_, ip)| *ip).collect();
+    assert_eq!(distinct.len(), assigned.len(), "duplicates in {assigned:?}");
+}
+
+#[test]
+fn buddy_configures_everyone_uniquely() {
+    let (sim, m) = run_scenario(&static_scen(3), Buddy::default());
+    assert!(
+        m.metrics.configured_nodes() >= 36,
+        "got {}",
+        m.metrics.configured_nodes()
+    );
+    let assigned = sim.protocol().assigned(sim.world());
+    let distinct: BTreeSet<_> = assigned.iter().map(|(_, ip)| *ip).collect();
+    assert_eq!(distinct.len(), assigned.len());
+}
+
+#[test]
+fn ctree_configures_everyone_uniquely() {
+    let (sim, m) = run_scenario(&static_scen(4), CTree::default());
+    assert!(
+        m.metrics.configured_nodes() >= 36,
+        "got {}",
+        m.metrics.configured_nodes()
+    );
+    let assigned = sim.protocol().assigned(sim.world());
+    let distinct: BTreeSet<_> = assigned.iter().map(|(_, ip)| *ip).collect();
+    assert_eq!(distinct.len(), assigned.len());
+}
+
+#[test]
+fn churn_scenario_keeps_quorum_consistent() {
+    let scen = Scenario {
+        nn: 50,
+        depart_fraction: 0.4,
+        abrupt_ratio: 0.3,
+        settle: SimDuration::from_secs(10),
+        depart_window: SimDuration::from_secs(15),
+        cooldown: SimDuration::from_secs(15),
+        post_arrivals: 5,
+        seed: 11,
+        ..Scenario::default()
+    };
+    let (mut sim, m) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+    assert!(m.metrics.configured_nodes() > 45);
+    let (w, p) = sim.parts_mut();
+    p.audit_unique(w).unwrap();
+}
+
+#[test]
+fn all_protocols_deterministic_per_seed() {
+    macro_rules! check {
+        ($mk:expr) => {{
+            let (_, a) = run_scenario(&scen(9), $mk);
+            let (_, b) = run_scenario(&scen(9), $mk);
+            assert_eq!(a.metrics, b.metrics);
+        }};
+    }
+    check!(Qbac::new(ProtocolConfig::default()));
+    check!(ManetConf::default());
+    check!(Buddy::default());
+    check!(CTree::default());
+}
+
+#[test]
+fn quorum_latency_beats_manetconf_on_identical_workload() {
+    let mut wins = 0;
+    for seed in 30..33 {
+        let s = Scenario {
+            nn: 80,
+            settle: SimDuration::from_secs(10),
+            seed,
+            ..Scenario::default()
+        };
+        let (_, ours) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        let (_, theirs) = run_scenario(&s, ManetConf::default());
+        if ours.metrics.mean_config_latency() < theirs.metrics.mean_config_latency() {
+            wins += 1;
+        }
+    }
+    assert!(wins >= 2, "quorum should win most seeds, won {wins}/3");
+}

@@ -1,0 +1,137 @@
+//! Property-based tests over the core data structures and end-to-end
+//! invariants of the protocols.
+
+use proptest::prelude::*;
+use qbac::addrspace::{Addr, AddrBlock, AddressPool};
+use qbac::core::{ProtocolConfig, Qbac};
+use qbac::harness::scenario::{run_scenario, Scenario};
+use qbac::quorum::{DynamicLinearRule, MajorityRule, QuorumRule, VoteTally};
+use qbac::sim::SimDuration;
+
+proptest! {
+    /// Two majority quorums over the same voter set always intersect.
+    #[test]
+    fn majorities_intersect(v in 1usize..200) {
+        let t = MajorityRule::new(v).threshold();
+        prop_assert!(2 * t > v);
+    }
+
+    /// Dynamic linear voting never admits two disjoint quorums: of two
+    /// disjoint voter subsets, at most one can be a quorum (at most one
+    /// holds the distinguished node).
+    #[test]
+    fn dlv_no_two_disjoint_quorums(v in 2usize..100, a in 0usize..100) {
+        let a = a % (v + 1);
+        let b = v - a; // disjoint complement
+        let rule = DynamicLinearRule::new(v);
+        // The distinguished node sits in exactly one side; give it to A.
+        let a_quorum = rule.is_quorum_with(a, true);
+        let b_quorum = rule.is_quorum_with(b, false);
+        prop_assert!(!(a_quorum && b_quorum), "a={a}, b={b}, v={v}");
+    }
+
+    /// A vote tally reaches its threshold exactly when enough distinct
+    /// voters granted, regardless of duplicates or refusals.
+    #[test]
+    fn tally_threshold_semantics(
+        threshold in 1usize..20,
+        grants in prop::collection::vec(0u32..30, 0..60),
+    ) {
+        let mut tally = VoteTally::new(threshold);
+        for g in &grants {
+            tally.grant(*g);
+        }
+        let distinct: std::collections::BTreeSet<_> = grants.iter().collect();
+        prop_assert_eq!(tally.reached(), distinct.len() >= threshold);
+        prop_assert!(tally.granted() <= threshold.max(distinct.len()));
+    }
+
+    /// Splitting a block any number of times conserves the address count
+    /// and never produces overlap.
+    #[test]
+    fn block_splits_conserve_addresses(len in 2u32..10_000, splits in 1usize..20) {
+        let mut root = AddrBlock::new(Addr::new(0), len).unwrap();
+        let mut parts = vec![];
+        for _ in 0..splits {
+            match root.split_half() {
+                Ok(upper) => parts.push(upper),
+                Err(_) => break,
+            }
+        }
+        let total: u64 = u64::from(root.len())
+            + parts.iter().map(|b| u64::from(b.len())).sum::<u64>();
+        prop_assert_eq!(total, u64::from(len));
+        for (i, a) in parts.iter().enumerate() {
+            prop_assert!(!a.overlaps(&root));
+            for b in parts.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+    }
+
+    /// Pool allocate/release round-trips keep the free count consistent.
+    #[test]
+    fn pool_accounting_is_consistent(
+        len in 1u32..512,
+        ops in prop::collection::vec((0u32..512, prop::bool::ANY), 0..200),
+    ) {
+        let mut pool = AddressPool::from_block(AddrBlock::new(Addr::new(0), len).unwrap());
+        let mut allocated = std::collections::BTreeSet::new();
+        for (raw, is_alloc) in ops {
+            let addr = Addr::new(raw % len);
+            if is_alloc {
+                if pool.allocate(addr, 1).is_ok() {
+                    prop_assert!(!allocated.contains(&addr));
+                    allocated.insert(addr);
+                }
+            } else if pool.release(addr).is_ok() {
+                prop_assert!(allocated.contains(&addr));
+                allocated.remove(&addr);
+            }
+        }
+        prop_assert_eq!(pool.free_count(), u64::from(len) - allocated.len() as u64);
+    }
+}
+
+/// End-to-end: across a fixed sweep of churn scenarios the quorum
+/// protocol never leaves duplicate addresses in one component. The
+/// sweep is deterministic (each seed perturbs placement, departures,
+/// and the departure mix) so failures are reproducible by seed.
+#[test]
+fn churn_sweep_never_duplicates_addresses() {
+    for seed in [7u64, 42, 92, 117, 256, 398, 512, 730, 888, 999] {
+        let scen = Scenario {
+            nn: 12 + (seed % 23) as usize,
+            depart_fraction: (seed % 40) as f64 / 100.0,
+            abrupt_ratio: 0.3,
+            settle: SimDuration::from_secs(5),
+            depart_window: SimDuration::from_secs(10),
+            cooldown: SimDuration::from_secs(10),
+            seed,
+            ..Scenario::default()
+        };
+        let (mut sim, _) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+        let (w, p) = sim.parts_mut();
+        assert!(p.audit_unique(w).is_ok(), "duplicates at seed {seed}");
+    }
+}
+
+/// End-to-end: every configured node's address lies inside the
+/// protocol's address space, across the same fixed sweep.
+#[test]
+fn assigned_addresses_stay_in_space() {
+    let cfg = ProtocolConfig::default();
+    let space = cfg.space;
+    for seed in [3u64, 81, 222, 640] {
+        let scen = Scenario {
+            nn: 25,
+            settle: SimDuration::from_secs(5),
+            seed,
+            ..Scenario::default()
+        };
+        let (sim, _) = run_scenario(&scen, Qbac::new(cfg.clone()));
+        for (node, ip) in sim.protocol().assigned(sim.world()) {
+            assert!(space.contains(ip), "{node} got {ip} outside {space}");
+        }
+    }
+}
