@@ -79,8 +79,10 @@ mod tests {
     #[test]
     fn fragmentation_grows_with_scattered_blocks() {
         let mut p = AddressPool::from_block(AddrBlock::new(Addr::new(0), 8).unwrap());
-        p.absorb(AddrBlock::new(Addr::new(100), 4).unwrap()).unwrap();
-        p.absorb(AddrBlock::new(Addr::new(200), 4).unwrap()).unwrap();
+        p.absorb(AddrBlock::new(Addr::new(100), 4).unwrap())
+            .unwrap();
+        p.absorb(AddrBlock::new(Addr::new(200), 4).unwrap())
+            .unwrap();
         let r = report(&p);
         assert_eq!(r.block_count, 3);
         assert_eq!(r.largest_block, 8);

@@ -187,11 +187,11 @@ impl AddressPool {
             }
             let upper_len = b.len() / 2;
             let upper_base = b.base().offset(b.len() - upper_len);
-            let upper_clean = (0..upper_len)
-                .all(|k| self.table.status(upper_base.offset(k)).is_available());
+            let upper_clean =
+                (0..upper_len).all(|k| self.table.status(upper_base.offset(k)).is_available());
             let lower_len = b.len() / 2;
-            let lower_clean = (0..lower_len)
-                .all(|k| self.table.status(b.base().offset(k)).is_available());
+            let lower_clean =
+                (0..lower_len).all(|k| self.table.status(b.base().offset(k)).is_available());
             let side = if upper_clean {
                 Some(Side::Upper)
             } else if lower_clean {
@@ -463,7 +463,8 @@ mod tests {
     #[test]
     fn split_half_prefers_largest_block() {
         let mut p = pool(8);
-        p.absorb(AddrBlock::new(Addr::new(100), 32).unwrap()).unwrap();
+        p.absorb(AddrBlock::new(Addr::new(100), 32).unwrap())
+            .unwrap();
         let upper = p.split_half().unwrap();
         assert_eq!(upper.base(), Addr::new(116));
         assert_eq!(upper.len(), 16);
@@ -473,7 +474,8 @@ mod tests {
     fn absorb_rejects_overlap_and_coalesces() {
         let mut p = pool(8);
         assert_eq!(
-            p.absorb(AddrBlock::new(Addr::new(4), 8).unwrap()).unwrap_err(),
+            p.absorb(AddrBlock::new(Addr::new(4), 8).unwrap())
+                .unwrap_err(),
             AddrSpaceError::Overlapping
         );
         p.absorb(AddrBlock::new(Addr::new(8), 8).unwrap()).unwrap();
@@ -484,7 +486,8 @@ mod tests {
     #[test]
     fn absorb_nonadjacent_stays_separate() {
         let mut p = pool(8);
-        p.absorb(AddrBlock::new(Addr::new(100), 8).unwrap()).unwrap();
+        p.absorb(AddrBlock::new(Addr::new(100), 8).unwrap())
+            .unwrap();
         assert_eq!(p.blocks().len(), 2);
         assert_eq!(p.total_len(), 16);
         assert!(p.owns(Addr::new(104)));
@@ -507,11 +510,7 @@ mod tests {
         let statuses: Vec<AddrStatus> = p.iter().map(|(_, s)| s).collect();
         assert_eq!(
             statuses,
-            vec![
-                AddrStatus::Free,
-                AddrStatus::Allocated(9),
-                AddrStatus::Free
-            ]
+            vec![AddrStatus::Free, AddrStatus::Allocated(9), AddrStatus::Free]
         );
     }
 

@@ -264,9 +264,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let t: AllocationTable = (0..3)
-            .map(|i| (Addr::new(i), AddrRecord::free()))
-            .collect();
+        let t: AllocationTable = (0..3).map(|i| (Addr::new(i), AddrRecord::free())).collect();
         assert_eq!(t.len(), 3);
     }
 

@@ -28,8 +28,7 @@ pub struct BuddyConfig {
 impl Default for BuddyConfig {
     fn default() -> Self {
         BuddyConfig {
-            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
-                .expect("static block is valid"),
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16).expect("static block is valid"),
             sync_interval: SimDuration::from_secs(4),
             join_retry: SimDuration::from_millis(400),
         }
@@ -115,6 +114,28 @@ impl Buddy {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Address-leak audit for chaos studies: how much of the address
+    /// space is held by blocks whose owner is no longer alive? In the
+    /// buddy scheme that space is lost until the heir absorbs it
+    /// (graceful) or the next sync notices (abrupt).
+    ///
+    /// Returns `(leaked, total)` address counts; `(0, 0)` before the
+    /// first node claims the space.
+    #[must_use]
+    pub fn leak_audit(&self, w: &World<BuddyMsg>) -> (u64, u64) {
+        if self.nodes.is_empty() {
+            return (0, 0);
+        }
+        let total = u64::from(self.cfg.space.len());
+        let alive: u64 = self
+            .nodes
+            .iter()
+            .filter(|(n, _)| w.is_alive(**n))
+            .map(|(_, s)| s.pool.total_len())
+            .sum();
+        (total.saturating_sub(alive), total)
     }
 
     /// The block sizes of all alive nodes (fragmentation studies).
@@ -212,17 +233,16 @@ impl Protocol for Buddy {
                 match alloc.pool.split_half() {
                     Ok(block) => {
                         let reply_hops = w.hops_between(to, from).unwrap_or(1);
-                        if w
-                            .unicast(
-                                to,
-                                from,
-                                MsgCategory::Configuration,
-                                BuddyMsg::Assign {
-                                    block,
-                                    spent_hops: reply_hops,
-                                },
-                            )
-                            .is_err()
+                        if w.unicast(
+                            to,
+                            from,
+                            MsgCategory::Configuration,
+                            BuddyMsg::Assign {
+                                block,
+                                spent_hops: reply_hops,
+                            },
+                        )
+                        .is_err()
                         {
                             // Take the block back if the joiner vanished.
                             if let Some(a) = self.nodes.get_mut(&to) {
@@ -263,7 +283,11 @@ impl Protocol for Buddy {
             BuddyMsg::Sync { .. } => {
                 // Tables are logically merged; cost is what matters here.
             }
-            BuddyMsg::Departure { ip: _, blocks, heir } => {
+            BuddyMsg::Departure {
+                ip: _,
+                blocks,
+                heir,
+            } => {
                 if to == heir {
                     if let Some(me) = self.nodes.get_mut(&to) {
                         for b in blocks {
@@ -291,10 +315,8 @@ impl Protocol for Buddy {
                 let sync = self.cfg.sync_interval;
                 w.set_timer(node, sync, TAG_SYNC);
             }
-            TAG_JOIN_RETRY => {
-                if self.joining.contains_key(&node) {
-                    self.attempt_join(w, node);
-                }
+            TAG_JOIN_RETRY if self.joining.contains_key(&node) => {
+                self.attempt_join(w, node);
             }
             _ => {}
         }
@@ -307,9 +329,12 @@ impl Protocol for Buddy {
                     .buddy
                     .filter(|b| w.is_alive(*b) && self.nodes.contains_key(b))
                     .or_else(|| {
+                        // Lowest id, so the pick does not depend on
+                        // HashMap iteration order.
                         self.nodes
                             .keys()
-                            .find(|n| **n != node && w.is_alive(**n))
+                            .filter(|n| **n != node && w.is_alive(**n))
+                            .min()
                             .copied()
                     });
                 if let Some(heir) = heir {
@@ -328,6 +353,15 @@ impl Protocol for Buddy {
         }
         // Abrupt: the buddy notices the loss at the next sync; the block
         // leaks until then (the paper's address-leak discussion).
+    }
+
+    fn is_cluster_head(&self, node: NodeId) -> bool {
+        // Every configured node holding spare space is an allocator, so
+        // a targeted head-kill hits exactly the nodes that can still
+        // hand out addresses.
+        self.nodes
+            .get(&node)
+            .is_some_and(|n| n.pool.free_count() > 0)
     }
 }
 

@@ -32,8 +32,7 @@ pub struct CTreeConfig {
 impl Default for CTreeConfig {
     fn default() -> Self {
         CTreeConfig {
-            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
-                .expect("static block is valid"),
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16).expect("static block is valid"),
             report_interval: SimDuration::from_secs(4),
             missed_reports: 2,
             join_retry: SimDuration::from_millis(400),
@@ -165,6 +164,28 @@ impl CTree {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Address-leak audit for chaos studies: how much coordinator space
+    /// belongs to dead coordinators whose reclamation has not started?
+    /// The C-root only notices a vanished coordinator after it misses
+    /// enough reports, so that space leaks in the meantime.
+    ///
+    /// Returns `(leaked, tracked)` address counts over all coordinator
+    /// pools ever created.
+    #[must_use]
+    pub fn leak_audit(&self, w: &World<CtMsg>) -> (u64, u64) {
+        let mut leaked = 0;
+        let mut tracked = 0;
+        for (n, role) in &self.roles {
+            if let CtRole::Coordinator { pool, .. } = role {
+                tracked += pool.total_len();
+                if !w.is_alive(*n) && !self.reclaiming.contains_key(n) {
+                    leaked += pool.total_len();
+                }
+            }
+        }
+        (leaked, tracked)
     }
 
     /// Alive coordinators.
@@ -306,8 +327,13 @@ impl Protocol for CTree {
     type Msg = CtMsg;
 
     fn on_join(&mut self, w: &mut World<CtMsg>, node: NodeId) {
-        self.roles
-            .insert(node, CtRole::Joining { attempts: 0, hops: 0 });
+        self.roles.insert(
+            node,
+            CtRole::Joining {
+                attempts: 0,
+                hops: 0,
+            },
+        );
         self.attempt_join(w, node);
     }
 
@@ -320,17 +346,18 @@ impl Protocol for CTree {
                 match pool.allocate_first(from.index()) {
                     Ok(addr) => {
                         let h = w.hops_between(to, from).unwrap_or(1);
-                        if w
-                            .unicast(
-                                to,
-                                from,
-                                MsgCategory::Configuration,
-                                CtMsg::Assign { addr, spent_hops: h },
-                            )
-                            .is_err()
+                        if w.unicast(
+                            to,
+                            from,
+                            MsgCategory::Configuration,
+                            CtMsg::Assign {
+                                addr,
+                                spent_hops: h,
+                            },
+                        )
+                        .is_err()
                         {
-                            if let Some(CtRole::Coordinator { pool, .. }) =
-                                self.roles.get_mut(&to)
+                            if let Some(CtRole::Coordinator { pool, .. }) = self.roles.get_mut(&to)
                             {
                                 let _ = pool.release(addr);
                             }
@@ -348,20 +375,18 @@ impl Protocol for CTree {
                 match pool.split_half() {
                     Ok(block) => {
                         let h = w.hops_between(to, from).unwrap_or(1);
-                        if w
-                            .unicast(
-                                to,
-                                from,
-                                MsgCategory::Configuration,
-                                CtMsg::CoordAssign {
-                                    block,
-                                    spent_hops: h,
-                                },
-                            )
-                            .is_err()
+                        if w.unicast(
+                            to,
+                            from,
+                            MsgCategory::Configuration,
+                            CtMsg::CoordAssign {
+                                block,
+                                spent_hops: h,
+                            },
+                        )
+                        .is_err()
                         {
-                            if let Some(CtRole::Coordinator { pool, .. }) =
-                                self.roles.get_mut(&to)
+                            if let Some(CtRole::Coordinator { pool, .. }) = self.roles.get_mut(&to)
                             {
                                 let _ = pool.absorb(block);
                             }
@@ -407,7 +432,11 @@ impl Protocol for CTree {
                     w.set_timer(to, retry, TAG_JOIN_RETRY);
                 }
             }
-            CtMsg::Report { ip: _, pool_len, free } => {
+            CtMsg::Report {
+                ip: _,
+                pool_len,
+                free,
+            } => {
                 if Some(to) == self.root {
                     self.root_view.reports.insert(from, (pool_len, free));
                     self.root_view.missed.insert(from, 0);
@@ -450,7 +479,11 @@ impl Protocol for CTree {
                     }
                 }
             }
-            CtMsg::ReclaimRep { addr, node, coordinator } => {
+            CtMsg::ReclaimRep {
+                addr,
+                node,
+                coordinator,
+            } => {
                 if Some(to) == self.root {
                     if let Some(list) = self.reclaiming.get_mut(&coordinator) {
                         list.push((addr, node));
@@ -493,11 +526,8 @@ impl Protocol for CTree {
                         self.root_view.missed.remove(&c);
                         self.root_view.reports.remove(&c);
                         self.reclaiming.insert(c, Vec::new());
-                        let _ = w.flood(
-                            node,
-                            MsgCategory::Reclamation,
-                            CtMsg::Reclaim { target: c },
-                        );
+                        let _ =
+                            w.flood(node, MsgCategory::Reclamation, CtMsg::Reclaim { target: c });
                     }
                 }
                 let report = self.cfg.report_interval;
@@ -517,14 +547,13 @@ impl Protocol for CTree {
             if let Some(CtRole::Member { ip, .. }) = self.roles.get(&node) {
                 let my_ip = *ip;
                 if let Some(coord) = self.nearest_coordinator(w, node) {
-                    if w
-                        .unicast(
-                            node,
-                            coord,
-                            MsgCategory::Maintenance,
-                            CtMsg::ReturnAddr { addr: my_ip },
-                        )
-                        .is_ok()
+                    if w.unicast(
+                        node,
+                        coord,
+                        MsgCategory::Maintenance,
+                        CtMsg::ReturnAddr { addr: my_ip },
+                    )
+                    .is_ok()
                     {
                         return; // leaves on ReturnAck
                     }
@@ -534,6 +563,12 @@ impl Protocol for CTree {
             // recovered by C-root reclamation.
             w.remove_node(node);
         }
+    }
+
+    fn is_cluster_head(&self, node: NodeId) -> bool {
+        // Coordinators (including the C-root) are the allocator roles a
+        // targeted head-kill should hit.
+        matches!(self.roles.get(&node), Some(CtRole::Coordinator { .. }))
     }
 }
 

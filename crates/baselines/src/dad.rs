@@ -29,8 +29,7 @@ pub struct DadConfig {
 impl Default for DadConfig {
     fn default() -> Self {
         DadConfig {
-            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
-                .expect("static block is valid"),
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16).expect("static block is valid"),
             retries: 3,
             timeout: SimDuration::from_millis(500),
         }

@@ -28,8 +28,7 @@ pub struct ManetConfConfig {
 impl Default for ManetConfConfig {
     fn default() -> Self {
         ManetConfConfig {
-            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
-                .expect("static block is valid"),
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16).expect("static block is valid"),
             reply_wait: SimDuration::from_millis(250),
             join_retry: SimDuration::from_millis(400),
             max_candidates: 4,
@@ -142,6 +141,37 @@ impl ManetConf {
         }
     }
 
+    /// Address-leak audit for chaos studies: in a surviving replica of
+    /// the (fully replicated) allocation table, how many allocated
+    /// entries belong to nodes that are no longer alive? Those
+    /// addresses stay blocked until a departure flood cleans them up.
+    ///
+    /// Returns `(leaked, tracked)` entry counts; `(0, 0)` if no
+    /// configured node survives.
+    #[must_use]
+    pub fn leak_audit(&self, w: &World<McMsg>) -> (u64, u64) {
+        // Lowest-id survivor, so the audit is deterministic even if the
+        // replicas diverged under message loss.
+        let Some(table) = self
+            .tables
+            .iter()
+            .filter(|(n, _)| w.is_alive(**n))
+            .min_by_key(|(n, _)| **n)
+            .map(|(_, t)| t)
+        else {
+            return (0, 0);
+        };
+        let mut leaked = 0;
+        let mut tracked = 0;
+        for (_, owner) in table.allocated() {
+            tracked += 1;
+            if !w.is_alive(NodeId::new(owner)) {
+                leaked += 1;
+            }
+        }
+        (leaked, tracked)
+    }
+
     /// Addresses of every alive configured node.
     #[must_use]
     pub fn assigned(&self, w: &World<McMsg>) -> Vec<(NodeId, Addr)> {
@@ -168,22 +198,17 @@ impl ManetConf {
             .into_iter()
             .filter(|n| matches!(self.roles.get(n), Some(McRole::Configured { .. })))
             .collect();
-        w.rng_mut()
-            .choose(&candidates)
-            .copied()
-            .or_else(|| {
-                let dists = w.topology().distances_from(node);
-                self.roles
-                    .iter()
-                    .filter(|(n, r)| {
-                        **n != node
-                            && w.is_alive(**n)
-                            && matches!(r, McRole::Configured { .. })
-                    })
-                    .filter_map(|(n, _)| dists.get(n).map(|d| (*n, *d)))
-                    .min_by_key(|&(n, d)| (d, n))
-                    .map(|(n, _)| n)
-            })
+        w.rng_mut().choose(&candidates).copied().or_else(|| {
+            let dists = w.topology().distances_from(node);
+            self.roles
+                .iter()
+                .filter(|(n, r)| {
+                    **n != node && w.is_alive(**n) && matches!(r, McRole::Configured { .. })
+                })
+                .filter_map(|(n, _)| dists.get(n).map(|d| (*n, *d)))
+                .min_by_key(|&(n, d)| (d, n))
+                .map(|(n, _)| n)
+        })
     }
 
     fn first_free(&self, table: &AllocationTable) -> Option<Addr> {
@@ -196,9 +221,7 @@ impl ManetConf {
     fn attempt_join(&mut self, w: &mut World<McMsg>, node: NodeId) {
         if let Some(initiator) = self.configured_neighbor(w, node) {
             if let Ok(h) = w.unicast(node, initiator, MsgCategory::Configuration, McMsg::Req) {
-                if let Some(McRole::Unconfigured { hops, attempts }) =
-                    self.roles.get_mut(&node)
-                {
+                if let Some(McRole::Unconfigured { hops, attempts }) = self.roles.get_mut(&node) {
                     *hops += h;
                     *attempts += 1;
                 }
@@ -269,7 +292,11 @@ impl ManetConf {
         let Some(table) = self.tables.get(&initiator) else {
             return;
         };
-        let Some(addr) = self.first_free(table).filter(|a| *a >= self.next_free_hint).or_else(|| self.first_free(table)) else {
+        let Some(addr) = self
+            .first_free(table)
+            .filter(|a| *a >= self.next_free_hint)
+            .or_else(|| self.first_free(table))
+        else {
             return; // space exhausted
         };
         self.flood_init(w, initiator, requestor, addr, 0);
@@ -347,8 +374,7 @@ impl ManetConf {
                 addr: p.addr,
                 spent_hops: latency_so_far,
             };
-            if w
-                .unicast(initiator, p.requestor, MsgCategory::Configuration, assign)
+            if w.unicast(initiator, p.requestor, MsgCategory::Configuration, assign)
                 .is_ok()
             {
                 // Commit the allocation everywhere.
@@ -370,15 +396,12 @@ impl ManetConf {
         }
         // Conflict or missing confirmations: try the next candidate.
         if p.candidates_tried + 1 < self.cfg.max_candidates {
-            let next = self
-                .tables
-                .get(&initiator)
-                .and_then(|t| {
-                    self.cfg
-                        .space
-                        .iter()
-                        .find(|a| *a > p.addr && t.status(*a).is_available())
-                });
+            let next = self.tables.get(&initiator).and_then(|t| {
+                self.cfg
+                    .space
+                    .iter()
+                    .find(|a| *a > p.addr && t.status(*a).is_available())
+            });
             if let Some(addr) = next {
                 self.flood_init(w, initiator, p.requestor, addr, p.candidates_tried + 1);
                 return;
@@ -420,8 +443,13 @@ impl Protocol for ManetConf {
     type Msg = McMsg;
 
     fn on_join(&mut self, w: &mut World<McMsg>, node: NodeId) {
-        self.roles
-            .insert(node, McRole::Unconfigured { attempts: 0, hops: 0 });
+        self.roles.insert(
+            node,
+            McRole::Unconfigured {
+                attempts: 0,
+                hops: 0,
+            },
+        );
         self.attempt_join(w, node);
     }
 
@@ -453,7 +481,10 @@ impl Protocol for ManetConf {
                 if ok {
                     // Tentatively reserve until well past the decision.
                     let expiry = now + self.cfg.reply_wait * 4;
-                    self.reservations.entry(to).or_default().insert(addr, expiry);
+                    self.reservations
+                        .entry(to)
+                        .or_default()
+                        .insert(addr, expiry);
                 }
                 let reply = if ok {
                     McMsg::InitOk { addr }

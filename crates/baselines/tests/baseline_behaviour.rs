@@ -85,7 +85,10 @@ fn ctree_root_is_the_single_reporting_sink() {
     let before = sim.world().metrics().hops(MsgCategory::Sync);
     sim.run_for(SimDuration::from_secs(20));
     let after = sim.world().metrics().hops(MsgCategory::Sync);
-    assert!(after > before, "periodic reports must keep flowing to the root");
+    assert!(
+        after > before,
+        "periodic reports must keep flowing to the root"
+    );
     assert_eq!(sim.protocol().coordinators(sim.world()).len(), 2);
 }
 

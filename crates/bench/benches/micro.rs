@@ -81,5 +81,11 @@ fn bench_tally(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_topology, bench_pool, bench_table_merge, bench_tally);
+criterion_group!(
+    benches,
+    bench_topology,
+    bench_pool,
+    bench_table_merge,
+    bench_tally
+);
 criterion_main!(benches);

@@ -4,9 +4,9 @@
 use crate::msg::{Msg, QuorumOp};
 use crate::protocol::{tag, Qbac};
 use crate::roles::{CommonState, HeadState, NodeRole};
+use crate::vote::VotePurpose;
 use addrspace::{Addr, AddrBlock, AddrStatus, AllocationTable};
 use manet_sim::{MsgCategory, NodeId, World};
-use crate::vote::VotePurpose;
 
 impl Qbac {
     // ------------------------------------------------------------------
@@ -68,7 +68,8 @@ impl Qbac {
                     self.reject_common(w, allocator, requestor);
                     return;
                 };
-                rep.table.set(addr, AddrStatus::Allocated(requestor.index()));
+                rep.table
+                    .set(addr, AddrStatus::Allocated(requestor.index()));
                 let record = rep.table.record(addr);
                 let configurer_ip = head.ip;
                 let network_id = head.network_id;
@@ -82,7 +83,11 @@ impl Qbac {
                         allocator,
                         owner,
                         MsgCategory::Configuration,
-                        Msg::QuorumCommit { owner, addr, record },
+                        Msg::QuorumCommit {
+                            owner,
+                            addr,
+                            record,
+                        },
                     );
                 }
                 self.send_com_cfg(
@@ -147,8 +152,7 @@ impl Qbac {
                     spent_hops: spent + cfg_hops,
                     records: records.clone(),
                 };
-                if w
-                    .unicast(allocator, requestor, MsgCategory::Configuration, msg)
+                if w.unicast(allocator, requestor, MsgCategory::Configuration, msg)
                     .is_err()
                 {
                     // Requestor vanished: take the block back.
@@ -180,7 +184,11 @@ impl Qbac {
                 allocator,
                 *member,
                 MsgCategory::Configuration,
-                Msg::QuorumCommit { owner, addr, record },
+                Msg::QuorumCommit {
+                    owner,
+                    addr,
+                    record,
+                },
             ) {
                 hops += h;
             }
@@ -188,6 +196,7 @@ impl Qbac {
         hops
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_com_cfg(
         &mut self,
         w: &mut World<Msg>,
@@ -205,8 +214,7 @@ impl Qbac {
             network_id,
             spent_hops: spent_hops + cfg_hops,
         };
-        if w
-            .unicast(allocator, requestor, MsgCategory::Configuration, msg)
+        if w.unicast(allocator, requestor, MsgCategory::Configuration, msg)
             .is_err()
         {
             // Requestor unreachable: roll the allocation back locally and
@@ -224,7 +232,12 @@ impl Qbac {
     }
 
     fn reject_common(&mut self, w: &mut World<Msg>, allocator: NodeId, requestor: NodeId) {
-        let _ = w.unicast(allocator, requestor, MsgCategory::Configuration, Msg::ComRej);
+        let _ = w.unicast(
+            allocator,
+            requestor,
+            MsgCategory::Configuration,
+            Msg::ComRej,
+        );
     }
 
     fn reject_head(&mut self, w: &mut World<Msg>, allocator: NodeId, requestor: NodeId) {
@@ -249,6 +262,21 @@ impl Qbac {
             return;
         };
 
+        // Idempotent re-request: if this requestor already holds an
+        // assignment (its COM_CFG reply was lost and it timed out), re-send
+        // the same address instead of burning a second one on a new vote.
+        if let Some(addr) = head
+            .members
+            .iter()
+            .find(|(_, n)| **n == requestor)
+            .map(|(a, _)| *a)
+        {
+            let configurer_ip = head.ip;
+            let network_id = head.network_id;
+            self.send_com_cfg(w, allocator, requestor, addr, configurer_ip, network_id, 0);
+            return;
+        }
+
         // Propose the first free address of IPSpace, scanning from the
         // head's own address so allocations cluster in its half of the
         // block and the far half stays clean for delegation (§IV-B).
@@ -269,9 +297,9 @@ impl Qbac {
 
         // IPSpace exhausted: borrow from QuorumSpace (§V-A).
         let borrow = if self.cfg.enable_borrowing {
-            head.quorum_space.iter().find_map(|(owner, rep)| {
-                rep.first_free().map(|addr| (*owner, addr))
-            })
+            head.quorum_space
+                .iter()
+                .find_map(|(owner, rep)| rep.first_free().map(|addr| (*owner, addr)))
         } else {
             None
         };
@@ -296,14 +324,13 @@ impl Qbac {
         if forwarded_for.is_none() {
             if let Some(parent) = self.head_state(allocator).and_then(|h| h.configurer) {
                 if w.is_alive(parent)
-                    && w
-                        .unicast(
-                            allocator,
-                            parent,
-                            MsgCategory::Configuration,
-                            Msg::ComReqFwd { requestor },
-                        )
-                        .is_ok()
+                    && w.unicast(
+                        allocator,
+                        parent,
+                        MsgCategory::Configuration,
+                        Msg::ComReqFwd { requestor },
+                    )
+                    .is_ok()
                 {
                     self.stats.agent_forwards += 1;
                     return;
@@ -358,14 +385,10 @@ impl Qbac {
         };
         js.pending_allocator = None;
         js.attempts += 1;
-        let retry = if js.attempts == self.cfg.join_attempts {
+        if js.attempts == self.cfg.join_attempts {
             w.metrics_mut().record_config_failure();
-            self.cfg.join_retry * 4
-        } else if js.attempts > self.cfg.join_attempts {
-            self.cfg.join_retry * 4
-        } else {
-            self.cfg.join_retry
-        };
+        }
+        let retry = self.cfg.join_backoff(js.attempts);
         let gen = u64::from(js.attempts);
         w.set_timer(node, retry, tag::mk(tag::JOIN_RETRY, gen));
     }
@@ -605,6 +628,7 @@ impl Qbac {
     }
 
     /// A head receives a replica of an adjacent head's space.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_replica_push(
         &mut self,
         w: &mut World<Msg>,

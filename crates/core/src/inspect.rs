@@ -48,9 +48,7 @@ impl Qbac {
     pub fn common_nodes(&self, w: &World<Msg>) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
             .roles_iter()
-            .filter(|(n, r)| {
-                w.is_alive(*n) && matches!(r, NodeRole::Common(_))
-            })
+            .filter(|(n, r)| w.is_alive(*n) && matches!(r, NodeRole::Common(_)))
             .map(|(n, _)| n)
             .collect();
         v.sort_unstable();
@@ -120,6 +118,29 @@ impl Qbac {
         }
     }
 
+    /// Address-leak audit for chaos studies: of the member records held
+    /// by alive heads, how many point at nodes that are no longer alive?
+    /// Those addresses stay blocked until reclamation frees them.
+    ///
+    /// Returns `(leaked, tracked)` record counts.
+    #[must_use]
+    pub fn leak_audit(&self, w: &World<Msg>) -> (u64, u64) {
+        let mut leaked = 0;
+        let mut tracked = 0;
+        for h in self.heads(w) {
+            let Some(state) = self.head_state(h) else {
+                continue;
+            };
+            for holder in state.members.values() {
+                tracked += 1;
+                if !w.is_alive(*holder) {
+                    leaked += 1;
+                }
+            }
+        }
+        (leaked, tracked)
+    }
+
     /// For Figure 13: the vanished heads whose state survived. A departed
     /// head's state is preserved if at least half of its `QDSet` is still
     /// alive ("as long as half of the cluster heads in its QDSet exist
@@ -128,11 +149,7 @@ impl Qbac {
     /// Returns `(preserved, lost)` counts over the given set of heads
     /// that left abruptly.
     #[must_use]
-    pub fn preservation_audit(
-        &self,
-        w: &World<Msg>,
-        departed_heads: &[NodeId],
-    ) -> (usize, usize) {
+    pub fn preservation_audit(&self, w: &World<Msg>, departed_heads: &[NodeId]) -> (usize, usize) {
         let mut preserved = 0;
         let mut lost = 0;
         for &h in departed_heads {
@@ -143,11 +160,7 @@ impl Qbac {
                 lost += 1;
                 continue;
             }
-            let alive = state
-                .qd_set
-                .keys()
-                .filter(|m| w.is_alive(**m))
-                .count();
+            let alive = state.qd_set.keys().filter(|m| w.is_alive(**m)).count();
             // Ceiling half: a quorum (majority with the allocator's copy
             // gone) survives when at least half the replicas remain.
             if 2 * alive >= state.qd_set.len() {

@@ -183,11 +183,9 @@ impl Qbac {
         let administrator = c.administrator;
         let (ip, configurer_ip, network) = (c.ip, c.configurer_ip, c.network_id);
 
-        let near_configurer = w
-            .hops_between(node, configurer)
-            .is_some_and(|h| h <= 3);
-        let near_admin = administrator
-            .is_some_and(|a| w.hops_between(node, a).is_some_and(|h| h <= 3));
+        let near_configurer = w.hops_between(node, configurer).is_some_and(|h| h <= 3);
+        let near_admin =
+            administrator.is_some_and(|a| w.hops_between(node, a).is_some_and(|h| h <= 3));
 
         if !near_configurer && !near_admin {
             if let Some((nearest, _)) = self.nearest_head(w, node, Some(network)) {
@@ -239,17 +237,16 @@ impl Qbac {
                 let (ip, configurer_ip, network) = (c.ip, c.configurer_ip, c.network_id);
                 // Return the address via the nearest head (§IV-C.1).
                 if let Some((nearest, _)) = self.nearest_head(w, node, Some(network)) {
-                    if w
-                        .unicast(
-                            node,
-                            nearest,
-                            MsgCategory::Maintenance,
-                            Msg::ReturnAddr {
-                                configurer: configurer_ip,
-                                ip,
-                            },
-                        )
-                        .is_ok()
+                    if w.unicast(
+                        node,
+                        nearest,
+                        MsgCategory::Maintenance,
+                        Msg::ReturnAddr {
+                            configurer: configurer_ip,
+                            ip,
+                        },
+                    )
+                    .is_ok()
                     {
                         // Leave once acknowledged; a safety timer prevents
                         // an immortal node if the head dies first.
@@ -272,9 +269,9 @@ impl Qbac {
             w.remove_node(node);
             return;
         };
-        let configurer = state.configurer.filter(|c| {
-            w.is_alive(*c) && w.hops_between(node, *c).is_some_and(|h| h <= 3)
-        });
+        let configurer = state
+            .configurer
+            .filter(|c| w.is_alive(*c) && w.hops_between(node, *c).is_some_and(|h| h <= 3));
         let successor = configurer.or_else(|| {
             // Smallest replicated space among alive QDSet members.
             self.head_state(node).and_then(|s| {
@@ -306,7 +303,9 @@ impl Qbac {
             ip: state.ip,
             members: state.members.iter().map(|(a, n)| (*a, *n)).collect(),
         };
-        if w.unicast(node, succ, MsgCategory::Maintenance, msg).is_err() {
+        if w.unicast(node, succ, MsgCategory::Maintenance, msg)
+            .is_err()
+        {
             w.remove_node(node);
             return;
         }
@@ -376,9 +375,10 @@ impl Qbac {
         // The allocator is gone but we may hold a replica of the space
         // (we are "a cluster head E which belongs to the QDSet of the
         // configurer", §IV-C.1).
-        let owner = state.quorum_space.iter().find_map(|(o, rep)| {
-            rep.blocks.iter().any(|b| b.contains(ip)).then_some(*o)
-        });
+        let owner = state
+            .quorum_space
+            .iter()
+            .find_map(|(o, rep)| rep.blocks.iter().any(|b| b.contains(ip)).then_some(*o));
         if let Some(owner) = owner {
             let Some(state) = self.head_state_mut(head) else {
                 return;
@@ -411,7 +411,11 @@ impl Qbac {
                 sender,
                 *m,
                 MsgCategory::Maintenance,
-                Msg::QuorumCommit { owner, addr, record },
+                Msg::QuorumCommit {
+                    owner,
+                    addr,
+                    record,
+                },
             ) {
                 hops += h;
             }
@@ -453,7 +457,10 @@ impl Qbac {
             state.members.iter().map(|(a, n)| (*a, *n)).collect();
         for (a, n) in mine {
             if state.pool.owns(a) && w.is_alive(n) {
-                state.pool.table_mut().set(a, AddrStatus::Allocated(n.index()));
+                state
+                    .pool
+                    .table_mut()
+                    .set(a, AddrStatus::Allocated(n.index()));
             }
         }
         // The departing head's own address becomes vacant.

@@ -258,6 +258,11 @@ mod tests {
             addr: Addr::new(9),
         };
         assert_ne!(a, b);
-        assert_ne!(a, QuorumOp::SplitBlock { owner: NodeId::new(4) });
+        assert_ne!(
+            a,
+            QuorumOp::SplitBlock {
+                owner: NodeId::new(4)
+            }
+        );
     }
 }

@@ -72,13 +72,24 @@ pub struct ProtocolConfig {
     pub join_attempts: u32,
 }
 
+impl ProtocolConfig {
+    /// Retry pause before join attempt `attempts + 1`: exponential
+    /// backoff doubling every other failed attempt, capped at 8×
+    /// [`ProtocolConfig::join_retry`]. A joiner facing total reply loss
+    /// keeps probing forever, but without saturating the channel.
+    #[must_use]
+    pub fn join_backoff(&self, attempts: u32) -> SimDuration {
+        let shift = (attempts / 2).min(3);
+        self.join_retry * (1u64 << shift)
+    }
+}
+
 impl Default for ProtocolConfig {
     fn default() -> Self {
         ProtocolConfig {
             // 10.0.0.0 with 2^16 addresses: plenty for 200 nodes while
             // keeping block arithmetic visible in traces.
-            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16)
-                .expect("static block is valid"),
+            space: AddrBlock::new(Addr::new(0x0A00_0000), 1 << 16).expect("static block is valid"),
             te: SimDuration::from_millis(200),
             max_r: 3,
             td: SimDuration::from_millis(300),

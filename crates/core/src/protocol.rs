@@ -232,12 +232,7 @@ impl Qbac {
                     // The alternative scheme: poll neighborhood heads for
                     // their available block sizes (§IV-B). Charge the
                     // 2-hop discovery broadcast plus one reply per head.
-                    let _ = w.broadcast_within(
-                        node,
-                        2,
-                        MsgCategory::Configuration,
-                        Msg::ComReq,
-                    );
+                    let _ = w.broadcast_within(node, 2, MsgCategory::Configuration, Msg::ComReq);
                     if let Some(NodeRole::Unconfigured(js)) = self.roles.get_mut(&node) {
                         js.hops_spent += 1; // the discovery broadcast
                     }
@@ -246,13 +241,12 @@ impl Qbac {
                         if let Some(NodeRole::Unconfigured(js)) = self.roles.get_mut(&node) {
                             js.hops_spent += d; // each head's size reply
                         }
-                        w.metrics_mut().add_send(MsgCategory::Configuration, u64::from(*d));
+                        w.metrics_mut()
+                            .add_send(MsgCategory::Configuration, u64::from(*d));
                     }
                     *near
                         .iter()
-                        .max_by_key(|(h, _)| {
-                            self.head_state(*h).map_or(0, |s| s.pool.free_count())
-                        })
+                        .max_by_key(|(h, _)| self.head_state(*h).map_or(0, |s| s.pool.free_count()))
                         .map(|(h, _)| h)
                         .expect("near is non-empty")
                 }
@@ -266,7 +260,7 @@ impl Qbac {
                 } else {
                     0
                 };
-                let retry = self.cfg.join_retry;
+                let retry = self.cfg.join_backoff(gen);
                 w.set_timer(node, retry, tag::mk(tag::JOIN_RETRY, u64::from(gen)));
                 return;
             }
@@ -284,7 +278,7 @@ impl Qbac {
                 } else {
                     0
                 };
-                let retry = self.cfg.join_retry;
+                let retry = self.cfg.join_backoff(gen);
                 w.set_timer(node, retry, tag::mk(tag::JOIN_RETRY, u64::from(gen)));
                 return;
             }
@@ -309,11 +303,7 @@ impl Qbac {
                     // the slow retry (reconnection may come any time).
                     js.target_network = None;
                 }
-                let retry = if js.attempts >= self.cfg.join_attempts {
-                    self.cfg.join_retry * 4
-                } else {
-                    self.cfg.join_retry
-                };
+                let retry = self.cfg.join_backoff(js.attempts);
                 let gen = u64::from(js.attempts);
                 w.set_timer(node, retry, tag::mk(tag::JOIN_RETRY, gen));
             }
@@ -420,7 +410,9 @@ impl Protocol for Qbac {
                 network_id,
                 spent_hops,
                 records,
-            } => self.on_ch_cfg(w, to, from, block, ip, configurer, network_id, spent_hops, records),
+            } => self.on_ch_cfg(
+                w, to, from, block, ip, configurer, network_id, spent_hops, records,
+            ),
             Msg::ChAck => {}
             Msg::ChRej => self.on_config_rejected(w, to),
 
@@ -428,7 +420,11 @@ impl Protocol for Qbac {
             Msg::QuorumCfm { seq, grant, stamp } => {
                 self.on_quorum_cfm(w, to, from, seq, grant, stamp);
             }
-            Msg::QuorumCommit { owner, addr, record } => {
+            Msg::QuorumCommit {
+                owner,
+                addr,
+                record,
+            } => {
                 self.on_quorum_commit(w, to, owner, addr, record);
             }
 
@@ -503,5 +499,9 @@ impl Protocol for Qbac {
         } else {
             self.abrupt_leave(w, node);
         }
+    }
+
+    fn is_cluster_head(&self, node: NodeId) -> bool {
+        self.roles.get(&node).is_some_and(NodeRole::is_head)
     }
 }

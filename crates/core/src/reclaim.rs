@@ -206,9 +206,7 @@ impl Qbac {
         let previously_allocated: Vec<Addr> = rep
             .table
             .iter()
-            .filter(|(a, r)| {
-                matches!(r.status, AddrStatus::Allocated(_)) && state.pool.owns(*a)
-            })
+            .filter(|(a, r)| matches!(r.status, AddrStatus::Allocated(_)) && state.pool.owns(*a))
             .map(|(a, _)| a)
             .collect();
         for a in previously_allocated {
@@ -227,7 +225,10 @@ impl Qbac {
         }
         for (addr, member) in &rs.confirmed {
             if state.pool.owns(*addr) {
-                state.pool.table_mut().set(*addr, AddrStatus::Allocated(member.index()));
+                state
+                    .pool
+                    .table_mut()
+                    .set(*addr, AddrStatus::Allocated(member.index()));
             }
             state.members.insert(*addr, *member);
         }

@@ -165,7 +165,7 @@ impl NodeRole {
 }
 
 /// Progress of an unconfigured node's join attempt.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct JoinState {
     /// Hop cost spent on this node's configuration so far (its own
     /// messages; the allocator adds its quorum costs via `spent_hops`).
@@ -188,19 +188,6 @@ pub struct JoinState {
     pub seen_network: bool,
 }
 
-impl Default for JoinState {
-    fn default() -> Self {
-        JoinState {
-            hops_spent: 0,
-            attempts: 0,
-            pending_allocator: None,
-            first_node_probe: false,
-            target_network: None,
-            seen_network: false,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,7 +206,8 @@ mod tests {
         assert_eq!(rs.space_len(), 8);
         assert_eq!(rs.first_free(), Some(Addr::new(0)));
         for i in 0..4 {
-            rs.table.set(Addr::new(i), addrspace::AddrStatus::Allocated(1));
+            rs.table
+                .set(Addr::new(i), addrspace::AddrStatus::Allocated(1));
         }
         assert_eq!(rs.first_free(), Some(Addr::new(100)));
     }

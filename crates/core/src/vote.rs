@@ -140,27 +140,30 @@ impl Qbac {
             // way to know the message was lost, so it waits out T_d like
             // the paper's allocator does — this is how vanished heads get
             // detected (§V-B).
-            match w.unicast(
+            if let Ok(h) = w.unicast(
                 allocator,
                 member,
                 category,
-                Msg::QuorumClt { seq, op: op.clone() },
+                Msg::QuorumClt {
+                    seq,
+                    op: op.clone(),
+                },
             ) {
-                Ok(h) => rtts.push(2 * h),
-                Err(_) => {}
+                rtts.push(2 * h)
             }
             vote.polled.push(member);
         }
         // Latency: the k-th fastest round trip, where k external grants
         // complete a majority of (polled + self).
         rtts.sort_unstable();
-        let threshold = (vote.polled.len() + 1) / 2 + 1;
+        let threshold = vote.polled.len().div_ceil(2) + 1;
         let external_needed = threshold.saturating_sub(1);
         vote.hops = match external_needed {
             0 => 0,
-            k => rtts.get(k - 1).copied().unwrap_or_else(|| {
-                rtts.last().copied().unwrap_or(0)
-            }),
+            k => rtts
+                .get(k - 1)
+                .copied()
+                .unwrap_or_else(|| rtts.last().copied().unwrap_or(0)),
         };
 
         if vote.polled.is_empty() {
@@ -192,7 +195,10 @@ impl Qbac {
                 if *owner == member {
                     // We own the space (borrow case): authoritative copy.
                     let rec = head.pool.table().record(*addr);
-                    (rec.status.is_available() && head.pool.owns(*addr), rec.stamp)
+                    (
+                        rec.status.is_available() && head.pool.owns(*addr),
+                        rec.stamp,
+                    )
                 } else if let Some(rep) = head.quorum_space.get(owner) {
                     let rec = rep.table.record(*addr);
                     (rec.status.is_available(), rec.stamp)
@@ -317,10 +323,10 @@ impl Qbac {
             self.reclaims.remove(&member);
             self.reclaim_initiators.remove(&member);
         }
-        let member_ip = self
-            .head_state(member)
-            .map(|s| s.ip)
-            .or_else(|| self.head_state(head).and_then(|s| s.suspended.get(&member).copied()));
+        let member_ip = self.head_state(member).map(|s| s.ip).or_else(|| {
+            self.head_state(head)
+                .and_then(|s| s.suspended.get(&member).copied())
+        });
         if let Some(state) = self.head_state_mut(head) {
             if let Some(ip) = state.suspended.remove(&member) {
                 state.qd_set.insert(member, member_ip.unwrap_or(ip));

@@ -195,7 +195,11 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
             b.put_u8(u8::from(*grant));
             b.put_u64(stamp.get());
         }
-        Msg::QuorumCommit { owner, addr, record } => {
+        Msg::QuorumCommit {
+            owner,
+            addr,
+            record,
+        } => {
             b.put_u8(tags::QUORUM_COMMIT);
             put_node(b, *owner);
             put_addr(b, *addr);
@@ -685,12 +689,14 @@ mod tests {
     fn control_messages_are_tiny() {
         assert_eq!(encoded_len(&Msg::ComReq), 1);
         assert_eq!(encoded_len(&Msg::RepReq), 1);
-        assert!(encoded_len(&Msg::ComCfg {
-            ip: Addr::new(1),
-            configurer: Addr::new(2),
-            network_id: Addr::new(0),
-            spent_hops: 0,
-        }) <= 20);
+        assert!(
+            encoded_len(&Msg::ComCfg {
+                ip: Addr::new(1),
+                configurer: Addr::new(2),
+                network_id: Addr::new(0),
+                spent_hops: 0,
+            }) <= 20
+        );
     }
 
     #[test]

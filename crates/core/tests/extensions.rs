@@ -4,7 +4,7 @@
 
 use addrspace::{Addr, AddrBlock};
 use manet_sim::{MsgCategory, Point, Sim, SimDuration, WorldConfig};
-use qbac_core::{NodeRole, ProtocolConfig, Qbac};
+use qbac_core::{ProtocolConfig, Qbac};
 
 fn still_world() -> WorldConfig {
     WorldConfig {
@@ -58,7 +58,11 @@ fn borrowing_uses_owner_as_distinguished_voter() {
 
     let p = sim.protocol();
     assert!(p.stats().borrows >= 1);
-    let ip = p.role(extra).unwrap().ip().expect("configured by borrowing");
+    let ip = p
+        .role(extra)
+        .unwrap()
+        .ip()
+        .expect("configured by borrowing");
     // The borrowed address comes out of the *first* head's block.
     let owner = p.head(first).unwrap();
     assert!(
@@ -92,7 +96,11 @@ fn returning_a_borrowed_address_reaches_the_owner() {
     assert!(!sim.world().is_alive(extra));
     // The owner's record became vacant again (routed via configurer).
     let status = sim.protocol().head(first).unwrap().pool.table().status(ip);
-    assert_eq!(status, addrspace::AddrStatus::Vacant, "borrowed address returned");
+    assert_eq!(
+        status,
+        addrspace::AddrStatus::Vacant,
+        "borrowed address returned"
+    );
     let _ = second;
 }
 
@@ -130,8 +138,18 @@ fn agent_forwarding_serves_when_everything_is_depleted() {
 fn quorum_shrink_suspends_then_restores_on_rep_ack() {
     let (mut sim, first, second) = two_cluster_sim(tiny_cfg(1 << 10));
     // Both heads list each other.
-    assert!(sim.protocol().head(first).unwrap().qd_set.contains_key(&second));
-    assert!(sim.protocol().head(second).unwrap().qd_set.contains_key(&first));
+    assert!(sim
+        .protocol()
+        .head(first)
+        .unwrap()
+        .qd_set
+        .contains_key(&second));
+    assert!(sim
+        .protocol()
+        .head(second)
+        .unwrap()
+        .qd_set
+        .contains_key(&first));
     // No suspensions in a healthy network even after traffic.
     let n = sim.spawn_at(Point::new(140.0, 130.0));
     sim.run_for(SimDuration::from_secs(5));

@@ -1,0 +1,82 @@
+//! Property tests: the quorum protocol's allocation-safety invariant
+//! (no duplicate address inside a connected component) must hold under
+//! *randomly generated* fault plans, and a fixed seed + plan must
+//! reproduce the run bit-for-bit.
+
+use manet_sim::faults::FaultPlan;
+use manet_sim::{Metrics, Point, Sim, SimDuration, SimTime, WorldConfig};
+use proptest::prelude::*;
+use qbac_core::{ProtocolConfig, Qbac};
+
+const NODES: u64 = 8;
+
+/// Builds a fault plan from drawn parameters: uniform loss up to 30%
+/// and up to three scheduled cluster-head kills.
+fn plan_from(seed: u64, loss: f64, kills: u32) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed).with_loss(loss);
+    for k in 0..kills {
+        // Spread kills across the settled phase of the run.
+        let at = SimTime::from_micros(10_000_000 + u64::from(k) * 4_000_000);
+        plan = plan.with_head_kill(at, 1);
+    }
+    plan
+}
+
+/// Runs the standard small scenario under `plan` and returns the sim
+/// ready for inspection.
+fn run_under(plan: FaultPlan, seed: u64) -> Sim<Qbac> {
+    let cfg = WorldConfig {
+        seed,
+        speed: 0.0,
+        fault_plan: plan,
+        ..WorldConfig::default()
+    };
+    let mut sim = Sim::new(cfg, Qbac::new(ProtocolConfig::default()));
+    for i in 0..NODES {
+        sim.run_until(SimTime::from_micros(i * 1_000_000));
+        #[allow(clippy::cast_precision_loss)]
+        sim.spawn_at(Point::new(
+            100.0 + (i % 4) as f64 * 90.0,
+            100.0 + (i / 4) as f64 * 90.0,
+        ));
+    }
+    sim.run_for(SimDuration::from_secs(35));
+    sim
+}
+
+proptest! {
+    /// Random loss (≤ 30%) plus up to three head crashes never produce
+    /// two alive, mutually reachable nodes holding the same address.
+    #[test]
+    fn no_duplicate_addresses_under_random_faults(
+        seed in 0u64..10_000,
+        loss in 0.0f64..0.3,
+        kills in 0u32..4,
+    ) {
+        let mut sim = run_under(plan_from(seed ^ 0xfau64, loss, kills), seed);
+        let (world, protocol) = sim.parts_mut();
+        let audit = protocol.audit_unique(world);
+        prop_assert!(
+            audit.is_ok(),
+            "duplicates under seed={seed} loss={loss} kills={kills}: {:?}",
+            audit.unwrap_err()
+        );
+    }
+
+    /// The same world seed and the same fault plan reproduce the exact
+    /// same metrics, twice in a row.
+    #[test]
+    fn same_seed_and_plan_reproduce_identical_metrics(
+        seed in 0u64..10_000,
+        loss in 0.0f64..0.3,
+        kills in 0u32..4,
+    ) {
+        let runs: Vec<Metrics> = (0..2)
+            .map(|_| {
+                let sim = run_under(plan_from(seed ^ 0xdeu64, loss, kills), seed);
+                sim.world().metrics().clone()
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}

@@ -132,10 +132,7 @@ fn dense_arrivals_all_configured_by_one_head() {
     // All within radio range of each other.
     for i in 0..10 {
         let at = SimTime::from_micros(i * 2_000_000);
-        sim.schedule_spawn_at(
-            at,
-            Point::new(480.0 + (i as f64) * 8.0, 500.0),
-        );
+        sim.schedule_spawn_at(at, Point::new(480.0 + (i as f64) * 8.0, 500.0));
     }
     sim.run_until(SimTime::from_micros(40_000_000));
     let heads = sim.protocol().heads(sim.world());
@@ -156,7 +153,10 @@ fn graceful_departure_returns_address_for_reuse() {
 
     sim.leave_now(second, true);
     sim.run_for(SimDuration::from_secs(2));
-    assert!(!sim.world().is_alive(second), "departure handshake completes");
+    assert!(
+        !sim.world().is_alive(second),
+        "departure handshake completes"
+    );
 
     // The returned address is handed to the next joiner.
     let third = sim.spawn_at(Point::new(540.0, 500.0));
@@ -299,7 +299,10 @@ fn borrowing_extends_a_depleted_head() {
         sim.spawn_at(Point::new(540.0 + i as f64 * 10.0, 100.0));
         sim.run_for(SimDuration::from_secs(3));
     }
-    assert_eq!(sim.protocol().head(second_head).unwrap().pool.free_count(), 0);
+    assert_eq!(
+        sim.protocol().head(second_head).unwrap().pool.free_count(),
+        0
+    );
 
     // Next joiner near the depleted head must be served from QuorumSpace.
     let extra = sim.spawn_at(Point::new(585.0, 100.0));
@@ -368,7 +371,9 @@ fn update_policy_upon_leave_sends_no_location_updates() {
             sim.schedule_spawn_random(SimTime::from_micros(i * 1_000_000));
         }
         sim.run_until(SimTime::from_micros(120_000_000));
-        sim.world().metrics().hops(manet_sim::MsgCategory::Maintenance)
+        sim.world()
+            .metrics()
+            .hops(manet_sim::MsgCategory::Maintenance)
     };
     let periodic = run(UpdatePolicy::Periodic);
     let upon_leave = run(UpdatePolicy::UponLeave);
@@ -449,7 +454,10 @@ fn partition_merge_rejoins_higher_network() {
             "{n} must end in the lower-ID network"
         );
     }
-    assert!(p.stats().merges >= 1, "at least one side must have rejoined");
+    assert!(
+        p.stats().merges >= 1,
+        "at least one side must have rejoined"
+    );
     let (w, pr) = sim.parts_mut();
     pr.audit_unique(w).unwrap();
 }

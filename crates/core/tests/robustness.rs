@@ -16,7 +16,10 @@ fn lossy_world(loss: f64, seed: u64) -> WorldConfig {
 }
 
 fn run(loss: f64, seed: u64, nn: u64) -> (u64, bool) {
-    let mut sim = Sim::new(lossy_world(loss, seed), Qbac::new(ProtocolConfig::default()));
+    let mut sim = Sim::new(
+        lossy_world(loss, seed),
+        Qbac::new(ProtocolConfig::default()),
+    );
     // A compact cluster so connectivity is never the bottleneck.
     for i in 0..nn {
         let at = SimTime::from_micros(i * 1_000_000);

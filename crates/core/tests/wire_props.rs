@@ -43,7 +43,11 @@ fn arb_table() -> impl Strategy<Value = AllocationTable> {
 
 fn arb_msg() -> impl Strategy<Value = Msg> {
     prop_oneof![
-        (prop::option::of(arb_addr()), any::<bool>(), prop::option::of(arb_addr()))
+        (
+            prop::option::of(arb_addr()),
+            any::<bool>(),
+            prop::option::of(arb_addr())
+        )
             .prop_map(|(sender_ip, is_head, network_id)| Msg::Hello {
                 sender_ip,
                 is_head,
@@ -98,7 +102,11 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             stamp: VersionStamp::new(s)
         }),
         (arb_node(), arb_addr(), arb_record()).prop_map(|(owner, addr, record)| {
-            Msg::QuorumCommit { owner, addr, record }
+            Msg::QuorumCommit {
+                owner,
+                addr,
+                record,
+            }
         }),
         (
             arb_node(),
@@ -116,10 +124,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     reply_requested,
                 }
             }),
-        (arb_addr(), arb_addr())
-            .prop_map(|(configurer, ip)| Msg::UpdateLoc { configurer, ip }),
-        (arb_addr(), arb_addr())
-            .prop_map(|(configurer, ip)| Msg::ReturnAddr { configurer, ip }),
+        (arb_addr(), arb_addr()).prop_map(|(configurer, ip)| Msg::UpdateLoc { configurer, ip }),
+        (arb_addr(), arb_addr()).prop_map(|(configurer, ip)| Msg::ReturnAddr { configurer, ip }),
         Just(Msg::ReturnAddrAck),
         (
             prop::collection::vec(arb_block(), 0..4),
@@ -174,10 +180,7 @@ proptest! {
         let bytes = wire::encode(&msg);
         let cut = cut.min(bytes.len().saturating_sub(1));
         let sliced = &bytes[..cut];
-        match wire::decode(sliced) {
-            Ok(decoded) => prop_assert_eq!(decoded, msg, "partial decode equal only if whole"),
-            Err(_) => {}
-        }
+        if let Ok(decoded) = wire::decode(sliced) { prop_assert_eq!(decoded, msg, "partial decode equal only if whole") }
     }
 
     /// Arbitrary garbage never panics the decoder.

@@ -6,9 +6,14 @@
 //! repro --rounds 50     # more replications (paper used 1000)
 //! repro --quick         # shrunken sweeps (seconds, for smoke tests)
 //! repro --csv out/      # also write one CSV per table
+//! repro --chaos         # fault-injection suite (loss sweep + head kills)
+//! repro --chaos --loss 0.2 --head-kills 2   # one chaos cell
+//! repro --chaos --fault-plan plan.txt       # scripted faults (see DESIGN.md)
 //! ```
 
+use harness::chaos::{chaos_suite, ChaosOpts};
 use harness::figures::{self, FigOpts};
+use manet_sim::FaultPlan;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -16,12 +21,20 @@ struct Args {
     fig: Option<u32>,
     opts: FigOpts,
     csv_dir: Option<PathBuf>,
+    chaos: bool,
+    loss: Option<f64>,
+    head_kills: u32,
+    fault_plan: Option<FaultPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut fig = None;
     let mut opts = FigOpts::default();
     let mut csv_dir = None;
+    let mut chaos = false;
+    let mut loss = None;
+    let mut head_kills = 2;
+    let mut fault_plan = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -41,6 +54,27 @@ fn parse_args() -> Result<Args, String> {
                 opts.seed = v.parse::<u64>().map_err(|e| format!("--seed: {e}"))?;
             }
             "--quick" => opts.quick = true,
+            "--chaos" => chaos = true,
+            "--loss" => {
+                let v = it.next().ok_or("--loss needs a probability (0-1)")?;
+                let p = v.parse::<f64>().map_err(|e| format!("--loss: {e}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--loss must be within 0-1".into());
+                }
+                loss = Some(p);
+            }
+            "--head-kills" => {
+                let v = it.next().ok_or("--head-kills needs a count")?;
+                head_kills = v.parse::<u32>().map_err(|e| format!("--head-kills: {e}"))?;
+            }
+            "--fault-plan" => {
+                let v = it.next().ok_or("--fault-plan needs a file path")?;
+                let text = std::fs::read_to_string(&v)
+                    .map_err(|e| format!("--fault-plan: reading {v}: {e}"))?;
+                let plan = FaultPlan::parse(&text)
+                    .map_err(|e| format!("--fault-plan: parsing {v}: {e}"))?;
+                fault_plan = Some(plan);
+            }
             "--csv" => {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
@@ -48,8 +82,12 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--fig N] [--rounds R] [--seed S] [--quick] [--csv DIR]\n\
+                     \x20      repro --chaos [--loss P] [--head-kills K] [--fault-plan FILE]\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
-                     IP autoconfiguration paper. Default: all figures, {} rounds.",
+                     IP autoconfiguration paper. Default: all figures, {} rounds.\n\
+                     --chaos instead runs the fault-injection suite: message-loss sweep plus\n\
+                     scheduled cluster-head kills, auditing duplicate addresses, address leaks\n\
+                     and join-latency inflation for every protocol.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -57,7 +95,18 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    Ok(Args { fig, opts, csv_dir })
+    if !chaos && (loss.is_some() || fault_plan.is_some()) {
+        return Err("--loss / --fault-plan only apply to --chaos runs".into());
+    }
+    Ok(Args {
+        fig,
+        opts,
+        csv_dir,
+        chaos,
+        loss,
+        head_kills,
+        fault_plan,
+    })
 }
 
 fn main() -> ExitCode {
@@ -69,15 +118,24 @@ fn main() -> ExitCode {
         }
     };
 
-    let tables = match args.fig {
-        Some(n) => match figures::by_number(n, &args.opts) {
-            Some(t) => t,
-            None => {
-                eprintln!("error: no figure {n}; figures are 4-14 plus extras 15 (fragmentation), 16 (ablation), 17 (stateless DAD), 18 (routing staleness)");
-                return ExitCode::FAILURE;
-            }
-        },
-        None => figures::all(&args.opts),
+    let tables = if args.chaos {
+        chaos_suite(&ChaosOpts {
+            fig: args.opts,
+            loss: args.loss,
+            head_kills: args.head_kills,
+            extra_plan: args.fault_plan,
+        })
+    } else {
+        match args.fig {
+            Some(n) => match figures::by_number(n, &args.opts) {
+                Some(t) => t,
+                None => {
+                    eprintln!("error: no figure {n}; figures are 4-14 plus extras 15 (fragmentation), 16 (ablation), 17 (stateless DAD), 18 (routing staleness)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => figures::all(&args.opts),
+        }
     };
 
     for t in &tables {

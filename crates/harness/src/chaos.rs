@@ -1,0 +1,381 @@
+//! Chaos scenario suite: allocation safety under injected faults.
+//!
+//! The paper's evaluation assumes reliable in-range delivery (§IV-B).
+//! This suite deliberately breaks that assumption with the simulator's
+//! fault plane ([`manet_sim::faults`]) — probabilistic message loss plus
+//! scheduled cluster-head kills — and checks the *safety* invariants the
+//! protocols are supposed to keep rather than the cost curves:
+//!
+//! * **duplicate addresses** — two alive configured nodes in one
+//!   connected component sharing an address (must stay zero for the
+//!   quorum protocol);
+//! * **address-leak rate** — the fraction of tracked allocation state
+//!   still pointing at dead holders (crashed heads leak until
+//!   reclamation catches up);
+//! * **join-latency inflation** — how much the mean configuration
+//!   latency grows versus a fault-free run of the same workload.
+
+use crate::figures::FigOpts;
+use crate::scenario::{parallel_rounds, run_scenario, Scenario};
+use crate::stats::mean;
+use crate::Table;
+use addrspace::Addr;
+use baselines::buddy::Buddy;
+use baselines::ctree::CTree;
+use baselines::manetconf::ManetConf;
+use manet_sim::{FaultPlan, NodeId, Protocol, SimDuration, World};
+use qbac_core::{ProtocolConfig, Qbac};
+use std::collections::HashMap;
+
+/// Options of the chaos suite.
+#[derive(Debug, Clone)]
+pub struct ChaosOpts {
+    /// Replication / seed / quick-mode options shared with the figures.
+    pub fig: FigOpts,
+    /// Run only this loss rate instead of the default sweep.
+    pub loss: Option<f64>,
+    /// Scheduled cluster-head kills per run.
+    pub head_kills: u32,
+    /// Extra user-supplied fault plan merged into every generated plan
+    /// (e.g. from `repro --fault-plan FILE`).
+    pub extra_plan: Option<FaultPlan>,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            fig: FigOpts::default(),
+            loss: None,
+            head_kills: 2,
+            extra_plan: None,
+        }
+    }
+}
+
+impl ChaosOpts {
+    fn loss_sweep(&self) -> Vec<f64> {
+        match self.loss {
+            Some(l) => vec![l],
+            None if self.fig.quick => vec![0.0, 0.2],
+            None => vec![0.0, 0.1, 0.2, 0.3],
+        }
+    }
+}
+
+/// A protocol the chaos suite can audit generically.
+trait ChaosSubject: Protocol + Sized {
+    fn fresh() -> Self;
+    /// `(node, address)` of every alive configured node.
+    fn assigned_pairs(&self, w: &World<Self::Msg>) -> Vec<(NodeId, Addr)>;
+    /// `(leaked, tracked)` allocation-state units held by dead nodes.
+    fn leak_pair(&self, w: &World<Self::Msg>) -> (u64, u64);
+}
+
+impl ChaosSubject for Qbac {
+    fn fresh() -> Self {
+        Qbac::new(ProtocolConfig::default())
+    }
+    fn assigned_pairs(&self, w: &World<Self::Msg>) -> Vec<(NodeId, Addr)> {
+        self.assigned(w)
+    }
+    fn leak_pair(&self, w: &World<Self::Msg>) -> (u64, u64) {
+        self.leak_audit(w)
+    }
+}
+
+impl ChaosSubject for ManetConf {
+    fn fresh() -> Self {
+        ManetConf::default()
+    }
+    fn assigned_pairs(&self, w: &World<Self::Msg>) -> Vec<(NodeId, Addr)> {
+        self.assigned(w)
+    }
+    fn leak_pair(&self, w: &World<Self::Msg>) -> (u64, u64) {
+        self.leak_audit(w)
+    }
+}
+
+impl ChaosSubject for Buddy {
+    fn fresh() -> Self {
+        Buddy::default()
+    }
+    fn assigned_pairs(&self, w: &World<Self::Msg>) -> Vec<(NodeId, Addr)> {
+        self.assigned(w)
+    }
+    fn leak_pair(&self, w: &World<Self::Msg>) -> (u64, u64) {
+        self.leak_audit(w)
+    }
+}
+
+impl ChaosSubject for CTree {
+    fn fresh() -> Self {
+        CTree::default()
+    }
+    fn assigned_pairs(&self, w: &World<Self::Msg>) -> Vec<(NodeId, Addr)> {
+        self.assigned(w)
+    }
+    fn leak_pair(&self, w: &World<Self::Msg>) -> (u64, u64) {
+        self.leak_audit(w)
+    }
+}
+
+/// What one chaos run measured.
+struct CellOutcome {
+    duplicates: f64,
+    leak_pct: f64,
+    latency: Option<f64>,
+}
+
+/// Duplicate addresses among alive configured nodes, counted per
+/// connected component (nodes that cannot hear each other are allowed
+/// to collide — the paper's merge scheme resolves that on contact).
+fn count_duplicates<M: Clone + std::fmt::Debug>(
+    w: &mut World<M>,
+    assigned: &[(NodeId, Addr)],
+) -> usize {
+    let comp_of: HashMap<NodeId, usize> = w
+        .components()
+        .iter()
+        .enumerate()
+        .flat_map(|(i, c)| c.iter().map(move |n| (*n, i)))
+        .collect();
+    let mut seen: HashMap<(usize, Addr), NodeId> = HashMap::new();
+    let mut dups = 0;
+    for (n, ip) in assigned {
+        let Some(&comp) = comp_of.get(n) else {
+            continue;
+        };
+        match seen.insert((comp, *ip), *n) {
+            Some(prev) if prev != *n => dups += 1,
+            _ => {}
+        }
+    }
+    dups
+}
+
+/// The chaos workload: sequential arrivals, settle, a storm of head
+/// kills, fresh arrivals that must configure through the carnage, then
+/// a cooldown for reclamation to catch up.
+fn chaos_scenario(opts: &ChaosOpts, loss: f64, seed: u64) -> Scenario {
+    let quick = opts.fig.quick;
+    let nn = if quick { 40 } else { 100 };
+    let base = Scenario {
+        nn,
+        speed: 0.0,
+        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
+        depart_fraction: 0.0,
+        post_arrivals: nn / 10,
+        cooldown: SimDuration::from_secs(if quick { 15 } else { 30 }),
+        seed,
+        ..Scenario::default()
+    };
+
+    // Head kills land after the network has settled, spaced out so the
+    // protocols face them one at a time.
+    let mut plan = match &opts.extra_plan {
+        Some(p) => p.clone(),
+        None => FaultPlan::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(loss.to_bits())),
+    };
+    if loss > 0.0 {
+        plan = plan.with_loss(loss);
+    }
+    let settled = base.arrivals_done() + base.settle;
+    for k in 0..opts.head_kills {
+        plan = plan.with_head_kill(settled + SimDuration::from_secs(2) * u64::from(k + 1), 1);
+    }
+
+    Scenario {
+        fault_plan: plan,
+        // `run_scenario` only runs the post-departure phase when nodes
+        // depart; a zero-fraction would end at `settled`. One graceful
+        // departure keeps the workload comparable while unlocking the
+        // post-arrival + cooldown phases.
+        depart_fraction: 1.0 / base.nn as f64,
+        abrupt_ratio: 0.0,
+        ..base
+    }
+}
+
+fn run_cell<P: ChaosSubject>(opts: &ChaosOpts, loss: f64, seed: u64) -> CellOutcome {
+    let (mut sim, m) = run_scenario(&chaos_scenario(opts, loss, seed), P::fresh());
+    let assigned = sim.protocol().assigned_pairs(sim.world());
+    let (leaked, tracked) = sim.protocol().leak_pair(sim.world());
+    let duplicates = count_duplicates(sim.world_mut(), &assigned) as f64;
+    CellOutcome {
+        duplicates,
+        leak_pct: if tracked == 0 {
+            0.0
+        } else {
+            100.0 * leaked as f64 / tracked as f64
+        },
+        latency: m.metrics.mean_config_latency(),
+    }
+}
+
+/// Runs the chaos suite: one table per invariant, protocols as columns,
+/// loss rate as the x axis, `opts.head_kills` scheduled head kills in
+/// every run.
+#[must_use]
+pub fn chaos_suite(opts: &ChaosOpts) -> Vec<Table> {
+    let protocols = ["quorum", "MANETconf", "buddy", "C-tree"];
+    let columns: Vec<String> = protocols.iter().map(|s| (*s).to_string()).collect();
+    let kills = opts.head_kills;
+
+    let mut dup_table = Table::new(
+        format!("Chaos — duplicate-address violations vs loss rate ({kills} head kills)"),
+        "loss_%",
+        columns.clone(),
+    );
+    let mut leak_table = Table::new(
+        format!("Chaos — address-leak rate (% of tracked state) vs loss rate ({kills} head kills)"),
+        "loss_%",
+        columns.clone(),
+    );
+    let mut lat_table = Table::new(
+        format!("Chaos — join-latency inflation (× fault-free) vs loss rate ({kills} head kills)"),
+        "loss_%",
+        columns,
+    );
+
+    // Fault-free latency baseline per protocol (loss 0, no kills).
+    let baseline = {
+        let quiet = ChaosOpts {
+            head_kills: 0,
+            extra_plan: None,
+            ..opts.clone()
+        };
+        [
+            latency_over_rounds::<Qbac>(&quiet, 0.0),
+            latency_over_rounds::<ManetConf>(&quiet, 0.0),
+            latency_over_rounds::<Buddy>(&quiet, 0.0),
+            latency_over_rounds::<CTree>(&quiet, 0.0),
+        ]
+    };
+
+    for loss in opts.loss_sweep() {
+        let cells = [
+            cells_over_rounds::<Qbac>(opts, loss),
+            cells_over_rounds::<ManetConf>(opts, loss),
+            cells_over_rounds::<Buddy>(opts, loss),
+            cells_over_rounds::<CTree>(opts, loss),
+        ];
+        let x = format!("{:.0}", loss * 100.0);
+        dup_table.push_row(x.clone(), cells.iter().map(|c| mean(&c.0)).collect());
+        leak_table.push_row(x.clone(), cells.iter().map(|c| mean(&c.1)).collect());
+        lat_table.push_row(
+            x,
+            cells
+                .iter()
+                .zip(baseline)
+                .map(|(c, b)| {
+                    if b > 0.0 && !c.2.is_empty() {
+                        mean(&c.2) / b
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        );
+    }
+
+    let note = format!(
+        "uniform message loss + {kills} scheduled cluster-head kills; \
+         leak = tracked allocation state held by dead nodes at run end"
+    );
+    for t in [&mut dup_table, &mut leak_table, &mut lat_table] {
+        t.note(note.clone());
+        t.note("duplicates counted per connected component (quorum must stay at 0)");
+    }
+    vec![dup_table, leak_table, lat_table]
+}
+
+/// Per-round `(duplicates, leak%, latencies)` samples for one protocol
+/// at one loss rate.
+fn cells_over_rounds<P: ChaosSubject>(
+    opts: &ChaosOpts,
+    loss: f64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let outcomes = parallel_rounds(opts.fig.rounds, opts.fig.seed, |s| {
+        run_cell::<P>(opts, loss, s)
+    });
+    let mut dups = Vec::new();
+    let mut leaks = Vec::new();
+    let mut lats = Vec::new();
+    for o in outcomes {
+        dups.push(o.duplicates);
+        leaks.push(o.leak_pct);
+        if let Some(l) = o.latency {
+            lats.push(l);
+        }
+    }
+    (dups, leaks, lats)
+}
+
+fn latency_over_rounds<P: ChaosSubject>(opts: &ChaosOpts, loss: f64) -> f64 {
+    let (_, _, lats) = cells_over_rounds::<P>(opts, loss);
+    mean(&lats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> ChaosOpts {
+        ChaosOpts {
+            fig: FigOpts {
+                rounds: 2,
+                quick: true,
+                seed: 7,
+            },
+            ..ChaosOpts::default()
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_protocols_and_loss_points() {
+        let tables = chaos_suite(&quick_opts());
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert_eq!(t.columns.len(), 4);
+            assert_eq!(t.rows.len(), 2, "quick sweep is {{0, 0.2}}");
+        }
+    }
+
+    #[test]
+    fn quorum_has_no_duplicates_under_chaos() {
+        let opts = ChaosOpts {
+            loss: Some(0.2),
+            ..quick_opts()
+        };
+        let dup = &chaos_suite(&opts)[0];
+        for (x, vals) in &dup.rows {
+            assert_eq!(vals[0], 0.0, "quorum duplicated an address at loss {x}%");
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_reproducible() {
+        let opts = ChaosOpts {
+            loss: Some(0.2),
+            ..quick_opts()
+        };
+        let a = chaos_suite(&opts);
+        let b = chaos_suite(&opts);
+        for (ta, tb) in a.iter().zip(&b) {
+            assert_eq!(ta.rows, tb.rows);
+        }
+    }
+
+    #[test]
+    fn head_kills_leak_state_somewhere() {
+        // With heads dying and traffic lost, at least one protocol
+        // shows a non-zero leak at the highest loss point.
+        let opts = quick_opts();
+        let leak = &chaos_suite(&opts)[1];
+        let any = leak
+            .rows
+            .iter()
+            .any(|(_, vals)| vals.iter().any(|v| *v > 0.0));
+        assert!(any, "no leaked state at all: {:?}", leak.rows);
+    }
+}

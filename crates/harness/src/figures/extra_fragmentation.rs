@@ -38,7 +38,10 @@ fn scenario(seed: u64, quick: bool) -> Scenario {
 #[must_use]
 pub fn extra_fragmentation(opts: &FigOpts) -> Vec<Table> {
     let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-        let (sim, _) = run_scenario(&scenario(s, opts.quick), Qbac::new(ProtocolConfig::default()));
+        let (sim, _) = run_scenario(
+            &scenario(s, opts.quick),
+            Qbac::new(ProtocolConfig::default()),
+        );
         let reports: Vec<_> = sim
             .protocol()
             .heads(sim.world())
@@ -47,7 +50,12 @@ pub fn extra_fragmentation(opts: &FigOpts) -> Vec<Table> {
             .map(|st| fragmentation::report(&st.pool))
             .collect();
         (
-            mean(&reports.iter().map(|r| r.block_count as f64).collect::<Vec<_>>()),
+            mean(
+                &reports
+                    .iter()
+                    .map(|r| r.block_count as f64)
+                    .collect::<Vec<_>>(),
+            ),
             mean(&reports.iter().map(|r| r.external).collect::<Vec<_>>()),
         )
     });
@@ -59,7 +67,12 @@ pub fn extra_fragmentation(opts: &FigOpts) -> Vec<Table> {
         // address, visible as extra blocks per pool.
         let frag = sim.protocol().coordinator_fragmentation(sim.world());
         (
-            mean(&frag.iter().map(|r| r.block_count as f64).collect::<Vec<_>>()),
+            mean(
+                &frag
+                    .iter()
+                    .map(|r| r.block_count as f64)
+                    .collect::<Vec<_>>(),
+            ),
             mean(&frag.iter().map(|r| r.external).collect::<Vec<_>>()),
         )
     });

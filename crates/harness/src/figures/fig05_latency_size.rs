@@ -23,7 +23,10 @@ fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
 }
 
 pub(crate) fn ours_latency(nn: usize, seed: u64, quick: bool) -> f64 {
-    let (_, m) = run_scenario(&scenario(nn, seed, quick), Qbac::new(ProtocolConfig::default()));
+    let (_, m) = run_scenario(
+        &scenario(nn, seed, quick),
+        Qbac::new(ProtocolConfig::default()),
+    );
     m.metrics.mean_config_latency().unwrap_or(0.0)
 }
 
@@ -41,9 +44,7 @@ pub fn fig05(opts: &FigOpts) -> Vec<Table> {
         vec!["quorum".into(), "MANETconf".into(), "ratio".into()],
     );
     for nn in opts.nn_sweep() {
-        let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-            ours_latency(nn, s, opts.quick)
-        });
+        let ours = parallel_rounds(opts.rounds, opts.seed, |s| ours_latency(nn, s, opts.quick));
         let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
             manetconf_latency(nn, s, opts.quick)
         });

@@ -50,8 +50,7 @@ pub fn fig08(opts: &FigOpts) -> Vec<Table> {
             // The buddy protocol's configuration cost includes its
             // periodic global table synchronization (that is the paper's
             // point of comparison).
-            (m.metrics.hops(MsgCategory::Configuration) + m.metrics.hops(MsgCategory::Sync))
-                as f64
+            (m.metrics.hops(MsgCategory::Configuration) + m.metrics.hops(MsgCategory::Sync)) as f64
                 / m.metrics.configured_nodes().max(1) as f64
         });
         t.push_row(nn.to_string(), vec![mean(&ours), mean(&theirs)]);

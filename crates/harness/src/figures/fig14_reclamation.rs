@@ -75,10 +75,7 @@ mod tests {
         // At least one of the protocols must show reclamation traffic in
         // every row (abrupt departures of heads are probabilistic, but
         // with 20% of all nodes vanishing some head is always affected).
-        let any_traffic = t
-            .rows
-            .iter()
-            .any(|(_, vals)| vals.iter().any(|&v| v > 0.0));
+        let any_traffic = t.rows.iter().any(|(_, vals)| vals.iter().any(|&v| v > 0.0));
         assert!(any_traffic, "no reclamation traffic at all: {:?}", t.rows);
     }
 }

@@ -5,6 +5,10 @@
 //! series. See `DESIGN.md` for the experiment index and
 //! `EXPERIMENTS.md` for paper-vs-measured values.
 
+mod extra_ablation;
+mod extra_fragmentation;
+mod extra_routing;
+mod extra_stateless;
 mod fig04_layout;
 mod fig05_latency_size;
 mod fig06_latency_range;
@@ -16,11 +20,11 @@ mod fig11_speed;
 mod fig12_quorum_size;
 mod fig13_failed_heads;
 mod fig14_reclamation;
-mod extra_ablation;
-mod extra_fragmentation;
-mod extra_routing;
-mod extra_stateless;
 
+pub use extra_ablation::extra_ablation;
+pub use extra_fragmentation::extra_fragmentation;
+pub use extra_routing::extra_routing;
+pub use extra_stateless::extra_stateless;
 pub use fig04_layout::fig04;
 pub use fig05_latency_size::fig05;
 pub use fig06_latency_range::fig06;
@@ -32,10 +36,6 @@ pub use fig11_speed::fig11;
 pub use fig12_quorum_size::fig12;
 pub use fig13_failed_heads::fig13;
 pub use fig14_reclamation::fig14;
-pub use extra_ablation::extra_ablation;
-pub use extra_fragmentation::extra_fragmentation;
-pub use extra_routing::extra_routing;
-pub use extra_stateless::extra_stateless;
 
 use crate::Table;
 

@@ -15,10 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod figures;
 pub mod render;
 pub mod scenario;
 pub mod stats;
 
+pub use chaos::{chaos_suite, ChaosOpts};
 pub use render::Table;
 pub use scenario::{run_scenario, RunMeasurements, Scenario};

@@ -24,11 +24,7 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         Table {
             title: title.into(),
             x_label: x_label.into(),
@@ -146,8 +142,10 @@ pub fn layout_svg(nodes: &[(NodeId, Point)], arena: Arena, range: f64) -> String
             p.x, p.y
         );
     }
-    out.push_str("</svg>
-");
+    out.push_str(
+        "</svg>
+",
+    );
     out
 }
 

@@ -7,7 +7,7 @@
 //! chosen to depart gracefully or abruptly."
 
 use manet_sim::{
-    Arena, Metrics, NodeId, Protocol, Sim, SimDuration, SimTime, World, WorldConfig,
+    Arena, FaultPlan, Metrics, NodeId, Protocol, Sim, SimDuration, SimTime, World, WorldConfig,
 };
 
 /// A reproducible experiment scenario.
@@ -47,6 +47,9 @@ pub struct Scenario {
     pub connected_arrivals: bool,
     /// RNG seed; also perturbs node placement and departures.
     pub seed: u64,
+    /// Fault-injection plan applied on top of the workload (default:
+    /// none — zero overhead, bit-identical to a fault-free run).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for Scenario {
@@ -65,6 +68,7 @@ impl Default for Scenario {
             post_arrivals: 0,
             connected_arrivals: true,
             seed: 1,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -78,6 +82,7 @@ impl Scenario {
             range: self.tr,
             speed: self.speed,
             seed: self.seed,
+            fault_plan: self.fault_plan.clone(),
             ..WorldConfig::default()
         }
     }
@@ -177,7 +182,11 @@ fn spawn_arrival<P: Protocol>(sim: &mut Sim<P>, s: &Scenario) -> NodeId {
         .copied()
         .filter(|n| sim.world().is_configured(*n))
         .collect();
-    let pool = if configured.is_empty() { &alive } else { &configured };
+    let pool = if configured.is_empty() {
+        &alive
+    } else {
+        &configured
+    };
     let anchor = *sim
         .world_mut()
         .rng_mut()
@@ -211,21 +220,22 @@ where
         .unwrap_or(4)
         .min(rounds.max(1) as usize);
     let next = std::sync::atomic::AtomicU64::new(0);
-    let results = parking_lot::Mutex::new(&mut out);
-    crossbeam::scope(|scope| {
+    let results = std::sync::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= rounds {
                     break;
                 }
                 let value = f(base_seed.wrapping_add(i));
-                results.lock()[i as usize] = Some(value);
+                results.lock().expect("round worker panicked")[i as usize] = Some(value);
             });
         }
-    })
-    .expect("round worker panicked");
-    out.into_iter().map(|v| v.expect("all rounds ran")).collect()
+    });
+    out.into_iter()
+        .map(|v| v.expect("all rounds ran"))
+        .collect()
 }
 
 /// Convenience: the world type used by figure drivers when they only

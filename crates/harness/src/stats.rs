@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn sem_shrinks_with_n() {
         let small = [1.0, 3.0];
-        let large: Vec<f64> = std::iter::repeat([1.0, 3.0]).take(50).flatten().collect();
+        let large: Vec<f64> = std::iter::repeat_n([1.0, 3.0], 50).flatten().collect();
         assert!(sem(&large) < sem(&small));
         assert!(ci95(&large) < ci95(&small));
     }

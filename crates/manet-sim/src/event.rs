@@ -6,9 +6,7 @@ use std::fmt;
 /// Handle to a pending timer, used for cancellation.
 ///
 /// Returned by [`World::set_timer`](crate::World::set_timer).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TimerId(pub(crate) u64);
 
 impl fmt::Display for TimerId {
@@ -23,11 +21,7 @@ pub(crate) enum EventKind<M> {
     /// Deliver a protocol message to `to`.
     Deliver { to: NodeId, from: NodeId, msg: M },
     /// Fire a protocol timer on `node`.
-    Timer {
-        node: NodeId,
-        id: TimerId,
-        tag: u64,
-    },
+    Timer { node: NodeId, id: TimerId, tag: u64 },
     /// A dormant node becomes alive and the protocol is notified.
     Join { node: NodeId },
     /// A node leaves; graceful leaves let the protocol run its departure
@@ -35,6 +29,12 @@ pub(crate) enum EventKind<M> {
     Leave { node: NodeId, graceful: bool },
     /// Random-waypoint arrival: pick the next destination.
     Waypoint { node: NodeId, epoch: u64 },
+    /// Fault plane: kill a node abruptly (no departure handshake).
+    Crash { node: NodeId },
+    /// Fault plane: a crashed node rejoins as a fresh, unconfigured node.
+    Restart { node: NodeId },
+    /// Fault plane: kill up to `count` current cluster heads.
+    HeadKill { count: u32 },
 }
 
 /// An event with its firing time and a deterministic FIFO tiebreak.
@@ -87,8 +87,7 @@ mod tests {
         heap.push(ev(30, 0));
         heap.push(ev(10, 1));
         heap.push(ev(20, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.at.as_micros()))
-            .collect();
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.at.as_micros())).collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

@@ -1,0 +1,789 @@
+//! Deterministic fault injection for simulation runs.
+//!
+//! A [`FaultPlan`] is a declarative, seeded description of everything
+//! that should go wrong during a run: probabilistic per-link message
+//! drops, delays and duplications (optionally scoped to one traffic
+//! [`MsgCategory`]), scheduled node crashes with optional restarts,
+//! targeted cluster-head kill schedules, rectangular jamming regions,
+//! and scripted partition/heal events.
+//!
+//! The plan is applied at the simulator's single delivery choke point,
+//! so unicast, bounded flood, and global flood all pass through it. An
+//! empty plan costs nothing: the fault state is not even allocated and
+//! the main RNG stream is untouched, so runs stay bit-identical with
+//! pre-fault-plane builds. A non-empty plan draws from its *own* seeded
+//! RNG, which means `(WorldConfig, FaultPlan, scenario)` reproduces a
+//! chaotic run exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use manet_sim::faults::FaultPlan;
+//! use manet_sim::{NodeId, SimTime, WorldConfig};
+//!
+//! let plan = FaultPlan::new(7)
+//!     .with_loss(0.2)
+//!     .with_crash(NodeId::new(3), SimTime::from_micros(5_000_000), None);
+//! let config = WorldConfig { fault_plan: plan, ..WorldConfig::default() };
+//! assert!(!config.fault_plan.is_empty());
+//! ```
+
+use crate::{MsgCategory, NodeId, Point, SimDuration, SimRng, SimTime};
+use std::fmt;
+
+/// A probabilistic delay applied to matching deliveries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayFault {
+    /// Probability a matching delivery is delayed.
+    pub prob: f64,
+    /// Smallest extra delay.
+    pub min: SimDuration,
+    /// Largest extra delay (inclusive).
+    pub max: SimDuration,
+}
+
+/// Per-link message fault: drop, delay, and duplication probabilities,
+/// optionally restricted to one traffic category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFault {
+    /// Apply only to this category (`None` = every category).
+    pub category: Option<MsgCategory>,
+    /// Probability a matching delivery silently vanishes.
+    pub drop: f64,
+    /// Optional extra-latency injection.
+    pub delay: Option<DelayFault>,
+    /// Probability a matching delivery arrives twice.
+    pub duplicate: f64,
+}
+
+impl LinkFault {
+    /// A fault that does nothing (useful as a starting point).
+    #[must_use]
+    pub fn none() -> Self {
+        LinkFault {
+            category: None,
+            drop: 0.0,
+            delay: None,
+            duplicate: 0.0,
+        }
+    }
+
+    fn matches(&self, category: MsgCategory) -> bool {
+        self.category.is_none_or(|c| c == category)
+    }
+}
+
+/// A scheduled abrupt node crash, with an optional later restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// The node to kill.
+    pub node: NodeId,
+    /// When it dies (abruptly — no departure handshake).
+    pub at: SimTime,
+    /// When it comes back as a fresh, unconfigured joiner (`None` =
+    /// never).
+    pub restart_at: Option<SimTime>,
+}
+
+/// A scheduled kill of `count` currently-serving cluster heads, chosen
+/// uniformly by the fault RNG among the heads alive at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeadKillEvent {
+    /// When the kill fires.
+    pub at: SimTime,
+    /// How many heads die (fewer if fewer exist).
+    pub count: u32,
+}
+
+/// A rectangular region in which radio reception fails during a time
+/// window: any delivery whose sender or receiver stands inside an
+/// active region is dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JamRegion {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+    /// Jamming starts (inclusive).
+    pub from: SimTime,
+    /// Jamming ends (exclusive).
+    pub until: SimTime,
+}
+
+impl JamRegion {
+    fn active(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    fn covers(&self, p: Point) -> bool {
+        self.min.x <= p.x && p.x <= self.max.x && self.min.y <= p.y && p.y <= self.max.y
+    }
+}
+
+/// A scripted network partition: while active, deliveries crossing the
+/// vertical line `x = boundary_x` are dropped, splitting the arena into
+/// two halves that heal at `heal`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionEvent {
+    /// The dividing vertical line.
+    pub boundary_x: f64,
+    /// Partition starts (inclusive).
+    pub start: SimTime,
+    /// Partition heals (exclusive).
+    pub heal: SimTime,
+}
+
+impl PartitionEvent {
+    fn active(&self, now: SimTime) -> bool {
+        self.start <= now && now < self.heal
+    }
+
+    fn separates(&self, a: Point, b: Point) -> bool {
+        (a.x < self.boundary_x) != (b.x < self.boundary_x)
+    }
+}
+
+/// Why the fault plane dropped a delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropCause {
+    /// A [`LinkFault`] drop probability fired.
+    Link,
+    /// Sender or receiver stood in an active [`JamRegion`].
+    Jam,
+    /// The delivery crossed an active [`PartitionEvent`] boundary.
+    Partition,
+}
+
+impl fmt::Display for DropCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DropCause::Link => "link",
+            DropCause::Jam => "jam",
+            DropCause::Partition => "partition",
+        })
+    }
+}
+
+/// A seeded, fully deterministic fault-injection plan.
+///
+/// Build one with the `with_*` combinators or parse the text form with
+/// [`FaultPlan::parse`]. Attach it via
+/// [`WorldConfig::fault_plan`](crate::WorldConfig::fault_plan).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probabilistic per-delivery faults.
+    pub link_faults: Vec<LinkFault>,
+    /// Scheduled crashes (and optional restarts).
+    pub crashes: Vec<CrashEvent>,
+    /// Scheduled cluster-head kills.
+    pub head_kills: Vec<HeadKillEvent>,
+    /// Jamming regions.
+    pub jams: Vec<JamRegion>,
+    /// Scripted partitions.
+    pub partitions: Vec<PartitionEvent>,
+    /// Seed for the dedicated fault RNG (independent of the world seed).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given fault seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// `true` if the plan injects nothing — the simulator then skips the
+    /// fault plane entirely and runs bit-identically to a build without
+    /// it.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.link_faults
+            .iter()
+            .all(|f| f.drop <= 0.0 && f.duplicate <= 0.0 && f.delay.is_none_or(|d| d.prob <= 0.0))
+            && self.crashes.is_empty()
+            && self.head_kills.is_empty()
+            && self.jams.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Adds a uniform (all-category) drop probability.
+    #[must_use]
+    pub fn with_loss(mut self, p: f64) -> Self {
+        self.link_faults.push(LinkFault {
+            drop: p,
+            ..LinkFault::none()
+        });
+        self
+    }
+
+    /// Adds a drop probability for one traffic category.
+    #[must_use]
+    pub fn with_category_loss(mut self, category: MsgCategory, p: f64) -> Self {
+        self.link_faults.push(LinkFault {
+            category: Some(category),
+            drop: p,
+            ..LinkFault::none()
+        });
+        self
+    }
+
+    /// Adds a probabilistic extra delay to every delivery.
+    #[must_use]
+    pub fn with_delay(mut self, prob: f64, min: SimDuration, max: SimDuration) -> Self {
+        self.link_faults.push(LinkFault {
+            delay: Some(DelayFault { prob, min, max }),
+            ..LinkFault::none()
+        });
+        self
+    }
+
+    /// Adds a duplication probability to every delivery.
+    #[must_use]
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.link_faults.push(LinkFault {
+            duplicate: p,
+            ..LinkFault::none()
+        });
+        self
+    }
+
+    /// Schedules an abrupt crash (and optional restart) of one node.
+    #[must_use]
+    pub fn with_crash(mut self, node: NodeId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            at,
+            restart_at,
+        });
+        self
+    }
+
+    /// Schedules a kill of `count` cluster heads at `at`.
+    #[must_use]
+    pub fn with_head_kill(mut self, at: SimTime, count: u32) -> Self {
+        self.head_kills.push(HeadKillEvent { at, count });
+        self
+    }
+
+    /// Adds a jamming region active during `[from, until)`.
+    #[must_use]
+    pub fn with_jam(mut self, min: Point, max: Point, from: SimTime, until: SimTime) -> Self {
+        self.jams.push(JamRegion {
+            min,
+            max,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a scripted partition along `x = boundary_x` during
+    /// `[start, heal)`.
+    #[must_use]
+    pub fn with_partition(mut self, boundary_x: f64, start: SimTime, heal: SimTime) -> Self {
+        self.partitions.push(PartitionEvent {
+            boundary_x,
+            start,
+            heal,
+        });
+        self
+    }
+
+    /// Parses the line-oriented text form (see the crate's README for
+    /// the full grammar). Lines:
+    ///
+    /// ```text
+    /// seed 7
+    /// loss 0.2 [configuration|maintenance|reclamation|sync|hello]
+    /// delay 0.1 10ms 50ms
+    /// dup 0.05
+    /// crash 3 at 5s [restart 20s]
+    /// headkill 2 at 10s
+    /// jam 0,0 500,500 from 5s until 15s
+    /// partition x=500 from 10s heal 30s
+    /// ```
+    ///
+    /// Blank lines and lines starting with `#` are ignored. Durations
+    /// accept the suffixes `s`, `ms`, and `us`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+            let mut words = line.split_whitespace();
+            let keyword = words.next().unwrap_or_default();
+            let rest: Vec<&str> = words.collect();
+            match keyword {
+                "seed" => {
+                    plan.seed = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("expected `seed <u64>`"))?;
+                }
+                "loss" => {
+                    let p = parse_prob(rest.first()).ok_or_else(|| err("bad probability"))?;
+                    let category = match rest.get(1) {
+                        Some(w) => Some(parse_category(w).ok_or_else(|| err("bad category"))?),
+                        None => None,
+                    };
+                    plan.link_faults.push(LinkFault {
+                        category,
+                        drop: p,
+                        ..LinkFault::none()
+                    });
+                }
+                "delay" => {
+                    let prob = parse_prob(rest.first()).ok_or_else(|| err("bad probability"))?;
+                    let min = parse_duration(rest.get(1)).ok_or_else(|| err("bad min delay"))?;
+                    let max = parse_duration(rest.get(2)).ok_or_else(|| err("bad max delay"))?;
+                    if max < min {
+                        return Err(err("max delay below min"));
+                    }
+                    plan.link_faults.push(LinkFault {
+                        delay: Some(DelayFault { prob, min, max }),
+                        ..LinkFault::none()
+                    });
+                }
+                "dup" => {
+                    let p = parse_prob(rest.first()).ok_or_else(|| err("bad probability"))?;
+                    plan.link_faults.push(LinkFault {
+                        duplicate: p,
+                        ..LinkFault::none()
+                    });
+                }
+                "crash" => {
+                    // crash <node> at <time> [restart <time>]
+                    let node: u64 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad node id"))?;
+                    if rest.get(1) != Some(&"at") {
+                        return Err(err("expected `at`"));
+                    }
+                    let at = parse_time(rest.get(2)).ok_or_else(|| err("bad crash time"))?;
+                    let restart_at = match rest.get(3) {
+                        Some(&"restart") => {
+                            Some(parse_time(rest.get(4)).ok_or_else(|| err("bad restart time"))?)
+                        }
+                        Some(_) => return Err(err("expected `restart`")),
+                        None => None,
+                    };
+                    plan.crashes.push(CrashEvent {
+                        node: NodeId::new(node),
+                        at,
+                        restart_at,
+                    });
+                }
+                "headkill" => {
+                    // headkill <count> at <time>
+                    let count: u32 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad count"))?;
+                    if rest.get(1) != Some(&"at") {
+                        return Err(err("expected `at`"));
+                    }
+                    let at = parse_time(rest.get(2)).ok_or_else(|| err("bad kill time"))?;
+                    plan.head_kills.push(HeadKillEvent { at, count });
+                }
+                "jam" => {
+                    // jam <x,y> <x,y> from <time> until <time>
+                    let min = parse_point(rest.first()).ok_or_else(|| err("bad corner"))?;
+                    let max = parse_point(rest.get(1)).ok_or_else(|| err("bad corner"))?;
+                    if rest.get(2) != Some(&"from") || rest.get(4) != Some(&"until") {
+                        return Err(err("expected `from <t> until <t>`"));
+                    }
+                    let from = parse_time(rest.get(3)).ok_or_else(|| err("bad start time"))?;
+                    let until = parse_time(rest.get(5)).ok_or_else(|| err("bad end time"))?;
+                    plan.jams.push(JamRegion {
+                        min,
+                        max,
+                        from,
+                        until,
+                    });
+                }
+                "partition" => {
+                    // partition x=<f64> from <time> heal <time>
+                    let boundary_x = rest
+                        .first()
+                        .and_then(|w| w.strip_prefix("x="))
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("expected `x=<boundary>`"))?;
+                    if rest.get(1) != Some(&"from") || rest.get(3) != Some(&"heal") {
+                        return Err(err("expected `from <t> heal <t>`"));
+                    }
+                    let start = parse_time(rest.get(2)).ok_or_else(|| err("bad start time"))?;
+                    let heal = parse_time(rest.get(4)).ok_or_else(|| err("bad heal time"))?;
+                    plan.partitions.push(PartitionEvent {
+                        boundary_x,
+                        start,
+                        heal,
+                    });
+                }
+                _ => return Err(err("unknown keyword")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_prob(word: Option<&&str>) -> Option<f64> {
+    let p: f64 = word?.parse().ok()?;
+    (0.0..=1.0).contains(&p).then_some(p)
+}
+
+fn parse_category(word: &str) -> Option<MsgCategory> {
+    Some(match word {
+        "configuration" => MsgCategory::Configuration,
+        "maintenance" => MsgCategory::Maintenance,
+        "reclamation" => MsgCategory::Reclamation,
+        "sync" => MsgCategory::Sync,
+        "hello" => MsgCategory::Hello,
+        _ => return None,
+    })
+}
+
+fn parse_duration(word: Option<&&str>) -> Option<SimDuration> {
+    let w = word?;
+    let (digits, scale) = if let Some(d) = w.strip_suffix("ms") {
+        (d, 1_000)
+    } else if let Some(d) = w.strip_suffix("us") {
+        (d, 1)
+    } else if let Some(d) = w.strip_suffix('s') {
+        (d, 1_000_000)
+    } else {
+        (*w, 1)
+    };
+    let n: u64 = digits.parse().ok()?;
+    Some(SimDuration::from_micros(n.checked_mul(scale)?))
+}
+
+fn parse_time(word: Option<&&str>) -> Option<SimTime> {
+    parse_duration(word).map(|d| SimTime::ZERO + d)
+}
+
+fn parse_point(word: Option<&&str>) -> Option<Point> {
+    let (x, y) = word?.split_once(',')?;
+    Some(Point::new(x.parse().ok()?, y.parse().ok()?))
+}
+
+/// What the fault plane decided about one scheduled delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DeliveryFate {
+    /// Drop it; the cause feeds metrics and trace.
+    Drop(DropCause),
+    /// Deliver `1 + duplicates` copies after `extra` additional latency.
+    Pass {
+        extra: SimDuration,
+        duplicates: u32,
+        delayed: bool,
+    },
+}
+
+/// Runtime state of the fault plane: the plan plus its dedicated RNG.
+/// Allocated only for non-empty plans.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: SimRng,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::seed_from(plan.seed);
+        FaultState { plan, rng }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    pub(crate) fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Decides the fate of one delivery. `from_pos`/`to_pos` are the
+    /// endpoints' positions at send time (used by jam and partition
+    /// checks; `None` for endpoints without a position is treated as
+    /// unaffected).
+    pub(crate) fn judge(
+        &mut self,
+        now: SimTime,
+        category: MsgCategory,
+        from_pos: Option<Point>,
+        to_pos: Option<Point>,
+    ) -> DeliveryFate {
+        for jam in &self.plan.jams {
+            if jam.active(now)
+                && (from_pos.is_some_and(|p| jam.covers(p))
+                    || to_pos.is_some_and(|p| jam.covers(p)))
+            {
+                return DeliveryFate::Drop(DropCause::Jam);
+            }
+        }
+        if let (Some(a), Some(b)) = (from_pos, to_pos) {
+            for part in &self.plan.partitions {
+                if part.active(now) && part.separates(a, b) {
+                    return DeliveryFate::Drop(DropCause::Partition);
+                }
+            }
+        }
+        let mut extra = SimDuration::ZERO;
+        let mut duplicates = 0;
+        let mut delayed = false;
+        for fault in &self.plan.link_faults {
+            if !fault.matches(category) {
+                continue;
+            }
+            if fault.drop > 0.0 && self.rng.chance(fault.drop) {
+                return DeliveryFate::Drop(DropCause::Link);
+            }
+            if let Some(d) = fault.delay {
+                if d.prob > 0.0 && self.rng.chance(d.prob) {
+                    let span = d.max.as_micros().saturating_sub(d.min.as_micros());
+                    let drawn = if span == 0 {
+                        d.min.as_micros()
+                    } else {
+                        d.min.as_micros() + self.rng.range_u64(0..span + 1)
+                    };
+                    extra = extra + SimDuration::from_micros(drawn);
+                    delayed = true;
+                }
+            }
+            if fault.duplicate > 0.0 && self.rng.chance(fault.duplicate) {
+                duplicates += 1;
+            }
+        }
+        DeliveryFate::Pass {
+            extra,
+            duplicates,
+            delayed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::new(99).is_empty());
+    }
+
+    #[test]
+    fn zero_probability_faults_still_count_as_empty() {
+        let plan = FaultPlan::new(1).with_loss(0.0).with_duplication(0.0);
+        assert!(plan.is_empty());
+        assert!(!FaultPlan::new(1).with_loss(0.1).is_empty());
+    }
+
+    #[test]
+    fn builders_accumulate() {
+        let plan = FaultPlan::new(3)
+            .with_loss(0.1)
+            .with_category_loss(MsgCategory::Hello, 0.5)
+            .with_delay(
+                0.2,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(5),
+            )
+            .with_duplication(0.05)
+            .with_crash(NodeId::new(1), SimTime::from_micros(10), None)
+            .with_head_kill(SimTime::from_micros(20), 2)
+            .with_jam(
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 100.0),
+                SimTime::ZERO,
+                SimTime::from_micros(50),
+            )
+            .with_partition(500.0, SimTime::ZERO, SimTime::from_micros(50));
+        assert_eq!(plan.link_faults.len(), 4);
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.head_kills.len(), 1);
+        assert_eq!(plan.jams.len(), 1);
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let text = "
+            # a chaotic day
+            seed 7
+            loss 0.2
+            loss 0.5 hello
+            delay 0.1 10ms 50ms
+            dup 0.05
+            crash 3 at 5s
+            crash 4 at 5s restart 20s
+            headkill 2 at 10s
+            jam 0,0 500,500 from 5s until 15s
+            partition x=500 from 10s heal 30s
+        ";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.link_faults.len(), 4);
+        assert_eq!(plan.link_faults[1].category, Some(MsgCategory::Hello));
+        assert_eq!(plan.crashes.len(), 2);
+        assert_eq!(
+            plan.crashes[1].restart_at,
+            Some(SimTime::from_micros(20_000_000))
+        );
+        assert_eq!(
+            plan.head_kills,
+            vec![HeadKillEvent {
+                at: SimTime::from_micros(10_000_000),
+                count: 2,
+            }]
+        );
+        assert_eq!(plan.jams[0].min, Point::new(0.0, 0.0));
+        assert_eq!(plan.partitions[0].boundary_x, 500.0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(FaultPlan::parse("loss").is_err());
+        assert!(FaultPlan::parse("loss 1.5").is_err());
+        assert!(FaultPlan::parse("loss 0.2 bogus").is_err());
+        assert!(FaultPlan::parse("crash x at 5s").is_err());
+        assert!(FaultPlan::parse("crash 3 by 5s").is_err());
+        assert!(FaultPlan::parse("delay 0.1 50ms 10ms").is_err());
+        assert!(FaultPlan::parse("warp 9").is_err());
+        assert!(FaultPlan::parse("partition y=3 from 1s heal 2s").is_err());
+    }
+
+    #[test]
+    fn judge_is_deterministic() {
+        let plan = FaultPlan::new(11)
+            .with_loss(0.3)
+            .with_delay(
+                0.5,
+                SimDuration::from_millis(1),
+                SimDuration::from_millis(9),
+            )
+            .with_duplication(0.2);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for i in 0..200 {
+            let now = SimTime::from_micros(i);
+            assert_eq!(
+                a.judge(now, MsgCategory::Configuration, None, None),
+                b.judge(now, MsgCategory::Configuration, None, None)
+            );
+        }
+    }
+
+    #[test]
+    fn category_scoping_is_respected() {
+        // Hello traffic always dropped, configuration never touched.
+        let plan = FaultPlan::new(5).with_category_loss(MsgCategory::Hello, 1.0);
+        let mut fs = FaultState::new(plan);
+        for i in 0..50 {
+            let now = SimTime::from_micros(i);
+            assert_eq!(
+                fs.judge(now, MsgCategory::Hello, None, None),
+                DeliveryFate::Drop(DropCause::Link)
+            );
+            assert_eq!(
+                fs.judge(now, MsgCategory::Configuration, None, None),
+                DeliveryFate::Pass {
+                    extra: SimDuration::ZERO,
+                    duplicates: 0,
+                    delayed: false,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn jam_region_drops_covered_endpoints() {
+        let plan = FaultPlan::new(0).with_jam(
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 100.0),
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+        );
+        let mut fs = FaultState::new(plan);
+        let inside = Some(Point::new(50.0, 50.0));
+        let outside = Some(Point::new(500.0, 500.0));
+        // Active window, receiver inside: dropped.
+        assert_eq!(
+            fs.judge(SimTime::from_micros(15), MsgCategory::Sync, outside, inside),
+            DeliveryFate::Drop(DropCause::Jam)
+        );
+        // Outside the window: passes.
+        assert!(matches!(
+            fs.judge(SimTime::from_micros(25), MsgCategory::Sync, outside, inside),
+            DeliveryFate::Pass { .. }
+        ));
+        // Active window but both endpoints clear: passes.
+        assert!(matches!(
+            fs.judge(
+                SimTime::from_micros(15),
+                MsgCategory::Sync,
+                outside,
+                outside
+            ),
+            DeliveryFate::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn partition_separates_halves_until_heal() {
+        let plan = FaultPlan::new(0).with_partition(
+            500.0,
+            SimTime::from_micros(10),
+            SimTime::from_micros(20),
+        );
+        let mut fs = FaultState::new(plan);
+        let west = Some(Point::new(100.0, 0.0));
+        let east = Some(Point::new(900.0, 0.0));
+        assert_eq!(
+            fs.judge(SimTime::from_micros(15), MsgCategory::Sync, west, east),
+            DeliveryFate::Drop(DropCause::Partition)
+        );
+        assert!(matches!(
+            fs.judge(SimTime::from_micros(15), MsgCategory::Sync, west, west),
+            DeliveryFate::Pass { .. }
+        ));
+        assert!(matches!(
+            fs.judge(SimTime::from_micros(20), MsgCategory::Sync, west, east),
+            DeliveryFate::Pass { .. }
+        ));
+    }
+
+    #[test]
+    fn delay_draw_stays_in_bounds() {
+        let plan = FaultPlan::new(13).with_delay(
+            1.0,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+        );
+        let mut fs = FaultState::new(plan);
+        for i in 0..100 {
+            match fs.judge(SimTime::from_micros(i), MsgCategory::Sync, None, None) {
+                DeliveryFate::Pass { extra, delayed, .. } => {
+                    assert!(delayed);
+                    assert!(
+                        SimDuration::from_millis(10) <= extra
+                            && extra <= SimDuration::from_millis(50),
+                        "delay {extra} out of bounds"
+                    );
+                }
+                other => panic!("expected pass, got {other:?}"),
+            }
+        }
+    }
+}

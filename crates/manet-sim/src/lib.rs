@@ -11,7 +11,16 @@
 //!   connectivity graph ([`topology`]),
 //! * hop-count message accounting per traffic category ([`Metrics`]),
 //! * an event loop ([`Sim`]) driving implementations of [`Protocol`]
-//!   through join / message / timer / leave callbacks.
+//!   through join / message / timer / leave callbacks,
+//! * seeded deterministic fault injection ([`faults`]): message drops,
+//!   delays and duplication, scheduled crashes/restarts, cluster-head
+//!   kills, jamming regions, and scripted partitions, all applied at
+//!   the single delivery choke point,
+//! * bounded event tracing ([`trace`]) — off by default so the hot path
+//!   allocates nothing; enable it per run with
+//!   [`World::enable_trace`] (`world_mut().enable_trace(capacity)`),
+//!   read back via [`World::trace`], and export as JSON Lines with
+//!   [`trace::Trace::to_jsonl`].
 //!
 //! Costs are *measured* by running protocols as message-passing state
 //! machines, not computed analytically: a unicast charges the shortest-path
@@ -48,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod faults;
 mod geometry;
 mod ids;
 mod metrics;
@@ -62,9 +72,10 @@ pub mod trace;
 mod world;
 
 pub use event::TimerId;
+pub use faults::FaultPlan;
 pub use geometry::{Arena, Point};
 pub use ids::NodeId;
-pub use metrics::{Metrics, MsgCategory};
+pub use metrics::{FaultCounters, Metrics, MsgCategory};
 pub use protocol::Protocol;
 pub use rng::SimRng;
 pub use sim::Sim;

@@ -55,6 +55,32 @@ pub struct CategoryCounter {
     pub hops: u64,
 }
 
+/// Counters for injected faults (see [`crate::faults::FaultPlan`]).
+///
+/// All zeros unless a fault plan is active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Deliveries dropped by the fault plane (link loss, jamming, or an
+    /// active partition) — not counting the legacy `loss_rate` drops.
+    pub dropped: u64,
+    /// Deliveries that received injected extra latency.
+    pub delayed: u64,
+    /// Extra copies delivered due to duplication faults.
+    pub duplicated: u64,
+    /// Scheduled node crashes that fired (including head kills).
+    pub crashes: u64,
+    /// Crashed nodes that restarted.
+    pub restarts: u64,
+}
+
+impl FaultCounters {
+    /// Total injected fault events of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.dropped + self.delayed + self.duplicated + self.crashes + self.restarts
+    }
+}
+
 /// Simulation-wide measurement sink.
 ///
 /// The delivery engine records every send's hop cost here; protocols add
@@ -78,6 +104,7 @@ pub struct Metrics {
     config_latencies: Vec<u32>,
     configured_nodes: u64,
     failed_configurations: u64,
+    faults: FaultCounters,
 }
 
 impl Metrics {
@@ -168,6 +195,18 @@ impl Metrics {
         self.failed_configurations
     }
 
+    /// Injected-fault counters (all zeros without a fault plan).
+    #[must_use]
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
+    /// Mutable access to the injected-fault counters (the delivery engine
+    /// records fault outcomes here).
+    pub fn faults_mut(&mut self) -> &mut FaultCounters {
+        &mut self.faults
+    }
+
     /// Merges another sink into this one (for aggregating replications).
     pub fn merge(&mut self, other: &Metrics) {
         for (cat, c) in &other.counters {
@@ -179,6 +218,11 @@ impl Metrics {
             .extend_from_slice(&other.config_latencies);
         self.configured_nodes += other.configured_nodes;
         self.failed_configurations += other.failed_configurations;
+        self.faults.dropped += other.faults.dropped;
+        self.faults.delayed += other.faults.delayed;
+        self.faults.duplicated += other.faults.duplicated;
+        self.faults.crashes += other.faults.crashes;
+        self.faults.restarts += other.faults.restarts;
     }
 }
 
@@ -272,11 +316,36 @@ mod tests {
     }
 
     #[test]
+    fn fault_counters_merge_and_total() {
+        let mut a = Metrics::new();
+        a.faults_mut().dropped = 3;
+        a.faults_mut().crashes = 1;
+        let mut b = Metrics::new();
+        b.faults_mut().dropped = 2;
+        b.faults_mut().delayed = 4;
+        b.faults_mut().duplicated = 5;
+        b.faults_mut().restarts = 1;
+        a.merge(&b);
+        assert_eq!(a.faults().dropped, 5);
+        assert_eq!(a.faults().delayed, 4);
+        assert_eq!(a.faults().duplicated, 5);
+        assert_eq!(a.faults().crashes, 1);
+        assert_eq!(a.faults().restarts, 1);
+        assert_eq!(a.faults().total(), 16);
+    }
+
+    #[test]
     fn category_display_names() {
         let names: Vec<String> = MsgCategory::ALL.iter().map(|c| c.to_string()).collect();
         assert_eq!(
             names,
-            vec!["configuration", "maintenance", "reclamation", "sync", "hello"]
+            vec![
+                "configuration",
+                "maintenance",
+                "reclamation",
+                "sync",
+                "hello"
+            ]
         );
     }
 }

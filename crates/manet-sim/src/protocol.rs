@@ -45,4 +45,14 @@ pub trait Protocol {
             w.remove_node(node);
         }
     }
+
+    /// Whether `node` currently acts as a cluster head (or equivalent
+    /// leader/allocator role). The fault plane uses this to resolve
+    /// targeted head-kill schedules
+    /// ([`faults::HeadKillEvent`](crate::faults::HeadKillEvent)); leaderless
+    /// protocols keep the default. Default: no node is a head.
+    fn is_cluster_head(&self, node: NodeId) -> bool {
+        let _ = node;
+        false
+    }
 }

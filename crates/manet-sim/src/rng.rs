@@ -1,11 +1,11 @@
 use crate::{Arena, Point};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 
 /// The simulator's deterministic random number generator.
 ///
 /// All randomness in a simulation flows through one seeded [`SimRng`], so a
-/// run is exactly reproducible from `(WorldConfig, scenario)`.
+/// run is exactly reproducible from `(WorldConfig, scenario)`. The generator
+/// is a self-contained xoshiro256++ seeded via splitmix64 — no external
+/// dependency, identical output on every platform.
 ///
 /// # Example
 ///
@@ -18,38 +18,96 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
+        let mut s = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
     }
 
+    /// Next raw 64-bit value (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
     /// Uniform integer in the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "range_u64 on empty range");
+        let span = range.end - range.start;
+        // Multiply-shift reduction; the bias over a u64 span is negligible
+        // for simulation purposes and the result is fully deterministic.
+        range.start + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
     }
 
     /// Uniform float in the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn range_f64(&mut self, range: std::ops::Range<f64>) -> f64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "range_f64 on empty range");
+        range.start + self.unit_f64() * (range.end - range.start)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            // Still consume one draw so the stream advances uniformly.
+            let _ = self.next_u64();
+            true
+        } else {
+            self.unit_f64() < p
+        }
     }
 
-    /// A uniform random point inside the arena.
+    /// A uniform random point inside the arena (bounds inclusive).
     pub fn point_in(&mut self, arena: &Arena) -> Point {
+        // Scale by len/(2^53-1) so the top of the range is reachable,
+        // matching the closed interval the mobility model expects.
+        let unit_closed = |r: &mut Self| (r.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
         Point::new(
-            self.inner.gen_range(0.0..=arena.width()),
-            self.inner.gen_range(0.0..=arena.height()),
+            unit_closed(self) * arena.width(),
+            unit_closed(self) * arena.height(),
         )
     }
 
@@ -58,7 +116,7 @@ impl SimRng {
         if items.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..items.len());
+            let i = self.range_u64(0..items.len() as u64) as usize;
             Some(&items[i])
         }
     }
@@ -66,14 +124,14 @@ impl SimRng {
     /// Shuffles a slice in place (Fisher–Yates).
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.range_u64(0..i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
 
     /// Derives an independent child generator (for parallel replications).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.next_u64())
+        SimRng::seed_from(self.next_u64())
     }
 }
 
@@ -144,5 +202,21 @@ mod tests {
         let mut fa = a.fork();
         let mut fb = b.fork();
         assert_eq!(fa.range_u64(0..100), fb.range_u64(0..100));
+    }
+
+    #[test]
+    fn range_f64_within_bounds() {
+        let mut rng = SimRng::seed_from(11);
+        for _ in 0..100 {
+            let v = rng.range_f64(2.0..5.0);
+            assert!((2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches_probability() {
+        let mut rng = SimRng::seed_from(12);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
     }
 }

@@ -297,6 +297,7 @@ mod tests {
         let one = Topology::build(&[(NodeId::new(0), Point::new(0.0, 0.0))], 150.0);
         mesh.converge(&one, 4);
         assert_eq!(mesh.agreement_with(&one), 1.0);
-        assert!(mesh.table(NodeId::new(0)).unwrap().is_empty() || true);
+        // A singleton's table exists; it has no peers to route to.
+        assert!(mesh.table(NodeId::new(0)).is_some());
     }
 }

@@ -163,6 +163,40 @@ impl<P: Protocol> Sim<P> {
             EventKind::Waypoint { node, epoch } => {
                 self.world.handle_waypoint(node, epoch);
             }
+            EventKind::Crash { node } => {
+                if self.world.is_alive(node) {
+                    self.world.record_crash(node);
+                    self.dispatch_leave(node, false);
+                }
+            }
+            EventKind::Restart { node } => {
+                if self.world.revive(node) {
+                    self.protocol.on_join(&mut self.world, node);
+                }
+            }
+            EventKind::HeadKill { count } => self.dispatch_head_kill(count),
+        }
+    }
+
+    /// Kills up to `count` currently-serving cluster heads, chosen by
+    /// the fault RNG among the heads the protocol reports as alive.
+    /// The victims die abruptly, exactly like scheduled crashes.
+    fn dispatch_head_kill(&mut self, count: u32) {
+        let mut heads: Vec<NodeId> = self
+            .world
+            .alive_nodes()
+            .into_iter()
+            .filter(|&n| self.protocol.is_cluster_head(n))
+            .collect();
+        if let Some(rng) = self.world.fault_rng() {
+            rng.shuffle(&mut heads);
+        }
+        heads.truncate(count as usize);
+        for node in heads {
+            if self.world.is_alive(node) {
+                self.world.record_crash(node);
+                self.dispatch_leave(node, false);
+            }
         }
     }
 
@@ -286,7 +320,10 @@ mod tests {
         assert!(!sim.world().is_alive(late));
         sim.run_until(SimTime::from_micros(600_000));
         assert!(sim.world().is_alive(late));
-        assert_eq!(sim.world().joined_at(late), Some(SimTime::from_micros(500_000)));
+        assert_eq!(
+            sim.world().joined_at(late),
+            Some(SimTime::from_micros(500_000))
+        );
     }
 
     #[test]

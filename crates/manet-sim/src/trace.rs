@@ -5,9 +5,11 @@
 //! allocation; tests and debugging sessions enable it with
 //! [`World::enable_trace`](crate::World::enable_trace).
 
-use crate::{MsgCategory, NodeId, SimTime};
+use crate::faults::DropCause;
+use crate::{MsgCategory, NodeId, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// One traced simulation event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +47,45 @@ pub enum TraceEvent {
     /// A node was removed.
     Remove {
         /// The node.
+        node: NodeId,
+    },
+    /// The fault plane dropped a scheduled delivery.
+    FaultDrop {
+        /// Sender.
+        from: NodeId,
+        /// Intended recipient.
+        to: NodeId,
+        /// Traffic category.
+        category: MsgCategory,
+        /// Why it was dropped.
+        cause: DropCause,
+    },
+    /// The fault plane added extra latency to a delivery.
+    FaultDelay {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Injected extra latency.
+        by: SimDuration,
+    },
+    /// The fault plane delivered extra copies of a message.
+    FaultDuplicate {
+        /// Sender.
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Number of extra copies.
+        copies: u32,
+    },
+    /// A scheduled crash (or head kill) removed a node.
+    Crash {
+        /// The node that died.
+        node: NodeId,
+    },
+    /// A crashed node restarted as a fresh joiner.
+    Restart {
+        /// The node that came back.
         node: NodeId,
     },
 }
@@ -87,7 +128,113 @@ impl fmt::Display for TraceRecord {
             },
             TraceEvent::Join { node } => write!(f, "[{}] {node} joined", self.at),
             TraceEvent::Remove { node } => write!(f, "[{}] {node} removed", self.at),
+            TraceEvent::FaultDrop {
+                from,
+                to,
+                category,
+                cause,
+            } => write!(
+                f,
+                "[{}] fault drop {from} -> {to} ({category}, {cause})",
+                self.at
+            ),
+            TraceEvent::FaultDelay { from, to, by } => {
+                write!(f, "[{}] fault delay {from} -> {to} (+{by})", self.at)
+            }
+            TraceEvent::FaultDuplicate { from, to, copies } => {
+                write!(
+                    f,
+                    "[{}] fault dup {from} -> {to} (x{copies} extra)",
+                    self.at
+                )
+            }
+            TraceEvent::Crash { node } => write!(f, "[{}] {node} crashed", self.at),
+            TraceEvent::Restart { node } => write!(f, "[{}] {node} restarted", self.at),
         }
+    }
+}
+
+impl TraceRecord {
+    /// Renders the record as one line of JSON (the JSONL export format).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(s, "{{\"at_us\":{}", self.at.as_micros());
+        match &self.event {
+            TraceEvent::Unicast {
+                from,
+                to,
+                category,
+                hops,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"event\":\"unicast\",\"from\":{},\"to\":{},\"category\":\"{category}\",\"hops\":{hops}",
+                    from.index(),
+                    to.index()
+                );
+            }
+            TraceEvent::Broadcast {
+                from,
+                k,
+                category,
+                recipients,
+                charge,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"event\":\"broadcast\",\"from\":{},\"category\":\"{category}\",\"recipients\":{recipients},\"charge\":{charge}",
+                    from.index()
+                );
+                if let Some(k) = k {
+                    let _ = write!(s, ",\"k\":{k}");
+                }
+            }
+            TraceEvent::Join { node } => {
+                let _ = write!(s, ",\"event\":\"join\",\"node\":{}", node.index());
+            }
+            TraceEvent::Remove { node } => {
+                let _ = write!(s, ",\"event\":\"remove\",\"node\":{}", node.index());
+            }
+            TraceEvent::FaultDrop {
+                from,
+                to,
+                category,
+                cause,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"event\":\"fault_drop\",\"from\":{},\"to\":{},\"category\":\"{category}\",\"cause\":\"{cause}\"",
+                    from.index(),
+                    to.index()
+                );
+            }
+            TraceEvent::FaultDelay { from, to, by } => {
+                let _ = write!(
+                    s,
+                    ",\"event\":\"fault_delay\",\"from\":{},\"to\":{},\"by_us\":{}",
+                    from.index(),
+                    to.index(),
+                    by.as_micros()
+                );
+            }
+            TraceEvent::FaultDuplicate { from, to, copies } => {
+                let _ = write!(
+                    s,
+                    ",\"event\":\"fault_duplicate\",\"from\":{},\"to\":{},\"copies\":{copies}",
+                    from.index(),
+                    to.index()
+                );
+            }
+            TraceEvent::Crash { node } => {
+                let _ = write!(s, ",\"event\":\"crash\",\"node\":{}", node.index());
+            }
+            TraceEvent::Restart { node } => {
+                let _ = write!(s, ",\"event\":\"restart\",\"node\":{}", node.index());
+            }
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -129,7 +276,6 @@ impl Trace {
     }
 
     /// The retained records, oldest first.
-    #[must_use]
     pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter()
     }
@@ -160,6 +306,29 @@ impl Trace {
             .map(|r| r.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    }
+
+    /// Exports the retained records as JSON Lines — one JSON object per
+    /// record, oldest first, suitable for `jq` or log ingestion.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use manet_sim::trace::{Trace, TraceEvent};
+    /// use manet_sim::{NodeId, SimTime};
+    ///
+    /// let mut t = Trace::with_capacity(8);
+    /// t.record(SimTime::ZERO, TraceEvent::Join { node: NodeId::new(1) });
+    /// assert_eq!(t.to_jsonl(), "{\"at_us\":0,\"event\":\"join\",\"node\":1}\n");
+    /// ```
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -221,5 +390,72 @@ mod tests {
         assert!(s.contains("3 hops"));
         assert!(s.contains("flood"));
         assert!(s.contains("9 rcpt"));
+    }
+
+    #[test]
+    fn fault_events_render() {
+        let mut t = Trace::with_capacity(8);
+        t.record(
+            SimTime::from_micros(1),
+            TraceEvent::FaultDrop {
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                category: MsgCategory::Configuration,
+                cause: DropCause::Jam,
+            },
+        );
+        t.record(
+            SimTime::from_micros(2),
+            TraceEvent::Crash {
+                node: NodeId::new(3),
+            },
+        );
+        t.record(
+            SimTime::from_micros(3),
+            TraceEvent::Restart {
+                node: NodeId::new(3),
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("fault drop"));
+        assert!(s.contains("jam"));
+        assert!(s.contains("n3 crashed"));
+        assert!(s.contains("n3 restarted"));
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let mut t = Trace::with_capacity(8);
+        t.record(
+            SimTime::from_micros(5),
+            TraceEvent::Unicast {
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                category: MsgCategory::Configuration,
+                hops: 3,
+            },
+        );
+        t.record(
+            SimTime::from_micros(7),
+            TraceEvent::FaultDelay {
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                by: crate::SimDuration::from_millis(4),
+            },
+        );
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"at_us\":5,\"event\":\"unicast\",\"from\":1,\"to\":2,\"category\":\"configuration\",\"hops\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"at_us\":7,\"event\":\"fault_delay\",\"from\":1,\"to\":2,\"by_us\":4000}"
+        );
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
     }
 }

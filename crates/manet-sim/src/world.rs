@@ -1,4 +1,5 @@
 use crate::event::{EventKind, Scheduled, TimerId};
+use crate::faults::{DeliveryFate, FaultPlan, FaultState};
 use crate::mobility::MobilityState;
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
@@ -33,6 +34,11 @@ pub struct WorldConfig {
     pub topology_quantum: SimDuration,
     /// RNG seed; runs with equal configs and scenarios are bit-identical.
     pub seed: u64,
+    /// Deterministic fault-injection plan (empty by default). Non-empty
+    /// plans draw from their own seeded RNG, so enabling faults never
+    /// perturbs the main random stream — and an empty plan costs
+    /// nothing, keeping fault-free runs bit-identical.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for WorldConfig {
@@ -45,6 +51,7 @@ impl Default for WorldConfig {
             loss_rate: 0.0,
             topology_quantum: SimDuration::from_millis(100),
             seed: 0,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -101,12 +108,15 @@ pub struct World<M> {
     topo_cache: Option<(SimTime, u64, Topology)>,
     topo_version: u64,
     trace: Trace,
+    faults: Option<Box<FaultState>>,
 }
 
 impl<M: Clone + fmt::Debug> World<M> {
     pub(crate) fn new(config: WorldConfig) -> Self {
         let rng = SimRng::seed_from(config.seed);
-        World {
+        let faults = (!config.fault_plan.is_empty())
+            .then(|| Box::new(FaultState::new(config.fault_plan.clone())));
+        let mut world = World {
             config,
             now: SimTime::ZERO,
             seq: 0,
@@ -119,6 +129,28 @@ impl<M: Clone + fmt::Debug> World<M> {
             topo_cache: None,
             topo_version: 0,
             trace: Trace::default(),
+            faults,
+        };
+        world.schedule_fault_events();
+        world
+    }
+
+    /// Queues the plan's scheduled faults (crashes, restarts, head
+    /// kills) as ordinary events so they interleave deterministically
+    /// with protocol traffic.
+    fn schedule_fault_events(&mut self) {
+        let Some(fs) = self.faults.as_ref() else {
+            return;
+        };
+        let plan = fs.plan().clone();
+        for crash in &plan.crashes {
+            self.push_at(crash.at, EventKind::Crash { node: crash.node });
+            if let Some(restart_at) = crash.restart_at {
+                self.push_at(restart_at, EventKind::Restart { node: crash.node });
+            }
+        }
+        for kill in &plan.head_kills {
+            self.push_at(kill.at, EventKind::HeadKill { count: kill.count });
         }
     }
 
@@ -237,11 +269,11 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// configured quantum (and until membership/mobility changes).
     pub fn topology(&mut self) -> &Topology {
         let quantum = self.config.topology_quantum.as_micros();
-        let bucket = if quantum == 0 {
-            self.now
-        } else {
-            SimTime::from_micros((self.now.as_micros() / quantum) * quantum)
-        };
+        let bucket = self
+            .now
+            .as_micros()
+            .checked_div(quantum)
+            .map_or(self.now, |b| SimTime::from_micros(b * quantum));
         let key = (bucket, self.topo_version);
         let stale = !matches!(&self.topo_cache, Some((t, v, _)) if (*t, *v) == key);
         if stale {
@@ -320,14 +352,7 @@ impl<M: Clone + fmt::Debug> World<M> {
                 hops,
             },
         );
-        if self.lost() {
-            return Ok(hops); // charged but never delivered
-        }
-        let delay = self.config.hop_delay * u64::from(hops);
-        self.push_at(
-            self.now + delay,
-            EventKind::Deliver { to, from, msg },
-        );
+        self.schedule_delivery(from, to, hops, category, msg);
         Ok(hops)
     }
 
@@ -363,17 +388,9 @@ impl<M: Clone + fmt::Debug> World<M> {
                 charge: relays,
             },
         );
-        let hop_delay = self.config.hop_delay;
-        let now = self.now;
         let recipients: Vec<NodeId> = reach.iter().map(|&(n, _)| n).collect();
         for (to, d) in reach {
-            if self.lost() {
-                continue;
-            }
-            self.push_at(
-                now + hop_delay * u64::from(d),
-                EventKind::Deliver { to, from, msg: msg.clone() },
-            );
+            self.schedule_delivery(from, to, d, category, msg.clone());
         }
         Ok(recipients)
     }
@@ -406,8 +423,6 @@ impl<M: Clone + fmt::Debug> World<M> {
                 charge: dists.len() as u64,
             },
         );
-        let hop_delay = self.config.hop_delay;
-        let now = self.now;
         // Deterministic scheduling order: sort by (depth, id) — the
         // BFS result is an unordered map, and event sequence numbers
         // break same-instant ties, so insertion order must be stable.
@@ -419,13 +434,7 @@ impl<M: Clone + fmt::Debug> World<M> {
                 continue;
             }
             recipients.push(to);
-            if self.lost() {
-                continue;
-            }
-            self.push_at(
-                now + hop_delay * u64::from(d),
-                EventKind::Deliver { to, from, msg: msg.clone() },
-            );
+            self.schedule_delivery(from, to, d, category, msg.clone());
         }
         recipients.sort_unstable();
         Ok(recipients)
@@ -435,6 +444,93 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// rate, so reliable runs stay bit-identical.
     fn lost(&mut self) -> bool {
         self.config.loss_rate > 0.0 && self.rng.chance(self.config.loss_rate)
+    }
+
+    /// The single delivery choke point: every unicast, bounded-flood,
+    /// and global-flood recipient passes through here. Applies the
+    /// legacy `loss_rate` first (on the main RNG, exactly as before the
+    /// fault plane existed) and then the fault plan (on its own RNG),
+    /// recording injected outcomes in metrics and trace. With no fault
+    /// plan this reduces to the original loss-then-push path.
+    fn schedule_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        dist_hops: u32,
+        category: MsgCategory,
+        msg: M,
+    ) {
+        if self.lost() {
+            return; // charged but never delivered
+        }
+        let base_at = self.now + self.config.hop_delay * u64::from(dist_hops);
+        if self.faults.is_none() {
+            self.push_at(base_at, EventKind::Deliver { to, from, msg });
+            return;
+        }
+        let now = self.now;
+        let pos =
+            |slot: Option<&NodeSlot>| slot.filter(|s| s.alive).map(|s| s.mobility.position(now));
+        let from_pos = pos(self.slot(from));
+        let to_pos = pos(self.slot(to));
+        let fate = self
+            .faults
+            .as_mut()
+            .expect("fault state checked above")
+            .judge(now, category, from_pos, to_pos);
+        match fate {
+            DeliveryFate::Drop(cause) => {
+                self.metrics.faults_mut().dropped += 1;
+                self.trace.record(
+                    now,
+                    TraceEvent::FaultDrop {
+                        from,
+                        to,
+                        category,
+                        cause,
+                    },
+                );
+            }
+            DeliveryFate::Pass {
+                extra,
+                duplicates,
+                delayed,
+            } => {
+                if delayed {
+                    self.metrics.faults_mut().delayed += 1;
+                    self.trace.record(
+                        now,
+                        TraceEvent::FaultDelay {
+                            from,
+                            to,
+                            by: extra,
+                        },
+                    );
+                }
+                if duplicates > 0 {
+                    self.metrics.faults_mut().duplicated += u64::from(duplicates);
+                    self.trace.record(
+                        now,
+                        TraceEvent::FaultDuplicate {
+                            from,
+                            to,
+                            copies: duplicates,
+                        },
+                    );
+                }
+                let at = base_at + extra;
+                for _ in 0..=duplicates {
+                    self.push_at(
+                        at,
+                        EventKind::Deliver {
+                            to,
+                            from,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -506,6 +602,41 @@ impl<M: Clone + fmt::Debug> World<M> {
                 self.trace.record(now, TraceEvent::Remove { node });
             }
         }
+    }
+
+    /// Records a fault-plane crash of `node` (metrics + trace). The
+    /// actual removal goes through the normal abrupt-leave path.
+    pub(crate) fn record_crash(&mut self, node: NodeId) {
+        let now = self.now;
+        self.metrics.faults_mut().crashes += 1;
+        self.trace.record(now, TraceEvent::Crash { node });
+    }
+
+    /// Revives a crashed node as a fresh, unconfigured joiner parked at
+    /// its last position. Returns `false` if the node is missing, still
+    /// alive, or never joined in the first place.
+    pub(crate) fn revive(&mut self, node: NodeId) -> bool {
+        let now = self.now;
+        let Some(slot) = self.slot_mut(node) else {
+            return false;
+        };
+        if slot.alive || slot.dormant {
+            return false;
+        }
+        let pos = slot.mobility.position(now);
+        slot.mobility = MobilityState::parked(pos);
+        slot.mobility_epoch += 1;
+        slot.configured = false;
+        slot.dormant = true;
+        self.metrics.faults_mut().restarts += 1;
+        self.trace.record(now, TraceEvent::Restart { node });
+        self.activate(node)
+    }
+
+    /// The fault plan's dedicated RNG, if a plan is active (used by the
+    /// driver to pick head-kill victims deterministically).
+    pub(crate) fn fault_rng(&mut self) -> Option<&mut SimRng> {
+        self.faults.as_deref_mut().map(FaultState::rng_mut)
     }
 
     /// Marks `node` configured: records the fact and, if the world has a

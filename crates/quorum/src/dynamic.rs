@@ -160,7 +160,7 @@ mod tests {
             .collect()
     }
 
-    fn commit(states: &mut Vec<(u32, ReplicaState<u32>)>, reachable: &[u32]) -> bool {
+    fn commit(states: &mut [(u32, ReplicaState<u32>)], reachable: &[u32]) -> bool {
         let part: Vec<(u32, ReplicaState<u32>)> = states
             .iter()
             .filter(|(s, _)| reachable.contains(s))
@@ -189,7 +189,7 @@ mod tests {
     fn minority_of_original_but_majority_of_epoch_commits() {
         let mut states = fresh(5);
         assert!(commit(&mut states, &[0, 1, 2])); // epoch {0,1,2}
-        // {0,1} is a minority of 5 but a majority of the current epoch.
+                                                  // {0,1} is a minority of 5 but a majority of the current epoch.
         assert!(commit(&mut states, &[0, 1]));
         assert_eq!(states[0].1.epoch.len(), 2);
         // Static majority voting would have refused here — the gain of
@@ -234,9 +234,9 @@ mod tests {
     fn stale_replica_is_counted_and_caught_up() {
         let mut states = fresh(3);
         assert!(commit(&mut states, &[0, 1])); // epoch {0,1}, v1; 2 stale
-        // Partition {1, 2}: latest epoch among reachable is {0,1} (from
-        // replica 1). Present members of it: just {1} — half of 2, and
-        // the distinguished member of {0,1} is 1 → tie-win.
+                                               // Partition {1, 2}: latest epoch among reachable is {0,1} (from
+                                               // replica 1). Present members of it: just {1} — half of 2, and
+                                               // the distinguished member of {0,1} is 1 → tie-win.
         assert!(commit(&mut states, &[1, 2]));
         assert_eq!(states[1].1.version, 2);
     }
@@ -247,8 +247,8 @@ mod tests {
         assert!(commit(&mut states, &[0, 1, 2, 3])); // epoch 4
         assert!(commit(&mut states, &[0, 1, 2])); // epoch 3
         assert!(commit(&mut states, &[0, 1])); // epoch 2, 0<1 so need 1
-        // The long-stale original majority {2,3,4,5,6} must refuse: its
-        // freshest epoch is {0,1,2} and only replica 2 is present (< 2).
+                                               // The long-stale original majority {2,3,4,5,6} must refuse: its
+                                               // freshest epoch is {0,1,2} and only replica 2 is present (< 2).
         let part: Vec<_> = states
             .iter()
             .filter(|(s, _)| [2, 3, 4, 5, 6].contains(s))

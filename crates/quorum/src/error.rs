@@ -31,10 +31,9 @@ pub enum QuorumError {
 impl fmt::Display for QuorumError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QuorumError::NonIntersecting { first, second } => write!(
-                f,
-                "quorum sets {first} and {second} do not intersect"
-            ),
+            QuorumError::NonIntersecting { first, second } => {
+                write!(f, "quorum sets {first} and {second} do not intersect")
+            }
             QuorumError::OutsideUniverse => {
                 write!(f, "quorum set references an element outside the universe")
             }

@@ -245,8 +245,7 @@ mod tests {
 
     #[test]
     fn store_collect_and_iterate() {
-        let store: ReplicaStore<u8, u8> =
-            (0..4).map(|k| (k, Replica::new(k * 10))).collect();
+        let store: ReplicaStore<u8, u8> = (0..4).map(|k| (k, Replica::new(k * 10))).collect();
         let keys: Vec<u8> = store.keys().copied().collect();
         assert_eq!(keys, vec![0, 1, 2, 3]);
         let vals: Vec<u8> = store.iter().map(|(_, r)| *r.value()).collect();

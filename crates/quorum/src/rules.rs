@@ -110,7 +110,7 @@ impl DynamicLinearRule {
         if granted > self.voters / 2 {
             return true;
         }
-        self.voters % 2 == 0 && granted == self.voters / 2 && has_distinguished
+        self.voters.is_multiple_of(2) && granted == self.voters / 2 && has_distinguished
     }
 }
 
@@ -307,7 +307,10 @@ mod tests {
     fn rw_balanced_is_valid() {
         for v in 1..=20 {
             let b = ReadWriteQuorum::balanced(v);
-            assert!(ReadWriteQuorum::new(b.read(), b.write(), v).is_ok(), "v={v}");
+            assert!(
+                ReadWriteQuorum::new(b.read(), b.write(), v).is_ok(),
+                "v={v}"
+            );
         }
     }
 

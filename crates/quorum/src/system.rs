@@ -68,7 +68,10 @@ impl<V: Ord + Clone> QuorumSystem<V> {
         for (i, a) in quorums.iter().enumerate() {
             for (j, b) in quorums.iter().enumerate().skip(i + 1) {
                 if a.is_disjoint(b) {
-                    return Err(QuorumError::NonIntersecting { first: i, second: j });
+                    return Err(QuorumError::NonIntersecting {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -206,7 +209,13 @@ mod tests {
     #[test]
     fn disjoint_sets_rejected() {
         let err = QuorumSystem::new([1u32, 2, 3, 4], vec![vec![1, 2], vec![3, 4]]).unwrap_err();
-        assert_eq!(err, QuorumError::NonIntersecting { first: 0, second: 1 });
+        assert_eq!(
+            err,
+            QuorumError::NonIntersecting {
+                first: 0,
+                second: 1
+            }
+        );
     }
 
     #[test]
@@ -265,6 +274,9 @@ mod tests {
     #[test]
     fn display_mentions_counts() {
         let sys = figure1();
-        assert_eq!(sys.to_string(), "quorum system over 6 voters with 3 quorum sets");
+        assert_eq!(
+            sys.to_string(),
+            "quorum system over 6 voters with 3 quorum sets"
+        );
     }
 }

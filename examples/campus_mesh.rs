@@ -15,9 +15,9 @@ fn main() {
     for policy in [UpdatePolicy::Periodic, UpdatePolicy::UponLeave] {
         let scen = Scenario {
             nn: 80,
-            speed: 20.0,           // students on scooters
-            depart_fraction: 0.3,  // devices leave through the day
-            abrupt_ratio: 0.2,     // some just run out of battery
+            speed: 20.0,          // students on scooters
+            depart_fraction: 0.3, // devices leave through the day
+            abrupt_ratio: 0.2,    // some just run out of battery
             settle: SimDuration::from_secs(20),
             depart_window: SimDuration::from_secs(30),
             cooldown: SimDuration::from_secs(20),

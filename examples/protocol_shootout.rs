@@ -43,9 +43,7 @@ fn row(name: &str, m: &RunMeasurements) {
 
 fn main() {
     let seed = 2026;
-    println!(
-        "100 nodes, 1 km², tr = 150 m, 20 m/s, 25% churn (hops by category):\n"
-    );
+    println!("100 nodes, 1 km², tr = 150 m, 20 m/s, 25% churn (hops by category):\n");
 
     let (_, m) = run_scenario(&scenario(seed), Qbac::new(ProtocolConfig::default()));
     row("quorum", &m);

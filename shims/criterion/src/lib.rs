@@ -1,0 +1,143 @@
+//! Minimal stand-in for `criterion`: same API shape, trivial timing.
+//!
+//! Each benchmark closure runs a single timed iteration and reports the
+//! wall-clock duration. Good enough to keep `cargo bench` targets
+//! compiling and producing ballpark numbers offline; not a statistics
+//! engine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter value.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark registry.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh registry with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs and reports one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("bench {}/{id}: {:?}", self.name, b.elapsed);
+        self
+    }
+
+    /// Runs and reports one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        println!("bench {}/{}: {:?}", self.name, id.label, b.elapsed);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

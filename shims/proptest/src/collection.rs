@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// A vector of values from `elem` with a length in `len`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

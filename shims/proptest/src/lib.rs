@@ -1,0 +1,104 @@
+//! Offline mini property-testing harness.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the (small) subset of the `proptest` API the workspace
+//! uses: the [`proptest!`] macro, range / tuple / collection / `any`
+//! strategies, `prop_map`, `prop_oneof!`, `Just`, and the
+//! `prop_assert*` macros. Generation is purely random (no shrinking),
+//! seeded deterministically from the test name so failures reproduce.
+//!
+//! Case count defaults to 64 per property and can be overridden with
+//! the `PROPTEST_CASES` environment variable.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod rng;
+pub mod strategy;
+
+/// Module named after the upstream `bool` strategy module.
+pub mod r#bool {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 64).
+#[must_use]
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    // Upstream re-exports the crate as `prop` so tests can write
+    // `prop::collection::vec` and `prop::bool::ANY`.
+    pub use crate as prop;
+}
+
+/// Declares property tests: each `pat in strategy` argument is drawn
+/// freshly for every case and the body is run [`cases()`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::cases() {
+                    #[allow(unused_parens)]
+                    let ($($pat),+) = (
+                        $($crate::strategy::Strategy::generate(&($strat), &mut __rng)),+
+                    );
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($arm)),+])
+    };
+}

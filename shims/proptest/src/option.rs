@@ -1,0 +1,26 @@
+//! Option strategies (`prop::option::of`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy producing `Option`s (`None` one time in four).
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` from `inner` three times out of four, otherwise `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

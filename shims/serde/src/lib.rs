@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` for downstream users, but never serializes through
+//! serde itself (the wire format in `qbac-core::wire` is hand-rolled,
+//! and trace export is hand-rolled JSONL). This crate provides the two
+//! names as no-op derives plus empty marker traits so the annotations
+//! compile without network access to crates.io.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Empty marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
