@@ -11,7 +11,7 @@
 //! growing with network size.
 
 use addrspace::{Addr, AddrBlock, AddressPool};
-use manet_sim::{MsgCategory, NodeId, Protocol, SimDuration, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
 use std::collections::HashMap;
 
 /// Parameters of the buddy baseline.
@@ -190,8 +190,10 @@ impl Buddy {
                     buddy: None,
                 },
             );
-            self.joining.remove(&node);
+            let attempts = self.joining.remove(&node).map_or(0, |j| j.0);
             w.metrics_mut().record_config_latency(1);
+            w.metrics_mut().record_join_retries(u64::from(attempts));
+            w.flow_event(FlowKind::Join, node, FlowStage::Assigned);
             w.mark_configured(node);
             let sync = self.cfg.sync_interval;
             w.set_timer(node, sync, TAG_SYNC);
@@ -201,11 +203,15 @@ impl Buddy {
             return;
         };
         j.0 += 1;
-        if j.0 < 8 {
+        let tries = j.0;
+        w.flow_event(FlowKind::Join, node, FlowStage::Retry { attempt: tries });
+        if tries < 8 {
             let retry = self.cfg.join_retry;
             w.set_timer(node, retry, TAG_JOIN_RETRY);
         } else {
             w.metrics_mut().record_config_failure();
+            w.metrics_mut().record_join_retries(u64::from(tries));
+            w.flow_event(FlowKind::Join, node, FlowStage::Abandoned);
         }
     }
 }
@@ -221,6 +227,7 @@ impl Protocol for Buddy {
 
     fn on_join(&mut self, w: &mut World<BuddyMsg>, node: NodeId) {
         self.joining.insert(node, (0, 0));
+        w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.attempt_join(w, node);
     }
 
@@ -256,7 +263,7 @@ impl Protocol for Buddy {
                 }
             }
             BuddyMsg::Assign { block, spent_hops } => {
-                let Some((_, req_hops)) = self.joining.remove(&to) else {
+                let Some((attempts, req_hops)) = self.joining.remove(&to) else {
                     return;
                 };
                 let mut pool = AddressPool::from_block(block);
@@ -270,6 +277,8 @@ impl Protocol for Buddy {
                     },
                 );
                 w.metrics_mut().record_config_latency(req_hops + spent_hops);
+                w.metrics_mut().record_join_retries(u64::from(attempts));
+                w.flow_event(FlowKind::Join, to, FlowStage::Assigned);
                 w.mark_configured(to);
                 let sync = self.cfg.sync_interval;
                 w.set_timer(to, sync, TAG_SYNC);
@@ -400,9 +409,9 @@ mod tests {
         sim.run_for(SimDuration::from_secs(1));
         sim.spawn_at(Point::new(560.0, 500.0));
         sim.run_for(SimDuration::from_secs(1));
-        let lat = sim.world().metrics().config_latencies();
+        let lat = sim.world().metrics().config_latency();
         assert!(
-            lat[1] <= 3,
+            lat.max().unwrap() <= 3,
             "one-hop request + assign must stay local: {lat:?}"
         );
     }

@@ -13,7 +13,7 @@
 
 use addrspace::fragmentation::{self, FragmentationReport};
 use addrspace::{Addr, AddrBlock, AddressPool};
-use manet_sim::{MsgCategory, NodeId, Protocol, SimDuration, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
 use std::collections::HashMap;
 
 /// Parameters of the C-tree baseline.
@@ -291,6 +291,10 @@ impl CTree {
         // global `root` pointer tracks the first root; per-component
         // roots mirror how partitions bootstrap.)
         if self.nearest_coordinator(w, node).is_none() {
+            let attempts = match self.roles.get(&node) {
+                Some(CtRole::Joining { attempts, .. }) => *attempts,
+                _ => 0,
+            };
             let _ = w.broadcast_within(node, 1, MsgCategory::Configuration, CtMsg::Req);
             let mut pool = AddressPool::from_block(self.cfg.space);
             let ip = pool.allocate_first(node.index()).expect("space non-empty");
@@ -299,6 +303,8 @@ impl CTree {
                 self.root = Some(node);
             }
             w.metrics_mut().record_config_latency(1);
+            w.metrics_mut().record_join_retries(u64::from(attempts));
+            w.flow_event(FlowKind::Join, node, FlowStage::Assigned);
             w.mark_configured(node);
             let report = self.cfg.report_interval;
             w.set_timer(node, report, TAG_ROOT_SCAN);
@@ -308,11 +314,15 @@ impl CTree {
             return;
         };
         *attempts += 1;
-        if *attempts < 8 {
+        let tries = *attempts;
+        w.flow_event(FlowKind::Join, node, FlowStage::Retry { attempt: tries });
+        if tries < 8 {
             let retry = self.cfg.join_retry;
             w.set_timer(node, retry, TAG_JOIN_RETRY);
         } else {
             w.metrics_mut().record_config_failure();
+            w.metrics_mut().record_join_retries(u64::from(tries));
+            w.flow_event(FlowKind::Join, node, FlowStage::Abandoned);
         }
     }
 }
@@ -334,6 +344,7 @@ impl Protocol for CTree {
                 hops: 0,
             },
         );
+        w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.attempt_join(w, node);
     }
 
@@ -398,10 +409,11 @@ impl Protocol for CTree {
                 }
             }
             CtMsg::Assign { addr, spent_hops } => {
-                let Some(CtRole::Joining { hops, .. }) = self.roles.get(&to) else {
+                let Some(CtRole::Joining { hops, attempts }) = self.roles.get(&to) else {
                     return;
                 };
                 let total = *hops + spent_hops;
+                let attempts = *attempts;
                 self.roles.insert(
                     to,
                     CtRole::Member {
@@ -410,17 +422,22 @@ impl Protocol for CTree {
                     },
                 );
                 w.metrics_mut().record_config_latency(total);
+                w.metrics_mut().record_join_retries(u64::from(attempts));
+                w.flow_event(FlowKind::Join, to, FlowStage::Assigned);
                 w.mark_configured(to);
             }
             CtMsg::CoordAssign { block, spent_hops } => {
-                let Some(CtRole::Joining { hops, .. }) = self.roles.get(&to) else {
+                let Some(CtRole::Joining { hops, attempts }) = self.roles.get(&to) else {
                     return;
                 };
                 let total = *hops + spent_hops;
+                let attempts = *attempts;
                 let mut pool = AddressPool::from_block(block);
                 let ip = pool.allocate_first(to.index()).expect("block non-empty");
                 self.roles.insert(to, CtRole::Coordinator { pool, ip });
                 w.metrics_mut().record_config_latency(total);
+                w.metrics_mut().record_join_retries(u64::from(attempts));
+                w.flow_event(FlowKind::Join, to, FlowStage::Assigned);
                 w.mark_configured(to);
                 // Join the C-tree: first report registers us at the root.
                 let report = self.cfg.report_interval;

@@ -12,7 +12,7 @@
 //! (stateless schemes only make duplicates unlikely, not impossible).
 
 use addrspace::{Addr, AddrBlock};
-use manet_sim::{MsgCategory, NodeId, Protocol, SimDuration, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
 use std::collections::HashMap;
 
 /// Parameters of the stateless DAD baseline.
@@ -151,6 +151,7 @@ impl Protocol for QueryDad {
     type Msg = DadMsg;
 
     fn on_join(&mut self, w: &mut World<DadMsg>, node: NodeId) {
+        w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.start_probe(w, node, 0);
     }
 
@@ -194,8 +195,11 @@ impl Protocol for QueryDad {
             // Contested: draw a fresh candidate.
             let tried = p.candidates_tried + 1;
             self.probing.remove(&node);
+            w.flow_event(FlowKind::Join, node, FlowStage::Retry { attempt: tried });
             if tried >= 8 {
                 w.metrics_mut().record_config_failure();
+                w.metrics_mut().record_join_retries(u64::from(tried));
+                w.flow_event(FlowKind::Join, node, FlowStage::Abandoned);
                 return;
             }
             self.start_probe(w, node, tried);
@@ -206,6 +210,9 @@ impl Protocol for QueryDad {
             let p = self.probing.remove(&node).expect("probe checked above");
             self.configured.insert(node, p.addr);
             w.metrics_mut().record_config_latency(p.hops);
+            w.metrics_mut()
+                .record_join_retries(u64::from(p.candidates_tried));
+            w.flow_event(FlowKind::Join, node, FlowStage::Assigned);
             w.mark_configured(node);
             return;
         }
@@ -250,8 +257,10 @@ mod tests {
         sim.run_for(SimDuration::from_secs(3));
         assert!(sim.protocol().ip_of(a).is_some());
         // Latency = one hop charged per silent flood round.
-        let lat = sim.world().metrics().config_latencies();
-        assert_eq!(lat, &[3]);
+        let lat = sim.world().metrics().config_latency();
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.min(), Some(3));
+        assert_eq!(lat.max(), Some(3));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! protocol's partial replication avoids.
 
 use addrspace::{Addr, AddrBlock, AddrStatus, AllocationTable};
-use manet_sim::{MsgCategory, NodeId, Protocol, SimDuration, SimTime, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, SimTime, World};
 use std::collections::{HashMap, HashSet};
 
 /// Parameters of the MANETconf baseline.
@@ -251,11 +251,15 @@ impl ManetConf {
             return;
         };
         *attempts += 1;
-        if *attempts < 16 {
+        let tries = *attempts;
+        w.flow_event(FlowKind::Join, node, FlowStage::Retry { attempt: tries });
+        if tries < 16 {
             let retry = self.cfg.join_retry;
             w.set_timer(node, retry, TAG_JOIN_RETRY);
         } else {
             w.metrics_mut().record_config_failure();
+            w.metrics_mut().record_join_retries(u64::from(tries));
+            w.flow_event(FlowKind::Join, node, FlowStage::Abandoned);
         }
     }
 
@@ -269,6 +273,10 @@ impl ManetConf {
     ) {
         // A newly configured node adopts the full table — the assigning
         // initiator's copy (full replication keeps them all equal).
+        let attempts = match self.roles.get(&node) {
+            Some(McRole::Unconfigured { attempts, .. }) => *attempts,
+            _ => 0,
+        };
         let mut table = basis
             .and_then(|b| self.tables.get(&b))
             .cloned()
@@ -277,6 +285,8 @@ impl ManetConf {
         self.tables.insert(node, table);
         self.roles.insert(node, McRole::Configured { ip });
         w.metrics_mut().record_config_latency(latency);
+        w.metrics_mut().record_join_retries(u64::from(attempts));
+        w.flow_event(FlowKind::Join, node, FlowStage::Assigned);
         w.mark_configured(node);
     }
 
@@ -450,6 +460,7 @@ impl Protocol for ManetConf {
                 hops: 0,
             },
         );
+        w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.attempt_join(w, node);
     }
 
@@ -651,10 +662,10 @@ mod tests {
             sim.spawn_at(Point::new(100.0 + 120.0 * i as f64, 500.0));
             sim.run_for(SimDuration::from_secs(2));
         }
-        let lat = sim.world().metrics().config_latencies();
-        assert_eq!(lat.len(), 8);
+        let lat = sim.world().metrics().config_latency();
+        assert_eq!(lat.count(), 8);
         assert!(
-            lat.last().unwrap() > lat.first().unwrap(),
+            lat.max().unwrap() > lat.min().unwrap(),
             "late joiners in a long chain wait longer: {lat:?}"
         );
     }

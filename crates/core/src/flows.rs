@@ -6,7 +6,7 @@ use crate::protocol::{tag, Qbac};
 use crate::roles::{CommonState, HeadState, NodeRole};
 use crate::vote::VotePurpose;
 use addrspace::{Addr, AddrBlock, AddrStatus, AllocationTable};
-use manet_sim::{MsgCategory, NodeId, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 
 impl Qbac {
     // ------------------------------------------------------------------
@@ -20,6 +20,23 @@ impl Qbac {
         };
         let allocator = vote.allocator;
         let spent = vote.hops + vote.req_hops;
+
+        // One quorum round normally; two when the §V-B shrink kicked in.
+        w.metrics_mut()
+            .record_vote_rounds(if vote.shrunk { 2 } else { 1 });
+        let requestor = match &vote.purpose {
+            VotePurpose::CommonConfig { requestor, .. }
+            | VotePurpose::Borrow { requestor, .. }
+            | VotePurpose::HeadConfig { requestor } => *requestor,
+        };
+        w.flow_event(
+            FlowKind::Join,
+            requestor,
+            FlowStage::VotesGathered {
+                grants: vote.grants.len() as u32,
+                refusals: vote.refusals.len() as u32,
+            },
+        );
 
         match vote.purpose {
             VotePurpose::CommonConfig { requestor, addr } => {
@@ -356,6 +373,7 @@ impl Qbac {
             return; // duplicate or stale configuration
         };
         let base_hops = js.hops_spent;
+        let attempts = js.attempts;
         let ack_hops = w
             .unicast(node, from, MsgCategory::Configuration, Msg::ComAck)
             .unwrap_or(0);
@@ -370,6 +388,7 @@ impl Qbac {
             }),
         );
         self.stats.common_configured += 1;
+        w.metrics_mut().record_join_retries(u64::from(attempts));
         self.record_first_config(w, node, base_hops + spent_hops + ack_hops);
         w.mark_configured(node);
         self.start_common_timers(w, node);
@@ -385,8 +404,17 @@ impl Qbac {
         };
         js.pending_allocator = None;
         js.attempts += 1;
+        w.flow_event(
+            FlowKind::Join,
+            node,
+            FlowStage::Retry {
+                attempt: js.attempts,
+            },
+        );
         if js.attempts == self.cfg.join_attempts {
             w.metrics_mut().record_config_failure();
+            w.metrics_mut().record_join_retries(u64::from(js.attempts));
+            w.flow_event(FlowKind::Join, node, FlowStage::Abandoned);
         }
         let retry = self.cfg.join_backoff(js.attempts);
         let gen = u64::from(js.attempts);
@@ -404,8 +432,17 @@ impl Qbac {
                 }
                 js.pending_allocator = None;
                 js.attempts += 1;
+                w.flow_event(
+                    FlowKind::Join,
+                    node,
+                    FlowStage::Retry {
+                        attempt: js.attempts,
+                    },
+                );
                 if js.attempts == self.cfg.join_attempts {
                     w.metrics_mut().record_config_failure();
+                    w.metrics_mut().record_join_retries(u64::from(js.attempts));
+                    w.flow_event(FlowKind::Join, node, FlowStage::Abandoned);
                 }
                 self.attempt_join(w, node);
             }
@@ -520,6 +557,7 @@ impl Qbac {
             return;
         };
         let mut total = js.hops_spent + spent_hops;
+        let attempts = js.attempts;
 
         let mut pool = addrspace::AddressPool::from_block(block);
         // Import the allocation records that rode along with the block.
@@ -580,6 +618,7 @@ impl Qbac {
         }
 
         self.stats.heads_configured += 1;
+        w.metrics_mut().record_join_retries(u64::from(attempts));
         self.record_first_config(w, node, total);
         w.mark_configured(node);
         self.start_head_timers(w, node);

@@ -5,7 +5,7 @@ use crate::msg::Msg;
 use crate::protocol::{tag, Qbac};
 use crate::roles::NodeRole;
 use addrspace::{Addr, AddrStatus};
-use manet_sim::{MsgCategory, NodeId, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 
 impl Qbac {
     // ------------------------------------------------------------------
@@ -161,6 +161,7 @@ impl Qbac {
     /// targeting `network` (merge or re-init).
     pub(crate) fn rejoin_network(&mut self, w: &mut World<Msg>, node: NodeId, network: Addr) {
         self.stats.merges += 1;
+        w.flow_event(FlowKind::Merge, node, FlowStage::Started);
         let js = crate::roles::JoinState {
             target_network: Some(network),
             ..Default::default()

@@ -3,7 +3,7 @@ use crate::params::{AllocatorChoice, ProtocolConfig};
 use crate::roles::{HeadState, JoinState, NodeRole};
 use crate::vote::PendingVote;
 use addrspace::{Addr, AddressPool};
-use manet_sim::{MsgCategory, NodeId, Protocol, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, World};
 use std::collections::HashMap;
 
 /// Timer tag kinds (low byte of the tag; payload in the high bits).
@@ -326,10 +326,11 @@ impl Qbac {
     }
 
     pub(crate) fn become_first_head(&mut self, w: &mut World<Msg>, node: NodeId) {
-        let hops_spent = match self.roles.get(&node) {
-            Some(NodeRole::Unconfigured(js)) => js.hops_spent,
+        let (hops_spent, attempts) = match self.roles.get(&node) {
+            Some(NodeRole::Unconfigured(js)) => (js.hops_spent, js.attempts),
             _ => return,
         };
+        w.metrics_mut().record_join_retries(u64::from(attempts));
         let mut pool = AddressPool::from_block(self.cfg.space);
         // The founder takes a random address of the space: the network ID
         // (the founder's address) is then distinct across independently
@@ -350,10 +351,15 @@ impl Qbac {
 
     /// Records a configuration-latency sample the first time `node`
     /// configures; merge reconfigurations are tracked in
-    /// [`ProtocolStats::merges`] instead.
+    /// [`ProtocolStats::merges`] instead. Either way the corresponding
+    /// flow span closes here: `Assigned` for a first configuration,
+    /// `Finalized` for an open merge flow.
     pub(crate) fn record_first_config(&mut self, w: &mut World<Msg>, node: NodeId, hops: u32) {
         if self.configured_once.insert(node) {
             w.metrics_mut().record_config_latency(hops);
+            w.flow_event(FlowKind::Join, node, FlowStage::Assigned);
+        } else {
+            w.flow_event(FlowKind::Merge, node, FlowStage::Finalized);
         }
     }
 
@@ -378,6 +384,7 @@ impl Protocol for Qbac {
     fn on_join(&mut self, w: &mut World<Msg>, node: NodeId) {
         self.roles
             .insert(node, NodeRole::Unconfigured(JoinState::default()));
+        w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.attempt_join(w, node);
     }
 

@@ -11,7 +11,7 @@ use crate::msg::Msg;
 use crate::protocol::{tag, Qbac};
 use crate::roles::NodeRole;
 use addrspace::{Addr, AddrStatus};
-use manet_sim::{MsgCategory, NodeId, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 
 /// Collection state at a reclamation initiator.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +53,7 @@ impl Qbac {
             },
         );
         self.reclaim_initiators.insert(target, initiator);
+        w.flow_event(FlowKind::Reclaim, target, FlowStage::Started);
         let _ = w.flood(
             initiator,
             MsgCategory::Reclamation,
@@ -185,6 +186,7 @@ impl Qbac {
             return;
         };
         self.reclaim_initiators.remove(&target);
+        w.flow_event(FlowKind::Reclaim, target, FlowStage::Finalized);
         let Some(state) = self.head_state_mut(initiator) else {
             return;
         };

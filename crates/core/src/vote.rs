@@ -15,7 +15,7 @@
 use crate::msg::{Msg, QuorumOp};
 use crate::protocol::{tag, Qbac};
 use addrspace::Addr;
-use manet_sim::{MsgCategory, NodeId, World};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 use quorum::{DynamicLinearRule, VersionStamp};
 use std::collections::BTreeSet;
 
@@ -317,10 +317,12 @@ impl Qbac {
     /// A probed member answered: restore it to the active electorate,
     /// and cancel any reclamation we started against it (a mobility
     /// pocket, not a death).
-    pub(crate) fn on_rep_ack(&mut self, _w: &mut World<Msg>, head: NodeId, member: NodeId) {
+    pub(crate) fn on_rep_ack(&mut self, w: &mut World<Msg>, head: NodeId, member: NodeId) {
         self.probes.remove(&(head, member));
         if self.reclaim_initiators.get(&member) == Some(&head) {
-            self.reclaims.remove(&member);
+            if self.reclaims.remove(&member).is_some() {
+                w.flow_event(FlowKind::Reclaim, member, FlowStage::Abandoned);
+            }
             self.reclaim_initiators.remove(&member);
         }
         let member_ip = self.head_state(member).map(|s| s.ip).or_else(|| {

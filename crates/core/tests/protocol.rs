@@ -406,7 +406,7 @@ fn latency_recorded_for_every_configured_node() {
     sim.run_until(SimTime::from_micros(30_000_000));
     let m = sim.world().metrics();
     assert_eq!(
-        m.config_latencies().len() as u64,
+        m.config_latency().count(),
         m.configured_nodes(),
         "one latency sample per configured node"
     );
@@ -491,8 +491,60 @@ fn config_latency_lower_without_quorum_overhead_for_first_nodes() {
     let mut sim = new_sim();
     sim.spawn_at(Point::new(500.0, 500.0));
     sim.run_for(SimDuration::from_secs(5));
-    let lat = sim.world().metrics().config_latencies();
-    assert_eq!(lat.len(), 1);
+    let lat = sim.world().metrics().config_latency();
+    assert_eq!(lat.count(), 1);
     let max_r = sim.protocol().config().max_r;
-    assert_eq!(lat[0], max_r, "one hop charged per probe broadcast");
+    assert_eq!(lat.min(), Some(u64::from(max_r)));
+    assert_eq!(
+        lat.max(),
+        Some(u64::from(max_r)),
+        "one hop charged per probe broadcast"
+    );
+}
+
+#[test]
+fn flow_spans_track_every_join_to_completion() {
+    use manet_sim::FlowKind;
+    let mut sim = new_sim();
+    sim.world_mut().enable_observer();
+    sim.world_mut().enable_trace(65_536);
+    grid_arrivals(&mut sim, 16, 140.0);
+    sim.run_until(SimTime::from_micros(30_000_000));
+
+    let w = sim.world();
+    let t = w.observer().tally(FlowKind::Join);
+    assert_eq!(t.started, 16, "one join flow per arriving node");
+    assert_eq!(
+        t.assigned,
+        w.metrics().configured_nodes(),
+        "every configured node closed its join flow with `assigned`"
+    );
+    assert_eq!(
+        t.open(),
+        t.started - t.assigned - t.abandoned,
+        "tally bookkeeping is consistent"
+    );
+
+    // Span records land in the trace with correlation IDs.
+    let jsonl = w.trace().to_jsonl();
+    assert!(jsonl.contains("\"event\":\"flow\""));
+    assert!(jsonl.contains("\"kind\":\"join\""));
+    assert!(jsonl.contains("\"stage\":\"started\""));
+    assert!(jsonl.contains("\"stage\":\"assigned\""));
+
+    // The new distributions fill alongside: at least one quorum vote ran
+    // and every completed join recorded its retry count.
+    assert!(w.metrics().vote_rounds().count() > 0);
+    assert!(w.metrics().retries().count() >= w.metrics().configured_nodes());
+}
+
+#[test]
+fn disabled_observer_emits_no_flow_records() {
+    let mut sim = new_sim();
+    sim.world_mut().enable_trace(8192);
+    grid_arrivals(&mut sim, 4, 160.0);
+    sim.run_until(SimTime::from_micros(10_000_000));
+    let w = sim.world();
+    assert_eq!(w.observer().tally(manet_sim::FlowKind::Join).started, 0);
+    assert!(!w.trace().to_jsonl().contains("\"event\":\"flow\""));
 }

@@ -6,36 +6,48 @@
 //! repro --rounds 50     # more replications (paper used 1000)
 //! repro --quick         # shrunken sweeps (seconds, for smoke tests)
 //! repro --csv out/      # also write one CSV per table
+//! repro --metrics-out snapshot.json   # run manifest + metrics snapshot
+//! repro --trace-out traces/           # per-protocol JSONL flow traces
 //! repro --chaos         # fault-injection suite (loss sweep + head kills)
 //! repro --chaos --loss 0.2 --head-kills 2   # one chaos cell
 //! repro --chaos --fault-plan plan.txt       # scripted faults (see DESIGN.md)
 //! ```
+//!
+//! With `REPRO_NO_WALL_CLOCK=1` the snapshot's per-phase `wall_us`
+//! fields render as 0, making same-seed snapshots byte-identical.
 
 use harness::chaos::{chaos_suite, ChaosOpts};
 use harness::figures::{self, FigOpts};
+use harness::snapshot::{self, Phase, Snapshot, SnapshotParams};
 use manet_sim::FaultPlan;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
+#[derive(Debug)]
 struct Args {
     fig: Option<u32>,
     opts: FigOpts,
     csv_dir: Option<PathBuf>,
     chaos: bool,
     loss: Option<f64>,
-    head_kills: u32,
+    head_kills: Option<u32>,
     fault_plan: Option<FaultPlan>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut fig = None;
     let mut opts = FigOpts::default();
     let mut csv_dir = None;
     let mut chaos = false;
     let mut loss = None;
-    let mut head_kills = 2;
+    let mut head_kills = None;
     let mut fault_plan = None;
-    let mut it = std::env::args().skip(1);
+    let mut metrics_out = None;
+    let mut trace_out = None;
+    let mut it = argv;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--fig" => {
@@ -65,7 +77,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--head-kills" => {
                 let v = it.next().ok_or("--head-kills needs a count")?;
-                head_kills = v.parse::<u32>().map_err(|e| format!("--head-kills: {e}"))?;
+                head_kills = Some(v.parse::<u32>().map_err(|e| format!("--head-kills: {e}"))?);
             }
             "--fault-plan" => {
                 let v = it.next().ok_or("--fault-plan needs a file path")?;
@@ -79,15 +91,27 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
             }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out needs a file path")?;
+                metrics_out = Some(PathBuf::from(v));
+            }
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out needs a directory")?;
+                trace_out = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--fig N] [--rounds R] [--seed S] [--quick] [--csv DIR]\n\
+                     \x20            [--metrics-out FILE] [--trace-out DIR]\n\
                      \x20      repro --chaos [--loss P] [--head-kills K] [--fault-plan FILE]\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
                      IP autoconfiguration paper. Default: all figures, {} rounds.\n\
                      --chaos instead runs the fault-injection suite: message-loss sweep plus\n\
                      scheduled cluster-head kills, auditing duplicate addresses, address leaks\n\
-                     and join-latency inflation for every protocol.",
+                     and join-latency inflation for every protocol.\n\
+                     --metrics-out writes a run manifest (seed, params, per-phase wall-clock,\n\
+                     per-protocol counters and histograms); --trace-out writes one JSONL flow\n\
+                     trace per protocol.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -95,8 +119,8 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    if !chaos && (loss.is_some() || fault_plan.is_some()) {
-        return Err("--loss / --fault-plan only apply to --chaos runs".into());
+    if !chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
+        return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
     }
     Ok(Args {
         fig,
@@ -106,11 +130,13 @@ fn parse_args() -> Result<Args, String> {
         loss,
         head_kills,
         fault_plan,
+        metrics_out,
+        trace_out,
     })
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -118,23 +144,54 @@ fn main() -> ExitCode {
         }
     };
 
+    let mut phases: Vec<Phase> = Vec::new();
+    let mut timed = |name: String, f: &mut dyn FnMut() -> Vec<harness::Table>| {
+        let t0 = Instant::now();
+        let tables = f();
+        phases.push(Phase {
+            name,
+            wall_us: t0.elapsed().as_micros() as u64,
+        });
+        tables
+    };
+
     let tables = if args.chaos {
-        chaos_suite(&ChaosOpts {
+        let opts = ChaosOpts {
             fig: args.opts,
             loss: args.loss,
-            head_kills: args.head_kills,
-            extra_plan: args.fault_plan,
-        })
+            head_kills: args.head_kills.unwrap_or(2),
+            extra_plan: args.fault_plan.clone(),
+        };
+        timed("chaos".into(), &mut || chaos_suite(&opts))
     } else {
         match args.fig {
             Some(n) => match figures::by_number(n, &args.opts) {
-                Some(t) => t,
+                Some(t) => {
+                    phases.push(Phase {
+                        name: format!("fig{n:02}"),
+                        wall_us: 0,
+                    });
+                    let t0 = Instant::now();
+                    let tables = t;
+                    phases.last_mut().expect("just pushed").wall_us =
+                        t0.elapsed().as_micros() as u64;
+                    tables
+                }
                 None => {
                     eprintln!("error: no figure {n}; figures are 4-14 plus extras 15 (fragmentation), 16 (ablation), 17 (stateless DAD), 18 (routing staleness)");
                     return ExitCode::FAILURE;
                 }
             },
-            None => figures::all(&args.opts),
+            None => {
+                let mut tables = Vec::new();
+                for n in 4..=18u32 {
+                    let fig_tables = timed(format!("fig{n:02}"), &mut || {
+                        figures::by_number(n, &args.opts).expect("figures 4-18 exist")
+                    });
+                    tables.extend(fig_tables);
+                }
+                tables
+            }
         }
     };
 
@@ -163,5 +220,102 @@ fn main() -> ExitCode {
             eprintln!("wrote {}", path.display());
         }
     }
+
+    if let Some(path) = &args.metrics_out {
+        let t0 = Instant::now();
+        let protocols = snapshot::protocol_runs(args.opts.seed, args.opts.quick);
+        phases.push(Phase {
+            name: "snapshot".into(),
+            wall_us: t0.elapsed().as_micros() as u64,
+        });
+        let snap = Snapshot {
+            params: SnapshotParams {
+                seed: args.opts.seed,
+                rounds: args.opts.rounds,
+                quick: args.opts.quick,
+                fig: args.fig,
+                chaos: args.chaos,
+                loss: args.loss,
+                head_kills: args.head_kills,
+            },
+            phases: phases.clone(),
+            protocols,
+        };
+        let json = if std::env::var_os("REPRO_NO_WALL_CLOCK").is_some() {
+            snap.deterministic_json()
+        } else {
+            snap.to_json()
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    if let Some(dir) = &args.trace_out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, jsonl) in snapshot::protocol_traces(args.opts.seed, args.opts.quick) {
+            let path = dir.join(format!("{name}.jsonl"));
+            if let Err(e) = std::fs::write(&path, jsonl) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(str::to_string)
+    }
+
+    #[test]
+    fn chaos_flags_require_chaos_mode() {
+        for flags in ["--loss 0.1", "--head-kills 3"] {
+            let err = parse_args(argv(flags)).unwrap_err();
+            assert!(
+                err.contains("only apply to --chaos"),
+                "{flags}: unexpected error {err}"
+            );
+        }
+        // With --chaos they parse.
+        let a = parse_args(argv("--chaos --loss 0.1 --head-kills 3")).unwrap();
+        assert!(a.chaos);
+        assert_eq!(a.loss, Some(0.1));
+        assert_eq!(a.head_kills, Some(3));
+    }
+
+    #[test]
+    fn head_kills_defaults_without_explicit_flag() {
+        let a = parse_args(argv("--chaos")).unwrap();
+        assert_eq!(a.head_kills, None, "default applied later, at use site");
+    }
+
+    #[test]
+    fn output_flags_parse() {
+        let a = parse_args(argv("--quick --metrics-out snap.json --trace-out traces")).unwrap();
+        assert!(a.opts.quick);
+        assert_eq!(
+            a.metrics_out.as_deref().unwrap().to_str(),
+            Some("snap.json")
+        );
+        assert_eq!(a.trace_out.as_deref().unwrap().to_str(), Some("traces"));
+    }
+
+    #[test]
+    fn unknown_and_malformed_arguments_error() {
+        assert!(parse_args(argv("--bogus")).is_err());
+        assert!(parse_args(argv("--rounds 0")).is_err());
+        assert!(parse_args(argv("--chaos --loss 1.5")).is_err());
+        assert!(parse_args(argv("--metrics-out")).is_err());
+    }
 }

@@ -7,9 +7,10 @@
 
 use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
-use crate::stats::mean;
+use crate::stats::{latency_columns, merge_histograms};
 use crate::Table;
 use baselines::manetconf::ManetConf;
+use manet_sim::Histogram;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
@@ -22,17 +23,17 @@ fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
     }
 }
 
-pub(crate) fn ours_latency(nn: usize, seed: u64, quick: bool) -> f64 {
+pub(crate) fn ours_latency(nn: usize, seed: u64, quick: bool) -> Histogram {
     let (_, m) = run_scenario(
         &scenario(nn, seed, quick),
         Qbac::new(ProtocolConfig::default()),
     );
-    m.metrics.mean_config_latency().unwrap_or(0.0)
+    m.metrics.config_latency().clone()
 }
 
-pub(crate) fn manetconf_latency(nn: usize, seed: u64, quick: bool) -> f64 {
+pub(crate) fn manetconf_latency(nn: usize, seed: u64, quick: bool) -> Histogram {
     let (_, m) = run_scenario(&scenario(nn, seed, quick), ManetConf::default());
-    m.metrics.mean_config_latency().unwrap_or(0.0)
+    m.metrics.config_latency().clone()
 }
 
 /// Runs the Figure 5 driver.
@@ -41,15 +42,32 @@ pub fn fig05(opts: &FigOpts) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 5 — configuration latency (hops) vs network size (tr=150m)",
         "nn",
-        vec!["quorum".into(), "MANETconf".into(), "ratio".into()],
+        vec![
+            "quorum".into(),
+            "q_p50".into(),
+            "q_p95".into(),
+            "q_p99".into(),
+            "MANETconf".into(),
+            "mc_p50".into(),
+            "mc_p95".into(),
+            "mc_p99".into(),
+            "ratio".into(),
+        ],
     );
     for nn in opts.nn_sweep() {
-        let ours = parallel_rounds(opts.rounds, opts.seed, |s| ours_latency(nn, s, opts.quick));
-        let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
+        let ours = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
+            ours_latency(nn, s, opts.quick)
+        }));
+        let theirs = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
             manetconf_latency(nn, s, opts.quick)
-        });
-        let (o, th) = (mean(&ours), mean(&theirs));
-        t.push_row(nn.to_string(), vec![o, th, th / o.max(1e-9)]);
+        }));
+        let q = latency_columns(&ours);
+        let mc = latency_columns(&theirs);
+        let ratio = mc[0] / q[0].max(1e-9);
+        t.push_row(
+            nn.to_string(),
+            vec![q[0], q[1], q[2], q[3], mc[0], mc[1], mc[2], mc[3], ratio],
+        );
     }
     t.note("paper: quorum roughly halves MANETconf's latency");
     vec![t]
@@ -71,10 +89,16 @@ mod tests {
         // At the largest quick size the flood-based baseline must be
         // slower.
         let last = t.rows.last().unwrap();
-        let (ours, theirs) = (last.1[0], last.1[1]);
+        let (ours, theirs) = (last.1[0], last.1[4]);
         assert!(
             theirs > ours,
             "MANETconf ({theirs:.1}) must exceed quorum ({ours:.1})"
         );
+        // Quantile columns are populated and ordered.
+        for base in [0, 4] {
+            let (p50, p95, p99) = (last.1[base + 1], last.1[base + 2], last.1[base + 3]);
+            assert!(p50 > 0.0, "p50 must be populated");
+            assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+        }
     }
 }

@@ -6,7 +6,7 @@
 
 use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
-use crate::stats::mean;
+use crate::stats::{latency_columns, merge_histograms};
 use crate::Table;
 use baselines::manetconf::ManetConf;
 use manet_sim::SimDuration;
@@ -29,21 +29,35 @@ pub fn fig06(opts: &FigOpts) -> Vec<Table> {
     let mut t = Table::new(
         format!("Fig. 6 — configuration latency (hops) vs transmission range (nn={nn})"),
         "tr_m",
-        vec!["quorum".into(), "MANETconf".into()],
+        vec![
+            "quorum".into(),
+            "q_p50".into(),
+            "q_p95".into(),
+            "q_p99".into(),
+            "MANETconf".into(),
+            "mc_p50".into(),
+            "mc_p95".into(),
+            "mc_p99".into(),
+        ],
     );
     for tr in opts.tr_sweep() {
-        let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
+        let ours = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
             let (_, m) = run_scenario(
                 &scenario(tr, nn, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
             );
-            m.metrics.mean_config_latency().unwrap_or(0.0)
-        });
-        let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
+            m.metrics.config_latency().clone()
+        }));
+        let theirs = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
             let (_, m) = run_scenario(&scenario(tr, nn, s, opts.quick), ManetConf::default());
-            m.metrics.mean_config_latency().unwrap_or(0.0)
-        });
-        t.push_row(format!("{tr:.0}"), vec![mean(&ours), mean(&theirs)]);
+            m.metrics.config_latency().clone()
+        }));
+        let q = latency_columns(&ours);
+        let mc = latency_columns(&theirs);
+        t.push_row(
+            format!("{tr:.0}"),
+            vec![q[0], q[1], q[2], q[3], mc[0], mc[1], mc[2], mc[3]],
+        );
     }
     t.note("paper: quorum stays below ~10 hops, MANETconf above ~15");
     vec![t]
@@ -64,6 +78,10 @@ mod tests {
         assert_eq!(t.rows.len(), opts.tr_sweep().len());
         for (x, vals) in &t.rows {
             assert!(vals[0] > 0.0, "quorum latency at tr={x} must be positive");
+            assert!(
+                vals[1] <= vals[2] && vals[2] <= vals[3],
+                "quorum quantiles at tr={x} must be monotone"
+            );
         }
     }
 }

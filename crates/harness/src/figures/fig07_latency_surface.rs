@@ -2,11 +2,14 @@
 //! (transmission range × network size) surface.
 //!
 //! Paper's shape: latency falls as range shrinks (allocators are closer,
-//! quorums smaller) and rises gently with network size.
+//! quorums smaller) and rises gently with network size. Two tables come
+//! out: the paper's mean surface, plus a p95 tail surface over the same
+//! grid (pooled across replications; p50/p99 are in `--metrics-out`
+//! snapshots).
 
 use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
-use crate::stats::mean;
+use crate::stats::merge_histograms;
 use crate::Table;
 use manet_sim::SimDuration;
 use qbac_core::{ProtocolConfig, Qbac};
@@ -19,12 +22,18 @@ pub fn fig07(opts: &FigOpts) -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 7 — quorum configuration latency (hops) vs (tr x nn)",
         "tr_m",
+        columns.clone(),
+    );
+    let mut tail = Table::new(
+        "Fig. 7 — quorum configuration latency p95 (hops) vs (tr x nn)",
+        "tr_m",
         columns,
     );
     for tr in opts.tr_sweep() {
         let mut row = Vec::new();
+        let mut tail_row = Vec::new();
         for &nn in &nns {
-            let vals = parallel_rounds(opts.rounds, opts.seed, |s| {
+            let pooled = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
                 let scen = Scenario {
                     nn,
                     tr,
@@ -33,14 +42,17 @@ pub fn fig07(opts: &FigOpts) -> Vec<Table> {
                     ..Scenario::default()
                 };
                 let (_, m) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
-                m.metrics.mean_config_latency().unwrap_or(0.0)
-            });
-            row.push(mean(&vals));
+                m.metrics.config_latency().clone()
+            }));
+            row.push(pooled.mean().unwrap_or(0.0));
+            tail_row.push(pooled.p95().map_or(0.0, |v| v as f64));
         }
         t.push_row(format!("{tr:.0}"), row);
+        tail.push_row(format!("{tr:.0}"), tail_row);
     }
     t.note("paper: latency decreases with smaller range, grows mildly with size");
-    vec![t]
+    tail.note("tail companion: pooled p95 over the same replications");
+    vec![t, tail]
 }
 
 #[cfg(test)]
@@ -54,10 +66,19 @@ mod tests {
             quick: true,
             seed: 6,
         };
-        let t = &fig07(&opts)[0];
-        assert_eq!(t.rows.len(), opts.tr_sweep().len());
-        for (_, vals) in &t.rows {
-            assert_eq!(vals.len(), opts.nn_sweep().len());
+        let tables = fig07(&opts);
+        assert_eq!(tables.len(), 2, "mean surface plus p95 surface");
+        for t in &tables {
+            assert_eq!(t.rows.len(), opts.tr_sweep().len());
+            for (_, vals) in &t.rows {
+                assert_eq!(vals.len(), opts.nn_sweep().len());
+            }
+        }
+        // The tail sits at or above the mean in every cell.
+        for (mean_row, tail_row) in tables[0].rows.iter().zip(tables[1].rows.iter()) {
+            for (m, p) in mean_row.1.iter().zip(tail_row.1.iter()) {
+                assert!(p + 1e-9 >= *m, "p95 ({p}) must not undercut the mean ({m})");
+            }
         }
     }
 }

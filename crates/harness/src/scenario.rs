@@ -50,6 +50,13 @@ pub struct Scenario {
     /// Fault-injection plan applied on top of the workload (default:
     /// none — zero overhead, bit-identical to a fault-free run).
     pub fault_plan: FaultPlan,
+    /// When `true`, enables the flow-span [`Observer`](manet_sim::Observer)
+    /// so the run tallies join/reclaim/merge lifecycles (default: off,
+    /// zero hot-path cost).
+    pub observe: bool,
+    /// When non-zero, enables bounded event tracing with this capacity
+    /// so the run can be exported as JSONL (default: 0, off).
+    pub trace_capacity: usize,
 }
 
 impl Default for Scenario {
@@ -69,6 +76,8 @@ impl Default for Scenario {
             connected_arrivals: true,
             seed: 1,
             fault_plan: FaultPlan::default(),
+            observe: false,
+            trace_capacity: 0,
         }
     }
 }
@@ -112,6 +121,12 @@ pub struct RunMeasurements {
 /// simulation (for protocol-state inspection) plus the measurements.
 pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> (Sim<P>, RunMeasurements) {
     let mut sim = Sim::new(s.world_config(), protocol);
+    if s.observe {
+        sim.world_mut().enable_observer();
+    }
+    if s.trace_capacity > 0 {
+        sim.world_mut().enable_trace(s.trace_capacity);
+    }
 
     // Sequential arrivals. Positions are drawn when the node powers on,
     // so connected arrivals can anchor to wherever the network is *now*.

@@ -1,0 +1,423 @@
+//! Fixed-bucket log2 histograms for latency/size distributions.
+//!
+//! The paper's evaluation is distributional (join latency, overhead per
+//! node), so the measurement sink keeps full distributions instead of
+//! raw sample vectors: a [`Histogram`] costs a fixed 65-bucket array no
+//! matter how many samples are recorded, merges across replications in
+//! O(buckets), and answers p50/p90/p99 queries with at most one bucket
+//! width of error. `count`, `sum`, `min` and `max` are tracked exactly,
+//! so means and extremes carry no quantization error at all.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+const BUCKETS: usize = 65;
+
+/// A log2 histogram over `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i` (for `i >= 1`) holds values
+/// in `[2^(i-1), 2^i - 1]`. Quantiles report the inclusive upper bound
+/// of the bucket containing the requested rank, clamped into the exact
+/// `[min, max]` range — so any quantile is off by less than the width
+/// of one bucket.
+///
+/// # Example
+///
+/// ```
+/// use manet_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 4, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(100));
+/// assert_eq!(h.mean(), Some(22.0));
+/// assert_eq!(h.p50(), Some(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_high(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn bucket_low(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples (saturating at `u64::MAX`).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Returns `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample, `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean, `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`): the upper bound of the bucket
+    /// containing the sample of rank `ceil(q * count)`, clamped into
+    /// `[min, max]`. `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(Self::bucket_high(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 95th percentile (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one. Equivalent to having
+    /// recorded both sample streams into a single histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(low, high, count)` ranges, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_low(i), Self::bucket_high(i), n))
+    }
+
+    /// Renders the histogram as one JSON object:
+    /// `{"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..,"buckets":[[lo,hi,n],..]}`.
+    ///
+    /// `min`/`max`/quantiles are `null` when empty. Only non-empty
+    /// buckets are listed, so the encoding stays compact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn opt(v: Option<u64>) -> String {
+            v.map_or_else(|| "null".into(), |v| v.to_string())
+        }
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            opt(self.min()),
+            opt(self.max()),
+            opt(self.p50()),
+            opt(self.p90()),
+            opt(self.p99()),
+        );
+        for (k, (lo, hi, n)) in self.buckets().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{lo},{hi},{n}]");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.p50(), self.p90(), self.p99()) {
+            (Some(p50), Some(p90), Some(p99)) => write!(
+                f,
+                "n={} mean={:.1} p50={p50} p90={p90} p99={p99}",
+                self.count,
+                self.mean().unwrap_or(0.0)
+            ),
+            _ => write!(f, "n=0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_answers_none() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn exact_statistics_survive_bucketing() {
+        let mut h = Histogram::new();
+        for v in [7, 3, 3, 1000, 0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1013);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.mean(), Some(1013.0 / 5.0));
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_high(0), 0);
+        assert_eq!(Histogram::bucket_high(1), 1);
+        assert_eq!(Histogram::bucket_high(2), 3);
+        assert_eq!(Histogram::bucket_high(64), u64::MAX);
+        assert_eq!(Histogram::bucket_low(64), 1u64 << 63);
+    }
+
+    #[test]
+    fn quantiles_fall_within_one_bucket() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // True p50 is 50 (bucket [32,63]); the reported upper bound must
+        // stay inside that bucket.
+        let p50 = h.p50().unwrap();
+        assert!((32..=63).contains(&p50), "p50={p50}");
+        // p99 = 99 lives in [64,127], clamped to max=100.
+        let p99 = h.p99().unwrap();
+        assert!((64..=100).contains(&p99), "p99={p99}");
+        // Quantiles are monotone.
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        assert_eq!(h.quantile(1.0), Some(100));
+        // q=0 clamps to rank 1 (the smallest sample's bucket).
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), Some(42));
+        assert_eq!(h.p99(), Some(42));
+        assert_eq!(h.min(), Some(42));
+        assert_eq!(h.max(), Some(42));
+    }
+
+    #[test]
+    fn merge_equals_union_of_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [1, 5, 9] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0, 2, 700] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(9);
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+        let mut empty = Histogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+    }
+
+    /// Property (seeded-random over 200 cases): merging per-part
+    /// histograms of any partition of a sample stream is exactly the
+    /// histogram of the whole stream, and every reported quantile stays
+    /// within one bucket of the true sample quantile.
+    #[test]
+    fn merge_matches_concatenation_and_quantiles_stay_in_bucket() {
+        let mut rng = crate::SimRng::seed_from(0x4157_0915);
+        for case in 0..200u64 {
+            let n = rng.range_u64(1..400) as usize;
+            // Mix of scales so every bucket band gets exercised.
+            let samples: Vec<u64> = (0..n)
+                .map(|_| {
+                    let shift = rng.range_u64(0..48);
+                    rng.range_u64(0..1 << shift.max(1))
+                })
+                .collect();
+            // Random partition into up to 5 parts.
+            let parts = rng.range_u64(1..6) as usize;
+            let mut split: Vec<Histogram> = vec![Histogram::new(); parts];
+            let mut whole = Histogram::new();
+            for &v in &samples {
+                split[rng.range_u64(0..parts as u64) as usize].record(v);
+                whole.record(v);
+            }
+            let mut merged = Histogram::new();
+            for part in &split {
+                merged.merge(part);
+            }
+            assert_eq!(merged, whole, "case {case}: merge != concatenation");
+
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.9, 0.99] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let truth = sorted[rank - 1];
+                let (lo, hi) = (
+                    Histogram::bucket_low(Histogram::bucket_of(truth)),
+                    Histogram::bucket_high(Histogram::bucket_of(truth)),
+                );
+                let got = merged.quantile(q).unwrap();
+                assert!(
+                    (lo..=hi).contains(&got) || got == truth,
+                    "case {case}: q={q} true={truth} got={got} outside bucket [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(3);
+        let j = h.to_json();
+        assert_eq!(
+            j,
+            "{\"count\":2,\"sum\":6,\"min\":3,\"max\":3,\"p50\":3,\"p90\":3,\"p99\":3,\"buckets\":[[2,3,2]]}"
+        );
+        assert!(Histogram::new().to_json().contains("\"min\":null"));
+    }
+}

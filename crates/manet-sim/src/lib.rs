@@ -20,7 +20,14 @@
 //!   allocates nothing; enable it per run with
 //!   [`World::enable_trace`] (`world_mut().enable_trace(capacity)`),
 //!   read back via [`World::trace`], and export as JSON Lines with
-//!   [`trace::Trace::to_jsonl`].
+//!   [`trace::Trace::to_jsonl`],
+//! * flow spans ([`observer`]) — correlation-ID-stamped protocol
+//!   lifecycle records (join started → votes gathered → address
+//!   assigned/abandoned, ditto reclamation and partition merge), also
+//!   off by default and enabled per run with [`World::enable_observer`],
+//! * fixed-bucket log2 [`Histogram`]s behind [`Metrics`] for config
+//!   latency, hop costs, quorum vote rounds, and retry counts
+//!   (p50/p90/p99, mergeable across replications).
 //!
 //! Costs are *measured* by running protocols as message-passing state
 //! machines, not computed analytically: a unicast charges the shortest-path
@@ -59,9 +66,11 @@
 mod event;
 pub mod faults;
 mod geometry;
+pub mod histogram;
 mod ids;
 mod metrics;
 pub mod mobility;
+pub mod observer;
 mod protocol;
 mod rng;
 pub mod routing;
@@ -74,8 +83,10 @@ mod world;
 pub use event::TimerId;
 pub use faults::FaultPlan;
 pub use geometry::{Arena, Point};
+pub use histogram::Histogram;
 pub use ids::NodeId;
 pub use metrics::{FaultCounters, Metrics, MsgCategory};
+pub use observer::{FlowKind, FlowStage, FlowTally, Observer};
 pub use protocol::Protocol;
 pub use rng::SimRng;
 pub use sim::Sim;

@@ -1,6 +1,8 @@
+use crate::histogram::Histogram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Traffic categories under which message costs are accounted, matching
 /// the paper's evaluation axes.
@@ -79,6 +81,24 @@ impl FaultCounters {
     pub fn total(&self) -> u64 {
         self.dropped + self.delayed + self.duplicated + self.crashes + self.restarts
     }
+
+    /// Merges another set of counters into this one. Every field is
+    /// combined here, so a newly added counter cannot be silently
+    /// dropped from [`Metrics::merge`].
+    pub fn merge(&mut self, other: &FaultCounters) {
+        let FaultCounters {
+            dropped,
+            delayed,
+            duplicated,
+            crashes,
+            restarts,
+        } = other;
+        self.dropped += dropped;
+        self.delayed += delayed;
+        self.duplicated += duplicated;
+        self.crashes += crashes;
+        self.restarts += restarts;
+    }
 }
 
 /// Simulation-wide measurement sink.
@@ -86,6 +106,11 @@ impl FaultCounters {
 /// The delivery engine records every send's hop cost here; protocols add
 /// latency samples when a configuration completes. The harness reads the
 /// totals to produce the paper's figures.
+///
+/// Distributions are kept as fixed-bucket log2 [`Histogram`]s rather
+/// than raw sample vectors: constant memory per run, O(buckets) merges
+/// across replications, and p50/p90/p99 within one bucket width (count,
+/// sum, min, max and therefore the mean stay exact).
 ///
 /// # Example
 ///
@@ -97,11 +122,15 @@ impl FaultCounters {
 /// m.record_config_latency(5);
 /// assert_eq!(m.hops(MsgCategory::Configuration), 3);
 /// assert_eq!(m.mean_config_latency(), Some(5.0));
+/// assert_eq!(m.config_latency().p99(), Some(5));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     counters: BTreeMap<MsgCategory, CategoryCounter>,
-    config_latencies: Vec<u32>,
+    config_latency: Histogram,
+    hop_cost: Histogram,
+    vote_rounds: Histogram,
+    retries: Histogram,
     configured_nodes: u64,
     failed_configurations: u64,
     faults: FaultCounters,
@@ -114,22 +143,36 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Charges one message of `hops` transmissions to `category`.
+    /// Charges one message of `hops` transmissions to `category` and
+    /// feeds the per-send hop-cost distribution.
     pub fn add_send(&mut self, category: MsgCategory, hops: u64) {
         let c = self.counters.entry(category).or_default();
         c.messages += 1;
         c.hops += hops;
+        self.hop_cost.record(hops);
     }
 
     /// Records the hop-count latency of one completed configuration.
     pub fn record_config_latency(&mut self, hops: u32) {
-        self.config_latencies.push(hops);
+        self.config_latency.record(u64::from(hops));
         self.configured_nodes += 1;
     }
 
     /// Records a configuration attempt that was abandoned.
     pub fn record_config_failure(&mut self) {
         self.failed_configurations += 1;
+    }
+
+    /// Records how many polling rounds one completed quorum vote took
+    /// (1 = decided before `T_d`, 2 = needed the §V-B shrink).
+    pub fn record_vote_rounds(&mut self, rounds: u64) {
+        self.vote_rounds.record(rounds);
+    }
+
+    /// Records the number of join retries a node accumulated before its
+    /// configuration attempt concluded (successfully or not).
+    pub fn record_join_retries(&mut self, retries: u64) {
+        self.retries.record(retries);
     }
 
     /// Hop total for a category.
@@ -167,20 +210,38 @@ impl Metrics {
             .sum()
     }
 
-    /// All recorded configuration latencies, in completion order.
+    /// The configuration-latency distribution (hops per completed
+    /// configuration).
     #[must_use]
-    pub fn config_latencies(&self) -> &[u32] {
-        &self.config_latencies
+    pub fn config_latency(&self) -> &Histogram {
+        &self.config_latency
+    }
+
+    /// The per-send hop-cost distribution (every charged send).
+    #[must_use]
+    pub fn hop_cost(&self) -> &Histogram {
+        &self.hop_cost
+    }
+
+    /// The quorum-vote round distribution (see
+    /// [`Metrics::record_vote_rounds`]).
+    #[must_use]
+    pub fn vote_rounds(&self) -> &Histogram {
+        &self.vote_rounds
+    }
+
+    /// The join-retry distribution (see
+    /// [`Metrics::record_join_retries`]).
+    #[must_use]
+    pub fn retries(&self) -> &Histogram {
+        &self.retries
     }
 
     /// Mean configuration latency in hops, `None` before any completion.
+    /// Exact: histograms carry exact counts and sums.
     #[must_use]
     pub fn mean_config_latency(&self) -> Option<f64> {
-        if self.config_latencies.is_empty() {
-            return None;
-        }
-        let sum: u64 = self.config_latencies.iter().map(|&h| u64::from(h)).sum();
-        Some(sum as f64 / self.config_latencies.len() as f64)
+        self.config_latency.mean()
     }
 
     /// Number of nodes that completed configuration.
@@ -214,15 +275,54 @@ impl Metrics {
             mine.messages += c.messages;
             mine.hops += c.hops;
         }
-        self.config_latencies
-            .extend_from_slice(&other.config_latencies);
+        self.config_latency.merge(&other.config_latency);
+        self.hop_cost.merge(&other.hop_cost);
+        self.vote_rounds.merge(&other.vote_rounds);
+        self.retries.merge(&other.retries);
         self.configured_nodes += other.configured_nodes;
         self.failed_configurations += other.failed_configurations;
-        self.faults.dropped += other.faults.dropped;
-        self.faults.delayed += other.faults.delayed;
-        self.faults.duplicated += other.faults.duplicated;
-        self.faults.crashes += other.faults.crashes;
-        self.faults.restarts += other.faults.restarts;
+        self.faults.merge(&other.faults);
+    }
+
+    /// Renders the sink as one JSON object: per-category counters,
+    /// configuration outcomes, fault counters, and every distribution
+    /// (see [`Histogram::to_json`] for the histogram encoding). Key
+    /// order is fixed, so equal metrics render byte-identically.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str("{\"categories\":{");
+        for (k, cat) in MsgCategory::ALL.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{cat}\":{{\"messages\":{},\"hops\":{}}}",
+                self.messages(*cat),
+                self.hops(*cat)
+            );
+        }
+        let _ = write!(
+            s,
+            "}},\"configured_nodes\":{},\"failed_configurations\":{}",
+            self.configured_nodes, self.failed_configurations
+        );
+        let f = &self.faults;
+        let _ = write!(
+            s,
+            ",\"faults\":{{\"dropped\":{},\"delayed\":{},\"duplicated\":{},\"crashes\":{},\"restarts\":{},\"total\":{}}}",
+            f.dropped, f.delayed, f.duplicated, f.crashes, f.restarts, f.total()
+        );
+        let _ = write!(
+            s,
+            ",\"config_latency\":{},\"hop_cost\":{},\"vote_rounds\":{},\"retries\":{}}}",
+            self.config_latency.to_json(),
+            self.hop_cost.to_json(),
+            self.vote_rounds.to_json(),
+            self.retries.to_json()
+        );
+        s
     }
 }
 
@@ -272,7 +372,23 @@ mod tests {
         m.record_config_latency(8);
         assert_eq!(m.mean_config_latency(), Some(6.0));
         assert_eq!(m.configured_nodes(), 2);
-        assert_eq!(m.config_latencies(), &[4, 8]);
+        assert_eq!(m.config_latency().count(), 2);
+        assert_eq!(m.config_latency().min(), Some(4));
+        assert_eq!(m.config_latency().max(), Some(8));
+    }
+
+    #[test]
+    fn distributions_accumulate() {
+        let mut m = Metrics::new();
+        m.add_send(MsgCategory::Configuration, 3);
+        m.add_send(MsgCategory::Hello, 1);
+        m.record_vote_rounds(1);
+        m.record_vote_rounds(2);
+        m.record_join_retries(0);
+        assert_eq!(m.hop_cost().count(), 2);
+        assert_eq!(m.hop_cost().sum(), 4);
+        assert_eq!(m.vote_rounds().max(), Some(2));
+        assert_eq!(m.retries().min(), Some(0));
     }
 
     #[test]
@@ -297,6 +413,8 @@ mod tests {
         assert_eq!(a.messages(MsgCategory::Sync), 2);
         assert_eq!(a.mean_config_latency(), Some(4.0));
         assert_eq!(a.failed_configurations(), 1);
+        assert_eq!(a.config_latency().count(), 2);
+        assert_eq!(a.hop_cost().sum(), 12);
     }
 
     #[test]
@@ -332,6 +450,50 @@ mod tests {
         assert_eq!(a.faults().crashes, 1);
         assert_eq!(a.faults().restarts, 1);
         assert_eq!(a.faults().total(), 16);
+    }
+
+    #[test]
+    fn fault_counters_merge_totals_match_total() {
+        // FaultCounters::merge must combine every field: the merged
+        // total equals the sum of the inputs' totals.
+        let a = FaultCounters {
+            dropped: 1,
+            delayed: 2,
+            duplicated: 3,
+            crashes: 4,
+            restarts: 5,
+        };
+        let b = FaultCounters {
+            dropped: 10,
+            delayed: 20,
+            duplicated: 30,
+            crashes: 40,
+            restarts: 50,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.total(), a.total() + b.total());
+        assert_eq!(merged.dropped, 11);
+        assert_eq!(merged.restarts, 55);
+    }
+
+    #[test]
+    fn json_has_fixed_key_order() {
+        let mut m = Metrics::new();
+        m.add_send(MsgCategory::Configuration, 2);
+        m.record_config_latency(2);
+        let j = m.to_json();
+        assert!(j.starts_with("{\"categories\":{\"configuration\":"));
+        assert!(j.contains("\"configured_nodes\":1"));
+        assert!(j.contains("\"faults\":{\"dropped\":0"));
+        assert!(j.contains("\"config_latency\":{\"count\":1"));
+        assert!(j.contains("\"hop_cost\":{\"count\":1"));
+        assert!(j.ends_with('}'));
+        // Equal metrics render byte-identically.
+        let mut m2 = Metrics::new();
+        m2.add_send(MsgCategory::Configuration, 2);
+        m2.record_config_latency(2);
+        assert_eq!(j, m2.to_json());
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Flow spans: correlation-ID-stamped protocol lifecycle records.
+//!
+//! A *flow* is one protocol-level undertaking — a node's attempt to
+//! acquire an address, the reclamation of a vanished head's space, a
+//! partition-merge reconfiguration. Protocols report lifecycle stages
+//! through [`World::flow_event`](crate::World::flow_event); the
+//! [`Observer`] stamps each `(kind, node)` pair with a stable
+//! correlation ID so the [`trace`](crate::trace) JSONL export can be
+//! grouped into per-flow timelines (`jq 'select(.flow == 7)'`), and
+//! tallies outcomes for run manifests.
+//!
+//! Like the zero-capacity [`Trace`](crate::trace::Trace), the observer
+//! is off by default: every `flow_event` call is a single branch on a
+//! `bool` until [`World::enable_observer`](crate::World::enable_observer)
+//! turns it on, so the hot path costs nothing in ordinary figure runs.
+
+use crate::NodeId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// What kind of protocol undertaking a flow tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlowKind {
+    /// Address acquisition: join started → votes gathered → address
+    /// assigned (or abandoned after the retry budget).
+    Join,
+    /// Reclamation of a vanished head's space (§IV-D): flood started →
+    /// space absorbed (or abandoned when the head turned out alive).
+    Reclaim,
+    /// Partition-merge / re-init reconfiguration (§V-C): old address
+    /// dropped → reconfigured in the surviving network.
+    Merge,
+}
+
+impl FlowKind {
+    const ALL: [FlowKind; 3] = [FlowKind::Join, FlowKind::Reclaim, FlowKind::Merge];
+
+    fn index(self) -> usize {
+        match self {
+            FlowKind::Join => 0,
+            FlowKind::Reclaim => 1,
+            FlowKind::Merge => 2,
+        }
+    }
+}
+
+impl fmt::Display for FlowKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FlowKind::Join => "join",
+            FlowKind::Reclaim => "reclaim",
+            FlowKind::Merge => "merge",
+        })
+    }
+}
+
+/// A lifecycle stage within a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowStage {
+    /// The flow opened (assigns the correlation ID).
+    Started,
+    /// A quorum vote over the request completed with this tally.
+    VotesGathered {
+        /// Members that granted.
+        grants: u32,
+        /// Members that refused.
+        refusals: u32,
+    },
+    /// The flow retried (`attempt` = retry ordinal, 1-based).
+    Retry {
+        /// Which retry this is.
+        attempt: u32,
+    },
+    /// Terminal: an address was assigned.
+    Assigned,
+    /// Terminal: the flow gave up (retry budget exhausted, or a
+    /// reclamation cancelled by a live head).
+    Abandoned,
+    /// Terminal: the flow completed (reclamation absorbed the space, a
+    /// merge reconfiguration landed).
+    Finalized,
+}
+
+impl FlowStage {
+    /// Terminal stages close the flow and retire its correlation ID.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            FlowStage::Assigned | FlowStage::Abandoned | FlowStage::Finalized
+        )
+    }
+
+    /// Stable lowercase name (used by trace rendering and JSONL).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlowStage::Started => "started",
+            FlowStage::VotesGathered { .. } => "votes_gathered",
+            FlowStage::Retry { .. } => "retry",
+            FlowStage::Assigned => "assigned",
+            FlowStage::Abandoned => "abandoned",
+            FlowStage::Finalized => "finalized",
+        }
+    }
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowStage::VotesGathered { grants, refusals } => {
+                write!(f, "votes_gathered ({grants} grants, {refusals} refusals)")
+            }
+            FlowStage::Retry { attempt } => write!(f, "retry #{attempt}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Outcome tallies for one [`FlowKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowTally {
+    /// Flows opened.
+    pub started: u64,
+    /// Flows closed with `Assigned`.
+    pub assigned: u64,
+    /// Flows closed with `Abandoned`.
+    pub abandoned: u64,
+    /// Flows closed with `Finalized`.
+    pub finalized: u64,
+    /// Retry stages recorded across all flows of this kind.
+    pub retries: u64,
+}
+
+impl FlowTally {
+    /// Flows opened but not yet closed.
+    #[must_use]
+    pub fn open(&self) -> u64 {
+        self.started
+            .saturating_sub(self.assigned + self.abandoned + self.finalized)
+    }
+}
+
+/// Correlation-ID registry and outcome tallies for flow spans.
+///
+/// Disabled by default; see the [module docs](self) for the cost model.
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    enabled: bool,
+    next_id: u64,
+    open: HashMap<(FlowKind, NodeId), u64>,
+    tallies: [FlowTally; 3],
+}
+
+impl Observer {
+    /// Creates an enabled observer ([`Observer::default`] is disabled).
+    #[must_use]
+    pub fn enabled() -> Self {
+        Observer {
+            enabled: true,
+            next_id: 0,
+            open: HashMap::new(),
+            tallies: [FlowTally::default(); 3],
+        }
+    }
+
+    /// Returns `true` if flow events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Outcome tallies for one flow kind.
+    #[must_use]
+    pub fn tally(&self, kind: FlowKind) -> &FlowTally {
+        &self.tallies[kind.index()]
+    }
+
+    /// Flows currently open across all kinds.
+    #[must_use]
+    pub fn open_flows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Registers a stage for `(kind, node)` and returns the flow's
+    /// correlation ID, or `None` when the event must not be recorded:
+    /// the observer is disabled, or a non-`Started` stage arrived with
+    /// no open flow (a stale completion — e.g. a reconfiguration that
+    /// never opened a merge flow).
+    ///
+    /// `Started` opens a flow (re-using the ID if one is already open,
+    /// so a restarted join keeps its timeline); terminal stages retire
+    /// the ID and bump the outcome tally.
+    pub(crate) fn observe(
+        &mut self,
+        kind: FlowKind,
+        node: NodeId,
+        stage: FlowStage,
+    ) -> Option<u64> {
+        if !self.enabled {
+            return None;
+        }
+        let key = (kind, node);
+        let id = match self.open.get(&key) {
+            Some(&id) => id,
+            None => {
+                if !matches!(stage, FlowStage::Started) {
+                    return None;
+                }
+                self.next_id += 1;
+                let id = self.next_id;
+                self.open.insert(key, id);
+                self.tallies[kind.index()].started += 1;
+                id
+            }
+        };
+        let tally = &mut self.tallies[kind.index()];
+        match stage {
+            FlowStage::Retry { .. } => tally.retries += 1,
+            FlowStage::Assigned => tally.assigned += 1,
+            FlowStage::Abandoned => tally.abandoned += 1,
+            FlowStage::Finalized => tally.finalized += 1,
+            FlowStage::Started | FlowStage::VotesGathered { .. } => {}
+        }
+        if stage.is_terminal() {
+            self.open.remove(&key);
+        }
+        Some(id)
+    }
+}
+
+/// Iterates all flow kinds (for manifest rendering).
+#[must_use]
+pub fn all_kinds() -> [FlowKind; 3] {
+    FlowKind::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let mut o = Observer::default();
+        assert!(!o.is_enabled());
+        assert_eq!(o.observe(FlowKind::Join, n(1), FlowStage::Started), None);
+        assert_eq!(o.tally(FlowKind::Join).started, 0);
+        assert_eq!(o.open_flows(), 0);
+    }
+
+    #[test]
+    fn flow_lifecycle_keeps_one_id() {
+        let mut o = Observer::enabled();
+        let id = o.observe(FlowKind::Join, n(3), FlowStage::Started).unwrap();
+        let again = o
+            .observe(FlowKind::Join, n(3), FlowStage::Retry { attempt: 1 })
+            .unwrap();
+        assert_eq!(id, again);
+        let done = o
+            .observe(FlowKind::Join, n(3), FlowStage::Assigned)
+            .unwrap();
+        assert_eq!(id, done);
+        let t = o.tally(FlowKind::Join);
+        assert_eq!((t.started, t.assigned, t.retries), (1, 1, 1));
+        assert_eq!(t.open(), 0);
+        // The flow is closed: a second Started opens a fresh ID.
+        let fresh = o.observe(FlowKind::Join, n(3), FlowStage::Started).unwrap();
+        assert_ne!(id, fresh);
+    }
+
+    #[test]
+    fn stale_completion_without_open_flow_is_dropped() {
+        let mut o = Observer::enabled();
+        assert_eq!(o.observe(FlowKind::Merge, n(2), FlowStage::Finalized), None);
+        assert_eq!(o.tally(FlowKind::Merge).finalized, 0);
+    }
+
+    #[test]
+    fn kinds_are_tallied_independently() {
+        let mut o = Observer::enabled();
+        o.observe(FlowKind::Join, n(1), FlowStage::Started);
+        o.observe(FlowKind::Reclaim, n(1), FlowStage::Started);
+        o.observe(FlowKind::Reclaim, n(1), FlowStage::Finalized);
+        assert_eq!(o.tally(FlowKind::Join).open(), 1);
+        assert_eq!(o.tally(FlowKind::Reclaim).finalized, 1);
+        assert_eq!(o.open_flows(), 1);
+    }
+
+    #[test]
+    fn restarted_open_flow_reuses_id() {
+        let mut o = Observer::enabled();
+        let a = o
+            .observe(FlowKind::Merge, n(7), FlowStage::Started)
+            .unwrap();
+        let b = o
+            .observe(FlowKind::Merge, n(7), FlowStage::Started)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(o.tally(FlowKind::Merge).started, 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! [`World::enable_trace`](crate::World::enable_trace).
 
 use crate::faults::DropCause;
+use crate::observer::{FlowKind, FlowStage};
 use crate::{MsgCategory, NodeId, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::fmt;
@@ -88,6 +89,18 @@ pub enum TraceEvent {
         /// The node that came back.
         node: NodeId,
     },
+    /// A flow span: one lifecycle stage of a correlation-ID-stamped
+    /// protocol flow (see [`crate::observer`]).
+    Flow {
+        /// Correlation ID shared by every stage of the flow.
+        flow: u64,
+        /// What the flow is doing (join, reclaim, merge).
+        kind: FlowKind,
+        /// The node the flow concerns.
+        node: NodeId,
+        /// The lifecycle stage reached.
+        stage: FlowStage,
+    },
 }
 
 /// A timestamped trace record.
@@ -150,6 +163,12 @@ impl fmt::Display for TraceRecord {
             }
             TraceEvent::Crash { node } => write!(f, "[{}] {node} crashed", self.at),
             TraceEvent::Restart { node } => write!(f, "[{}] {node} restarted", self.at),
+            TraceEvent::Flow {
+                flow,
+                kind,
+                node,
+                stage,
+            } => write!(f, "[{}] flow#{flow} {kind} {node} {stage}", self.at),
         }
     }
 }
@@ -231,6 +250,28 @@ impl TraceRecord {
             }
             TraceEvent::Restart { node } => {
                 let _ = write!(s, ",\"event\":\"restart\",\"node\":{}", node.index());
+            }
+            TraceEvent::Flow {
+                flow,
+                kind,
+                node,
+                stage,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"event\":\"flow\",\"flow\":{flow},\"kind\":\"{kind}\",\"node\":{},\"stage\":\"{}\"",
+                    node.index(),
+                    stage.name()
+                );
+                match stage {
+                    FlowStage::VotesGathered { grants, refusals } => {
+                        let _ = write!(s, ",\"grants\":{grants},\"refusals\":{refusals}");
+                    }
+                    FlowStage::Retry { attempt } => {
+                        let _ = write!(s, ",\"attempt\":{attempt}");
+                    }
+                    _ => {}
+                }
             }
         }
         s.push('}');
@@ -421,6 +462,45 @@ mod tests {
         assert!(s.contains("jam"));
         assert!(s.contains("n3 crashed"));
         assert!(s.contains("n3 restarted"));
+    }
+
+    #[test]
+    fn flow_events_render_and_export() {
+        let mut t = Trace::with_capacity(8);
+        t.record(
+            SimTime::from_micros(9),
+            TraceEvent::Flow {
+                flow: 7,
+                kind: FlowKind::Join,
+                node: NodeId::new(3),
+                stage: FlowStage::VotesGathered {
+                    grants: 2,
+                    refusals: 1,
+                },
+            },
+        );
+        t.record(
+            SimTime::from_micros(11),
+            TraceEvent::Flow {
+                flow: 7,
+                kind: FlowKind::Join,
+                node: NodeId::new(3),
+                stage: FlowStage::Assigned,
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("flow#7 join n3 votes_gathered (2 grants, 1 refusals)"));
+        assert!(s.contains("flow#7 join n3 assigned"));
+        let jsonl = t.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"at_us\":9,\"event\":\"flow\",\"flow\":7,\"kind\":\"join\",\"node\":3,\"stage\":\"votes_gathered\",\"grants\":2,\"refusals\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"at_us\":11,\"event\":\"flow\",\"flow\":7,\"kind\":\"join\",\"node\":3,\"stage\":\"assigned\"}"
+        );
     }
 
     #[test]

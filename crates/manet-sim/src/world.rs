@@ -1,6 +1,7 @@
 use crate::event::{EventKind, Scheduled, TimerId};
 use crate::faults::{DeliveryFate, FaultPlan, FaultState};
 use crate::mobility::MobilityState;
+use crate::observer::{FlowKind, FlowStage, Observer};
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
 use crate::{Arena, Metrics, MsgCategory, NodeId, Point, SimDuration, SimRng, SimTime};
@@ -108,6 +109,7 @@ pub struct World<M> {
     topo_cache: Option<(SimTime, u64, Topology)>,
     topo_version: u64,
     trace: Trace,
+    observer: Observer,
     faults: Option<Box<FaultState>>,
 }
 
@@ -129,6 +131,7 @@ impl<M: Clone + fmt::Debug> World<M> {
             topo_cache: None,
             topo_version: 0,
             trace: Trace::default(),
+            observer: Observer::default(),
             faults,
         };
         world.schedule_fault_events();
@@ -163,6 +166,43 @@ impl<M: Clone + fmt::Debug> World<M> {
     #[must_use]
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Enables flow-span observation (off by default; a disabled
+    /// observer costs one branch per [`World::flow_event`] call).
+    pub fn enable_observer(&mut self) {
+        self.observer = Observer::enabled();
+    }
+
+    /// The flow observer (disabled unless
+    /// [`World::enable_observer`] was called).
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
+    }
+
+    /// Reports a flow lifecycle stage for `(kind, node)`.
+    ///
+    /// No-op while the observer is disabled. When enabled, the stage is
+    /// stamped with the flow's correlation ID, tallied in the
+    /// [`Observer`], and recorded into the [`Trace`] (if that is also
+    /// enabled) as a [`TraceEvent::Flow`] — so a chaos failure can be
+    /// replayed as a per-flow timeline from the JSONL export.
+    pub fn flow_event(&mut self, kind: FlowKind, node: NodeId, stage: FlowStage) {
+        if !self.observer.is_enabled() {
+            return;
+        }
+        if let Some(flow) = self.observer.observe(kind, node, stage) {
+            self.trace.record(
+                self.now,
+                TraceEvent::Flow {
+                    flow,
+                    kind,
+                    node,
+                    stage,
+                },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
