@@ -153,20 +153,23 @@ impl Buddy {
         // largest block (the paper's [2] borrows from the largest
         // holder). Fall back to the nearest configured node via
         // multi-hop routing when no neighbor is configured yet.
-        let neighbor = w
-            .neighbors(node)
-            .into_iter()
-            .filter(|n| self.nodes.contains_key(n))
-            .max_by_key(|n| self.nodes[n].pool.total_len())
-            .or_else(|| {
-                let dists = w.topology().distances_from(node);
-                self.nodes
-                    .keys()
-                    .filter(|n| **n != node && w.is_alive(**n))
-                    .filter_map(|n| dists.get(n).map(|d| (*n, *d)))
-                    .min_by_key(|&(n, d)| (d, n))
-                    .map(|(n, _)| n)
-            });
+        let one_hop = {
+            let topo = w.topology();
+            topo.neighbor_indices(node)
+                .iter()
+                .map(|&i| topo.node_at(i as usize))
+                .filter(|n| self.nodes.contains_key(n))
+                .max_by_key(|n| self.nodes[n].pool.total_len())
+        };
+        let neighbor = one_hop.or_else(|| {
+            let dists = w.topology().distances_from(node);
+            self.nodes
+                .keys()
+                .filter(|n| **n != node && w.is_alive(**n))
+                .filter_map(|n| dists.get(n).map(|d| (*n, *d)))
+                .min_by_key(|&(n, d)| (d, n))
+                .map(|(n, _)| n)
+        });
         if let Some(alloc) = neighbor {
             if let Ok(h) = w.unicast(node, alloc, MsgCategory::Configuration, BuddyMsg::Req) {
                 if let Some(j) = self.joining.get_mut(&node) {

@@ -193,11 +193,14 @@ impl ManetConf {
         // uniformly so initiator load spreads instead of piling onto one
         // hot node; fall back to the nearest configured node via
         // multi-hop routing so sparse arrival orders still converge.
-        let candidates: Vec<NodeId> = w
-            .neighbors(node)
-            .into_iter()
-            .filter(|n| matches!(self.roles.get(n), Some(McRole::Configured { .. })))
-            .collect();
+        let candidates: Vec<NodeId> = {
+            let topo = w.topology();
+            topo.neighbor_indices(node)
+                .iter()
+                .map(|&i| topo.node_at(i as usize))
+                .filter(|n| matches!(self.roles.get(n), Some(McRole::Configured { .. })))
+                .collect()
+        };
         w.rng_mut().choose(&candidates).copied().or_else(|| {
             let dists = w.topology().distances_from(node);
             self.roles

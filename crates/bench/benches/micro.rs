@@ -3,24 +3,39 @@
 //! vote tallies.
 
 use addrspace::{Addr, AddrBlock, AddrStatus, AddressPool, AllocationTable};
+use bench::topology_baseline::{run_topology_baseline, write_workspace_artifact};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use manet_sim::topology::Topology;
 use manet_sim::{Arena, NodeId, SimRng};
 use quorum::{MajorityRule, QuorumRule, VoteTally};
 
+fn layout(n: usize, seed: u64) -> Vec<(NodeId, Point)> {
+    let arena = Arena::default();
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| (NodeId::new(i as u64), rng.point_in(&arena)))
+        .collect()
+}
+
+use manet_sim::Point;
+
 fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology");
-    for n in [50usize, 100, 200] {
-        let arena = Arena::default();
-        let mut rng = SimRng::seed_from(1);
-        let nodes: Vec<_> = (0..n)
-            .map(|i| (NodeId::new(i as u64), rng.point_in(&arena)))
-            .collect();
-        group.bench_with_input(BenchmarkId::new("build", n), &nodes, |b, nodes| {
+    for n in [50usize, 100, 200, 500] {
+        let nodes = layout(n, 1);
+        group.bench_with_input(BenchmarkId::new("build_grid", n), &nodes, |b, nodes| {
             b.iter(|| Topology::build(black_box(nodes), 150.0));
         });
+        group.bench_with_input(BenchmarkId::new("build_naive", n), &nodes, |b, nodes| {
+            b.iter(|| Topology::build_naive(black_box(nodes), 150.0));
+        });
         let topo = Topology::build(&nodes, 150.0);
-        group.bench_with_input(BenchmarkId::new("bfs", n), &topo, |b, topo| {
+        group.bench_with_input(BenchmarkId::new("bfs_fresh", n), &nodes, |b, nodes| {
+            // A fresh build has an empty memo: this times build + first BFS.
+            b.iter(|| Topology::build(black_box(nodes), 150.0).distances_from(NodeId::new(0)));
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_memoized", n), &topo, |b, topo| {
+            let _ = topo.distances_from(NodeId::new(0)); // warm
             b.iter(|| topo.distances_from(black_box(NodeId::new(0))));
         });
         group.bench_with_input(BenchmarkId::new("components", n), &topo, |b, topo| {
@@ -28,6 +43,34 @@ fn bench_topology(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Times the engine properly (multi-iteration, median of repetitions —
+/// the criterion shim only does single shots) and records the numbers
+/// as the machine-readable `BENCH_topology.json` baseline at the
+/// workspace root.
+fn bench_topology_baseline_json(c: &mut Criterion) {
+    let baseline = run_topology_baseline();
+    let json = baseline.to_json();
+    match write_workspace_artifact("BENCH_topology.json", &json) {
+        Ok(path) => println!("topology baseline written to {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_topology.json: {e}"),
+    }
+    // Surface the headline number in the bench output too.
+    c.bench_function("topology_engine/baseline_json", |b| b.iter(|| ()));
+    for row in &baseline.rows {
+        println!(
+            "topology n={}: naive build {:.1}us, grid build {:.1}us ({:.1}x), \
+             bfs fresh {:.2}us, bfs memoized {:.3}us, flood+deliver {:.1}us",
+            row.n,
+            row.naive_build_us,
+            row.grid_build_us,
+            row.build_speedup,
+            row.bfs_fresh_us,
+            row.bfs_memo_us,
+            row.flood_deliver_us,
+        );
+    }
 }
 
 fn bench_pool(c: &mut Criterion) {
@@ -84,6 +127,7 @@ fn bench_tally(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_topology,
+    bench_topology_baseline_json,
     bench_pool,
     bench_table_merge,
     bench_tally

@@ -9,6 +9,8 @@
 
 use harness::figures::FigOpts;
 
+pub mod topology_baseline;
+
 /// Quick options used inside benches: one replication, shrunken sweeps.
 #[must_use]
 pub fn bench_opts() -> FigOpts {

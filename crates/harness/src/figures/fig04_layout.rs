@@ -31,7 +31,7 @@ pub fn fig04(opts: &FigOpts) -> Vec<Table> {
         let comps = topo.components();
         let degrees: Vec<f64> = nodes
             .iter()
-            .map(|(n, _)| topo.neighbors(*n).len() as f64)
+            .map(|(n, _)| topo.neighbor_indices(*n).len() as f64)
             .collect();
         let largest = comps.iter().map(Vec::len).max().unwrap_or(0);
         (

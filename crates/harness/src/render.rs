@@ -121,17 +121,19 @@ pub fn layout_svg(nodes: &[(NodeId, Point)], arena: Arena, range: f64) -> String
         out,
         r#"<rect width="{w:.0}" height="{h:.0}" fill="white" stroke="black"/>"#
     );
-    // Links first so nodes draw on top.
-    for (a, pa) in nodes {
-        for b in topo.neighbors(*a) {
-            if b.index() > a.index() {
-                if let Some((_, pb)) = nodes.iter().find(|(n, _)| *n == b) {
-                    let _ = writeln!(
-                        out,
-                        r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="1"/>"##,
-                        pa.x, pa.y, pb.x, pb.y
-                    );
-                }
+    // Links first so nodes draw on top. The topology's dense indices
+    // are positions in `nodes`, so each link endpoint is a direct
+    // lookup instead of a linear scan.
+    for (ai, (a, pa)) in nodes.iter().enumerate() {
+        for &bi in topo.neighbor_indices(*a) {
+            let bi = bi as usize;
+            if bi > ai {
+                let pb = nodes[bi].1;
+                let _ = writeln!(
+                    out,
+                    r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#bbb" stroke-width="1"/>"##,
+                    pa.x, pa.y, pb.x, pb.y
+                );
             }
         }
     }

@@ -1,0 +1,109 @@
+//! Determinism regression for the topology engine.
+//!
+//! The spatial-grid neighbor index and the BFS/components memoization are
+//! pure optimizations: same-seed runs must stay byte-identical to the
+//! naive all-pairs engine they replaced. This test pins the snapshot
+//! fingerprint of a small chaos scenario (loss + delay + dup + a crash +
+//! a head kill, all five protocols, flow observer on) to the value
+//! produced by the pre-grid engine on `main`. If an engine change shifts
+//! any hop count, delivery order, or flow tally, the FNV-1a fingerprint
+//! moves and this fails — the optimization is provably
+//! behavior-preserving while it passes.
+
+use harness::scenario::{run_scenario, Scenario};
+use harness::snapshot::{ProtocolRun, Snapshot, SnapshotParams};
+use manet_sim::observer::all_kinds;
+use manet_sim::{FaultPlan, Protocol, SimDuration};
+
+/// Fingerprint of [`chaos_snapshot`]`(7)` captured on `main` with the
+/// naive O(n²) `Topology::build` and uncached BFS, before the
+/// spatial-grid engine landed. Regenerate only if the *workload* changes
+/// — never to paper over an engine behavior change.
+const PINNED_FINGERPRINT: &str = "fnv1a:e865652e48f0b874";
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::parse(
+        "seed 9\n\
+         loss 0.05\n\
+         delay 0.1 5ms 20ms\n\
+         dup 0.05\n\
+         crash 3 at 12s restart 30s\n\
+         headkill 1 at 20s\n",
+    )
+    .expect("chaos plan parses")
+}
+
+fn chaos_scenario(seed: u64) -> Scenario {
+    Scenario {
+        nn: 20,
+        settle: SimDuration::from_secs(5),
+        depart_fraction: 0.3,
+        abrupt_ratio: 0.5,
+        depart_window: SimDuration::from_secs(10),
+        cooldown: SimDuration::from_secs(10),
+        post_arrivals: 2,
+        seed,
+        fault_plan: chaos_plan(),
+        observe: true,
+        ..Scenario::default()
+    }
+}
+
+fn chaos_run<P: Protocol>(name: &str, seed: u64, p: P) -> ProtocolRun {
+    let (sim, m) = run_scenario(&chaos_scenario(seed), p);
+    let flows = all_kinds()
+        .iter()
+        .map(|k| (k.to_string(), *sim.world().observer().tally(*k)))
+        .collect();
+    ProtocolRun {
+        name: name.to_string(),
+        metrics: m.metrics,
+        flows,
+    }
+}
+
+fn chaos_snapshot(seed: u64) -> Snapshot {
+    Snapshot {
+        params: SnapshotParams {
+            seed,
+            rounds: 1,
+            quick: true,
+            chaos: true,
+            ..SnapshotParams::default()
+        },
+        phases: Vec::new(),
+        protocols: vec![
+            chaos_run(
+                "quorum",
+                seed,
+                qbac_core::Qbac::new(qbac_core::ProtocolConfig::default()),
+            ),
+            chaos_run(
+                "manetconf",
+                seed,
+                baselines::manetconf::ManetConf::default(),
+            ),
+            chaos_run("buddy", seed, baselines::buddy::Buddy::default()),
+            chaos_run("ctree", seed, baselines::ctree::CTree::default()),
+            chaos_run("dad", seed, baselines::dad::QueryDad::default()),
+        ],
+    }
+}
+
+#[test]
+fn same_seed_chaos_fingerprint_matches_pre_grid_engine() {
+    let got = format!("fnv1a:{:016x}", chaos_snapshot(7).fingerprint());
+    assert_eq!(
+        got, PINNED_FINGERPRINT,
+        "topology engine changed observable behavior: snapshot fingerprint \
+         moved from the pre-grid baseline"
+    );
+}
+
+#[test]
+fn chaos_fingerprint_is_reproducible_within_a_build() {
+    assert_eq!(
+        chaos_snapshot(7).fingerprint(),
+        chaos_snapshot(7).fingerprint()
+    );
+}

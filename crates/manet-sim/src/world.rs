@@ -307,6 +307,15 @@ impl<M: Clone + fmt::Debug> World<M> {
 
     /// A connectivity snapshot for the current instant. Cached for the
     /// configured quantum (and until membership/mobility changes).
+    ///
+    /// The snapshot is built with the spatial-grid engine and carries
+    /// its own memoized per-source BFS distance vectors and component
+    /// partition (see [`topology`](crate::topology)), so repeated
+    /// `hops`/`within`/`distances_from`/`component_of` queries within
+    /// one quantum traverse the graph once. Those memo caches share
+    /// this cache's `(quantum bucket, topo_version)` key by
+    /// construction: any membership or mobility change bumps
+    /// `topo_version`, which drops the snapshot and its caches with it.
     pub fn topology(&mut self) -> &Topology {
         let quantum = self.config.topology_quantum.as_micros();
         let bucket = self
@@ -331,8 +340,18 @@ impl<M: Clone + fmt::Debug> World<M> {
     }
 
     /// One-hop neighbors of `node`.
+    ///
+    /// Materializes a `Vec<NodeId>`; hot paths that only iterate should
+    /// use [`Topology::neighbor_indices`] via [`World::topology`]
+    /// instead, which borrows the adjacency slice without allocating.
     pub fn neighbors(&mut self, node: NodeId) -> Vec<NodeId> {
         self.topology().neighbors(node)
+    }
+
+    /// Degree (one-hop neighbor count) of `node`, without materializing
+    /// the neighbor list.
+    pub fn degree(&mut self, node: NodeId) -> usize {
+        self.topology().neighbor_indices(node).len()
     }
 
     /// Alive nodes within `k` hops of `node`, with distances.

@@ -1,0 +1,286 @@
+//! Differential tests: the spatial-grid topology engine against the
+//! naive O(n²) oracle, and the memoized BFS queries against fresh
+//! traversals.
+//!
+//! This is how NS-style simulators validate optimized connectivity
+//! structures: the optimized engine must be *indistinguishable* from
+//! the obviously-correct one — same link sets (inclusive range
+//! boundary), same adjacency order, same hop metrics — across layouts
+//! from sparse (range well under one grid cell of spacing) to dense
+//! (range covering the whole arena in a few cells).
+
+use manet_sim::mobility::MobilityState;
+use manet_sim::topology::Topology;
+use manet_sim::{Arena, NodeId, Point, Protocol, Sim, SimDuration, SimRng, World, WorldConfig};
+use proptest::prelude::*;
+
+fn random_layout(seed: u64, n: usize, area: f64) -> Vec<(NodeId, Point)> {
+    let arena = Arena::new(area, area);
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| (NodeId::new(i as u64), rng.point_in(&arena)))
+        .collect()
+}
+
+/// Full structural equality between two builds of the same layout:
+/// identical neighbor lists (content *and* order), link counts, and
+/// membership.
+fn assert_same_graph(grid: &Topology, naive: &Topology, nodes: &[(NodeId, Point)]) {
+    assert_eq!(grid.len(), naive.len());
+    assert_eq!(grid.link_count(), naive.link_count());
+    for (id, _) in nodes {
+        assert_eq!(
+            grid.neighbors(*id),
+            naive.neighbors(*id),
+            "adjacency of {id:?} diverges"
+        );
+        assert_eq!(grid.neighbor_indices(*id), naive.neighbor_indices(*id));
+    }
+}
+
+proptest! {
+    /// Grid-built adjacency equals the naive all-pairs adjacency on
+    /// random layouts across the whole sparse-to-dense spectrum.
+    #[test]
+    fn grid_adjacency_equals_naive_oracle(
+        n in 0usize..120,
+        range in 5.0f64..1500.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let nodes = random_layout(seed, n, 1000.0);
+        let grid = Topology::build(&nodes, range);
+        let naive = Topology::build_naive(&nodes, range);
+        assert_same_graph(&grid, &naive, &nodes);
+    }
+
+    /// Memoized `distances_from` / `hops` / `within` / `components`
+    /// agree with a fresh BFS on the naive oracle build, and repeating
+    /// each query returns the same answer (the memo is read-only).
+    #[test]
+    fn memoized_queries_equal_fresh_bfs(
+        n in 1usize..80,
+        range in 50.0f64..800.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let nodes = random_layout(seed, n, 1000.0);
+        let grid = Topology::build(&nodes, range);
+        let sources: Vec<NodeId> = nodes.iter().map(|(id, _)| *id).take(8).collect();
+        for &s in &sources {
+            // Fresh oracle per query: a new naive build has an empty memo.
+            let oracle = Topology::build_naive(&nodes, range);
+            prop_assert_eq!(grid.distances_from(s), oracle.distances_from(s));
+            prop_assert_eq!(grid.within(s, 2), oracle.within(s, 2));
+            prop_assert_eq!(grid.component_of(s), oracle.component_of(s));
+            for &t in &sources {
+                prop_assert_eq!(grid.hops(s, t), oracle.hops(s, t));
+            }
+            // Second round hits the memo; answers must not move.
+            prop_assert_eq!(grid.distances_from(s), oracle.distances_from(s));
+            prop_assert_eq!(grid.component_of(s), oracle.component_of(s));
+        }
+        prop_assert_eq!(grid.components(), Topology::build_naive(&nodes, range).components());
+        prop_assert_eq!(grid.components(), grid.components());
+    }
+}
+
+/// Deterministic sweep pinning the boundary regimes the proptest may
+/// not hit every run: n up to 500 (the issue's ceiling), ranges from
+/// far-below-cell-spacing to beyond the arena diagonal (complete
+/// graph), plus n ∈ {0, 1}.
+#[test]
+fn grid_equals_naive_across_size_and_range_sweep() {
+    for &n in &[0usize, 1, 2, 3, 10, 60, 200, 500] {
+        for &range in &[5.0f64, 40.0, 150.0, 450.0, 1500.0] {
+            let nodes = random_layout(n as u64 * 31 + 7, n, 1000.0);
+            let grid = Topology::build(&nodes, range);
+            let naive = Topology::build_naive(&nodes, range);
+            assert_same_graph(&grid, &naive, &nodes);
+            // Spot-check the BFS layer too, from a few sources.
+            for (id, _) in nodes.iter().take(5) {
+                assert_eq!(grid.distances_from(*id), naive.distances_from(*id));
+                assert_eq!(grid.component_of(*id), naive.component_of(*id));
+            }
+            assert_eq!(grid.components(), naive.components());
+        }
+    }
+}
+
+/// The inclusive range boundary survives the grid engine: nodes at
+/// exactly `range` apart link, a hair beyond do not — including pairs
+/// that straddle a cell border.
+#[test]
+fn inclusive_boundary_across_cell_borders() {
+    let range = 150.0;
+    let cases = [
+        (Point::new(0.0, 0.0), Point::new(150.0, 0.0), true),
+        (Point::new(0.0, 0.0), Point::new(150.0 + 1e-9, 0.0), false),
+        // Straddles the x = 150 cell border diagonally.
+        (Point::new(149.0, 10.0), Point::new(239.0, 130.0), true), // dist = 150
+        (Point::new(90.0, 120.0), Point::new(180.0, 0.0), true),   // dist = 150
+        (Point::new(100.0, 100.0), Point::new(400.0, 100.0), false),
+    ];
+    for (i, &(a, b, linked)) in cases.iter().enumerate() {
+        let nodes = [(NodeId::new(0), a), (NodeId::new(1), b)];
+        for t in [
+            Topology::build(&nodes, range),
+            Topology::build_naive(&nodes, range),
+        ] {
+            assert_eq!(
+                t.hops(NodeId::new(0), NodeId::new(1)) == Some(1),
+                linked,
+                "case {i}: {a} - {b}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// World-level cache invalidation
+// ---------------------------------------------------------------------
+
+/// A protocol that does nothing — these tests drive the world directly.
+struct Inert;
+impl Protocol for Inert {
+    type Msg = ();
+    fn on_join(&mut self, _w: &mut World<()>, _node: NodeId) {}
+    fn on_message(&mut self, _w: &mut World<()>, _to: NodeId, _from: NodeId, _m: ()) {}
+}
+
+/// The oracle for "what should the world's topology be right now":
+/// a naive build over the instantaneous alive positions.
+fn oracle_of<M: Clone + std::fmt::Debug>(w: &mut World<M>) -> Topology {
+    let positions: Vec<(NodeId, Point)> = w
+        .alive_nodes()
+        .into_iter()
+        .map(|n| (n, w.position(n).expect("alive")))
+        .collect();
+    Topology::build_naive(&positions, w.range())
+}
+
+fn assert_world_matches_oracle<M: Clone + std::fmt::Debug>(w: &mut World<M>, when: &str) {
+    let oracle = oracle_of(w);
+    for n in w.alive_nodes() {
+        assert_eq!(
+            w.neighbors(n),
+            oracle.neighbors(n),
+            "{when}: neighbors of {n:?}"
+        );
+        assert_eq!(
+            w.component_of(n),
+            oracle.component_of(n),
+            "{when}: component of {n:?}"
+        );
+    }
+    let alive = w.alive_nodes();
+    for &a in alive.iter().take(6) {
+        for &b in alive.iter().take(6) {
+            assert_eq!(
+                w.hops_between(a, b),
+                oracle.hops(a, b),
+                "{when}: {a:?}->{b:?}"
+            );
+        }
+    }
+    assert_eq!(w.components(), oracle.components(), "{when}: components");
+}
+
+/// Memoized world queries stay correct across every invalidation edge:
+/// a node join, a mobility retarget, crossing the topology quantum, and
+/// a node removal (crash). Each step re-checks against a fresh naive
+/// oracle over the world's instantaneous positions.
+#[test]
+fn world_cache_invalidates_on_membership_mobility_and_quantum() {
+    let config = WorldConfig {
+        speed: 20.0,
+        topology_quantum: SimDuration::from_millis(100),
+        ..WorldConfig::default()
+    };
+    let mut sim = Sim::new(config, Inert);
+    let ids: Vec<NodeId> = (0..12)
+        .map(|i| sim.spawn_at(Point::new(f64::from(i) * 90.0, 10.0)))
+        .collect();
+    sim.run_for(SimDuration::from_millis(10));
+    assert_world_matches_oracle(sim.world_mut(), "after initial joins");
+
+    // Warm the memo, then join a node mid-quantum: topo_version bumps,
+    // the snapshot (and its BFS/component memos) must be dropped.
+    let _ = sim.world_mut().components();
+    let newcomer = sim.spawn_at(Point::new(500.0, 120.0));
+    assert_world_matches_oracle(sim.world_mut(), "after join");
+    assert!(
+        !sim.world_mut().neighbors(newcomer).is_empty(),
+        "newcomer at 500,120 is in range of the line"
+    );
+
+    // Mobility: mark nodes configured so they start moving, then cross
+    // several quanta; the quantum bucket rotates and positions drift.
+    for &n in &ids {
+        sim.world_mut().mark_configured(n);
+    }
+    sim.run_for(SimDuration::from_millis(350));
+    assert_world_matches_oracle(sim.world_mut(), "after mobility across quanta");
+
+    // Crash (abrupt removal): the node must vanish from every query.
+    let victim = ids[6];
+    let _ = sim.world_mut().hops_between(ids[0], victim); // warm the memo
+    sim.world_mut().remove_node(victim);
+    assert!(!sim.world_mut().alive_nodes().contains(&victim));
+    assert_eq!(sim.world_mut().neighbors(victim), vec![]);
+    assert_world_matches_oracle(sim.world_mut(), "after crash");
+}
+
+/// Within one quantum with no membership or mobility change, repeated
+/// queries are served from the same snapshot and agree with themselves.
+#[test]
+fn world_queries_stable_within_a_quantum() {
+    let mut sim = Sim::new(WorldConfig::default(), Inert);
+    for i in 0..10 {
+        sim.spawn_at(Point::new(f64::from(i) * 100.0, 0.0));
+    }
+    let w = sim.world_mut();
+    let first: Vec<_> = (0..10).map(|i| w.nodes_within(NodeId::new(i), 3)).collect();
+    let comps = w.components();
+    for _ in 0..3 {
+        for i in 0..10 {
+            assert_eq!(w.nodes_within(NodeId::new(i), 3), first[i as usize]);
+        }
+        assert_eq!(w.components(), comps);
+    }
+}
+
+/// Parked-vs-moving: a mobility park bumps the version even though the
+/// quantum bucket is unchanged.
+#[test]
+fn world_cache_invalidates_on_park() {
+    let config = WorldConfig {
+        speed: 20.0,
+        ..WorldConfig::default()
+    };
+    let mut sim = Sim::new(config, Inert);
+    let ids: Vec<NodeId> = (0..8)
+        .map(|i| sim.spawn_at(Point::new(f64::from(i) * 110.0, 0.0)))
+        .collect();
+    for &n in &ids {
+        sim.world_mut().mark_configured(n);
+    }
+    sim.run_for(SimDuration::from_secs(2));
+    let _ = sim.world_mut().components();
+    sim.world_mut().park_node(ids[3]);
+    assert_world_matches_oracle(sim.world_mut(), "after park");
+}
+
+/// The mobility model actually moves nodes between quanta (guards the
+/// "after mobility" leg above against a silently static world).
+#[test]
+fn mobility_moves_configured_nodes() {
+    let arena = Arena::default();
+    let mut rng = SimRng::seed_from(3);
+    let mut m = MobilityState::parked(Point::new(500.0, 500.0));
+    m.retarget(manet_sim::SimTime::ZERO, &arena, 20.0, &mut rng);
+    let later = manet_sim::SimTime::ZERO + SimDuration::from_secs(5);
+    let p = m.position(later);
+    assert!(
+        p.distance(Point::new(500.0, 500.0)) > 1.0,
+        "node moved: {p}"
+    );
+}
