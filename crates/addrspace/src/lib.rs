@@ -44,5 +44,5 @@ mod table;
 pub use addr::Addr;
 pub use block::AddrBlock;
 pub use error::AddrSpaceError;
-pub use pool::AddressPool;
+pub use pool::{AddressPool, PoolView};
 pub use table::{AddrRecord, AddrStatus, AllocationTable};

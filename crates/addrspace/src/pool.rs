@@ -317,6 +317,44 @@ impl AddressPool {
             .flat_map(|b| b.iter())
             .map(|a| (a, self.table.status(a)))
     }
+
+    /// Takes an accounting snapshot for conformance checking.
+    ///
+    /// Cost is proportional to the number of table *records*, not the
+    /// owned space, so the conformance oracle can afford one snapshot
+    /// per pool after every simulator event.
+    #[must_use]
+    pub fn view(&self) -> PoolView {
+        let allocated: Vec<(Addr, u64)> = self
+            .table
+            .allocated()
+            .filter(|(a, _)| self.owns(*a))
+            .collect();
+        PoolView {
+            blocks: self.blocks.clone(),
+            total: self.total_len(),
+            free: self.free_count(),
+            allocated,
+        }
+    }
+}
+
+/// An accounting snapshot of one [`AddressPool`], used by the
+/// conformance oracle's leak-freedom invariant: every owned address is
+/// either free or allocated, blocks never overlap within or across
+/// pools, and every configured node's address is backed by an
+/// `Allocated` record in the owning pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolView {
+    /// The owned blocks (disjoint and sorted by base, per the pool's
+    /// own invariant — the checker re-verifies this).
+    pub blocks: Vec<AddrBlock>,
+    /// Total owned addresses.
+    pub total: u64,
+    /// Available addresses as reported by [`AddressPool::free_count`].
+    pub free: u64,
+    /// Allocated addresses inside owned blocks with their holder ids.
+    pub allocated: Vec<(Addr, u64)>,
 }
 
 impl fmt::Display for AddressPool {
@@ -523,6 +561,19 @@ mod tests {
         assert_eq!(p.free_count(), 4);
         p.allocate(Addr::new(1), 1).unwrap();
         assert_eq!(p.free_count(), 3);
+    }
+
+    #[test]
+    fn view_accounts_for_every_address() {
+        let mut p = pool(8);
+        p.allocate(Addr::new(1), 9).unwrap();
+        p.allocate(Addr::new(5), 11).unwrap();
+        p.release(Addr::new(5)).unwrap(); // vacant counts as free
+        let v = p.view();
+        assert_eq!(v.total, 8);
+        assert_eq!(v.free, 7);
+        assert_eq!(v.allocated, vec![(Addr::new(1), 9)]);
+        assert_eq!(v.free + v.allocated.len() as u64, v.total);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! to circulation. Those floods are what Figures 8–9 of the paper show
 //! growing with network size.
 
-use addrspace::{Addr, AddrBlock, AddressPool};
+use addrspace::{Addr, AddrBlock, AddressPool, PoolView};
 use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
 use std::collections::HashMap;
 
@@ -136,6 +136,20 @@ impl Buddy {
             .map(|(_, s)| s.pool.total_len())
             .sum();
         (total.saturating_sub(alive), total)
+    }
+
+    /// Accounting snapshots of every alive node's buddy pool, for the
+    /// conformance oracle's leak-freedom invariant.
+    #[must_use]
+    pub fn pool_views(&self, w: &World<BuddyMsg>) -> Vec<(NodeId, PoolView)> {
+        let mut v: Vec<(NodeId, PoolView)> = self
+            .nodes
+            .iter()
+            .filter(|(n, _)| w.is_alive(**n))
+            .map(|(n, s)| (*n, s.pool.view()))
+            .collect();
+        v.sort_unstable_by_key(|(n, _)| *n);
+        v
     }
 
     /// The block sizes of all alive nodes (fragmentation studies).

@@ -12,7 +12,7 @@
 //! kept by whichever coordinator received them, fragmenting the space.
 
 use addrspace::fragmentation::{self, FragmentationReport};
-use addrspace::{Addr, AddrBlock, AddressPool};
+use addrspace::{Addr, AddrBlock, AddressPool, PoolView};
 use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
 use std::collections::HashMap;
 
@@ -210,6 +210,19 @@ impl CTree {
             .into_iter()
             .filter_map(|c| match self.roles.get(&c) {
                 Some(CtRole::Coordinator { pool, .. }) => Some(pool.total_len()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Accounting snapshots of every alive coordinator's pool, for the
+    /// conformance oracle's leak-freedom invariant.
+    #[must_use]
+    pub fn pool_views(&self, w: &World<CtMsg>) -> Vec<(NodeId, PoolView)> {
+        self.coordinators(w)
+            .into_iter()
+            .filter_map(|c| match self.roles.get(&c) {
+                Some(CtRole::Coordinator { pool, .. }) => Some((c, pool.view())),
                 _ => None,
             })
             .collect()

@@ -1,0 +1,279 @@
+//! The step-wise invariant checker.
+
+use crate::adapter::{ConformanceAdapter, Guarantees};
+use addrspace::Addr;
+use manet_sim::{NodeId, World};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// The four conformance invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// No duplicate addresses within a connected component.
+    AddrUnique,
+    /// Leak-freedom: pool accounting, block disjointness, and
+    /// assigned-address coverage.
+    PoolConserved,
+    /// Quorum-grant monotonicity: a configured address never changes
+    /// in place.
+    GrantStable,
+    /// Replica version stamps never decrease.
+    StampMonotonic,
+}
+
+impl Invariant {
+    /// Stable name used in artifacts and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::AddrUnique => "addr-unique",
+            Invariant::PoolConserved => "pool-conserved",
+            Invariant::GrantStable => "grant-stable",
+            Invariant::StampMonotonic => "stamp-monotonic",
+        }
+    }
+
+    /// Inverse of [`Invariant::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Invariant> {
+        Some(match name {
+            "addr-unique" => Invariant::AddrUnique,
+            "pool-conserved" => Invariant::PoolConserved,
+            "grant-stable" => Invariant::GrantStable,
+            "stamp-monotonic" => Invariant::StampMonotonic,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One invariant violation, pinned to the simulator event (step) after
+/// which it was observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Events dispatched before the violating state was observed.
+    pub step: u64,
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Human-readable single-line description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "step {}: {}: {}", self.step, self.invariant, self.detail)
+    }
+}
+
+/// Evaluates the invariant set after every simulator event, carrying
+/// the cross-step state needed by the monotonicity invariants.
+#[derive(Debug)]
+pub struct Checker {
+    g: Guarantees,
+    last_addr: HashMap<NodeId, Addr>,
+    last_stamps: HashMap<(NodeId, NodeId, Addr), u64>,
+}
+
+impl Checker {
+    /// A checker holding the protocol to the given guarantee envelope.
+    #[must_use]
+    pub fn new(g: Guarantees) -> Self {
+        Checker {
+            g,
+            last_addr: HashMap::new(),
+            last_stamps: HashMap::new(),
+        }
+    }
+
+    /// Checks every claimed invariant against the current state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, pinned to `step`.
+    pub fn check<P: ConformanceAdapter>(
+        &mut self,
+        step: u64,
+        w: &mut World<P::Msg>,
+        p: &P,
+    ) -> Result<(), Violation> {
+        let fail = |invariant, detail| {
+            Err(Violation {
+                step,
+                invariant,
+                detail,
+            })
+        };
+        let assigned = p.assigned_pairs(w);
+
+        if self.g.grant_stable {
+            for (n, a) in &assigned {
+                if let Some(prev) = self.last_addr.get(n) {
+                    if prev != a {
+                        return fail(
+                            Invariant::GrantStable,
+                            format!(
+                                "node {} changed address {prev} -> {a} without re-joining",
+                                n.index()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // Nodes that died or re-initialized drop out here, so a later
+        // re-assignment is legal; only an in-place change is flagged.
+        self.last_addr = assigned.iter().copied().collect();
+
+        if self.g.unique {
+            let comp_of: HashMap<NodeId, usize> = w
+                .components()
+                .into_iter()
+                .enumerate()
+                .flat_map(|(i, c)| c.into_iter().map(move |n| (n, i)))
+                .collect();
+            let mut seen: HashMap<(usize, Addr), NodeId> = HashMap::new();
+            for (n, a) in &assigned {
+                let Some(&comp) = comp_of.get(n) else {
+                    continue;
+                };
+                if let Some(prev) = seen.insert((comp, *a), *n) {
+                    if prev != *n {
+                        return fail(
+                            Invariant::AddrUnique,
+                            format!(
+                                "address {a} held by nodes {} and {} in one partition",
+                                prev.index(),
+                                n.index()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        if self.g.pool_accounting || self.g.pool_disjoint || self.g.assigned_covered {
+            let views = p.pool_views(w);
+            if self.g.pool_accounting {
+                for (owner, v) in &views {
+                    if v.free + v.allocated.len() as u64 != v.total {
+                        return fail(
+                            Invariant::PoolConserved,
+                            format!(
+                                "owner {}: {} free + {} allocated != {} total",
+                                owner.index(),
+                                v.free,
+                                v.allocated.len(),
+                                v.total
+                            ),
+                        );
+                    }
+                    for (i, b) in v.blocks.iter().enumerate() {
+                        if let Some(other) = v.blocks[i + 1..].iter().find(|o| b.overlaps(o)) {
+                            return fail(
+                                Invariant::PoolConserved,
+                                format!(
+                                    "owner {}: own blocks {b} and {other} overlap",
+                                    owner.index()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            if self.g.pool_disjoint {
+                for (i, (owner_a, va)) in views.iter().enumerate() {
+                    for (owner_b, vb) in &views[i + 1..] {
+                        for ba in &va.blocks {
+                            if let Some(bb) = vb.blocks.iter().find(|bb| ba.overlaps(bb)) {
+                                return fail(
+                                    Invariant::PoolConserved,
+                                    format!(
+                                        "owners {} and {} both own overlapping blocks {ba} / {bb}",
+                                        owner_a.index(),
+                                        owner_b.index()
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            if self.g.assigned_covered {
+                for (owner, v) in &views {
+                    let allocated: HashSet<Addr> = v.allocated.iter().map(|(a, _)| *a).collect();
+                    for (n, a) in &assigned {
+                        if v.blocks.iter().any(|b| b.contains(*a)) && !allocated.contains(a) {
+                            return fail(
+                                Invariant::PoolConserved,
+                                format!(
+                                    "node {} holds {a} but owner {}'s pool has no allocation for it",
+                                    n.index(),
+                                    owner.index()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.g.stamps_monotonic {
+            let stamps = p.stamp_views(w);
+            let mut current = HashMap::with_capacity(stamps.len());
+            for (key, s) in stamps {
+                if let Some(&prev) = self.last_stamps.get(&key) {
+                    if s < prev {
+                        let (holder, owner, addr) = key;
+                        return fail(
+                            Invariant::StampMonotonic,
+                            format!(
+                                "stamp for {addr} (owner {}) regressed {prev} -> {s} on holder {}",
+                                owner.index(),
+                                holder.index()
+                            ),
+                        );
+                    }
+                }
+                current.insert(key, s);
+            }
+            // Vanished holders (crashed heads) retire their records; a
+            // revived node legitimately restarts from stamp zero.
+            self.last_stamps = current;
+        }
+
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_names_round_trip() {
+        for inv in [
+            Invariant::AddrUnique,
+            Invariant::PoolConserved,
+            Invariant::GrantStable,
+            Invariant::StampMonotonic,
+        ] {
+            assert_eq!(Invariant::from_name(inv.name()), Some(inv));
+        }
+        assert_eq!(Invariant::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn violation_displays_all_fields() {
+        let v = Violation {
+            step: 17,
+            invariant: Invariant::AddrUnique,
+            detail: "x".into(),
+        };
+        assert_eq!(v.to_string(), "step 17: addr-unique: x");
+    }
+}

@@ -1,0 +1,196 @@
+//! Name-keyed dispatch over every checkable protocol, the canned chaos
+//! schedules, and the artifact replay entry point.
+
+use crate::artifact::Artifact;
+use crate::broken::DoubleGrant;
+use crate::drive::{run_check, CheckConfig, CheckOutcome};
+use crate::shrink::shrink;
+use baselines::buddy::Buddy;
+use baselines::ctree::CTree;
+use baselines::dad::QueryDad;
+use baselines::manetconf::ManetConf;
+use manet_sim::faults::FaultPlan;
+use qbac_core::Qbac;
+
+/// The five real protocols, by registry name.
+pub const PROTOCOLS: [&str; 5] = ["quorum", "manetconf", "buddy", "ctree", "dad"];
+
+/// Every name [`run_named`] accepts: the five protocols plus the
+/// intentionally broken allocator used for oracle self-tests.
+pub const CHECKABLE: [&str; 6] = [
+    "quorum",
+    "manetconf",
+    "buddy",
+    "ctree",
+    "dad",
+    "broken-doublegrant",
+];
+
+/// A canned chaos schedule: a name, the world seed it runs under, and
+/// its fault plan.
+#[derive(Debug, Clone)]
+pub struct NamedSchedule {
+    /// Short name used in reports and artifact file names.
+    pub name: &'static str,
+    /// World seed for the conformance run.
+    pub world_seed: u64,
+    /// The fault plan.
+    pub plan: FaultPlan,
+}
+
+/// The standing chaos schedules the conformance smoke runs under.
+///
+/// * `storm` — lossy, duplicating links plus two head kills: the §IV
+///   quorum-safety claim under unreliable delivery.
+/// * `splitbrain` — delay jitter, a scripted partition that heals, and
+///   crashes with one restart: merge and reclamation flows under
+///   reordering.
+/// * `reaper` — clean links, pure churn (crashes, a restart, two head
+///   kills): the one schedule whose envelope holds *every* protocol to
+///   address uniqueness, baselines included.
+#[must_use]
+pub fn chaos_schedules() -> Vec<NamedSchedule> {
+    let parse = |text: &str| FaultPlan::parse(text).expect("static schedule parses");
+    vec![
+        NamedSchedule {
+            name: "storm",
+            world_seed: 11,
+            plan: parse(
+                "seed 11\nloss 0.15\ndup 0.05\nheadkill 1 at 12s\nheadkill 1 at 20s\n",
+            ),
+        },
+        NamedSchedule {
+            name: "splitbrain",
+            world_seed: 13,
+            plan: parse(
+                "seed 13\ndelay 0.2 5ms 40ms\ncrash 2 at 8s restart 16s\ncrash 5 at 10s\npartition x=500 from 9s heal 14s\nheadkill 1 at 15s\n",
+            ),
+        },
+        NamedSchedule {
+            name: "reaper",
+            world_seed: 17,
+            plan: parse(
+                "seed 17\ncrash 3 at 6s\ncrash 7 at 9s restart 18s\nheadkill 1 at 12s\nheadkill 1 at 18s\n",
+            ),
+        },
+    ]
+}
+
+/// Runs the conformance check for the protocol registered under
+/// `protocol`, or `None` for an unknown name.
+#[must_use]
+pub fn run_named(protocol: &str, cfg: &CheckConfig) -> Option<CheckOutcome> {
+    Some(match protocol {
+        "quorum" => run_check::<Qbac>(cfg),
+        "manetconf" => run_check::<ManetConf>(cfg),
+        "buddy" => run_check::<Buddy>(cfg),
+        "ctree" => run_check::<CTree>(cfg),
+        "dad" => run_check::<QueryDad>(cfg),
+        "broken-doublegrant" => run_check::<DoubleGrant>(cfg),
+        _ => return None,
+    })
+}
+
+/// Shrinks a failing run of `protocol` under `cfg` to a minimal
+/// replayable [`Artifact`].
+///
+/// Returns `None` if the name is unknown or the run does not fail
+/// (there is nothing to shrink).
+#[must_use]
+pub fn shrink_named(protocol: &str, cfg: &CheckConfig) -> Option<Artifact> {
+    if !CHECKABLE.contains(&protocol) {
+        return None;
+    }
+    let fails = |c: &CheckConfig| run_named(protocol, c).and_then(|o| o.violation);
+    fails(cfg)?;
+    let (small, v) = shrink(cfg, fails);
+    Some(Artifact {
+        protocol: protocol.to_string(),
+        nodes: small.nn,
+        seed: small.seed,
+        invariant: v.invariant,
+        step: v.step,
+        detail: v.detail,
+        plan: small.plan,
+    })
+}
+
+/// Replays an artifact's schedule and demands a byte-for-byte
+/// reproduction: the re-run must fail, and the artifact regenerated
+/// from the re-run's violation must serialize to exactly `text`.
+///
+/// # Errors
+///
+/// Describes the first divergence: parse failure, unknown protocol, a
+/// clean re-run, or a mismatching regenerated artifact.
+pub fn replay_check(text: &str) -> Result<Artifact, String> {
+    let a = Artifact::parse(text).map_err(|e| format!("artifact does not parse: {e}"))?;
+    let cfg = CheckConfig::new(a.nodes, a.seed, a.plan.clone());
+    let out =
+        run_named(&a.protocol, &cfg).ok_or_else(|| format!("unknown protocol {:?}", a.protocol))?;
+    let v = out.violation.ok_or_else(|| {
+        format!(
+            "replay ran clean for {} steps — violation did not reproduce",
+            out.steps
+        )
+    })?;
+    let regenerated = Artifact {
+        invariant: v.invariant,
+        step: v.step,
+        detail: v.detail,
+        ..a
+    };
+    if regenerated.to_text() != text {
+        return Err(format!(
+            "replay diverged:\n--- artifact ---\n{text}--- regenerated ---\n{}",
+            regenerated.to_text()
+        ));
+    }
+    Ok(regenerated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::clean_links;
+
+    #[test]
+    fn schedules_are_well_formed() {
+        let schedules = chaos_schedules();
+        assert!(schedules.len() >= 2, "acceptance demands at least two");
+        let mut names: Vec<_> = schedules.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), schedules.len(), "schedule names are unique");
+        // Every schedule text is canonical (round-trips through to_text),
+        // so shrunk artifacts stay in the same grammar the schedules use.
+        for s in &schedules {
+            assert_eq!(
+                FaultPlan::parse(&s.plan.to_text()).unwrap().to_text(),
+                s.plan.to_text(),
+                "{} is canonical",
+                s.name
+            );
+        }
+        assert!(
+            schedules.iter().any(|s| clean_links(&s.plan)),
+            "at least one schedule holds the baselines to uniqueness"
+        );
+    }
+
+    #[test]
+    fn run_named_rejects_unknown_protocols() {
+        let cfg = CheckConfig::new(4, 1, FaultPlan::new(1));
+        assert!(run_named("bogus", &cfg).is_none());
+        assert!(shrink_named("bogus", &cfg).is_none());
+        for name in CHECKABLE {
+            assert!(run_named(name, &cfg).is_some(), "{name} dispatches");
+        }
+    }
+
+    #[test]
+    fn shrink_named_returns_none_for_passing_runs() {
+        let cfg = CheckConfig::new(4, 1, FaultPlan::new(1));
+        assert!(shrink_named("quorum", &cfg).is_none());
+    }
+}

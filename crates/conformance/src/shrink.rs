@@ -1,0 +1,160 @@
+//! Delta-debugging shrinker for failing conformance runs.
+//!
+//! The shrinker minimizes along the two axes an artifact records: the
+//! fault plan (as canonical [`FaultPlan::to_text`] lines, so one "line"
+//! is exactly one independently-removable fault) and the node count.
+//! It is greedy rather than clever — remove one line at a time until no
+//! single removal still fails, then walk a node-count ladder from the
+//! bottom — because conformance runs are deterministic: every candidate
+//! either reproduces *a* violation or it does not, and any violation
+//! counts (the minimal schedule often trips a different invariant than
+//! the original, which is fine — the artifact records what it ends in).
+
+use crate::checker::Violation;
+use crate::drive::CheckConfig;
+use manet_sim::faults::FaultPlan;
+
+/// Node counts tried (ascending) when shrinking the workload size.
+pub const NN_LADDER: [usize; 14] = [3, 4, 5, 6, 8, 10, 12, 16, 20, 24, 32, 40, 48, 64];
+
+/// Minimizes `cfg` under the failure predicate `fails`, which runs a
+/// candidate and returns its violation (or `None` for a clean run).
+///
+/// Returns the smallest failing config found together with its
+/// violation. `fails(cfg)` must be `Some` on entry.
+///
+/// # Panics
+///
+/// Panics if the initial `cfg` does not fail.
+pub fn shrink<F>(cfg: &CheckConfig, fails: F) -> (CheckConfig, Violation)
+where
+    F: Fn(&CheckConfig) -> Option<Violation>,
+{
+    let mut best = cfg.clone();
+    let mut violation = fails(&best).expect("shrink requires a failing starting config");
+
+    loop {
+        let before = (plan_lines(&best.plan).len(), best.nn);
+        if let Some(v) = shrink_lines(&mut best, &fails) {
+            violation = v;
+        }
+        if let Some(v) = shrink_nodes(&mut best, &fails) {
+            violation = v;
+        }
+        if (plan_lines(&best.plan).len(), best.nn) == before {
+            break;
+        }
+    }
+    (best, violation)
+}
+
+/// The plan's canonical text lines. The first is always the `seed`
+/// line, which the shrinker never removes.
+fn plan_lines(plan: &FaultPlan) -> Vec<String> {
+    plan.to_text().lines().map(str::to_string).collect()
+}
+
+fn compose(lines: &[String]) -> FaultPlan {
+    let text: String = lines.iter().map(|l| format!("{l}\n")).collect();
+    FaultPlan::parse(&text).expect("removing whole canonical lines keeps the plan parseable")
+}
+
+/// Greedy single-line removal to a fixpoint. Returns the last observed
+/// violation, if any removal succeeded.
+fn shrink_lines<F>(best: &mut CheckConfig, fails: &F) -> Option<Violation>
+where
+    F: Fn(&CheckConfig) -> Option<Violation>,
+{
+    let mut last = None;
+    let mut lines = plan_lines(&best.plan);
+    let mut i = 1; // never remove the seed line
+    while i < lines.len() {
+        let mut candidate_lines = lines.clone();
+        candidate_lines.remove(i);
+        let candidate = CheckConfig {
+            plan: compose(&candidate_lines),
+            ..best.clone()
+        };
+        if let Some(v) = fails(&candidate) {
+            lines = candidate_lines;
+            *best = candidate;
+            last = Some(v);
+            // Retry the same index: it now names the next line.
+        } else {
+            i += 1;
+        }
+    }
+    last
+}
+
+/// Walks [`NN_LADDER`] from the bottom, taking the first (smallest)
+/// node count that still fails.
+fn shrink_nodes<F>(best: &mut CheckConfig, fails: &F) -> Option<Violation>
+where
+    F: Fn(&CheckConfig) -> Option<Violation>,
+{
+    for nn in NN_LADDER {
+        if nn >= best.nn {
+            return None;
+        }
+        let candidate = CheckConfig { nn, ..best.clone() };
+        if let Some(v) = fails(&candidate) {
+            *best = candidate;
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::Invariant;
+
+    fn violation() -> Violation {
+        Violation {
+            step: 7,
+            invariant: Invariant::AddrUnique,
+            detail: "synthetic".into(),
+        }
+    }
+
+    /// Fails iff the plan still drops packets and at least 5 nodes run.
+    fn needs_loss_and_five(cfg: &CheckConfig) -> Option<Violation> {
+        let lossy = cfg.plan.link_faults.iter().any(|f| f.drop > 0.0);
+        (lossy && cfg.nn >= 5).then(violation)
+    }
+
+    #[test]
+    fn shrinks_to_one_fault_line_and_ladder_minimum() {
+        let plan = FaultPlan::parse(
+            "seed 9\nloss 0.3\ndup 0.1\ncrash 2 at 4s\nheadkill 1 at 8s\njam 0,0 10,10 from 1s until 2s\n",
+        )
+        .unwrap();
+        let start = CheckConfig::new(40, 1, plan);
+        let (small, v) = shrink(&start, needs_loss_and_five);
+        assert_eq!(v, violation());
+        assert_eq!(small.nn, 5, "smallest ladder rung that still fails");
+        let lines = plan_lines(&small.plan);
+        assert_eq!(lines.len(), 2, "seed + the one necessary fault: {lines:?}");
+        assert!(lines[0].starts_with("seed "));
+        assert!(lines[1].starts_with("loss "));
+    }
+
+    #[test]
+    fn seed_line_survives_even_when_nothing_is_needed() {
+        let plan = FaultPlan::parse("seed 3\nloss 0.2\ndup 0.2\n").unwrap();
+        let start = CheckConfig::new(10, 1, plan);
+        // Any non-empty run "fails": everything but the seed line goes.
+        let (small, _) = shrink(&start, |_| Some(violation()));
+        assert_eq!(plan_lines(&small.plan), vec!["seed 3".to_string()]);
+        assert_eq!(small.nn, 3, "bottom of the ladder");
+    }
+
+    #[test]
+    #[should_panic(expected = "failing starting config")]
+    fn panics_on_passing_start() {
+        let start = CheckConfig::new(10, 1, FaultPlan::new(1));
+        let _ = shrink(&start, |_| None);
+    }
+}

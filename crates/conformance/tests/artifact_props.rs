@@ -1,0 +1,106 @@
+//! Property tests of the artifact text format: arbitrary well-formed
+//! artifacts round-trip through `to_text`/`parse`, and mutated artifact
+//! text never panics the parser.
+
+use conformance::{Artifact, Invariant};
+use manet_sim::faults::FaultPlan;
+use proptest::prelude::*;
+
+fn arb_invariant() -> impl Strategy<Value = Invariant> {
+    prop_oneof![
+        Just(Invariant::AddrUnique),
+        Just(Invariant::PoolConserved),
+        Just(Invariant::GrantStable),
+        Just(Invariant::StampMonotonic),
+    ]
+}
+
+/// Single-line detail text with no leading/trailing whitespace (the
+/// parser trims values, so only trimmed details are canonical).
+fn arb_detail() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 1..60).prop_map(|bytes| {
+        const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 .:+-></";
+        let s: String = bytes
+            .into_iter()
+            .map(|b| CHARSET[b as usize % CHARSET.len()] as char)
+            .collect();
+        let trimmed = s.trim().to_string();
+        if trimmed.is_empty() {
+            "x".to_string()
+        } else {
+            trimmed
+        }
+    })
+}
+
+fn arb_plan() -> impl Strategy<Value = FaultPlan> {
+    let body = prop_oneof![
+        Just(""),
+        Just("loss 0.25\n"),
+        Just("dup 0.05\nloss 0.1\n"),
+        Just("delay 0.2 5ms 40ms\ncrash 2 at 8s restart 16s\n"),
+        Just("headkill 1 at 12s\nheadkill 1 at 20s\n"),
+        Just("partition x=500 from 9s heal 14s\n"),
+    ];
+    (any::<u64>(), body).prop_map(|(seed, body)| {
+        FaultPlan::parse(&format!("seed {seed}\n{body}")).expect("static body parses")
+    })
+}
+
+fn arb_artifact() -> impl Strategy<Value = Artifact> {
+    (
+        prop_oneof![
+            Just("quorum"),
+            Just("manetconf"),
+            Just("buddy"),
+            Just("ctree"),
+            Just("dad"),
+            Just("broken-doublegrant"),
+        ],
+        1usize..200,
+        any::<u64>(),
+        arb_invariant(),
+        any::<u64>(),
+        arb_detail(),
+        arb_plan(),
+    )
+        .prop_map(
+            |(protocol, nodes, seed, invariant, step, detail, plan)| Artifact {
+                protocol: protocol.to_string(),
+                nodes,
+                seed,
+                invariant,
+                step,
+                detail,
+                plan,
+            },
+        )
+}
+
+proptest! {
+    /// Well-formed artifacts survive a serialize/parse round trip, and
+    /// the text form is a fixed point (what replay compares against).
+    #[test]
+    fn artifact_round_trips(a in arb_artifact()) {
+        let text = a.to_text();
+        let back = Artifact::parse(&text).expect("canonical text parses");
+        prop_assert_eq!(&back, &a);
+        prop_assert_eq!(back.to_text(), text);
+    }
+
+    /// Flipping a byte of a valid artifact never panics the parser: it
+    /// either reports an error or yields an artifact whose own text
+    /// form round-trips.
+    #[test]
+    fn mutated_artifacts_never_panic(a in arb_artifact(), pos in any::<u64>(), mask in 1u16..256) {
+        let mut bytes = a.to_text().into_bytes();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= mask as u8;
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(parsed) = Artifact::parse(&text) {
+                let canon = parsed.to_text();
+                prop_assert_eq!(Artifact::parse(&canon).expect("canonical"), parsed);
+            }
+        }
+    }
+}

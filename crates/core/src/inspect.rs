@@ -3,7 +3,7 @@
 use crate::msg::Msg;
 use crate::protocol::Qbac;
 use crate::roles::{HeadState, NodeRole};
-use addrspace::Addr;
+use addrspace::{Addr, PoolView};
 use manet_sim::{NodeId, World};
 use std::collections::HashMap;
 
@@ -170,6 +170,41 @@ impl Qbac {
             }
         }
         (preserved, lost)
+    }
+
+    /// Accounting snapshots of every alive head's `IPSpace`, for the
+    /// conformance oracle's leak-freedom invariant.
+    #[must_use]
+    pub fn pool_views(&self, w: &World<Msg>) -> Vec<(NodeId, PoolView)> {
+        self.heads(w)
+            .into_iter()
+            .filter_map(|h| self.head_state(h).map(|s| (h, s.pool.view())))
+            .collect()
+    }
+
+    /// Every version-stamped allocation record visible to alive heads —
+    /// their own tables plus the `QuorumSpace` replicas — keyed by
+    /// `(holder, owner, addr)`. The conformance oracle checks that each
+    /// key's stamp never decreases between simulator events (§II-C:
+    /// stamps are "incrementally increased each time the copy is
+    /// updated").
+    #[must_use]
+    pub fn stamp_views(&self, w: &World<Msg>) -> Vec<((NodeId, NodeId, Addr), u64)> {
+        let mut v = Vec::new();
+        for h in self.heads(w) {
+            let Some(state) = self.head_state(h) else {
+                continue;
+            };
+            for (addr, rec) in state.pool.table().iter() {
+                v.push(((h, h, addr), rec.stamp.get()));
+            }
+            for (owner, rs) in &state.quorum_space {
+                for (addr, rec) in rs.table.iter() {
+                    v.push(((h, *owner, addr), rec.stamp.get()));
+                }
+            }
+        }
+        v
     }
 
     fn roles_iter(&self) -> impl Iterator<Item = (NodeId, &NodeRole)> {

@@ -165,12 +165,193 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
     ]
 }
 
+/// One concrete instance of every `Msg` variant (and of both
+/// `QuorumOp` payloads), with non-trivial table payloads where the
+/// variant carries one. Paired with `every_variant_round_trips`, which
+/// also proves the list is exhaustive over the codec's tag space.
+fn one_of_each() -> Vec<Msg> {
+    let addr = Addr::new(0x0A00_0001);
+    let node = NodeId::new(7);
+    let block = AddrBlock::new(Addr::new(0x0A00_0000), 256).expect("valid");
+    let record = AddrRecord {
+        status: AddrStatus::Allocated(9),
+        stamp: VersionStamp::new(3),
+    };
+    let table: AllocationTable = vec![
+        (addr, record),
+        (
+            Addr::new(0x0A00_0002),
+            AddrRecord {
+                status: AddrStatus::Vacant,
+                stamp: VersionStamp::new(8),
+            },
+        ),
+        (
+            Addr::new(0x0A00_0003),
+            AddrRecord {
+                status: AddrStatus::Free,
+                stamp: VersionStamp::new(0),
+            },
+        ),
+    ]
+    .into_iter()
+    .collect();
+    vec![
+        Msg::Hello {
+            sender_ip: Some(addr),
+            is_head: true,
+            network_id: None,
+        },
+        Msg::ComReq,
+        Msg::ComReqFwd { requestor: node },
+        Msg::ComCfg {
+            ip: addr,
+            configurer: addr,
+            network_id: addr,
+            spent_hops: 4,
+        },
+        Msg::ComAck,
+        Msg::ComRej,
+        Msg::ChReq,
+        Msg::ChPrp { available: 1024 },
+        Msg::ChCnf,
+        Msg::ChCfg {
+            block,
+            ip: addr,
+            configurer: addr,
+            network_id: addr,
+            spent_hops: 2,
+            records: vec![(addr, record)],
+        },
+        Msg::ChAck,
+        Msg::ChRej,
+        Msg::QuorumClt {
+            seq: 5,
+            op: QuorumOp::CheckAddr { owner: node, addr },
+        },
+        Msg::QuorumClt {
+            seq: 6,
+            op: QuorumOp::SplitBlock { owner: node },
+        },
+        Msg::QuorumCfm {
+            seq: 5,
+            grant: true,
+            stamp: VersionStamp::new(11),
+        },
+        Msg::QuorumCommit {
+            owner: node,
+            addr,
+            record,
+        },
+        Msg::ReplicaPush {
+            owner: node,
+            owner_ip: addr,
+            blocks: vec![block],
+            table: table.clone(),
+            reply_requested: true,
+        },
+        Msg::UpdateLoc {
+            configurer: addr,
+            ip: addr,
+        },
+        Msg::ReturnAddr {
+            configurer: addr,
+            ip: addr,
+        },
+        Msg::ReturnAddrAck,
+        Msg::ReturnBlock {
+            blocks: vec![block],
+            table,
+            ip: addr,
+            members: vec![(addr, node)],
+        },
+        Msg::ReturnBlockAck,
+        Msg::Resign,
+        Msg::AllocatorChange {
+            new_configurer: addr,
+        },
+        Msg::AddrRec {
+            target: node,
+            target_ip: addr,
+            initiator: NodeId::new(9),
+            initiator_ip: addr,
+        },
+        Msg::RecRep {
+            target_ip: addr,
+            ip: addr,
+            node,
+            target: NodeId::new(9),
+        },
+        Msg::RepReq,
+        Msg::RepAck,
+        Msg::Reinit {
+            network_id: addr,
+            force: false,
+        },
+    ]
+}
+
+/// Deterministic exhaustiveness: every variant round-trips, the sample
+/// list covers the codec's whole contiguous tag space, and the first
+/// tag past it is still rejected — so adding a message variant without
+/// extending this list fails loudly here.
+#[test]
+fn every_variant_round_trips() {
+    let msgs = one_of_each();
+    let mut tags: Vec<u8> = Vec::new();
+    for msg in &msgs {
+        let bytes = wire::encode(msg);
+        assert_eq!(&wire::decode(&bytes).unwrap(), msg, "{msg:?}");
+        tags.push(bytes[0]);
+    }
+    tags.sort_unstable();
+    tags.dedup();
+    let last = *tags.last().expect("non-empty");
+    assert_eq!(
+        tags,
+        (1..=last).collect::<Vec<u8>>(),
+        "sample list must cover every tag exactly once"
+    );
+    assert_eq!(
+        wire::decode(&[last + 1]),
+        Err(wire::WireError::BadTag(last + 1)),
+        "tag space grew: add the new variant to one_of_each()"
+    );
+}
+
 proptest! {
     /// Every encodable message decodes back to itself.
     #[test]
     fn roundtrip(msg in arb_msg()) {
         let bytes = wire::encode(&msg);
         prop_assert_eq!(wire::decode(&bytes).unwrap(), msg);
+    }
+
+    /// Mutation fuzz: flipping bits of a valid encoding never panics
+    /// the decoder — it either reports a `WireError` or decodes to some
+    /// message that itself round-trips (the codec carries no checksum,
+    /// so a payload flip can legally yield a different valid message).
+    #[test]
+    fn byte_flips_never_panic(
+        msg in arb_msg(),
+        pos in any::<u64>(),
+        mask in 1u16..256,
+        extra in prop::option::of((any::<u64>(), 1u16..256)),
+    ) {
+        let mut bytes = wire::encode(&msg).to_vec();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= mask as u8;
+        if let Some((pos2, mask2)) = extra {
+            let j = (pos2 % bytes.len() as u64) as usize;
+            bytes[j] ^= mask2 as u8;
+        }
+        match wire::decode(&bytes) {
+            Err(_) => {} // rejected cleanly
+            Ok(decoded) => {
+                let re = wire::encode(&decoded);
+                prop_assert_eq!(wire::decode(&re).unwrap(), decoded);
+            }
+        }
     }
 
     /// Truncating an encoded message is always detected (never panics,

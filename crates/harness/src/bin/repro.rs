@@ -11,6 +11,9 @@
 //! repro --chaos         # fault-injection suite (loss sweep + head kills)
 //! repro --chaos --loss 0.2 --head-kills 2   # one chaos cell
 //! repro --chaos --fault-plan plan.txt       # scripted faults (see DESIGN.md)
+//! repro --check         # conformance oracle: invariants after every event
+//! repro --check --quick --artifact-dir out/ # CI smoke; shrunk repros on failure
+//! repro --check --replay out/quorum-storm.repro   # byte-for-byte reproduction
 //! ```
 //!
 //! With `REPRO_NO_WALL_CLOCK=1` the snapshot's per-phase `wall_us`
@@ -35,6 +38,9 @@ struct Args {
     fault_plan: Option<FaultPlan>,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    check: bool,
+    replay: Option<PathBuf>,
+    artifact_dir: Option<PathBuf>,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -47,6 +53,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut fault_plan = None;
     let mut metrics_out = None;
     let mut trace_out = None;
+    let mut check = false;
+    let mut replay = None;
+    let mut artifact_dir = None;
     let mut it = argv;
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -67,6 +76,15 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--quick" => opts.quick = true,
             "--chaos" => chaos = true,
+            "--check" => check = true,
+            "--replay" => {
+                let v = it.next().ok_or("--replay needs an artifact file path")?;
+                replay = Some(PathBuf::from(v));
+            }
+            "--artifact-dir" => {
+                let v = it.next().ok_or("--artifact-dir needs a directory")?;
+                artifact_dir = Some(PathBuf::from(v));
+            }
             "--loss" => {
                 let v = it.next().ok_or("--loss needs a probability (0-1)")?;
                 let p = v.parse::<f64>().map_err(|e| format!("--loss: {e}"))?;
@@ -104,6 +122,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     "usage: repro [--fig N] [--rounds R] [--seed S] [--quick] [--csv DIR]\n\
                      \x20            [--metrics-out FILE] [--trace-out DIR]\n\
                      \x20      repro --chaos [--loss P] [--head-kills K] [--fault-plan FILE]\n\
+                     \x20      repro --check [--quick] [--artifact-dir DIR] [--replay FILE]\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
                      IP autoconfiguration paper. Default: all figures, {} rounds.\n\
                      --chaos instead runs the fault-injection suite: message-loss sweep plus\n\
@@ -111,7 +130,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      and join-latency inflation for every protocol.\n\
                      --metrics-out writes a run manifest (seed, params, per-phase wall-clock,\n\
                      per-protocol counters and histograms); --trace-out writes one JSONL flow\n\
-                     trace per protocol.",
+                     trace per protocol.\n\
+                     --check runs the conformance oracle: every protocol under every canned\n\
+                     chaos schedule with invariants verified after each simulator event; a\n\
+                     violation is shrunk to a minimal replayable artifact (--artifact-dir),\n\
+                     and --replay re-runs one artifact demanding byte-for-byte reproduction.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -121,6 +144,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     }
     if !chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
         return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
+    }
+    if !check && (replay.is_some() || artifact_dir.is_some()) {
+        return Err("--replay / --artifact-dir only apply to --check runs".into());
+    }
+    if check && chaos {
+        return Err("--check and --chaos are separate modes; pick one".into());
     }
     Ok(Args {
         fig,
@@ -132,7 +161,59 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         fault_plan,
         metrics_out,
         trace_out,
+        check,
+        replay,
+        artifact_dir,
     })
+}
+
+/// Runs `repro --check`: the replay of one artifact, or the full
+/// protocol × schedule suite with shrunk artifacts written on failure.
+fn run_check_mode(args: &Args) -> ExitCode {
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let (line, ok) = harness::oracle::replay_file(&text);
+        println!("{line}");
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let cells = harness::oracle::check_suite(args.opts.quick);
+    let mut failed = false;
+    for cell in &cells {
+        println!("{}", cell.report_line());
+        let Some(artifact) = &cell.artifact else {
+            continue;
+        };
+        failed = true;
+        if let Some(dir) = &args.artifact_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let path = harness::oracle::artifact_path(dir, cell);
+            if let Err(e) = std::fs::write(&path, artifact.to_text()) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if failed {
+        eprintln!("conformance: invariant violations found (artifacts above are replayable)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -143,6 +224,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.check {
+        return run_check_mode(&args);
+    }
 
     let mut phases: Vec<Phase> = Vec::new();
     let mut timed = |name: String, f: &mut dyn FnMut() -> Vec<harness::Table>| {
@@ -317,5 +402,26 @@ mod tests {
         assert!(parse_args(argv("--rounds 0")).is_err());
         assert!(parse_args(argv("--chaos --loss 1.5")).is_err());
         assert!(parse_args(argv("--metrics-out")).is_err());
+    }
+
+    #[test]
+    fn check_flags_parse_and_are_gated() {
+        let a = parse_args(argv("--check --quick --artifact-dir out")).unwrap();
+        assert!(a.check && a.opts.quick);
+        assert_eq!(a.artifact_dir.as_deref().unwrap().to_str(), Some("out"));
+
+        let a = parse_args(argv("--check --replay out/quorum-storm.repro")).unwrap();
+        assert_eq!(
+            a.replay.as_deref().unwrap().to_str(),
+            Some("out/quorum-storm.repro")
+        );
+
+        let err = parse_args(argv("--replay x.repro")).unwrap_err();
+        assert!(err.contains("only apply to --check"), "{err}");
+        let err = parse_args(argv("--artifact-dir out")).unwrap_err();
+        assert!(err.contains("only apply to --check"), "{err}");
+        let err = parse_args(argv("--check --chaos")).unwrap_err();
+        assert!(err.contains("separate modes"), "{err}");
+        assert!(parse_args(argv("--check --replay")).is_err());
     }
 }

@@ -17,12 +17,14 @@
 
 pub mod chaos;
 pub mod figures;
+pub mod oracle;
 pub mod render;
 pub mod scenario;
 pub mod snapshot;
 pub mod stats;
 
 pub use chaos::{chaos_suite, ChaosOpts};
+pub use oracle::{check_suite, CheckCell};
 pub use render::Table;
 pub use scenario::{run_scenario, RunMeasurements, Scenario};
 pub use snapshot::{Phase, ProtocolRun, Snapshot, SnapshotParams};

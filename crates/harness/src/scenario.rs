@@ -229,11 +229,14 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync,
 {
+    if rounds == 0 {
+        return Vec::new();
+    }
     let mut out: Vec<Option<T>> = (0..rounds).map(|_| None).collect();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(rounds.max(1) as usize);
+        .min(rounds as usize);
     let next = std::sync::atomic::AtomicU64::new(0);
     let results = std::sync::Mutex::new(&mut out);
     std::thread::scope(|scope| {
@@ -310,5 +313,21 @@ mod tests {
     fn parallel_rounds_preserve_order_and_count() {
         let vals = parallel_rounds(8, 100, |seed| seed * 2);
         assert_eq!(vals, vec![200, 202, 204, 206, 208, 210, 212, 214]);
+    }
+
+    #[test]
+    fn parallel_rounds_zero_is_empty_without_workers() {
+        let calls = std::sync::atomic::AtomicU64::new(0);
+        let vals = parallel_rounds(0, 100, |seed| {
+            calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            seed
+        });
+        assert!(vals.is_empty());
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn parallel_rounds_single_round() {
+        assert_eq!(parallel_rounds(1, 7, |seed| seed + 1), vec![8]);
     }
 }

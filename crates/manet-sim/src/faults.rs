@@ -298,8 +298,8 @@ impl FaultPlan {
     /// ```text
     /// seed 7
     /// loss 0.2 [configuration|maintenance|reclamation|sync|hello]
-    /// delay 0.1 10ms 50ms
-    /// dup 0.05
+    /// delay 0.1 10ms 50ms [category]
+    /// dup 0.05 [category]
     /// crash 3 at 5s [restart 20s]
     /// headkill 2 at 10s
     /// jam 0,0 500,500 from 5s until 15s
@@ -349,14 +349,24 @@ impl FaultPlan {
                     if max < min {
                         return Err(err("max delay below min"));
                     }
+                    let category = match rest.get(3) {
+                        Some(w) => Some(parse_category(w).ok_or_else(|| err("bad category"))?),
+                        None => None,
+                    };
                     plan.link_faults.push(LinkFault {
+                        category,
                         delay: Some(DelayFault { prob, min, max }),
                         ..LinkFault::none()
                     });
                 }
                 "dup" => {
                     let p = parse_prob(rest.first()).ok_or_else(|| err("bad probability"))?;
+                    let category = match rest.get(1) {
+                        Some(w) => Some(parse_category(w).ok_or_else(|| err("bad category"))?),
+                        None => None,
+                    };
                     plan.link_faults.push(LinkFault {
+                        category,
                         duplicate: p,
                         ..LinkFault::none()
                     });
@@ -434,6 +444,114 @@ impl FaultPlan {
             }
         }
         Ok(plan)
+    }
+
+    /// Serializes the plan to the line grammar accepted by
+    /// [`FaultPlan::parse`].
+    ///
+    /// The output is canonical: parsing it back reproduces the same
+    /// fault behaviour, and the text is stable across a parse
+    /// round-trip (`to_text(parse(to_text(p))) == to_text(p)`), which
+    /// is what lets the conformance shrinker emit failing-schedule
+    /// artifacts that replay byte-for-byte. A [`LinkFault`] combining
+    /// several aspects (drop + delay + duplicate) is split into one
+    /// line per aspect; the fault RNG draws in the same order either
+    /// way, so the judged fates are unchanged. Zero-probability aspects
+    /// are omitted for the same reason.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "seed {}", self.seed);
+        for f in &self.link_faults {
+            let cat = match f.category {
+                Some(c) => format!(" {}", category_keyword(c)),
+                None => String::new(),
+            };
+            if f.drop > 0.0 {
+                let _ = writeln!(out, "loss {}{cat}", f.drop);
+            }
+            if let Some(d) = f.delay {
+                if d.prob > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        "delay {} {} {}{cat}",
+                        d.prob,
+                        fmt_micros(d.min.as_micros()),
+                        fmt_micros(d.max.as_micros())
+                    );
+                }
+            }
+            if f.duplicate > 0.0 {
+                let _ = writeln!(out, "dup {}{cat}", f.duplicate);
+            }
+        }
+        for c in &self.crashes {
+            let _ = write!(
+                out,
+                "crash {} at {}",
+                c.node.index(),
+                fmt_micros(c.at.as_micros())
+            );
+            match c.restart_at {
+                Some(r) => {
+                    let _ = writeln!(out, " restart {}", fmt_micros(r.as_micros()));
+                }
+                None => out.push('\n'),
+            }
+        }
+        for h in &self.head_kills {
+            let _ = writeln!(
+                out,
+                "headkill {} at {}",
+                h.count,
+                fmt_micros(h.at.as_micros())
+            );
+        }
+        for j in &self.jams {
+            let _ = writeln!(
+                out,
+                "jam {},{} {},{} from {} until {}",
+                j.min.x,
+                j.min.y,
+                j.max.x,
+                j.max.y,
+                fmt_micros(j.from.as_micros()),
+                fmt_micros(j.until.as_micros())
+            );
+        }
+        for p in &self.partitions {
+            let _ = writeln!(
+                out,
+                "partition x={} from {} heal {}",
+                p.boundary_x,
+                fmt_micros(p.start.as_micros()),
+                fmt_micros(p.heal.as_micros())
+            );
+        }
+        out
+    }
+}
+
+fn category_keyword(c: MsgCategory) -> &'static str {
+    match c {
+        MsgCategory::Configuration => "configuration",
+        MsgCategory::Maintenance => "maintenance",
+        MsgCategory::Reclamation => "reclamation",
+        MsgCategory::Sync => "sync",
+        MsgCategory::Hello => "hello",
+    }
+}
+
+/// Renders a microsecond count in the largest exact unit (`s`, `ms`,
+/// `us`) so parsed plans serialize back to the text they came from.
+fn fmt_micros(us: u64) -> String {
+    if us.is_multiple_of(1_000_000) {
+        format!("{}s", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        format!("{}ms", us / 1_000)
+    } else {
+        format!("{us}us")
     }
 }
 
@@ -662,6 +780,64 @@ mod tests {
         assert!(FaultPlan::parse("delay 0.1 50ms 10ms").is_err());
         assert!(FaultPlan::parse("warp 9").is_err());
         assert!(FaultPlan::parse("partition y=3 from 1s heal 2s").is_err());
+    }
+
+    #[test]
+    fn to_text_round_trips_through_parse() {
+        let text = "\
+            seed 7\n\
+            loss 0.2\n\
+            loss 0.5 hello\n\
+            delay 0.1 10ms 50ms\n\
+            dup 0.05\n\
+            crash 3 at 5s\n\
+            crash 4 at 5s restart 20s\n\
+            headkill 2 at 10s\n\
+            jam 0,0 500,500 from 5s until 15s\n\
+            partition x=500 from 10s heal 30s\n\
+        ";
+        let plan = FaultPlan::parse(text).unwrap();
+        let canon = plan.to_text();
+        let reparsed = FaultPlan::parse(&canon).unwrap();
+        assert_eq!(reparsed, plan);
+        // Canonical text is a fixed point of parse ∘ to_text.
+        assert_eq!(reparsed.to_text(), canon);
+    }
+
+    #[test]
+    fn to_text_handles_scoped_delay_and_dup() {
+        let plan = FaultPlan::parse("delay 0.25 1500us 2ms sync\ndup 0.125 hello\n").unwrap();
+        assert_eq!(plan.link_faults[0].category, Some(MsgCategory::Sync));
+        assert_eq!(plan.link_faults[1].category, Some(MsgCategory::Hello));
+        assert_eq!(FaultPlan::parse(&plan.to_text()).unwrap(), plan);
+    }
+
+    #[test]
+    fn to_text_splits_combined_faults_without_changing_fates() {
+        let mut plan = FaultPlan::new(21);
+        plan.link_faults.push(LinkFault {
+            category: Some(MsgCategory::Hello),
+            drop: 0.3,
+            delay: Some(DelayFault {
+                prob: 0.4,
+                min: SimDuration::from_millis(1),
+                max: SimDuration::from_millis(2),
+            }),
+            duplicate: 0.2,
+        });
+        let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(reparsed.link_faults.len(), 3);
+        let mut a = FaultState::new(plan);
+        let mut b = FaultState::new(reparsed);
+        for i in 0..500 {
+            let now = SimTime::from_micros(i);
+            let cat = if i % 3 == 0 {
+                MsgCategory::Hello
+            } else {
+                MsgCategory::Sync
+            };
+            assert_eq!(a.judge(now, cat, None, None), b.judge(now, cat, None, None));
+        }
     }
 
     #[test]

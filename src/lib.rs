@@ -9,6 +9,7 @@
 //! * [`quorum`] — voting rules and replica stores,
 //! * [`addrspace`] — address blocks, pools, and allocation tables,
 //! * [`baselines`] — the comparison protocols,
+//! * [`conformance`] — the model-conformance oracle and schedule shrinker,
 //! * [`harness`] — scenario generation and the figure drivers.
 //!
 //! # Example
@@ -27,6 +28,7 @@
 
 pub use addrspace;
 pub use baselines;
+pub use conformance;
 pub use harness;
 pub use manet_sim as sim;
 pub use qbac_core as core;
