@@ -79,6 +79,46 @@ impl AddrBlock {
         self.base <= other.last() && other.base <= self.last()
     }
 
+    /// The range shared with `other`, or `None` when the blocks are
+    /// disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &AddrBlock) -> Option<AddrBlock> {
+        let base = self.base.max(other.base);
+        let last = self.last().min(other.last());
+        if base > last {
+            return None;
+        }
+        Some(AddrBlock {
+            base,
+            len: last.bits() - base.bits() + 1,
+        })
+    }
+
+    /// The parts of `self` not covered by `other`: zero, one, or two
+    /// pieces (the sub-ranges below and above `other`), in address
+    /// order. Returns the whole of `self` when the blocks are disjoint.
+    #[must_use]
+    pub fn subtract(&self, other: &AddrBlock) -> Vec<AddrBlock> {
+        if !self.overlaps(other) {
+            return vec![*self];
+        }
+        let mut pieces = Vec::new();
+        if self.base < other.base {
+            pieces.push(AddrBlock {
+                base: self.base,
+                len: other.base.bits() - self.base.bits(),
+            });
+        }
+        if self.last() > other.last() {
+            let base = other.last().offset(1);
+            pieces.push(AddrBlock {
+                base,
+                len: self.last().bits() - base.bits() + 1,
+            });
+        }
+        pieces
+    }
+
     /// Returns `true` if `other` starts exactly where `self` ends, so the
     /// two can be coalesced.
     #[must_use]
@@ -250,6 +290,60 @@ mod tests {
         assert!(a.adjoins(&c));
         assert!(c.adjoins(&a));
         assert!(!a.adjoins(&b));
+    }
+
+    #[test]
+    fn intersect_shared_range() {
+        let a = AddrBlock::new(Addr::new(0), 10).unwrap();
+        let b = AddrBlock::new(Addr::new(5), 10).unwrap();
+        assert_eq!(
+            a.intersect(&b),
+            Some(AddrBlock::new(Addr::new(5), 5).unwrap())
+        );
+        assert_eq!(b.intersect(&a), a.intersect(&b));
+        // Nested: the smaller block.
+        let inner = AddrBlock::new(Addr::new(2), 3).unwrap();
+        assert_eq!(a.intersect(&inner), Some(inner));
+        // Disjoint: nothing.
+        let far = AddrBlock::new(Addr::new(50), 5).unwrap();
+        assert_eq!(a.intersect(&far), None);
+        // Identical: the block itself.
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn subtract_leaves_uncovered_pieces() {
+        let a = AddrBlock::new(Addr::new(10), 10).unwrap(); // [10, 19]
+                                                            // Middle bite → two pieces.
+        let mid = AddrBlock::new(Addr::new(13), 3).unwrap();
+        assert_eq!(
+            a.subtract(&mid),
+            vec![
+                AddrBlock::new(Addr::new(10), 3).unwrap(),
+                AddrBlock::new(Addr::new(16), 4).unwrap(),
+            ]
+        );
+        // Prefix bite → one upper piece.
+        let prefix = AddrBlock::new(Addr::new(5), 8).unwrap();
+        assert_eq!(
+            a.subtract(&prefix),
+            vec![AddrBlock::new(Addr::new(13), 7).unwrap()]
+        );
+        // Full cover → nothing left.
+        assert!(a.subtract(&a).is_empty());
+        let cover = AddrBlock::new(Addr::new(0), 100).unwrap();
+        assert!(a.subtract(&cover).is_empty());
+        // Disjoint → unchanged.
+        let far = AddrBlock::new(Addr::new(50), 5).unwrap();
+        assert_eq!(a.subtract(&far), vec![a]);
+        // subtract ∪ intersect always re-covers the block exactly.
+        for bite in [mid, prefix, cover, far] {
+            let mut total: u64 = a.subtract(&bite).iter().map(|p| u64::from(p.len())).sum();
+            if let Some(i) = a.intersect(&bite) {
+                total += u64::from(i.len());
+            }
+            assert_eq!(total, u64::from(a.len()));
+        }
     }
 
     #[test]

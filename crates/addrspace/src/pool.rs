@@ -301,6 +301,35 @@ impl AddressPool {
         Ok(())
     }
 
+    /// Removes the part of the owned space covered by `region` — the
+    /// losing side of a pool-ownership reconciliation ceding contested
+    /// space to the quorum-confirmed owner. Partial overlaps split the
+    /// affected blocks and keep the uncovered remainders. Returns the
+    /// drained allocation records inside the ceded space so they can be
+    /// handed to the new owner (live leases ride along). Calling with a
+    /// region the pool does not own is a no-op that returns nothing, so
+    /// a re-delivered cede is idempotent.
+    pub fn carve(&mut self, region: &AddrBlock) -> Vec<(Addr, crate::AddrRecord)> {
+        if !self.blocks.iter().any(|b| b.overlaps(region)) {
+            return Vec::new();
+        }
+        let mut kept = Vec::with_capacity(self.blocks.len() + 1);
+        for b in self.blocks.drain(..) {
+            kept.extend(b.subtract(region));
+        }
+        self.blocks = kept;
+        let ceded: Vec<Addr> = self
+            .table
+            .iter()
+            .filter(|(a, _)| region.contains(*a))
+            .map(|(a, _)| a)
+            .collect();
+        ceded
+            .into_iter()
+            .filter_map(|a| self.table.remove(a).map(|r| (a, r)))
+            .collect()
+    }
+
     /// Removes all owned space and allocation state, returning the blocks
     /// (a cluster head handing everything back before departure).
     pub fn surrender(&mut self) -> (Vec<AddrBlock>, AllocationTable) {
@@ -529,6 +558,55 @@ mod tests {
         assert_eq!(p.blocks().len(), 2);
         assert_eq!(p.total_len(), 16);
         assert!(p.owns(Addr::new(104)));
+    }
+
+    #[test]
+    fn carve_removes_contested_space_and_drains_records() {
+        let mut p = pool(16);
+        p.allocate(Addr::new(2), 9).unwrap();
+        p.allocate(Addr::new(10), 11).unwrap();
+        let region = AddrBlock::new(Addr::new(8), 8).unwrap();
+        let ceded = p.carve(&region);
+        assert_eq!(p.blocks(), &[AddrBlock::new(Addr::new(0), 8).unwrap()]);
+        assert_eq!(p.total_len(), 8);
+        assert_eq!(ceded.len(), 1);
+        assert_eq!(ceded[0].0, Addr::new(10));
+        assert!(matches!(ceded[0].1.status, AddrStatus::Allocated(11)));
+        // The surviving allocation is untouched.
+        assert_eq!(p.table().status(Addr::new(2)), AddrStatus::Allocated(9));
+        assert_eq!(p.free_count(), 7);
+        // Re-delivering the same cede is a no-op.
+        assert!(p.carve(&region).is_empty());
+        assert_eq!(p.total_len(), 8);
+    }
+
+    #[test]
+    fn carve_partial_overlap_splits_block() {
+        let mut p = pool(16);
+        let region = AddrBlock::new(Addr::new(4), 4).unwrap();
+        let ceded = p.carve(&region);
+        assert!(ceded.is_empty());
+        assert_eq!(
+            p.blocks(),
+            &[
+                AddrBlock::new(Addr::new(0), 4).unwrap(),
+                AddrBlock::new(Addr::new(8), 8).unwrap(),
+            ]
+        );
+        assert_eq!(p.total_len(), 12);
+        assert!(!p.owns(Addr::new(5)));
+    }
+
+    #[test]
+    fn carve_everything_leaves_empty_pool() {
+        let mut p = pool(8);
+        p.allocate_first(1).unwrap();
+        let region = AddrBlock::new(Addr::new(0), 8).unwrap();
+        let ceded = p.carve(&region);
+        assert_eq!(ceded.len(), 1);
+        assert_eq!(p.total_len(), 0);
+        assert!(p.blocks().is_empty());
+        assert_eq!(p.free_count(), 0);
     }
 
     #[test]

@@ -139,6 +139,13 @@ impl AllocationTable {
             .count()
     }
 
+    /// Removes the materialized record for `addr`, if any (ceding the
+    /// address to another owner — e.g. the losing side of a
+    /// pool-ownership reconciliation handing its records over).
+    pub fn remove(&mut self, addr: Addr) -> Option<AddrRecord> {
+        self.records.remove(&addr)
+    }
+
     /// Number of materialized (touched) records.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -11,24 +11,23 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use harness::scenario::{run_scenario, Scenario};
-use manet_sim::SimDuration;
 use qbac_core::{AllocatorChoice, ProtocolConfig, Qbac, UpdatePolicy};
 
 fn churn_scenario(seed: u64) -> Scenario {
-    Scenario {
-        nn: 40,
-        depart_fraction: 0.3,
-        abrupt_ratio: 0.3,
-        settle: SimDuration::from_secs(5),
-        depart_window: SimDuration::from_secs(10),
-        cooldown: SimDuration::from_secs(10),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(40)
+        .depart_fraction(0.3)
+        .abrupt_ratio(0.3)
+        .settle_secs(5)
+        .depart_window_secs(10)
+        .cooldown_secs(10)
+        .seed(seed)
+        .build()
+        .expect("churn scenario is in-domain")
 }
 
 fn run_variant(name: &str, cfg: ProtocolConfig) {
-    let (_, m) = run_scenario(&churn_scenario(3), Qbac::new(cfg));
+    let m = run_scenario(&churn_scenario(3), Qbac::new(cfg)).into_measurements();
     println!(
         "ablation {name:>24}: {} configured, latency {:.1}, {} total hops",
         m.metrics.configured_nodes(),

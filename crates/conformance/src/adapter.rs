@@ -28,6 +28,12 @@ pub struct Guarantees {
     pub grant_stable: bool,
     /// Replica version stamps never decrease.
     pub stamps_monotonic: bool,
+    /// The protocol repairs cross-partition duplicates after a merge,
+    /// so `unique` and `pool_disjoint` are checked with reachability
+    /// scoping and a reconciliation grace window instead of failing on
+    /// first sight. Only claim this with always-on periodic traffic
+    /// (the grace can only mature while simulator time advances).
+    pub merge_grace: bool,
 }
 
 impl Guarantees {
@@ -41,6 +47,7 @@ impl Guarantees {
             assigned_covered: false,
             grant_stable: false,
             stamps_monotonic: false,
+            merge_grace: false,
         }
     }
 }
@@ -61,12 +68,10 @@ pub fn clean_links(plan: &FaultPlan) -> bool {
 /// regions and no scripted partitions. Point-to-point link faults
 /// (loss, duplication, delay) are still allowed.
 ///
-/// This is the envelope for cross-owner pool disjointness: a partition
-/// makes the majority side reclaim an unreachable head's space (the
-/// paper's intended behavior), and the current merge implementation
-/// reconciles duplicate *addresses* after healing but not duplicate
-/// pool *ownership* — a gap the conformance oracle surfaced, tracked in
-/// the roadmap.
+/// Part of the baselines' [`clean_links`] envelope. The quorum protocol
+/// no longer needs this scope for pool disjointness: its post-merge
+/// ownership reconciliation restores disjointness after a heal, and the
+/// checker itself excuses overlap while a fault keeps the owners apart.
 #[must_use]
 pub fn partition_free(plan: &FaultPlan) -> bool {
     plan.jams.is_empty() && plan.partitions.is_empty()

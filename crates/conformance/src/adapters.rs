@@ -2,14 +2,17 @@
 //!
 //! Guarantee envelopes follow each protocol's actual claims:
 //!
-//! * **quorum** (§IV) claims address uniqueness, grant stability, and
-//!   stamp monotonicity under *every* fault plan — lossy links,
-//!   duplication, delays, partitions, jamming, crashes, and head kills.
-//!   Two concessions: cross-owner disjointness is only claimed on
-//!   [`partition_free`] plans (partition-triggered reclamation
-//!   duplicates ownership and the merge does not yet reconcile it —
-//!   an oracle finding tracked in the roadmap), and `assigned-covered`
-//!   only under [`clean_links`] plans: reclamation after a head kill
+//! * **quorum** (§IV) claims address uniqueness, grant stability, stamp
+//!   monotonicity, and cross-owner pool disjointness under *every*
+//!   fault plan — lossy links, duplication, delays, partitions,
+//!   jamming, crashes, and head kills. Disjointness is reachability-
+//!   scoped: a partition legally duplicates ownership (the majority
+//!   side reclaims the unreachable head's space, §IV-D), and the
+//!   post-merge ownership reconciliation — quorum-voted `OWN_CLAIM` /
+//!   `OWN_GRANT` with the lower-`(ip, id)` tiebreak — must restore it
+//!   within the checker's grace window once the owners are back in
+//!   contact. One concession remains: `assigned-covered` only under
+//!   [`clean_links`] plans, because reclamation after a head kill
 //!   re-learns allocations from quorum replicas, and a lost `REC_REP`
 //!   can transiently leave a live member's address vacant in the
 //!   absorbing pool (blocking re-use is exactly what the quorum vote
@@ -23,7 +26,7 @@
 //!   every plan: it is internal bookkeeping no network fault should
 //!   corrupt.
 
-use crate::adapter::{clean_links, partition_free, ConformanceAdapter, Guarantees};
+use crate::adapter::{clean_links, ConformanceAdapter, Guarantees};
 use addrspace::{Addr, PoolView};
 use baselines::buddy::Buddy;
 use baselines::ctree::CTree;
@@ -46,16 +49,19 @@ impl ConformanceAdapter for Qbac {
         Guarantees {
             unique: true,
             pool_accounting: true,
-            // A partition makes the majority side reclaim the
-            // unreachable head's space — intended §IV behavior — and
-            // the merge after healing reconciles duplicate addresses
-            // but (today) not duplicate pool ownership, so cross-owner
-            // disjointness is only claimed while the topology stays
-            // whole. See `partition_free`.
-            pool_disjoint: partition_free(plan),
+            // Unconditional: a partition may duplicate ownership while
+            // it lasts (intended §IV-D behavior), and the checker's
+            // reachability scoping covers that window; once the owners
+            // are back in contact, the post-merge ownership
+            // reconciliation must restore disjointness.
+            pool_disjoint: true,
             assigned_covered: clean_links(plan),
             grant_stable: true,
             stamps_monotonic: true,
+            // Hello-driven merge repair plus always-on hello traffic:
+            // the checker may excuse cross-partition duplicates until
+            // the grace window matures.
+            merge_grace: true,
         }
     }
 
@@ -94,6 +100,8 @@ fn baseline_guarantees(plan: &FaultPlan) -> Guarantees {
         assigned_covered: false,
         grant_stable: true,
         stamps_monotonic: false,
+        // No merge-repair machinery: duplicates fail on first sight.
+        merge_grace: false,
     }
 }
 

@@ -2,9 +2,19 @@
 
 use crate::adapter::{ConformanceAdapter, Guarantees};
 use addrspace::Addr;
-use manet_sim::{NodeId, World};
+use manet_sim::{NodeId, SimDuration, SimTime, World};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+
+/// How long two mutually reachable nodes may keep a conflicting claim —
+/// overlapping owned blocks, or one address held twice — before the
+/// checker flags it. A partition legally duplicates state (each side
+/// reclaims the unreachable side's space and re-grants from it, §IV-D);
+/// once the parties are back in contact the merge machinery —
+/// hello-driven detection, a quorum vote, the `OWN_CLAIM` / `OWN_GRANT`
+/// exchange, and the forced re-init of a displaced address holder —
+/// needs a few protocol rounds to restore consistency.
+const RECONCILE_GRACE: SimDuration = SimDuration::from_secs(5);
 
 /// The four conformance invariants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +87,15 @@ pub struct Checker {
     g: Guarantees,
     last_addr: HashMap<NodeId, Addr>,
     last_stamps: HashMap<(NodeId, NodeId, Addr), u64>,
+    /// Owner pairs holding overlapping blocks while mutually reachable,
+    /// with the time each overlap first became reachable. An overlap
+    /// still standing [`RECONCILE_GRACE`] later is a violation.
+    contested: HashMap<(NodeId, NodeId), SimTime>,
+    /// Node pairs holding the same address while mutually reachable,
+    /// with the time the duplicate first became reachable. Same grace
+    /// discipline as `contested`: the merge repair must displace one
+    /// holder within [`RECONCILE_GRACE`].
+    dup_holders: HashMap<(Addr, NodeId, NodeId), SimTime>,
 }
 
 impl Checker {
@@ -87,6 +106,8 @@ impl Checker {
             g,
             last_addr: HashMap::new(),
             last_stamps: HashMap::new(),
+            contested: HashMap::new(),
+            dup_holders: HashMap::new(),
         }
     }
 
@@ -136,24 +157,54 @@ impl Checker {
                 .enumerate()
                 .flat_map(|(i, c)| c.into_iter().map(move |n| (n, i)))
                 .collect();
+            let now = w.now();
+            let mut live: HashMap<(Addr, NodeId, NodeId), SimTime> = HashMap::new();
             let mut seen: HashMap<(usize, Addr), NodeId> = HashMap::new();
             for (n, a) in &assigned {
                 let Some(&comp) = comp_of.get(n) else {
                     continue;
                 };
-                if let Some(prev) = seen.insert((comp, *a), *n) {
-                    if prev != *n {
-                        return fail(
-                            Invariant::AddrUnique,
-                            format!(
-                                "address {a} held by nodes {} and {} in one partition",
-                                prev.index(),
-                                n.index()
-                            ),
-                        );
-                    }
+                let Some(prev) = seen.insert((comp, *a), *n) else {
+                    continue;
+                };
+                if prev == *n {
+                    continue;
                 }
+                if !self.g.merge_grace {
+                    return fail(
+                        Invariant::AddrUnique,
+                        format!(
+                            "address {a} held by nodes {} and {} in one partition",
+                            prev.index(),
+                            n.index()
+                        ),
+                    );
+                }
+                // While a fault keeps the two holders apart, the
+                // duplicate is the paper's accepted cross-partition
+                // double allocation; the claim checked here is that the
+                // merge repair displaces one holder within
+                // RECONCILE_GRACE of the pair becoming reachable.
+                if w.fault_severed(prev, *n) {
+                    continue; // grace restarts on contact
+                }
+                let key = (*a, prev.min(*n), prev.max(*n));
+                let since = self.dup_holders.get(&key).copied().unwrap_or(now);
+                if now - since > RECONCILE_GRACE {
+                    return fail(
+                        Invariant::AddrUnique,
+                        format!(
+                            "address {a} held by nodes {} and {} in one partition \
+                             {} after becoming mutually reachable",
+                            prev.index(),
+                            n.index(),
+                            now - since
+                        ),
+                    );
+                }
+                live.insert(key, since);
             }
+            self.dup_holders = live;
         }
 
         if self.g.pool_accounting || self.g.pool_disjoint || self.g.assigned_covered {
@@ -186,22 +237,68 @@ impl Checker {
                 }
             }
             if self.g.pool_disjoint {
+                // While a fault keeps two owners apart, duplicated
+                // ownership is the paper's intended §IV-D behavior (the
+                // majority side reclaimed the unreachable head's space).
+                // The claim checked here: once the owners are mutually
+                // reachable, reconciliation restores disjointness within
+                // RECONCILE_GRACE.
+                let comp_of: HashMap<NodeId, usize> = w
+                    .components()
+                    .into_iter()
+                    .enumerate()
+                    .flat_map(|(i, c)| c.into_iter().map(move |n| (n, i)))
+                    .collect();
+                let now = w.now();
+                let mut live: HashMap<(NodeId, NodeId), SimTime> = HashMap::new();
                 for (i, (owner_a, va)) in views.iter().enumerate() {
                     for (owner_b, vb) in &views[i + 1..] {
-                        for ba in &va.blocks {
-                            if let Some(bb) = vb.blocks.iter().find(|bb| ba.overlaps(bb)) {
-                                return fail(
-                                    Invariant::PoolConserved,
-                                    format!(
-                                        "owners {} and {} both own overlapping blocks {ba} / {bb}",
-                                        owner_a.index(),
-                                        owner_b.index()
-                                    ),
-                                );
-                            }
+                        let overlap = va.blocks.iter().find_map(|ba| {
+                            vb.blocks
+                                .iter()
+                                .find(|bb| ba.overlaps(bb))
+                                .map(|bb| (*ba, *bb))
+                        });
+                        let Some((ba, bb)) = overlap else {
+                            continue;
+                        };
+                        if !self.g.merge_grace {
+                            return fail(
+                                Invariant::PoolConserved,
+                                format!(
+                                    "owners {} and {} own overlapping blocks {ba} / {bb}",
+                                    owner_a.index(),
+                                    owner_b.index()
+                                ),
+                            );
                         }
+                        let reachable = comp_of.contains_key(owner_a)
+                            && comp_of.get(owner_a) == comp_of.get(owner_b)
+                            && !w.fault_severed(*owner_a, *owner_b);
+                        if !reachable {
+                            continue; // invisible to the pair; grace restarts on contact
+                        }
+                        let since = self
+                            .contested
+                            .get(&(*owner_a, *owner_b))
+                            .copied()
+                            .unwrap_or(now);
+                        if now - since > RECONCILE_GRACE {
+                            return fail(
+                                Invariant::PoolConserved,
+                                format!(
+                                    "owners {} and {} still own overlapping blocks {ba} / {bb} \
+                                     {} after becoming mutually reachable",
+                                    owner_a.index(),
+                                    owner_b.index(),
+                                    now - since
+                                ),
+                            );
+                        }
+                        live.insert((*owner_a, *owner_b), since);
                     }
                 }
+                self.contested = live;
             }
             if self.g.assigned_covered {
                 for (owner, v) in &views {

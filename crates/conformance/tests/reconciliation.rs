@@ -1,0 +1,173 @@
+//! Directed coverage for post-merge pool-ownership reconciliation.
+//!
+//! A scripted partition splits the grid while arrivals are still
+//! running; each side keeps allocating, the side that lost contact with
+//! a head reclaims its space (§IV-D), and after the heal both sides own
+//! overlapping blocks. The test pins the end state the reconciliation
+//! flow (`OWN_CLAIM` / `OWN_GRANT`, lower-`(ip, id)` tiebreak) must
+//! restore: pairwise-disjoint pools, conserved accounting, no leaked
+//! addresses — and that the flow actually fired, so the assertions are
+//! not vacuously green on a run where ownership never collided.
+
+use conformance::{Checker, ConformanceAdapter};
+use manet_sim::faults::FaultPlan;
+use manet_sim::observer::FlowKind;
+use manet_sim::{Point, Sim, SimDuration, SimTime, WorldConfig};
+use proptest::prelude::*;
+use qbac_core::Qbac;
+
+/// Virtual time between scheduled arrivals (mirrors the oracle driver).
+const ARRIVAL_GAP: SimDuration = SimDuration::from_micros(500_000);
+/// Runoff after the last arrival: settle + cooldown, long enough for
+/// the heal plus the checker's reconciliation grace window.
+const RUNOFF: SimDuration = SimDuration::from_micros(15_000_000);
+
+/// The directed schedule: the partition rises at 8 s — after both
+/// halves of the grid hold configured heads — and heals at 14 s,
+/// leaving 11.5 s of reachable runoff for reconciliation.
+fn split_heal_plan() -> FaultPlan {
+    FaultPlan::parse("seed 13\npartition x=500 from 8s heal 14s\n").expect("plan parses")
+}
+
+/// Connected grid centered in the arena (same shape as the oracle
+/// driver's workload: spacing well inside radio range).
+fn grid_positions(nn: usize, arena_w: f64, arena_h: f64, spacing: f64) -> Vec<Point> {
+    let cols = (nn as f64).sqrt().ceil().max(1.0) as usize;
+    let rows = nn.div_ceil(cols);
+    let x0 = (arena_w - (cols.saturating_sub(1)) as f64 * spacing) / 2.0;
+    let y0 = (arena_h - (rows.saturating_sub(1)) as f64 * spacing) / 2.0;
+    (0..nn)
+        .map(|i| {
+            let (r, c) = (i / cols, i % cols);
+            Point::new(x0 + c as f64 * spacing, y0 + r as f64 * spacing)
+        })
+        .collect()
+}
+
+/// Runs `nn` static nodes under `plan`, checking the full quorum
+/// guarantee envelope after every event, and returns the finished sim.
+fn run_split(nn: usize, seed: u64, plan: FaultPlan) -> Sim<Qbac> {
+    let wc = WorldConfig {
+        seed,
+        speed: 0.0,
+        fault_plan: plan.clone(),
+        ..WorldConfig::default()
+    };
+    let (arena_w, arena_h, range) = (wc.arena.width(), wc.arena.height(), wc.range);
+    let mut sim = Sim::new(wc, <Qbac as ConformanceAdapter>::fresh());
+    sim.world_mut().enable_observer();
+    let mut checker = Checker::new(<Qbac as ConformanceAdapter>::guarantees(&plan));
+
+    let positions = grid_positions(nn, arena_w, arena_h, range * 0.6);
+    for (i, pos) in positions.iter().enumerate() {
+        if i == 0 {
+            sim.spawn_at(*pos);
+        } else {
+            let at = SimTime::ZERO
+                .saturating_add(SimDuration::from_micros(ARRIVAL_GAP.as_micros() * i as u64));
+            sim.schedule_spawn_at(at, *pos);
+        }
+    }
+    let end = SimTime::ZERO
+        .saturating_add(SimDuration::from_micros(
+            ARRIVAL_GAP.as_micros() * nn as u64,
+        ))
+        .saturating_add(RUNOFF);
+
+    let mut steps = 0u64;
+    while steps < 1_000_000 && sim.step_until(end) {
+        steps += 1;
+        let (w, p) = sim.parts_mut();
+        if let Err(v) = checker.check(steps, w, p) {
+            panic!("invariant violated under the directed split: {v}");
+        }
+    }
+    sim
+}
+
+#[test]
+fn partition_heal_reconciles_ownership() {
+    let mut sim = run_split(25, 13, split_heal_plan());
+
+    // The run must have actually collided and reconciled — otherwise
+    // every assertion below is vacuous.
+    let stats = sim.protocol().stats();
+    assert!(
+        stats.ownership_reconciliations > 0,
+        "directed split never triggered an ownership reconciliation"
+    );
+    let tally = *sim.world().observer().tally(FlowKind::MergeOwnership);
+    assert!(tally.started > 0, "no merge_ownership flow span opened");
+    assert!(
+        tally.finalized > 0,
+        "no merge_ownership flow span finalized"
+    );
+
+    // Both heads end with disjoint blocks: no address is owned twice.
+    let (w, p) = sim.parts_mut();
+    let heads = p.heads(w);
+    for (i, a) in heads.iter().enumerate() {
+        let sa = p.head(*a).expect("head state");
+        for b in &heads[i + 1..] {
+            let sb = p.head(*b).expect("head state");
+            for ba in sa.pool.blocks() {
+                for bb in sb.pool.blocks() {
+                    assert!(
+                        !ba.overlaps(bb),
+                        "heads {} and {} still own overlapping blocks {ba} / {bb}",
+                        a.index(),
+                        b.index()
+                    );
+                }
+            }
+        }
+    }
+
+    // No leaked addresses: accounting is conserved in every pool, every
+    // member record points at a live node, and no two live nodes share
+    // an address.
+    for (owner, v) in p.pool_views(w) {
+        assert_eq!(
+            v.free + v.allocated.len() as u64,
+            v.total,
+            "owner {} leaks addresses: {} free + {} allocated != {} total",
+            owner.index(),
+            v.free,
+            v.allocated.len(),
+            v.total
+        );
+    }
+    let (leaked, tracked) = p.leak_audit(w);
+    assert_eq!(leaked, 0, "{leaked} of {tracked} member records leaked");
+    p.audit_unique(w)
+        .expect("no duplicate addresses after the heal");
+}
+
+proptest! {
+    /// Random splitbrain plans preserve `free + allocated = total`
+    /// (checked after every event via the full guarantee envelope,
+    /// which includes per-pool accounting) through reconciliation.
+    #[test]
+    fn random_splits_conserve_pool_accounting(
+        seed in 0u64..1024,
+        boundary in 380u32..621,
+        from_s in 6u32..10,
+        hold_s in 3u32..7,
+    ) {
+        let plan = FaultPlan::parse(&format!(
+            "seed {seed}\npartition x={boundary} from {from_s}s heal {}s\n",
+            from_s + hold_s
+        ))
+        .expect("plan parses");
+        let mut sim = run_split(16, seed, plan);
+        let (w, p) = sim.parts_mut();
+        for (owner, v) in p.pool_views(w) {
+            prop_assert_eq!(
+                v.free + v.allocated.len() as u64,
+                v.total,
+                "owner {} lost accounting after reconciliation",
+                owner.index()
+            );
+        }
+    }
+}

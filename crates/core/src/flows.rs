@@ -24,14 +24,15 @@ impl Qbac {
         // One quorum round normally; two when the §V-B shrink kicked in.
         w.metrics_mut()
             .record_vote_rounds(if vote.shrunk { 2 } else { 1 });
-        let requestor = match &vote.purpose {
+        let (flow_kind, flow_node) = match &vote.purpose {
             VotePurpose::CommonConfig { requestor, .. }
             | VotePurpose::Borrow { requestor, .. }
-            | VotePurpose::HeadConfig { requestor } => *requestor,
+            | VotePurpose::HeadConfig { requestor } => (FlowKind::Join, *requestor),
+            VotePurpose::OwnBlocks { .. } => (FlowKind::MergeOwnership, allocator),
         };
         w.flow_event(
-            FlowKind::Join,
-            requestor,
+            flow_kind,
+            flow_node,
             FlowStage::VotesGathered {
                 grants: vote.grants.len() as u32,
                 refusals: vote.refusals.len() as u32,
@@ -179,6 +180,35 @@ impl Qbac {
                             head.pool.table_mut().apply(a, r);
                         }
                     }
+                }
+            }
+
+            VotePurpose::OwnBlocks { rival, blocks } => {
+                let Some(head) = self.head_state(allocator) else {
+                    return;
+                };
+                if !ok {
+                    // Quorum refused or shrank away: drop this claim.
+                    // The per-hello conflict scan re-detects the overlap
+                    // and retries with a fresher electorate.
+                    w.flow_event(FlowKind::MergeOwnership, allocator, FlowStage::Abandoned);
+                    return;
+                }
+                let claimant_ip = head.ip;
+                if w.unicast(
+                    allocator,
+                    rival,
+                    MsgCategory::Maintenance,
+                    Msg::OwnClaim {
+                        claimant_ip,
+                        blocks,
+                    },
+                )
+                .is_err()
+                {
+                    // Rival unreachable: the claim lapses; the scan will
+                    // reopen it once the rival is back in contact.
+                    w.flow_event(FlowKind::MergeOwnership, allocator, FlowStage::Abandoned);
                 }
             }
         }
@@ -678,44 +708,6 @@ impl Qbac {
         table: AllocationTable,
         reply_requested: bool,
     ) {
-        // Zombie check: if another head now claims blocks overlapping our
-        // own pool, our space was reclaimed while we were out of reach —
-        // yield and reacquire a fresh configuration (§IV-D aftermath).
-        if owner != node {
-            let me = self.head_state(node).map(|s| (s.ip, s.network_id));
-            let overlaps = self.head_state(node).is_some_and(|s| {
-                blocks
-                    .iter()
-                    .any(|b| s.pool.blocks().iter().any(|own| own.overlaps(b)))
-            });
-            if overlaps {
-                // Deterministic loser: the head with the higher address
-                // (then higher id) yields, so two heads pushing replicas
-                // at each other cannot both dissolve.
-                let (my_ip, network) = me.expect("overlap check implies head");
-                if (my_ip, node) > (owner_ip, owner) {
-                    // Our whole (duplicate) space dissolves: members
-                    // configured from it must reconfigure too.
-                    let members: Vec<NodeId> = self
-                        .head_state(node)
-                        .map(|s| s.members.values().copied().collect())
-                        .unwrap_or_default();
-                    for m in members {
-                        let _ = w.unicast(
-                            node,
-                            m,
-                            MsgCategory::Maintenance,
-                            Msg::Reinit {
-                                network_id: network,
-                                force: true,
-                            },
-                        );
-                    }
-                    self.rejoin_network(w, node, network);
-                }
-                return;
-            }
-        }
         let Some(state) = self.head_state_mut(node) else {
             return;
         };
@@ -736,6 +728,10 @@ impl Qbac {
             };
             let _ = w.unicast(node, owner, MsgCategory::Configuration, reply);
         }
+        // A replica overlapping our own pool means a merge left two
+        // heads owning the same space — open (or feed) reconciliation
+        // instead of dissolving the whole network.
+        self.check_ownership_conflicts(w, node);
     }
 
     /// A quorum member applies a committed record to its replica (or a

@@ -32,6 +32,9 @@ impl Qbac {
 
         if role.is_head() {
             self.grow_quorum(w, node);
+            // Reconciliation retry point: a conflict whose claim lapsed
+            // (failed vote, lost OWN_CLAIM) is re-detected here.
+            self.check_ownership_conflicts(w, node);
         }
 
         let interval = self.cfg.hello_interval;
@@ -47,7 +50,16 @@ impl Qbac {
             return;
         };
         let network = state.network_id;
-        let known: Vec<NodeId> = state.qd_set.keys().copied().collect();
+        // A qd_set member with no replica in hand means our push (or its
+        // reply) was lost in flight — a partition can swallow the
+        // handshake right after the member was added. Keep re-sending to
+        // those members; only a completed exchange settles the entry.
+        let known: Vec<NodeId> = state
+            .qd_set
+            .keys()
+            .filter(|n| state.quorum_space.contains_key(n))
+            .copied()
+            .collect();
         let candidates: Vec<NodeId> = self
             .heads_within(w, head, 3, Some(network))
             .into_iter()

@@ -18,6 +18,20 @@ pub enum QuorumOp {
         /// The allocator whose block is being halved.
         owner: NodeId,
     },
+    /// "Do these contested blocks belong to `claimant`, per your
+    /// replicas?" — post-merge pool-ownership reconciliation. The rival
+    /// is excluded from the electorate; a member grants when its
+    /// replica of the claimant covers the blocks, or when it holds no
+    /// contradicting replica at all (the deterministic tiebreak already
+    /// selected the claimant).
+    ClaimBlocks {
+        /// The head claiming the contested space (the vote's allocator).
+        claimant: NodeId,
+        /// The head that will cede the space if the claim carries.
+        rival: NodeId,
+        /// The contested blocks (intersection of the two pools).
+        blocks: Vec<AddrBlock>,
+    },
 }
 
 /// Wire messages of the quorum-based autoconfiguration protocol.
@@ -229,6 +243,28 @@ pub enum Msg {
         /// Reconfigure even when the receiver's network ID already
         /// matches (duplicate-space dissolution: the IDs collide).
         force: bool,
+    },
+
+    // --------------------- ownership reconciliation --------------------
+    /// Winner → loser of a post-merge ownership conflict: the quorum
+    /// confirmed my claim over these contested blocks (`OWN_CLAIM`);
+    /// cede them. Sender identity names the claimant; `claimant_ip`
+    /// lets the receiver re-verify the deterministic tiebreak.
+    OwnClaim {
+        /// The claimant's address (lower `(ip, node)` wins).
+        claimant_ip: Addr,
+        /// The contested blocks being claimed.
+        blocks: Vec<AddrBlock>,
+    },
+    /// Loser → winner: contested blocks ceded (`OWN_GRANT`). Live
+    /// leases inside the ceded space ride along so the winner re-homes
+    /// them; an empty record list means the space was already clean (or
+    /// the cede was a re-delivered duplicate).
+    OwnGrant {
+        /// The blocks that were ceded (echo of the claim).
+        blocks: Vec<AddrBlock>,
+        /// Allocation records drained from the ceded space.
+        records: Vec<(Addr, AddrRecord)>,
     },
 }
 

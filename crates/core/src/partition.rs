@@ -13,11 +13,12 @@
 //! it re-initializes its partition as a fresh network and makes its
 //! stranded members reacquire addresses from it.
 
-use crate::msg::Msg;
+use crate::msg::{Msg, QuorumOp};
 use crate::protocol::Qbac;
 use crate::roles::{HeadState, NodeRole};
-use addrspace::{Addr, AddressPool};
-use manet_sim::{MsgCategory, NodeId, World};
+use crate::vote::VotePurpose;
+use addrspace::{Addr, AddrBlock, AddrRecord, AddrStatus, AddressPool};
+use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 
 impl Qbac {
     /// Re-initializes an isolated head's partition (§V-C).
@@ -70,5 +71,229 @@ impl Qbac {
             Some(role) if !force && role.network_id() == Some(network_id) => {}
             Some(_) => self.rejoin_network(w, node, network_id),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Pool-ownership reconciliation after a merge
+    // ------------------------------------------------------------------
+    //
+    // A partition can leave two heads owning the same blocks: while cut
+    // off, one side presumes the other dead and reclaims its space
+    // (§IV-D), yet both survive the heal. The duplicated ownership is
+    // visible in the replicas the heads exchange once back in contact.
+    // The head that wins the deterministic tiebreak — lower `(ip, id)`,
+    // the same order the replica-merge rule has always used — claims the
+    // contested region through the regular quorum machinery
+    // (`QuorumOp::ClaimBlocks`, rival excluded from the electorate) and,
+    // on success, tells the rival to cede with `OWN_CLAIM`. The rival
+    // carves the region out of its pool and hands over the live leases
+    // inside it (`OWN_GRANT`); the winner re-homes them.
+
+    /// Scans this head's `QuorumSpace` for rivals whose blocks overlap
+    /// its own pool and opens (or feeds) a reconciliation per rival.
+    /// Called on every hello tick and after each replica merge, so a
+    /// claim dropped by a failed vote or a lost message is retried.
+    pub(crate) fn check_ownership_conflicts(&mut self, w: &mut World<Msg>, node: NodeId) {
+        let Some(state) = self.head_state(node) else {
+            return;
+        };
+        let my_ip = state.ip;
+        let conflicts: Vec<(NodeId, Addr, Vec<AddrBlock>)> = state
+            .quorum_space
+            .iter()
+            .filter(|(rival, _)| **rival != node)
+            .filter_map(|(rival, rep)| {
+                let contested: Vec<AddrBlock> = state
+                    .pool
+                    .blocks()
+                    .iter()
+                    .flat_map(|own| rep.blocks.iter().filter_map(move |b| own.intersect(b)))
+                    .collect();
+                (!contested.is_empty()).then_some((*rival, rep.owner_ip, contested))
+            })
+            .collect();
+
+        for (rival, rival_ip, contested) in conflicts {
+            if (my_ip, node) < (rival_ip, rival) {
+                // We win the tiebreak: claim, unless a claim against this
+                // rival is already in flight.
+                let already = self.votes.values().any(|v| {
+                    !v.decided
+                        && v.allocator == node
+                        && matches!(&v.purpose,
+                            VotePurpose::OwnBlocks { rival: r, .. } if *r == rival)
+                });
+                if already {
+                    continue;
+                }
+                w.flow_event(FlowKind::MergeOwnership, node, FlowStage::Started);
+                // Refresh our replica first so the electorate can back
+                // the claim against its copy of our space.
+                self.push_replica(w, node, MsgCategory::Maintenance);
+                self.start_vote(
+                    w,
+                    node,
+                    QuorumOp::ClaimBlocks {
+                        claimant: node,
+                        rival,
+                        blocks: contested.clone(),
+                    },
+                    VotePurpose::OwnBlocks {
+                        rival,
+                        blocks: contested,
+                    },
+                    0,
+                    MsgCategory::Maintenance,
+                );
+            } else {
+                // We lose: make sure the winner holds our replica, so its
+                // own scan sees the conflict and opens the claim.
+                let Some(state) = self.head_state(node) else {
+                    return;
+                };
+                let msg = Msg::ReplicaPush {
+                    owner: node,
+                    owner_ip: state.ip,
+                    blocks: state.pool.blocks().to_vec(),
+                    table: state.pool.table().clone(),
+                    reply_requested: false,
+                };
+                let _ = w.unicast(node, rival, MsgCategory::Maintenance, msg);
+            }
+        }
+    }
+
+    /// The losing head receives `OWN_CLAIM`: the quorum confirmed the
+    /// claimant's ownership of `blocks`. Verify the tiebreak, carve the
+    /// region out of our pool, and send the drained leases back.
+    pub(crate) fn on_own_claim(
+        &mut self,
+        w: &mut World<Msg>,
+        node: NodeId,
+        from: NodeId,
+        claimant_ip: Addr,
+        blocks: Vec<AddrBlock>,
+    ) {
+        let Some(state) = self.head_state_mut(node) else {
+            // No pool to cede (we already dissolved or demoted): grant
+            // vacuously so the claimant closes its flow.
+            let _ = w.unicast(
+                node,
+                from,
+                MsgCategory::Maintenance,
+                Msg::OwnGrant {
+                    blocks,
+                    records: Vec::new(),
+                },
+            );
+            return;
+        };
+        // Re-verify the deterministic tiebreak; a claim we would win
+        // ourselves is bogus and ignored.
+        if (claimant_ip, from) >= (state.ip, node) {
+            return;
+        }
+        let mut records: Vec<(Addr, AddrRecord)> = Vec::new();
+        let mut changed = false;
+        for b in &blocks {
+            changed |= state.pool.blocks().iter().any(|own| own.overlaps(b));
+            records.extend(state.pool.carve(b));
+        }
+        // Leases that rode away stop being our members.
+        for (a, _) in &records {
+            state.members.remove(a);
+        }
+        // Grant even when nothing was ceded (duplicate claim): the reply
+        // is what closes the claimant's flow, so it must be idempotent.
+        let _ = w.unicast(
+            node,
+            from,
+            MsgCategory::Maintenance,
+            Msg::OwnGrant { blocks, records },
+        );
+        if changed {
+            self.push_replica(w, node, MsgCategory::Maintenance);
+        }
+    }
+
+    /// The winning head receives `OWN_GRANT`: the rival ceded the
+    /// contested blocks. Re-home the leases that rode along and drop the
+    /// region from our stored replica of the rival.
+    pub(crate) fn on_own_grant(
+        &mut self,
+        w: &mut World<Msg>,
+        node: NodeId,
+        from: NodeId,
+        blocks: Vec<AddrBlock>,
+        records: Vec<(Addr, AddrRecord)>,
+    ) {
+        let Some(state) = self.head_state_mut(node) else {
+            return;
+        };
+        let my_ip = state.ip;
+        let network = state.network_id;
+        let mut displaced: Vec<NodeId> = Vec::new();
+        let mut rehomed: Vec<NodeId> = Vec::new();
+        for (addr, rec) in records {
+            let AddrStatus::Allocated(holder) = rec.status else {
+                continue;
+            };
+            let holder = NodeId::new(holder);
+            if !state.pool.owns(addr) {
+                continue; // our shape changed under the claim; let §IV-D recover it
+            }
+            match state.pool.table().status(addr) {
+                AddrStatus::Allocated(mine) if mine == holder.index() => {
+                    state.members.insert(addr, holder);
+                }
+                AddrStatus::Allocated(_) => {
+                    // We assigned this address to someone else while
+                    // partitioned: a real duplicate. The rival's lease
+                    // loses — that node must reconfigure.
+                    displaced.push(holder);
+                }
+                AddrStatus::Free | AddrStatus::Vacant => {
+                    state
+                        .pool
+                        .table_mut()
+                        .set(addr, AddrStatus::Allocated(holder.index()));
+                    state.members.insert(addr, holder);
+                    if holder != node && holder != from {
+                        rehomed.push(holder);
+                    }
+                }
+            }
+        }
+        // The rival no longer owns the ceded region.
+        if let Some(rep) = state.quorum_space.get_mut(&from) {
+            for b in &blocks {
+                rep.blocks = rep.blocks.iter().flat_map(|r| r.subtract(b)).collect();
+            }
+        }
+        for n in displaced {
+            let _ = w.unicast(
+                node,
+                n,
+                MsgCategory::Maintenance,
+                Msg::Reinit {
+                    network_id: network,
+                    force: true,
+                },
+            );
+        }
+        for n in rehomed {
+            let _ = w.unicast(
+                node,
+                n,
+                MsgCategory::Maintenance,
+                Msg::AllocatorChange {
+                    new_configurer: my_ip,
+                },
+            );
+        }
+        self.stats.ownership_reconciliations += 1;
+        w.flow_event(FlowKind::MergeOwnership, node, FlowStage::Finalized);
+        // The quorum must see the re-homed leases.
+        self.push_replica(w, node, MsgCategory::Maintenance);
     }
 }

@@ -47,6 +47,9 @@ pub struct ProtocolStats {
     pub reinits: u64,
     /// Merge-triggered reconfigurations (§V-C).
     pub merges: u64,
+    /// Pool-ownership reconciliations completed after a merge (contested
+    /// blocks ceded by the tiebreak loser and re-homed by the winner).
+    pub ownership_reconciliations: u64,
 }
 
 /// The quorum-based IP address autoconfiguration protocol (Xu & Wu,
@@ -481,6 +484,12 @@ impl Protocol for Qbac {
             Msg::RepAck => self.on_rep_ack(w, to, from),
 
             Msg::Reinit { network_id, force } => self.on_reinit(w, to, from, network_id, force),
+
+            Msg::OwnClaim {
+                claimant_ip,
+                blocks,
+            } => self.on_own_claim(w, to, from, claimant_ip, blocks),
+            Msg::OwnGrant { blocks, records } => self.on_own_grant(w, to, from, blocks, records),
         }
     }
 

@@ -14,7 +14,7 @@
 
 use crate::msg::{Msg, QuorumOp};
 use crate::protocol::{tag, Qbac};
-use addrspace::Addr;
+use addrspace::{Addr, AddrBlock};
 use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 use quorum::{DynamicLinearRule, VersionStamp};
 use std::collections::BTreeSet;
@@ -34,6 +34,14 @@ pub(crate) enum VotePurpose {
     },
     /// Split half the allocator's block for `requestor`, a new head.
     HeadConfig { requestor: NodeId },
+    /// Claim the contested `blocks` from `rival` after a partition
+    /// merge left both heads owning them (pool-ownership
+    /// reconciliation). The allocator is the deterministic tiebreak
+    /// winner; on success it sends `OWN_CLAIM` to the rival.
+    OwnBlocks {
+        rival: NodeId,
+        blocks: Vec<AddrBlock>,
+    },
 }
 
 /// An in-flight quorum collection at an allocator.
@@ -115,6 +123,12 @@ impl Qbac {
                     electorate.push(*owner);
                 }
                 Some(*owner)
+            }
+            // The contested party must not vote on its own dispossession.
+            VotePurpose::OwnBlocks { rival, .. } => {
+                let rival = *rival;
+                electorate.retain(|m| *m != rival);
+                None
             }
             _ => None,
         };
@@ -210,6 +224,33 @@ impl Qbac {
                 // Granting a split only requires holding a copy of the
                 // owner's space; the vote serializes concurrent splits.
                 (head.quorum_space.contains_key(owner), VersionStamp::ZERO)
+            }
+            (
+                QuorumOp::ClaimBlocks {
+                    claimant,
+                    rival,
+                    blocks,
+                },
+                Some(head),
+            ) => {
+                let touches = |owned: &[AddrBlock]| {
+                    blocks.iter().any(|c| owned.iter().any(|b| b.overlaps(c)))
+                };
+                // Our replica of the claimant backs the claim outright.
+                let backed = head
+                    .quorum_space
+                    .get(claimant)
+                    .is_some_and(|rep| touches(&rep.blocks));
+                // A head other than the two disputants (including
+                // ourselves) also claiming the region contradicts it.
+                let contradicted = touches(head.pool.blocks())
+                    || head
+                        .quorum_space
+                        .iter()
+                        .any(|(h, rep)| h != claimant && h != rival && touches(&rep.blocks));
+                // With no contradicting knowledge, defer to the
+                // deterministic tiebreak that selected the claimant.
+                (backed || !contradicted, VersionStamp::ZERO)
             }
             // Non-heads hold no replicas and refuse.
             (_, None) => (false, VersionStamp::ZERO),

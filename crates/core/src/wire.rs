@@ -81,9 +81,12 @@ mod tags {
     pub const REP_ACK: u8 = 0x1a;
     pub const COM_REQ_FWD: u8 = 0x1b;
     pub const REINIT: u8 = 0x1c;
+    pub const OWN_CLAIM: u8 = 0x1d;
+    pub const OWN_GRANT: u8 = 0x1e;
 
     pub const OP_CHECK: u8 = 0x01;
     pub const OP_SPLIT: u8 = 0x02;
+    pub const OP_CLAIM: u8 = 0x03;
 
     pub const ST_FREE: u8 = 0x00;
     pub const ST_ALLOC: u8 = 0x01;
@@ -187,6 +190,19 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
                     b.put_u8(tags::OP_SPLIT);
                     put_node(b, *owner);
                 }
+                QuorumOp::ClaimBlocks {
+                    claimant,
+                    rival,
+                    blocks,
+                } => {
+                    b.put_u8(tags::OP_CLAIM);
+                    put_node(b, *claimant);
+                    put_node(b, *rival);
+                    b.put_u16(blocks.len() as u16);
+                    for blk in blocks {
+                        put_block(b, *blk);
+                    }
+                }
             }
         }
         Msg::QuorumCfm { seq, grant, stamp } => {
@@ -289,6 +305,29 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
             put_addr(b, *network_id);
             b.put_u8(u8::from(*force));
         }
+        Msg::OwnClaim {
+            claimant_ip,
+            blocks,
+        } => {
+            b.put_u8(tags::OWN_CLAIM);
+            put_addr(b, *claimant_ip);
+            b.put_u16(blocks.len() as u16);
+            for blk in blocks {
+                put_block(b, *blk);
+            }
+        }
+        Msg::OwnGrant { blocks, records } => {
+            b.put_u8(tags::OWN_GRANT);
+            b.put_u16(blocks.len() as u16);
+            for blk in blocks {
+                put_block(b, *blk);
+            }
+            b.put_u32(records.len() as u32);
+            for (a, r) in records {
+                put_addr(b, *a);
+                put_record(b, *r);
+            }
+        }
     }
 }
 
@@ -349,6 +388,20 @@ fn take_msg(cur: &mut &[u8]) -> Result<Msg, WireError> {
                 tags::OP_SPLIT => QuorumOp::SplitBlock {
                     owner: take_node(cur)?,
                 },
+                tags::OP_CLAIM => {
+                    let claimant = take_node(cur)?;
+                    let rival = take_node(cur)?;
+                    let n = take_u16(cur)?;
+                    let mut blocks = Vec::with_capacity(usize::from(n).min(1024));
+                    for _ in 0..n {
+                        blocks.push(take_block(cur)?);
+                    }
+                    QuorumOp::ClaimBlocks {
+                        claimant,
+                        rival,
+                        blocks,
+                    }
+                }
                 t => return Err(WireError::BadTag(t)),
             };
             Msg::QuorumClt { seq, op }
@@ -433,6 +486,31 @@ fn take_msg(cur: &mut &[u8]) -> Result<Msg, WireError> {
             network_id: take_addr(cur)?,
             force: take_u8(cur)? != 0,
         },
+        tags::OWN_CLAIM => {
+            let claimant_ip = take_addr(cur)?;
+            let n = take_u16(cur)?;
+            let mut blocks = Vec::with_capacity(usize::from(n).min(1024));
+            for _ in 0..n {
+                blocks.push(take_block(cur)?);
+            }
+            Msg::OwnClaim {
+                claimant_ip,
+                blocks,
+            }
+        }
+        tags::OWN_GRANT => {
+            let n = take_u16(cur)?;
+            let mut blocks = Vec::with_capacity(usize::from(n).min(1024));
+            for _ in 0..n {
+                blocks.push(take_block(cur)?);
+            }
+            let m = take_u32(cur)?;
+            let mut records = Vec::with_capacity((m as usize).min(1024));
+            for _ in 0..m {
+                records.push((take_addr(cur)?, take_record(cur)?));
+            }
+            Msg::OwnGrant { blocks, records }
+        }
         t => return Err(WireError::BadTag(t)),
     })
 }
@@ -672,6 +750,28 @@ mod tests {
             Msg::Reinit {
                 network_id: Addr::new(77),
                 force: true,
+            },
+            Msg::QuorumClt {
+                seq: 44,
+                op: QuorumOp::ClaimBlocks {
+                    claimant: NodeId::new(1),
+                    rival: NodeId::new(2),
+                    blocks: vec![AddrBlock::new(Addr::new(128), 64).unwrap()],
+                },
+            },
+            Msg::OwnClaim {
+                claimant_ip: Addr::new(7),
+                blocks: vec![AddrBlock::new(Addr::new(128), 64).unwrap()],
+            },
+            Msg::OwnGrant {
+                blocks: vec![AddrBlock::new(Addr::new(128), 64).unwrap()],
+                records: vec![(
+                    Addr::new(130),
+                    AddrRecord {
+                        status: AddrStatus::Allocated(12),
+                        stamp: VersionStamp::new(3),
+                    },
+                )],
             },
         ]
     }

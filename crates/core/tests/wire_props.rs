@@ -96,6 +96,20 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             seq,
             op: QuorumOp::SplitBlock { owner }
         }),
+        (
+            any::<u64>(),
+            arb_node(),
+            arb_node(),
+            prop::collection::vec(arb_block(), 0..5)
+        )
+            .prop_map(|(seq, claimant, rival, blocks)| Msg::QuorumClt {
+                seq,
+                op: QuorumOp::ClaimBlocks {
+                    claimant,
+                    rival,
+                    blocks
+                }
+            }),
         (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(seq, grant, s)| Msg::QuorumCfm {
             seq,
             grant,
@@ -162,6 +176,17 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         Just(Msg::RepAck),
         (arb_addr(), any::<bool>())
             .prop_map(|(network_id, force)| Msg::Reinit { network_id, force }),
+        (arb_addr(), prop::collection::vec(arb_block(), 0..5)).prop_map(|(claimant_ip, blocks)| {
+            Msg::OwnClaim {
+                claimant_ip,
+                blocks,
+            }
+        }),
+        (
+            prop::collection::vec(arb_block(), 0..5),
+            prop::collection::vec((arb_addr(), arb_record()), 0..6)
+        )
+            .prop_map(|(blocks, records)| Msg::OwnGrant { blocks, records }),
     ]
 }
 
@@ -233,6 +258,14 @@ fn one_of_each() -> Vec<Msg> {
             seq: 6,
             op: QuorumOp::SplitBlock { owner: node },
         },
+        Msg::QuorumClt {
+            seq: 7,
+            op: QuorumOp::ClaimBlocks {
+                claimant: node,
+                rival: NodeId::new(9),
+                blocks: vec![block],
+            },
+        },
         Msg::QuorumCfm {
             seq: 5,
             grant: true,
@@ -287,6 +320,14 @@ fn one_of_each() -> Vec<Msg> {
         Msg::Reinit {
             network_id: addr,
             force: false,
+        },
+        Msg::OwnClaim {
+            claimant_ip: addr,
+            blocks: vec![block],
+        },
+        Msg::OwnGrant {
+            blocks: vec![block],
+            records: vec![(addr, record)],
         },
     ]
 }

@@ -1,20 +1,24 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro                 # every figure, default replication
-//! repro --fig 5         # one figure
-//! repro --rounds 50     # more replications (paper used 1000)
-//! repro --quick         # shrunken sweeps (seconds, for smoke tests)
-//! repro --csv out/      # also write one CSV per table
-//! repro --metrics-out snapshot.json   # run manifest + metrics snapshot
-//! repro --trace-out traces/           # per-protocol JSONL flow traces
-//! repro --chaos         # fault-injection suite (loss sweep + head kills)
-//! repro --chaos --loss 0.2 --head-kills 2   # one chaos cell
-//! repro --chaos --fault-plan plan.txt       # scripted faults (see DESIGN.md)
-//! repro --check         # conformance oracle: invariants after every event
-//! repro --check --quick --artifact-dir out/ # CI smoke; shrunk repros on failure
-//! repro --check --replay out/quorum-storm.repro   # byte-for-byte reproduction
+//! repro figures             # every figure, default replication
+//! repro figures --fig 5     # one figure
+//! repro figures --rounds 50 # more replications (paper used 1000)
+//! repro figures --quick     # shrunken sweeps (seconds, for smoke tests)
+//! repro figures --csv out/  # also write one CSV per table
+//! repro figures --metrics-out snapshot.json  # run manifest + metrics snapshot
+//! repro figures --trace-out traces/          # per-protocol JSONL flow traces
+//! repro chaos               # fault-injection suite (loss sweep + head kills)
+//! repro chaos --loss 0.2 --head-kills 2      # one chaos cell
+//! repro chaos --fault-plan plan.txt          # scripted faults (see DESIGN.md)
+//! repro check               # conformance oracle: invariants after every event
+//! repro check --quick --artifact-dir out/    # CI smoke; shrunk repros on failure
+//! repro replay out/quorum-storm.repro        # byte-for-byte reproduction
 //! ```
+//!
+//! `repro` with no subcommand runs `figures`. The pre-subcommand flat
+//! spellings (`--chaos`, `--check`, `--check --replay FILE`) keep
+//! working as hidden aliases.
 //!
 //! With `REPRO_NO_WALL_CLOCK=1` the snapshot's per-phase `wall_us`
 //! fields render as 0, making same-seed snapshots byte-identical.
@@ -27,23 +31,52 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+/// Which of the four subcommands runs. `repro` with no subcommand is
+/// `Figures`; the legacy flat flags (`--chaos`, `--check`,
+/// `--check --replay FILE`) resolve to the same modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Figures,
+    Chaos,
+    Check,
+    Replay,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Figures => "figures",
+            Mode::Chaos => "chaos",
+            Mode::Check => "check",
+            Mode::Replay => "replay",
+        }
+    }
+}
+
+/// Options every subcommand shares: replication parameters plus the
+/// snapshot/trace outputs.
+#[derive(Debug, Default)]
+struct CommonOpts {
+    opts: FigOpts,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
 #[derive(Debug)]
 struct Args {
+    mode: Mode,
+    common: CommonOpts,
     fig: Option<u32>,
-    opts: FigOpts,
     csv_dir: Option<PathBuf>,
-    chaos: bool,
     loss: Option<f64>,
     head_kills: Option<u32>,
     fault_plan: Option<FaultPlan>,
-    metrics_out: Option<PathBuf>,
-    trace_out: Option<PathBuf>,
-    check: bool,
     replay: Option<PathBuf>,
     artifact_dir: Option<PathBuf>,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut subcommand: Option<Mode> = None;
     let mut fig = None;
     let mut opts = FigOpts::default();
     let mut csv_dir = None;
@@ -57,7 +90,28 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut replay = None;
     let mut artifact_dir = None;
     let mut it = argv;
+    let mut first = true;
     while let Some(arg) = it.next() {
+        if std::mem::take(&mut first) {
+            let sub = match arg.as_str() {
+                "figures" => Some(Mode::Figures),
+                "chaos" => Some(Mode::Chaos),
+                "check" => Some(Mode::Check),
+                "replay" => {
+                    let v = it.next().ok_or("replay needs an artifact file path")?;
+                    if v.starts_with("--") {
+                        return Err("replay needs an artifact file path".into());
+                    }
+                    replay = Some(PathBuf::from(v));
+                    Some(Mode::Replay)
+                }
+                _ => None,
+            };
+            if sub.is_some() {
+                subcommand = sub;
+                continue;
+            }
+        }
         match arg.as_str() {
             "--fig" => {
                 let v = it.next().ok_or("--fig needs a number (4-18)")?;
@@ -119,22 +173,23 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--fig N] [--rounds R] [--seed S] [--quick] [--csv DIR]\n\
+                    "usage: repro [figures] [--fig N] [--rounds R] [--seed S] [--quick] [--csv DIR]\n\
                      \x20            [--metrics-out FILE] [--trace-out DIR]\n\
-                     \x20      repro --chaos [--loss P] [--head-kills K] [--fault-plan FILE]\n\
-                     \x20      repro --check [--quick] [--artifact-dir DIR] [--replay FILE]\n\
+                     \x20      repro chaos [--loss P] [--head-kills K] [--fault-plan FILE]\n\
+                     \x20      repro check [--quick] [--artifact-dir DIR]\n\
+                     \x20      repro replay FILE\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
-                     IP autoconfiguration paper. Default: all figures, {} rounds.\n\
-                     --chaos instead runs the fault-injection suite: message-loss sweep plus\n\
-                     scheduled cluster-head kills, auditing duplicate addresses, address leaks\n\
-                     and join-latency inflation for every protocol.\n\
+                     IP autoconfiguration paper. Default subcommand: figures, {} rounds.\n\
+                     chaos runs the fault-injection suite: message-loss sweep plus scheduled\n\
+                     cluster-head kills, auditing duplicate addresses, address leaks and\n\
+                     join-latency inflation for every protocol.\n\
                      --metrics-out writes a run manifest (seed, params, per-phase wall-clock,\n\
                      per-protocol counters and histograms); --trace-out writes one JSONL flow\n\
                      trace per protocol.\n\
-                     --check runs the conformance oracle: every protocol under every canned\n\
+                     check runs the conformance oracle: every protocol under every canned\n\
                      chaos schedule with invariants verified after each simulator event; a\n\
                      violation is shrunk to a minimal replayable artifact (--artifact-dir),\n\
-                     and --replay re-runs one artifact demanding byte-for-byte reproduction.",
+                     and replay re-runs one artifact demanding byte-for-byte reproduction.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -142,26 +197,50 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    if !chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
+    // Resolve the mode. The flat flags request modes too; an explicit
+    // subcommand must agree with them.
+    let legacy = match (chaos, check) {
+        (true, true) => return Err("--check and --chaos are separate modes; pick one".into()),
+        (true, false) => Some(Mode::Chaos),
+        (false, true) => Some(Mode::Check),
+        (false, false) => None,
+    };
+    let mut mode = match (subcommand, legacy) {
+        (Some(m), None) | (None, Some(m)) => m,
+        (None, None) => Mode::Figures,
+        (Some(m), Some(l)) if m == l => m,
+        (Some(m), Some(l)) => {
+            return Err(format!(
+                "{} and {} are separate modes; pick one",
+                m.name(),
+                l.name()
+            ))
+        }
+    };
+    if mode != Mode::Chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
         return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
     }
-    if !check && (replay.is_some() || artifact_dir.is_some()) {
+    if !matches!(mode, Mode::Check | Mode::Replay) && (replay.is_some() || artifact_dir.is_some()) {
         return Err("--replay / --artifact-dir only apply to --check runs".into());
     }
-    if check && chaos {
-        return Err("--check and --chaos are separate modes; pick one".into());
+    if mode == Mode::Check && replay.is_some() {
+        mode = Mode::Replay;
+    }
+    if mode == Mode::Replay && replay.is_none() {
+        return Err("replay needs an artifact file path".into());
     }
     Ok(Args {
+        mode,
+        common: CommonOpts {
+            opts,
+            metrics_out,
+            trace_out,
+        },
         fig,
-        opts,
         csv_dir,
-        chaos,
         loss,
         head_kills,
         fault_plan,
-        metrics_out,
-        trace_out,
-        check,
         replay,
         artifact_dir,
     })
@@ -187,7 +266,7 @@ fn run_check_mode(args: &Args) -> ExitCode {
         };
     }
 
-    let cells = harness::oracle::check_suite(args.opts.quick);
+    let cells = harness::oracle::check_suite(args.common.opts.quick);
     let mut failed = false;
     for cell in &cells {
         println!("{}", cell.report_line());
@@ -225,7 +304,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.check {
+    if matches!(args.mode, Mode::Check | Mode::Replay) {
         return run_check_mode(&args);
     }
 
@@ -240,9 +319,9 @@ fn main() -> ExitCode {
         tables
     };
 
-    let tables = if args.chaos {
+    let tables = if args.mode == Mode::Chaos {
         let opts = ChaosOpts {
-            fig: args.opts,
+            fig: args.common.opts,
             loss: args.loss,
             head_kills: args.head_kills.unwrap_or(2),
             extra_plan: args.fault_plan.clone(),
@@ -250,7 +329,7 @@ fn main() -> ExitCode {
         timed("chaos".into(), &mut || chaos_suite(&opts))
     } else {
         match args.fig {
-            Some(n) => match figures::by_number(n, &args.opts) {
+            Some(n) => match figures::by_number(n, &args.common.opts) {
                 Some(t) => {
                     phases.push(Phase {
                         name: format!("fig{n:02}"),
@@ -271,7 +350,7 @@ fn main() -> ExitCode {
                 let mut tables = Vec::new();
                 for n in 4..=18u32 {
                     let fig_tables = timed(format!("fig{n:02}"), &mut || {
-                        figures::by_number(n, &args.opts).expect("figures 4-18 exist")
+                        figures::by_number(n, &args.common.opts).expect("figures 4-18 exist")
                     });
                     tables.extend(fig_tables);
                 }
@@ -306,20 +385,20 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = &args.metrics_out {
+    if let Some(path) = &args.common.metrics_out {
         let t0 = Instant::now();
-        let protocols = snapshot::protocol_runs(args.opts.seed, args.opts.quick);
+        let protocols = snapshot::protocol_runs(args.common.opts.seed, args.common.opts.quick);
         phases.push(Phase {
             name: "snapshot".into(),
             wall_us: t0.elapsed().as_micros() as u64,
         });
         let snap = Snapshot {
             params: SnapshotParams {
-                seed: args.opts.seed,
-                rounds: args.opts.rounds,
-                quick: args.opts.quick,
+                seed: args.common.opts.seed,
+                rounds: args.common.opts.rounds,
+                quick: args.common.opts.quick,
                 fig: args.fig,
-                chaos: args.chaos,
+                chaos: args.mode == Mode::Chaos,
                 loss: args.loss,
                 head_kills: args.head_kills,
             },
@@ -338,12 +417,14 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
 
-    if let Some(dir) = &args.trace_out {
+    if let Some(dir) = &args.common.trace_out {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("error: creating {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
-        for (name, jsonl) in snapshot::protocol_traces(args.opts.seed, args.opts.quick) {
+        for (name, jsonl) in
+            snapshot::protocol_traces(args.common.opts.seed, args.common.opts.quick)
+        {
             let path = dir.join(format!("{name}.jsonl"));
             if let Err(e) = std::fs::write(&path, jsonl) {
                 eprintln!("error: writing {}: {e}", path.display());
@@ -357,7 +438,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_args;
+    use super::{parse_args, Mode};
 
     fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
         s.split_whitespace().map(str::to_string)
@@ -374,7 +455,7 @@ mod tests {
         }
         // With --chaos they parse.
         let a = parse_args(argv("--chaos --loss 0.1 --head-kills 3")).unwrap();
-        assert!(a.chaos);
+        assert_eq!(a.mode, Mode::Chaos);
         assert_eq!(a.loss, Some(0.1));
         assert_eq!(a.head_kills, Some(3));
     }
@@ -386,14 +467,66 @@ mod tests {
     }
 
     #[test]
+    fn subcommands_select_modes() {
+        assert_eq!(parse_args(argv("")).unwrap().mode, Mode::Figures);
+        assert_eq!(parse_args(argv("figures")).unwrap().mode, Mode::Figures);
+        assert_eq!(parse_args(argv("figures --fig 5")).unwrap().fig, Some(5));
+        assert_eq!(parse_args(argv("chaos")).unwrap().mode, Mode::Chaos);
+        assert_eq!(parse_args(argv("check --quick")).unwrap().mode, Mode::Check);
+
+        let a = parse_args(argv("replay out/quorum-storm.repro")).unwrap();
+        assert_eq!(a.mode, Mode::Replay);
+        assert_eq!(
+            a.replay.as_deref().unwrap().to_str(),
+            Some("out/quorum-storm.repro")
+        );
+    }
+
+    #[test]
+    fn subcommands_accept_mode_scoped_flags() {
+        let a = parse_args(argv("chaos --loss 0.1 --head-kills 3")).unwrap();
+        assert_eq!(a.mode, Mode::Chaos);
+        assert_eq!(a.loss, Some(0.1));
+        assert_eq!(a.head_kills, Some(3));
+
+        let a = parse_args(argv("check --artifact-dir out")).unwrap();
+        assert_eq!(a.mode, Mode::Check);
+        assert_eq!(a.artifact_dir.as_deref().unwrap().to_str(), Some("out"));
+
+        // Mode-scoped flags stay rejected outside their subcommand.
+        assert!(parse_args(argv("figures --loss 0.1")).is_err());
+        assert!(parse_args(argv("check --loss 0.1")).is_err());
+        assert!(parse_args(argv("figures --artifact-dir out")).is_err());
+    }
+
+    #[test]
+    fn legacy_flags_conflict_with_other_subcommands() {
+        let err = parse_args(argv("check --chaos")).unwrap_err();
+        assert!(err.contains("separate modes"), "{err}");
+        let err = parse_args(argv("figures --check")).unwrap_err();
+        assert!(err.contains("separate modes"), "{err}");
+        // The matching legacy flag is a harmless alias.
+        assert_eq!(parse_args(argv("chaos --chaos")).unwrap().mode, Mode::Chaos);
+    }
+
+    #[test]
+    fn replay_subcommand_requires_a_file() {
+        assert!(parse_args(argv("replay")).is_err());
+        assert!(parse_args(argv("replay --quick")).is_err());
+    }
+
+    #[test]
     fn output_flags_parse() {
         let a = parse_args(argv("--quick --metrics-out snap.json --trace-out traces")).unwrap();
-        assert!(a.opts.quick);
+        assert!(a.common.opts.quick);
         assert_eq!(
-            a.metrics_out.as_deref().unwrap().to_str(),
+            a.common.metrics_out.as_deref().unwrap().to_str(),
             Some("snap.json")
         );
-        assert_eq!(a.trace_out.as_deref().unwrap().to_str(), Some("traces"));
+        assert_eq!(
+            a.common.trace_out.as_deref().unwrap().to_str(),
+            Some("traces")
+        );
     }
 
     #[test]
@@ -407,10 +540,11 @@ mod tests {
     #[test]
     fn check_flags_parse_and_are_gated() {
         let a = parse_args(argv("--check --quick --artifact-dir out")).unwrap();
-        assert!(a.check && a.opts.quick);
+        assert!(a.mode == Mode::Check && a.common.opts.quick);
         assert_eq!(a.artifact_dir.as_deref().unwrap().to_str(), Some("out"));
 
         let a = parse_args(argv("--check --replay out/quorum-storm.repro")).unwrap();
+        assert_eq!(a.mode, Mode::Replay, "--check --replay is the replay mode");
         assert_eq!(
             a.replay.as_deref().unwrap().to_str(),
             Some("out/quorum-storm.repro")

@@ -159,19 +159,25 @@ fn count_duplicates<M: Clone + std::fmt::Debug>(
 fn chaos_scenario(opts: &ChaosOpts, loss: f64, seed: u64) -> Scenario {
     let quick = opts.fig.quick;
     let nn = if quick { 40 } else { 100 };
-    let base = Scenario {
-        nn,
-        speed: 0.0,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_fraction: 0.0,
-        post_arrivals: nn / 10,
-        cooldown: SimDuration::from_secs(if quick { 15 } else { 30 }),
-        seed,
-        ..Scenario::default()
-    };
+    let mut s = Scenario::builder()
+        .nn(nn)
+        .speed_mps(0.0)
+        .settle_secs(if quick { 5 } else { 10 })
+        // `run_scenario` only runs the post-departure phase when nodes
+        // depart; a zero-fraction would end at `settled`. One graceful
+        // departure keeps the workload comparable while unlocking the
+        // post-arrival + cooldown phases.
+        .depart_fraction(1.0 / nn as f64)
+        .abrupt_ratio(0.0)
+        .post_arrivals(nn / 10)
+        .cooldown_secs(if quick { 15 } else { 30 })
+        .seed(seed)
+        .build()
+        .expect("chaos scenario is in-domain");
 
     // Head kills land after the network has settled, spaced out so the
-    // protocols face them one at a time.
+    // protocols face them one at a time. The kill times derive from the
+    // built scenario's timeline, so the plan is attached afterwards.
     let mut plan = match &opts.extra_plan {
         Some(p) => p.clone(),
         None => FaultPlan::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(loss.to_bits())),
@@ -179,28 +185,19 @@ fn chaos_scenario(opts: &ChaosOpts, loss: f64, seed: u64) -> Scenario {
     if loss > 0.0 {
         plan = plan.with_loss(loss);
     }
-    let settled = base.arrivals_done() + base.settle;
+    let settled = s.arrivals_done() + s.settle;
     for k in 0..opts.head_kills {
         plan = plan.with_head_kill(settled + SimDuration::from_secs(2) * u64::from(k + 1), 1);
     }
-
-    Scenario {
-        fault_plan: plan,
-        // `run_scenario` only runs the post-departure phase when nodes
-        // depart; a zero-fraction would end at `settled`. One graceful
-        // departure keeps the workload comparable while unlocking the
-        // post-arrival + cooldown phases.
-        depart_fraction: 1.0 / base.nn as f64,
-        abrupt_ratio: 0.0,
-        ..base
-    }
+    s.fault_plan = plan;
+    s
 }
 
 fn run_cell<P: ChaosSubject>(opts: &ChaosOpts, loss: f64, seed: u64) -> CellOutcome {
-    let (mut sim, m) = run_scenario(&chaos_scenario(opts, loss, seed), P::fresh());
-    let assigned = sim.protocol().assigned_pairs(sim.world());
-    let (leaked, tracked) = sim.protocol().leak_pair(sim.world());
-    let duplicates = count_duplicates(sim.world_mut(), &assigned) as f64;
+    let mut report = run_scenario(&chaos_scenario(opts, loss, seed), P::fresh());
+    let assigned = report.protocol().assigned_pairs(report.world());
+    let (leaked, tracked) = report.protocol().leak_pair(report.world());
+    let duplicates = count_duplicates(report.sim_mut().world_mut(), &assigned) as f64;
     CellOutcome {
         duplicates,
         leak_pct: if tracked == 0 {
@@ -208,7 +205,7 @@ fn run_cell<P: ChaosSubject>(opts: &ChaosOpts, loss: f64, seed: u64) -> CellOutc
         } else {
             100.0 * leaked as f64 / tracked as f64
         },
-        latency: m.metrics.mean_config_latency(),
+        latency: report.metrics().mean_config_latency(),
     }
 }
 

@@ -6,21 +6,20 @@ use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
-use manet_sim::SimDuration;
 use qbac_core::{AllocatorChoice, ProtocolConfig, Qbac, UpdatePolicy};
 
 fn scenario(seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn: if quick { 30 } else { 80 },
-        depart_fraction: 0.3,
-        abrupt_ratio: 0.3,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_window: SimDuration::from_secs(15),
-        cooldown: SimDuration::from_secs(15),
-        post_arrivals: 5,
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(if quick { 30 } else { 80 })
+        .depart_fraction(0.3)
+        .abrupt_ratio(0.3)
+        .settle_secs(if quick { 5 } else { 10 })
+        .depart_window_secs(15)
+        .cooldown_secs(15)
+        .post_arrivals(5)
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 fn variants() -> Vec<(&'static str, ProtocolConfig)> {
@@ -72,7 +71,8 @@ pub fn extra_ablation(opts: &FigOpts) -> Vec<Table> {
     );
     for (name, cfg) in variants() {
         let runs = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(s, opts.quick), Qbac::new(cfg.clone()));
+            let m =
+                run_scenario(&scenario(s, opts.quick), Qbac::new(cfg.clone())).into_measurements();
             (
                 m.metrics.configured_nodes() as f64,
                 m.metrics.mean_config_latency().unwrap_or(0.0),

@@ -14,23 +14,22 @@ use crate::stats::mean;
 use crate::Table;
 use addrspace::fragmentation;
 use baselines::ctree::CTree;
-use manet_sim::SimDuration;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn: if quick { 30 } else { 80 },
-        speed: 0.0,
-        depart_fraction: 0.5,
-        abrupt_ratio: 0.0,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_window: SimDuration::from_secs(20),
-        cooldown: SimDuration::from_secs(10),
+    Scenario::builder()
+        .nn(if quick { 30 } else { 80 })
+        .speed_mps(0.0)
+        .depart_fraction(0.5)
+        .abrupt_ratio(0.0)
+        .settle_secs(if quick { 5 } else { 10 })
+        .depart_window_secs(20)
+        .cooldown_secs(10)
         // Churn back in: replacements reuse returned addresses.
-        post_arrivals: if quick { 8 } else { 20 },
-        seed,
-        ..Scenario::default()
-    }
+        .post_arrivals(if quick { 8 } else { 20 })
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the fragmentation study. Not a numbered paper figure; regenerated
@@ -38,15 +37,15 @@ fn scenario(seed: u64, quick: bool) -> Scenario {
 #[must_use]
 pub fn extra_fragmentation(opts: &FigOpts) -> Vec<Table> {
     let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-        let (sim, _) = run_scenario(
+        let report = run_scenario(
             &scenario(s, opts.quick),
             Qbac::new(ProtocolConfig::default()),
         );
-        let reports: Vec<_> = sim
+        let reports: Vec<_> = report
             .protocol()
-            .heads(sim.world())
+            .heads(report.world())
             .into_iter()
-            .filter_map(|h| sim.protocol().head(h))
+            .filter_map(|h| report.protocol().head(h))
             .map(|st| fragmentation::report(&st.pool))
             .collect();
         (
@@ -60,12 +59,12 @@ pub fn extra_fragmentation(opts: &FigOpts) -> Vec<Table> {
         )
     });
     let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
-        let (sim, _) = run_scenario(&scenario(s, opts.quick), CTree::default());
+        let report = run_scenario(&scenario(s, opts.quick), CTree::default());
         // The C-tree inspection exposes pool sizes; fragmentation needs
         // the pools themselves, so we reuse the block-count proxy: the
         // coordinator keeps singleton blocks for every foreign returned
         // address, visible as extra blocks per pool.
-        let frag = sim.protocol().coordinator_fragmentation(sim.world());
+        let frag = report.protocol().coordinator_fragmentation(report.world());
         (
             mean(
                 &frag

@@ -11,17 +11,17 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
 use baselines::dad::QueryDad;
-use manet_sim::{MsgCategory, SimDuration};
+use manet_sim::MsgCategory;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
-        speed: 0.0,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(nn)
+        .speed_mps(0.0)
+        .settle_secs(if quick { 5 } else { 10 })
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the stateless-vs-quorum comparison. Regenerated with
@@ -40,10 +40,11 @@ pub fn extra_stateless(opts: &FigOpts) -> Vec<Table> {
     );
     for nn in opts.nn_sweep() {
         let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(
+            let m = run_scenario(
                 &scenario(nn, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
-            );
+            )
+            .into_measurements();
             (
                 m.metrics.mean_config_latency().unwrap_or(0.0),
                 m.metrics.hops(MsgCategory::Configuration) as f64
@@ -51,7 +52,8 @@ pub fn extra_stateless(opts: &FigOpts) -> Vec<Table> {
             )
         });
         let dad = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), QueryDad::default());
+            let m =
+                run_scenario(&scenario(nn, s, opts.quick), QueryDad::default()).into_measurements();
             (
                 m.metrics.mean_config_latency().unwrap_or(0.0),
                 m.metrics.hops(MsgCategory::Configuration) as f64

@@ -14,25 +14,26 @@ use manet_sim::Histogram;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
-        tr: 150.0,
-        settle: manet_sim::SimDuration::from_secs(if quick { 5 } else { 10 }),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(nn)
+        .tr_m(150.0)
+        .settle_secs(if quick { 5 } else { 10 })
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 pub(crate) fn ours_latency(nn: usize, seed: u64, quick: bool) -> Histogram {
-    let (_, m) = run_scenario(
+    let m = run_scenario(
         &scenario(nn, seed, quick),
         Qbac::new(ProtocolConfig::default()),
-    );
+    )
+    .into_measurements();
     m.metrics.config_latency().clone()
 }
 
 pub(crate) fn manetconf_latency(nn: usize, seed: u64, quick: bool) -> Histogram {
-    let (_, m) = run_scenario(&scenario(nn, seed, quick), ManetConf::default());
+    let m = run_scenario(&scenario(nn, seed, quick), ManetConf::default()).into_measurements();
     m.metrics.config_latency().clone()
 }
 

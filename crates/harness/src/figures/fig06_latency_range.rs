@@ -9,17 +9,16 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::{latency_columns, merge_histograms};
 use crate::Table;
 use baselines::manetconf::ManetConf;
-use manet_sim::SimDuration;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(tr: f64, nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
-        tr,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(nn)
+        .tr_m(tr)
+        .settle_secs(if quick { 5 } else { 10 })
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the Figure 6 driver.
@@ -42,14 +41,16 @@ pub fn fig06(opts: &FigOpts) -> Vec<Table> {
     );
     for tr in opts.tr_sweep() {
         let ours = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(
+            let m = run_scenario(
                 &scenario(tr, nn, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
-            );
+            )
+            .into_measurements();
             m.metrics.config_latency().clone()
         }));
         let theirs = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(tr, nn, s, opts.quick), ManetConf::default());
+            let m = run_scenario(&scenario(tr, nn, s, opts.quick), ManetConf::default())
+                .into_measurements();
             m.metrics.config_latency().clone()
         }));
         let q = latency_columns(&ours);

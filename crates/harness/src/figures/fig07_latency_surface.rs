@@ -11,7 +11,6 @@ use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::merge_histograms;
 use crate::Table;
-use manet_sim::SimDuration;
 use qbac_core::{ProtocolConfig, Qbac};
 
 /// Runs the Figure 7 driver.
@@ -34,14 +33,15 @@ pub fn fig07(opts: &FigOpts) -> Vec<Table> {
         let mut tail_row = Vec::new();
         for &nn in &nns {
             let pooled = merge_histograms(parallel_rounds(opts.rounds, opts.seed, |s| {
-                let scen = Scenario {
-                    nn,
-                    tr,
-                    settle: SimDuration::from_secs(if opts.quick { 5 } else { 10 }),
-                    seed: s,
-                    ..Scenario::default()
-                };
-                let (_, m) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+                let scen = Scenario::builder()
+                    .nn(nn)
+                    .tr_m(tr)
+                    .settle_secs(if opts.quick { 5 } else { 10 })
+                    .seed(s)
+                    .build()
+                    .expect("figure scenario is in-domain");
+                let m =
+                    run_scenario(&scen, Qbac::new(ProtocolConfig::default())).into_measurements();
                 m.metrics.config_latency().clone()
             }));
             row.push(pooled.mean().unwrap_or(0.0));

@@ -10,22 +10,22 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
 use baselines::buddy::Buddy;
-use manet_sim::{MsgCategory, SimDuration};
+use manet_sim::MsgCategory;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
+    Scenario::builder()
+        .nn(nn)
         // The paper's configuration-overhead experiment isolates the
         // arrival process; mobility-induced maintenance is Figures
         // 10-11's subject. A static formation keeps partition churn
         // (which the buddy protocol simply does not handle) out of the
         // configuration column.
-        speed: 0.0,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        seed,
-        ..Scenario::default()
-    }
+        .speed_mps(0.0)
+        .settle_secs(if quick { 5 } else { 10 })
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the Figure 8 driver.
@@ -38,15 +38,17 @@ pub fn fig08(opts: &FigOpts) -> Vec<Table> {
     );
     for nn in opts.nn_sweep() {
         let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(
+            let m = run_scenario(
                 &scenario(nn, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
-            );
+            )
+            .into_measurements();
             m.metrics.hops(MsgCategory::Configuration) as f64
                 / m.metrics.configured_nodes().max(1) as f64
         });
         let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), Buddy::default());
+            let m =
+                run_scenario(&scenario(nn, s, opts.quick), Buddy::default()).into_measurements();
             // The buddy protocol's configuration cost includes its
             // periodic global table synchronization (that is the paper's
             // point of comparison).

@@ -11,22 +11,22 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
 use baselines::buddy::Buddy;
-use manet_sim::{MsgCategory, SimDuration};
+use manet_sim::MsgCategory;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
+    Scenario::builder()
+        .nn(nn)
         // Stationary so the maintenance category isolates departures.
-        speed: 0.0,
-        depart_fraction: 0.4,
-        abrupt_ratio: 0.0, // graceful departures only
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_window: SimDuration::from_secs(20),
-        cooldown: SimDuration::from_secs(10),
-        seed,
-        ..Scenario::default()
-    }
+        .speed_mps(0.0)
+        .depart_fraction(0.4)
+        .abrupt_ratio(0.0) // graceful departures only
+        .settle_secs(if quick { 5 } else { 10 })
+        .depart_window_secs(20)
+        .cooldown_secs(10)
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the Figure 9 driver.
@@ -39,15 +39,17 @@ pub fn fig09(opts: &FigOpts) -> Vec<Table> {
     );
     for nn in opts.nn_sweep() {
         let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(
+            let m = run_scenario(
                 &scenario(nn, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
-            );
+            )
+            .into_measurements();
             m.metrics.hops(MsgCategory::Maintenance) as f64
                 / m.graceful_departures.len().max(1) as f64
         });
         let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), Buddy::default());
+            let m =
+                run_scenario(&scenario(nn, s, opts.quick), Buddy::default()).into_measurements();
             m.metrics.hops(MsgCategory::Maintenance) as f64
                 / m.graceful_departures.len().max(1) as f64
         });

@@ -10,21 +10,21 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
 use baselines::ctree::CTree;
-use manet_sim::{MsgCategory, SimDuration};
+use manet_sim::MsgCategory;
 use qbac_core::{ProtocolConfig, Qbac, UpdatePolicy};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
-        speed: 20.0,
-        depart_fraction: 0.3,
-        abrupt_ratio: 0.0,
-        settle: SimDuration::from_secs(if quick { 5 } else { 15 }),
-        depart_window: SimDuration::from_secs(20),
-        cooldown: SimDuration::from_secs(10),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(nn)
+        .speed_mps(20.0)
+        .depart_fraction(0.3)
+        .abrupt_ratio(0.0)
+        .settle_secs(if quick { 5 } else { 15 })
+        .depart_window_secs(20)
+        .cooldown_secs(10)
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the Figure 10 driver.
@@ -46,14 +46,16 @@ pub fn fig10(opts: &FigOpts) -> Vec<Table> {
                     update_policy: policy,
                     ..ProtocolConfig::default()
                 };
-                let (_, m) = run_scenario(&scenario(nn, s, opts.quick), Qbac::new(cfg));
+                let m =
+                    run_scenario(&scenario(nn, s, opts.quick), Qbac::new(cfg)).into_measurements();
                 m.metrics.hops(MsgCategory::Maintenance) as f64 / nn as f64
             })
         };
         let periodic = run_ours(UpdatePolicy::Periodic);
         let upon_leave = run_ours(UpdatePolicy::UponLeave);
         let ctree = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), CTree::default());
+            let m =
+                run_scenario(&scenario(nn, s, opts.quick), CTree::default()).into_measurements();
             // C-tree maintenance = departures + its periodic coordinator
             // reports to the C-root.
             (m.metrics.hops(MsgCategory::Maintenance) + m.metrics.hops(MsgCategory::Sync)) as f64

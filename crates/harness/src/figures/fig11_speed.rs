@@ -8,7 +8,7 @@ use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
-use manet_sim::{MsgCategory, SimDuration};
+use manet_sim::MsgCategory;
 use qbac_core::{ProtocolConfig, Qbac};
 
 /// Runs the Figure 11 driver.
@@ -27,16 +27,16 @@ pub fn fig11(opts: &FigOpts) -> Vec<Table> {
     );
     for speed in speeds {
         let vals = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let scen = Scenario {
-                nn,
-                speed,
+            let scen = Scenario::builder()
+                .nn(nn)
+                .speed_mps(speed)
                 // No departures: maintenance is pure movement traffic.
-                depart_fraction: 0.0,
-                settle: SimDuration::from_secs(if opts.quick { 20 } else { 60 }),
-                seed: s,
-                ..Scenario::default()
-            };
-            let (_, m) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+                .depart_fraction(0.0)
+                .settle_secs(if opts.quick { 20 } else { 60 })
+                .seed(s)
+                .build()
+                .expect("figure scenario is in-domain");
+            let m = run_scenario(&scen, Qbac::new(ProtocolConfig::default())).into_measurements();
             m.metrics.hops(MsgCategory::Maintenance) as f64 / nn as f64
         });
         t.push_row(format!("{speed:.0}"), vec![mean(&vals)]);

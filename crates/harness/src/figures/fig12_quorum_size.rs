@@ -10,22 +10,21 @@ use super::FigOpts;
 use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
-use manet_sim::SimDuration;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn measure(nn: usize, tr: f64, seed: u64, quick: bool) -> (f64, f64) {
-    let scen = Scenario {
-        nn,
-        tr,
+    let scen = Scenario::builder()
+        .nn(nn)
+        .tr_m(tr)
         // Stationary snapshot of the formed network.
-        speed: 0.0,
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        seed,
-        ..Scenario::default()
-    };
-    let (sim, _) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
-    let qd = sim.protocol().qdset_sizes(sim.world());
-    let ratios = sim.protocol().extension_ratios(sim.world());
+        .speed_mps(0.0)
+        .settle_secs(if quick { 5 } else { 10 })
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain");
+    let report = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+    let qd = report.protocol().qdset_sizes(report.world());
+    let ratios = report.protocol().extension_ratios(report.world());
     (
         mean(&qd.iter().map(|&x| x as f64).collect::<Vec<_>>()),
         mean(&ratios),

@@ -10,21 +10,20 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
 use baselines::ctree::CTree;
-use manet_sim::SimDuration;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, abrupt_ratio: f64, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
-        speed: 0.0,
-        depart_fraction: abrupt_ratio, // this fraction of nodes leaves…
-        abrupt_ratio: 1.0,             // …all abruptly and ~simultaneously
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_window: SimDuration::from_millis(100),
-        cooldown: SimDuration::from_secs(1),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(nn)
+        .speed_mps(0.0)
+        .depart_fraction(abrupt_ratio) // this fraction of nodes leaves…
+        .abrupt_ratio(1.0) // …all abruptly and ~simultaneously
+        .settle_secs(if quick { 5 } else { 10 })
+        .depart_window_ms(100)
+        .cooldown_secs(1)
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the Figure 13 driver.
@@ -43,20 +42,20 @@ pub fn fig13(opts: &FigOpts) -> Vec<Table> {
     );
     for ratio in ratios {
         let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (sim, m) = run_scenario(
+            let report = run_scenario(
                 &scenario(nn, ratio, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
             );
-            let (preserved, lost) = sim
+            let (preserved, lost) = report
                 .protocol()
-                .preservation_audit(sim.world(), &m.abrupt_departures);
+                .preservation_audit(report.world(), &report.measurements().abrupt_departures);
             pct_lost(preserved, lost)
         });
         let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (sim, m) = run_scenario(&scenario(nn, ratio, s, opts.quick), CTree::default());
-            let (preserved, lost) = sim
+            let report = run_scenario(&scenario(nn, ratio, s, opts.quick), CTree::default());
+            let (preserved, lost) = report
                 .protocol()
-                .preservation_audit(sim.world(), &m.abrupt_departures);
+                .preservation_audit(report.world(), &report.measurements().abrupt_departures);
             pct_lost(preserved, lost)
         });
         t.push_row(

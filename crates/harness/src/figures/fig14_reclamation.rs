@@ -11,24 +11,24 @@ use crate::scenario::{parallel_rounds, run_scenario, Scenario};
 use crate::stats::mean;
 use crate::Table;
 use baselines::ctree::CTree;
-use manet_sim::{MsgCategory, SimDuration};
+use manet_sim::MsgCategory;
 use qbac_core::{ProtocolConfig, Qbac};
 
 fn scenario(nn: usize, seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn,
-        speed: 0.0,
-        depart_fraction: 0.2,
-        abrupt_ratio: 1.0, // all abrupt: force reclamation
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_window: SimDuration::from_secs(5),
-        cooldown: SimDuration::from_secs(if quick { 20 } else { 40 }),
+    Scenario::builder()
+        .nn(nn)
+        .speed_mps(0.0)
+        .depart_fraction(0.2)
+        .abrupt_ratio(1.0) // all abrupt: force reclamation
+        .settle_secs(if quick { 5 } else { 10 })
+        .depart_window_secs(5)
+        .cooldown_secs(if quick { 20 } else { 40 })
         // New arrivals after the exodus make allocators touch their
         // quorums and detect the vanished heads.
-        post_arrivals: nn / 10,
-        seed,
-        ..Scenario::default()
-    }
+        .post_arrivals(nn / 10)
+        .seed(seed)
+        .build()
+        .expect("figure scenario is in-domain")
 }
 
 /// Runs the Figure 14 driver.
@@ -41,15 +41,17 @@ pub fn fig14(opts: &FigOpts) -> Vec<Table> {
     );
     for nn in opts.nn_sweep() {
         let ours = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(
+            let m = run_scenario(
                 &scenario(nn, s, opts.quick),
                 Qbac::new(ProtocolConfig::default()),
-            );
+            )
+            .into_measurements();
             m.metrics.hops(MsgCategory::Reclamation) as f64
                 / m.abrupt_departures.len().max(1) as f64
         });
         let theirs = parallel_rounds(opts.rounds, opts.seed, |s| {
-            let (_, m) = run_scenario(&scenario(nn, s, opts.quick), CTree::default());
+            let m =
+                run_scenario(&scenario(nn, s, opts.quick), CTree::default()).into_measurements();
             m.metrics.hops(MsgCategory::Reclamation) as f64
                 / m.abrupt_departures.len().max(1) as f64
         });

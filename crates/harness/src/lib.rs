@@ -26,5 +26,7 @@ pub mod stats;
 pub use chaos::{chaos_suite, ChaosOpts};
 pub use oracle::{check_suite, CheckCell};
 pub use render::Table;
-pub use scenario::{run_scenario, RunMeasurements, Scenario};
+pub use scenario::{
+    run_scenario, RunMeasurements, RunReport, Scenario, ScenarioBuilder, ScenarioError,
+};
 pub use snapshot::{Phase, ProtocolRun, Snapshot, SnapshotParams};

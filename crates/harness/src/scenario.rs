@@ -82,7 +82,226 @@ impl Default for Scenario {
     }
 }
 
+/// Why a [`ScenarioBuilder`] refused to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A field was set to a value outside its meaningful domain.
+    /// Carries the field name and the offending value.
+    OutOfRange {
+        /// The builder setter that received the value.
+        field: &'static str,
+        /// The rejected value, rendered for the error message.
+        value: String,
+        /// The accepted domain, e.g. `"within [0, 1]"`.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::OutOfRange {
+                field,
+                value,
+                expected,
+            } => write!(f, "scenario field `{field}` = {value} must be {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Chainable constructor for [`Scenario`] with unit-suffixed setters
+/// and domain validation at [`build`](ScenarioBuilder::build) time.
+///
+/// ```
+/// # use harness::scenario::Scenario;
+/// let s = Scenario::builder()
+///     .nn(50)
+///     .arrival_gap_ms(500)
+///     .settle_secs(5)
+///     .depart_fraction(0.3)
+///     .build()
+///     .expect("valid scenario");
+/// assert_eq!(s.nn, 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    s: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Number of nodes (the paper sweeps 50–200).
+    #[must_use]
+    pub fn nn(mut self, nn: usize) -> Self {
+        self.s.nn = nn;
+        self
+    }
+
+    /// Transmission range in meters (baseline 150).
+    #[must_use]
+    pub fn tr_m(mut self, tr: f64) -> Self {
+        self.s.tr = tr;
+        self
+    }
+
+    /// Arena side length in meters (paper: 1000).
+    #[must_use]
+    pub fn area_m(mut self, area: f64) -> Self {
+        self.s.area = area;
+        self
+    }
+
+    /// Node speed after configuration in m/s (paper: 20).
+    #[must_use]
+    pub fn speed_mps(mut self, speed: f64) -> Self {
+        self.s.speed = speed;
+        self
+    }
+
+    /// Gap between sequential arrivals, in milliseconds.
+    #[must_use]
+    pub fn arrival_gap_ms(mut self, ms: u64) -> Self {
+        self.s.arrival_gap = SimDuration::from_millis(ms);
+        self
+    }
+
+    /// Settle time after the last arrival, in seconds.
+    #[must_use]
+    pub fn settle_secs(mut self, secs: u64) -> Self {
+        self.s.settle = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Fraction of nodes that depart (0 disables departures).
+    #[must_use]
+    pub fn depart_fraction(mut self, fraction: f64) -> Self {
+        self.s.depart_fraction = fraction;
+        self
+    }
+
+    /// Probability that a departure is abrupt (paper sweeps 5%–50%).
+    #[must_use]
+    pub fn abrupt_ratio(mut self, ratio: f64) -> Self {
+        self.s.abrupt_ratio = ratio;
+        self
+    }
+
+    /// Departure window length, in seconds.
+    #[must_use]
+    pub fn depart_window_secs(mut self, secs: u64) -> Self {
+        self.s.depart_window = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Departure window length, in milliseconds, for compressed
+    /// near-simultaneous exoduses.
+    #[must_use]
+    pub fn depart_window_ms(mut self, ms: u64) -> Self {
+        self.s.depart_window = SimDuration::from_millis(ms);
+        self
+    }
+
+    /// Post-departure cooldown, in seconds.
+    #[must_use]
+    pub fn cooldown_secs(mut self, secs: u64) -> Self {
+        self.s.cooldown = SimDuration::from_secs(secs);
+        self
+    }
+
+    /// Arrivals scheduled after the departure window.
+    #[must_use]
+    pub fn post_arrivals(mut self, n: usize) -> Self {
+        self.s.post_arrivals = n;
+        self
+    }
+
+    /// Whether arrivals anchor within radio range of the network.
+    #[must_use]
+    pub fn connected_arrivals(mut self, connected: bool) -> Self {
+        self.s.connected_arrivals = connected;
+        self
+    }
+
+    /// RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.s.seed = seed;
+        self
+    }
+
+    /// Fault-injection plan applied on top of the workload.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.s.fault_plan = plan;
+        self
+    }
+
+    /// Enables the flow-span observer.
+    #[must_use]
+    pub fn observe(mut self, observe: bool) -> Self {
+        self.s.observe = observe;
+        self
+    }
+
+    /// Enables bounded event tracing with this capacity (0 disables).
+    #[must_use]
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.s.trace_capacity = capacity;
+        self
+    }
+
+    /// Validates the accumulated fields and produces the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Rejects values outside their meaningful domain: `nn == 0`,
+    /// `tr <= 0`, `area <= 0`, `speed < 0`, and `depart_fraction` or
+    /// `abrupt_ratio` outside `[0, 1]`.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        let out_of_range = |field: &'static str, value: String, expected: &'static str| {
+            Err(ScenarioError::OutOfRange {
+                field,
+                value,
+                expected,
+            })
+        };
+        let s = self.s;
+        if s.nn == 0 {
+            return out_of_range("nn", s.nn.to_string(), "at least 1");
+        }
+        if s.tr.is_nan() || s.tr <= 0.0 {
+            return out_of_range("tr_m", s.tr.to_string(), "positive");
+        }
+        if s.area.is_nan() || s.area <= 0.0 {
+            return out_of_range("area_m", s.area.to_string(), "positive");
+        }
+        if s.speed.is_nan() || s.speed < 0.0 {
+            return out_of_range("speed_mps", s.speed.to_string(), "non-negative");
+        }
+        if !(0.0..=1.0).contains(&s.depart_fraction) {
+            return out_of_range(
+                "depart_fraction",
+                s.depart_fraction.to_string(),
+                "within [0, 1]",
+            );
+        }
+        if !(0.0..=1.0).contains(&s.abrupt_ratio) {
+            return out_of_range("abrupt_ratio", s.abrupt_ratio.to_string(), "within [0, 1]");
+        }
+        Ok(s)
+    }
+}
+
 impl Scenario {
+    /// A builder seeded with the paper's default setup.
+    #[must_use]
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            s: Scenario::default(),
+        }
+    }
+
     /// The world configuration this scenario induces.
     #[must_use]
     pub fn world_config(&self) -> WorldConfig {
@@ -116,10 +335,62 @@ pub struct RunMeasurements {
     pub nodes: Vec<NodeId>,
 }
 
+/// What [`run_scenario`] produced: the finished simulation (for
+/// protocol-state inspection) plus the [`RunMeasurements`] the figure
+/// drivers consume, behind accessors instead of tuple positions.
+pub struct RunReport<P: Protocol> {
+    sim: Sim<P>,
+    measurements: RunMeasurements,
+}
+
+impl<P: Protocol> RunReport<P> {
+    /// The finished simulation.
+    #[must_use]
+    pub fn sim(&self) -> &Sim<P> {
+        &self.sim
+    }
+
+    /// Mutable access to the finished simulation (topology queries need
+    /// `&mut World`).
+    pub fn sim_mut(&mut self) -> &mut Sim<P> {
+        &mut self.sim
+    }
+
+    /// The world at end of run.
+    #[must_use]
+    pub fn world(&self) -> &World<P::Msg> {
+        self.sim.world()
+    }
+
+    /// The protocol state at end of run.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        self.sim.protocol()
+    }
+
+    /// The run's measurements.
+    #[must_use]
+    pub fn measurements(&self) -> &RunMeasurements {
+        &self.measurements
+    }
+
+    /// The final metrics snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.measurements.metrics
+    }
+
+    /// Consumes the report, keeping only the measurements (the common
+    /// figure-driver shape: metrics in, simulation dropped).
+    #[must_use]
+    pub fn into_measurements(self) -> RunMeasurements {
+        self.measurements
+    }
+}
+
 /// Runs `protocol` through the scenario: sequential random arrivals, a
-/// settling period, then the departure phase, then cooldown. Returns the
-/// simulation (for protocol-state inspection) plus the measurements.
-pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> (Sim<P>, RunMeasurements) {
+/// settling period, then the departure phase, then cooldown.
+pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> RunReport<P> {
     let mut sim = Sim::new(s.world_config(), protocol);
     if s.observe {
         sim.world_mut().enable_observer();
@@ -170,15 +441,15 @@ pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> (Sim<P>, RunMeasu
     }
 
     let metrics = sim.world().metrics().clone();
-    (
+    RunReport {
         sim,
-        RunMeasurements {
+        measurements: RunMeasurements {
             metrics,
             abrupt_departures: abrupt,
             graceful_departures: graceful,
             nodes,
         },
-    )
+    }
 }
 
 /// Spawns one arrival: uniform for the first node (or when connected
@@ -267,46 +538,109 @@ mod tests {
 
     #[test]
     fn scenario_runs_and_configures_most_nodes() {
-        let s = Scenario {
-            nn: 30,
-            settle: SimDuration::from_secs(5),
-            ..Scenario::default()
-        };
-        let (sim, m) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
-        assert_eq!(m.nodes.len(), 30);
+        let s = Scenario::builder()
+            .nn(30)
+            .settle_secs(5)
+            .build()
+            .expect("valid scenario");
+        let report = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        assert_eq!(report.measurements().nodes.len(), 30);
         assert!(
-            m.metrics.configured_nodes() >= 25,
+            report.metrics().configured_nodes() >= 25,
             "most nodes configured: {}",
-            m.metrics.configured_nodes()
+            report.metrics().configured_nodes()
         );
-        let _ = sim;
     }
 
     #[test]
     fn departures_split_graceful_abrupt() {
-        let s = Scenario {
-            nn: 20,
-            depart_fraction: 0.5,
-            abrupt_ratio: 0.5,
-            settle: SimDuration::from_secs(5),
-            depart_window: SimDuration::from_secs(5),
-            cooldown: SimDuration::from_secs(5),
-            ..Scenario::default()
-        };
-        let (_sim, m) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        let s = Scenario::builder()
+            .nn(20)
+            .depart_fraction(0.5)
+            .abrupt_ratio(0.5)
+            .settle_secs(5)
+            .depart_window_secs(5)
+            .cooldown_secs(5)
+            .build()
+            .expect("valid scenario");
+        let m = run_scenario(&s, Qbac::new(ProtocolConfig::default())).into_measurements();
         assert_eq!(m.abrupt_departures.len() + m.graceful_departures.len(), 10);
     }
 
     #[test]
     fn same_seed_same_measurements() {
-        let s = Scenario {
-            nn: 15,
-            settle: SimDuration::from_secs(3),
-            ..Scenario::default()
-        };
-        let (_, a) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
-        let (_, b) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
-        assert_eq!(a.metrics, b.metrics);
+        let s = Scenario::builder()
+            .nn(15)
+            .settle_secs(3)
+            .build()
+            .expect("valid scenario");
+        let a = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        let b = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_domain_fields() {
+        assert!(Scenario::builder().build().is_ok(), "defaults are valid");
+        for (broken, field) in [
+            (Scenario::builder().nn(0), "nn"),
+            (Scenario::builder().tr_m(0.0), "tr_m"),
+            (Scenario::builder().tr_m(-5.0), "tr_m"),
+            (Scenario::builder().tr_m(f64::NAN), "tr_m"),
+            (Scenario::builder().area_m(-1.0), "area_m"),
+            (Scenario::builder().speed_mps(-1.0), "speed_mps"),
+            (Scenario::builder().depart_fraction(1.5), "depart_fraction"),
+            (Scenario::builder().depart_fraction(-0.1), "depart_fraction"),
+            (Scenario::builder().abrupt_ratio(2.0), "abrupt_ratio"),
+        ] {
+            let err = broken.build().expect_err(field);
+            let ScenarioError::OutOfRange { field: got, .. } = err;
+            assert_eq!(got, field);
+        }
+    }
+
+    #[test]
+    fn builder_setters_map_units() {
+        let s = Scenario::builder()
+            .tr_m(175.0)
+            .area_m(800.0)
+            .speed_mps(10.0)
+            .arrival_gap_ms(250)
+            .settle_secs(7)
+            .depart_window_secs(12)
+            .cooldown_secs(9)
+            .post_arrivals(3)
+            .connected_arrivals(false)
+            .seed(42)
+            .observe(true)
+            .trace_capacity(64)
+            .build()
+            .expect("valid scenario");
+        assert_eq!(s.tr, 175.0);
+        assert_eq!(s.area, 800.0);
+        assert_eq!(s.speed, 10.0);
+        assert_eq!(s.arrival_gap, SimDuration::from_millis(250));
+        assert_eq!(s.settle, SimDuration::from_secs(7));
+        assert_eq!(s.depart_window, SimDuration::from_secs(12));
+        assert_eq!(s.cooldown, SimDuration::from_secs(9));
+        assert_eq!(s.post_arrivals, 3);
+        assert!(!s.connected_arrivals);
+        assert_eq!(s.seed, 42);
+        assert!(s.observe);
+        assert_eq!(s.trace_capacity, 64);
+    }
+
+    #[test]
+    fn scenario_error_displays_field_and_domain() {
+        let err = Scenario::builder()
+            .depart_fraction(7.0)
+            .build()
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("depart_fraction") && text.contains("[0, 1]"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::scenario::{run_scenario, Scenario};
 use baselines::{buddy::Buddy, ctree::CTree, dad::QueryDad, manetconf::ManetConf};
 use manet_sim::observer::all_kinds;
-use manet_sim::{FlowTally, Metrics, SimDuration};
+use manet_sim::{FlowTally, Metrics};
 use qbac_core::{ProtocolConfig, Qbac};
 use std::fmt::Write as _;
 
@@ -75,29 +75,29 @@ pub struct Snapshot {
 /// sequential arrivals, a departure phase with abrupt leavers (so
 /// reclamation flows run), and a few post-arrivals.
 fn canonical_scenario(seed: u64, quick: bool) -> Scenario {
-    Scenario {
-        nn: if quick { 30 } else { 100 },
-        settle: SimDuration::from_secs(if quick { 5 } else { 10 }),
-        depart_fraction: 0.3,
-        abrupt_ratio: 0.5,
-        depart_window: SimDuration::from_secs(if quick { 10 } else { 30 }),
-        cooldown: SimDuration::from_secs(if quick { 10 } else { 20 }),
-        post_arrivals: 3,
-        seed,
-        observe: true,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(if quick { 30 } else { 100 })
+        .settle_secs(if quick { 5 } else { 10 })
+        .depart_fraction(0.3)
+        .abrupt_ratio(0.5)
+        .depart_window_secs(if quick { 10 } else { 30 })
+        .cooldown_secs(if quick { 10 } else { 20 })
+        .post_arrivals(3)
+        .seed(seed)
+        .observe(true)
+        .build()
+        .expect("canonical scenario is in-domain")
 }
 
 fn observed_run<P: manet_sim::Protocol>(name: &str, seed: u64, quick: bool, p: P) -> ProtocolRun {
-    let (sim, m) = run_scenario(&canonical_scenario(seed, quick), p);
+    let report = run_scenario(&canonical_scenario(seed, quick), p);
     let flows = all_kinds()
         .iter()
-        .map(|k| (k.to_string(), *sim.world().observer().tally(*k)))
+        .map(|k| (k.to_string(), *report.world().observer().tally(*k)))
         .collect();
     ProtocolRun {
         name: name.to_string(),
-        metrics: m.metrics,
+        metrics: report.into_measurements().metrics,
         flows,
     }
 }
@@ -120,12 +120,10 @@ fn traced_run<P: manet_sim::Protocol>(
     quick: bool,
     p: P,
 ) -> (String, String) {
-    let scen = Scenario {
-        trace_capacity: 1 << 18,
-        ..canonical_scenario(seed, quick)
-    };
-    let (sim, _) = run_scenario(&scen, p);
-    (name.to_string(), sim.world().trace().to_jsonl())
+    let mut scen = canonical_scenario(seed, quick);
+    scen.trace_capacity = 1 << 18;
+    let report = run_scenario(&scen, p);
+    (name.to_string(), report.world().trace().to_jsonl())
 }
 
 /// Runs the canonical scenario per protocol with tracing + flow spans

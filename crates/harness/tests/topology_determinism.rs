@@ -13,13 +13,14 @@
 use harness::scenario::{run_scenario, Scenario};
 use harness::snapshot::{ProtocolRun, Snapshot, SnapshotParams};
 use manet_sim::observer::all_kinds;
-use manet_sim::{FaultPlan, Protocol, SimDuration};
+use manet_sim::{FaultPlan, Protocol};
 
-/// Fingerprint of [`chaos_snapshot`]`(7)` captured on `main` with the
-/// naive O(n²) `Topology::build` and uncached BFS, before the
-/// spatial-grid engine landed. Regenerate only if the *workload* changes
-/// — never to paper over an engine behavior change.
-const PINNED_FINGERPRINT: &str = "fnv1a:e865652e48f0b874";
+/// Fingerprint of [`chaos_snapshot`]`(7)` under the current protocol
+/// workload. Regenerate only if the *workload* changes — never to paper
+/// over an engine behavior change. Last regenerated when post-merge
+/// pool-ownership reconciliation replaced the replica-push zombie
+/// dissolution (new `merge_ownership` flow kind and `OWN_*` traffic).
+const PINNED_FINGERPRINT: &str = "fnv1a:67dd81a61ea1f5b9";
 
 fn chaos_plan() -> FaultPlan {
     FaultPlan::parse(
@@ -34,30 +35,30 @@ fn chaos_plan() -> FaultPlan {
 }
 
 fn chaos_scenario(seed: u64) -> Scenario {
-    Scenario {
-        nn: 20,
-        settle: SimDuration::from_secs(5),
-        depart_fraction: 0.3,
-        abrupt_ratio: 0.5,
-        depart_window: SimDuration::from_secs(10),
-        cooldown: SimDuration::from_secs(10),
-        post_arrivals: 2,
-        seed,
-        fault_plan: chaos_plan(),
-        observe: true,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(20)
+        .settle_secs(5)
+        .depart_fraction(0.3)
+        .abrupt_ratio(0.5)
+        .depart_window_secs(10)
+        .cooldown_secs(10)
+        .post_arrivals(2)
+        .seed(seed)
+        .fault_plan(chaos_plan())
+        .observe(true)
+        .build()
+        .expect("chaos scenario is in-domain")
 }
 
 fn chaos_run<P: Protocol>(name: &str, seed: u64, p: P) -> ProtocolRun {
-    let (sim, m) = run_scenario(&chaos_scenario(seed), p);
+    let report = run_scenario(&chaos_scenario(seed), p);
     let flows = all_kinds()
         .iter()
-        .map(|k| (k.to_string(), *sim.world().observer().tally(*k)))
+        .map(|k| (k.to_string(), *report.world().observer().tally(*k)))
         .collect();
     ProtocolRun {
         name: name.to_string(),
-        metrics: m.metrics,
+        metrics: report.into_measurements().metrics,
         flows,
     }
 }

@@ -630,6 +630,24 @@ impl FaultState {
         &mut self.rng
     }
 
+    /// `true` if a delivery between positions `a` and `b` at `now`
+    /// would be dropped by a scripted position-based fault (an active
+    /// [`PartitionEvent`] boundary between them, or an active
+    /// [`JamRegion`] covering either endpoint). Consults no RNG, so
+    /// observers (e.g. the conformance checker) can ask without
+    /// perturbing judged delivery fates.
+    pub(crate) fn severs(&self, now: SimTime, a: Point, b: Point) -> bool {
+        self.plan
+            .jams
+            .iter()
+            .any(|jam| jam.active(now) && (jam.covers(a) || jam.covers(b)))
+            || self
+                .plan
+                .partitions
+                .iter()
+                .any(|part| part.active(now) && part.separates(a, b))
+    }
+
     /// Decides the fate of one delivery. `from_pos`/`to_pos` are the
     /// endpoints' positions at send time (used by jam and partition
     /// checks; `None` for endpoints without a position is treated as

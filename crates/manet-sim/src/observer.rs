@@ -30,16 +30,27 @@ pub enum FlowKind {
     /// Partition-merge / re-init reconfiguration (§V-C): old address
     /// dropped → reconfigured in the surviving network.
     Merge,
+    /// Post-heal pool-ownership reconciliation: a head detected a rival
+    /// claiming overlapping blocks, won the quorum ownership vote, and
+    /// re-absorbed the contested space (or abandoned the claim when the
+    /// quorum refused).
+    MergeOwnership,
 }
 
 impl FlowKind {
-    const ALL: [FlowKind; 3] = [FlowKind::Join, FlowKind::Reclaim, FlowKind::Merge];
+    const ALL: [FlowKind; 4] = [
+        FlowKind::Join,
+        FlowKind::Reclaim,
+        FlowKind::Merge,
+        FlowKind::MergeOwnership,
+    ];
 
     fn index(self) -> usize {
         match self {
             FlowKind::Join => 0,
             FlowKind::Reclaim => 1,
             FlowKind::Merge => 2,
+            FlowKind::MergeOwnership => 3,
         }
     }
 }
@@ -50,6 +61,7 @@ impl fmt::Display for FlowKind {
             FlowKind::Join => "join",
             FlowKind::Reclaim => "reclaim",
             FlowKind::Merge => "merge",
+            FlowKind::MergeOwnership => "merge_ownership",
         })
     }
 }
@@ -150,7 +162,7 @@ pub struct Observer {
     enabled: bool,
     next_id: u64,
     open: HashMap<(FlowKind, NodeId), u64>,
-    tallies: [FlowTally; 3],
+    tallies: [FlowTally; 4],
 }
 
 impl Observer {
@@ -161,7 +173,7 @@ impl Observer {
             enabled: true,
             next_id: 0,
             open: HashMap::new(),
-            tallies: [FlowTally::default(); 3],
+            tallies: [FlowTally::default(); 4],
         }
     }
 
@@ -232,7 +244,7 @@ impl Observer {
 
 /// Iterates all flow kinds (for manifest rendering).
 #[must_use]
-pub fn all_kinds() -> [FlowKind; 3] {
+pub fn all_kinds() -> [FlowKind; 4] {
     FlowKind::ALL
 }
 

@@ -374,6 +374,23 @@ impl<M: Clone + fmt::Debug> World<M> {
         self.topology().components()
     }
 
+    /// `true` if a scripted position-based fault (an active partition
+    /// boundary or jam region) would currently drop deliveries between
+    /// `a` and `b`. Radio-range topology is *not* consulted — this is
+    /// the fault plane's view only, which [`components`](World::components)
+    /// cannot see. Dead or dormant endpoints count as severed. Consults
+    /// no RNG, so the answer is a pure function of `(plan, now,
+    /// positions)`.
+    #[must_use]
+    pub fn fault_severed(&self, a: NodeId, b: NodeId) -> bool {
+        let (Some(pa), Some(pb)) = (self.position(a), self.position(b)) else {
+            return true;
+        };
+        self.faults
+            .as_deref()
+            .is_some_and(|fs| fs.severs(self.now, pa, pb))
+    }
+
     // ------------------------------------------------------------------
     // Sending
     // ------------------------------------------------------------------

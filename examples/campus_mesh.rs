@@ -9,27 +9,28 @@
 
 use qbac::core::{ProtocolConfig, Qbac, UpdatePolicy};
 use qbac::harness::scenario::{run_scenario, Scenario};
-use qbac::sim::{MsgCategory, SimDuration};
+use qbac::sim::MsgCategory;
 
 fn main() {
     for policy in [UpdatePolicy::Periodic, UpdatePolicy::UponLeave] {
-        let scen = Scenario {
-            nn: 80,
-            speed: 20.0,          // students on scooters
-            depart_fraction: 0.3, // devices leave through the day
-            abrupt_ratio: 0.2,    // some just run out of battery
-            settle: SimDuration::from_secs(20),
-            depart_window: SimDuration::from_secs(30),
-            cooldown: SimDuration::from_secs(20),
-            seed: 99,
-            ..Scenario::default()
-        };
-        let (sim, m) = run_scenario(&scen, {
+        let scen = Scenario::builder()
+            .nn(80)
+            .speed_mps(20.0) // students on scooters
+            .depart_fraction(0.3) // devices leave through the day
+            .abrupt_ratio(0.2) // some just run out of battery
+            .settle_secs(20)
+            .depart_window_secs(30)
+            .cooldown_secs(20)
+            .seed(99)
+            .build()
+            .expect("campus scenario is in-domain");
+        let report = run_scenario(&scen, {
             Qbac::new(ProtocolConfig {
                 update_policy: policy,
                 ..ProtocolConfig::default()
             })
         });
+        let m = report.measurements();
 
         println!("== policy {policy:?} ==");
         println!(
@@ -45,7 +46,7 @@ fn main() {
                 m.metrics.hops(cat)
             );
         }
-        let stats = sim.protocol().stats();
+        let stats = report.protocol().stats();
         println!(
             "  heads {} / common {} | borrows {}, shrinks {}, reclamations {}, merges {}",
             stats.heads_configured,

@@ -13,20 +13,20 @@ use qbac::baselines::dad::QueryDad;
 use qbac::baselines::manetconf::ManetConf;
 use qbac::core::{ProtocolConfig, Qbac};
 use qbac::harness::scenario::{run_scenario, RunMeasurements, Scenario};
-use qbac::sim::{MsgCategory, SimDuration};
+use qbac::sim::MsgCategory;
 
 fn scenario(seed: u64) -> Scenario {
-    Scenario {
-        nn: 100,
-        speed: 20.0,
-        depart_fraction: 0.25,
-        abrupt_ratio: 0.2,
-        settle: SimDuration::from_secs(15),
-        depart_window: SimDuration::from_secs(20),
-        cooldown: SimDuration::from_secs(15),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(100)
+        .speed_mps(20.0)
+        .depart_fraction(0.25)
+        .abrupt_ratio(0.2)
+        .settle_secs(15)
+        .depart_window_secs(20)
+        .cooldown_secs(15)
+        .seed(seed)
+        .build()
+        .expect("shootout scenario is in-domain")
 }
 
 fn row(name: &str, m: &RunMeasurements) {
@@ -45,19 +45,19 @@ fn main() {
     let seed = 2026;
     println!("100 nodes, 1 km², tr = 150 m, 20 m/s, 25% churn (hops by category):\n");
 
-    let (_, m) = run_scenario(&scenario(seed), Qbac::new(ProtocolConfig::default()));
+    let m = run_scenario(&scenario(seed), Qbac::new(ProtocolConfig::default())).into_measurements();
     row("quorum", &m);
 
-    let (_, m) = run_scenario(&scenario(seed), ManetConf::default());
+    let m = run_scenario(&scenario(seed), ManetConf::default()).into_measurements();
     row("MANETconf", &m);
 
-    let (_, m) = run_scenario(&scenario(seed), Buddy::default());
+    let m = run_scenario(&scenario(seed), Buddy::default()).into_measurements();
     row("buddy", &m);
 
-    let (_, m) = run_scenario(&scenario(seed), CTree::default());
+    let m = run_scenario(&scenario(seed), CTree::default()).into_measurements();
     row("C-tree", &m);
 
-    let (_, m) = run_scenario(&scenario(seed), QueryDad::default());
+    let m = run_scenario(&scenario(seed), QueryDad::default()).into_measurements();
     row("stateless DAD", &m);
 
     println!(

@@ -8,16 +8,16 @@ use qbac::baselines::dad::QueryDad;
 use qbac::baselines::manetconf::ManetConf;
 use qbac::core::{ProtocolConfig, Qbac};
 use qbac::harness::scenario::{run_scenario, Scenario};
-use qbac::sim::{FaultPlan, NodeId, SimDuration};
+use qbac::sim::{FaultPlan, NodeId};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn scen(seed: u64) -> Scenario {
-    Scenario {
-        nn: 40,
-        settle: SimDuration::from_secs(10),
-        seed,
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(40)
+        .settle_secs(10)
+        .seed(seed)
+        .build()
+        .expect("scenario is in-domain")
 }
 
 /// Static variant for the baselines: MANETconf handles merges only
@@ -25,75 +25,74 @@ fn scen(seed: u64) -> Scenario {
 /// related-work critique), so their uniqueness guarantee covers network
 /// formation, not mobility-induced partitions.
 fn static_scen(seed: u64) -> Scenario {
-    Scenario {
-        speed: 0.0,
-        ..scen(seed)
-    }
+    let mut s = scen(seed);
+    s.speed = 0.0;
+    s
 }
 
 #[test]
 fn quorum_configures_everyone_uniquely() {
-    let (mut sim, m) = run_scenario(&scen(1), Qbac::new(ProtocolConfig::default()));
-    assert!(m.metrics.configured_nodes() >= 38);
-    let (w, p) = sim.parts_mut();
+    let mut report = run_scenario(&scen(1), Qbac::new(ProtocolConfig::default()));
+    assert!(report.metrics().configured_nodes() >= 38);
+    let (w, p) = report.sim_mut().parts_mut();
     p.audit_unique(w).unwrap();
 }
 
 #[test]
 fn manetconf_configures_everyone_uniquely() {
-    let (sim, m) = run_scenario(&static_scen(2), ManetConf::default());
+    let report = run_scenario(&static_scen(2), ManetConf::default());
     assert!(
-        m.metrics.configured_nodes() >= 36,
+        report.metrics().configured_nodes() >= 36,
         "got {}",
-        m.metrics.configured_nodes()
+        report.metrics().configured_nodes()
     );
-    let assigned = sim.protocol().assigned(sim.world());
+    let assigned = report.protocol().assigned(report.world());
     let distinct: BTreeSet<_> = assigned.iter().map(|(_, ip)| *ip).collect();
     assert_eq!(distinct.len(), assigned.len(), "duplicates in {assigned:?}");
 }
 
 #[test]
 fn buddy_configures_everyone_uniquely() {
-    let (sim, m) = run_scenario(&static_scen(3), Buddy::default());
+    let report = run_scenario(&static_scen(3), Buddy::default());
     assert!(
-        m.metrics.configured_nodes() >= 36,
+        report.metrics().configured_nodes() >= 36,
         "got {}",
-        m.metrics.configured_nodes()
+        report.metrics().configured_nodes()
     );
-    let assigned = sim.protocol().assigned(sim.world());
+    let assigned = report.protocol().assigned(report.world());
     let distinct: BTreeSet<_> = assigned.iter().map(|(_, ip)| *ip).collect();
     assert_eq!(distinct.len(), assigned.len());
 }
 
 #[test]
 fn ctree_configures_everyone_uniquely() {
-    let (sim, m) = run_scenario(&static_scen(4), CTree::default());
+    let report = run_scenario(&static_scen(4), CTree::default());
     assert!(
-        m.metrics.configured_nodes() >= 36,
+        report.metrics().configured_nodes() >= 36,
         "got {}",
-        m.metrics.configured_nodes()
+        report.metrics().configured_nodes()
     );
-    let assigned = sim.protocol().assigned(sim.world());
+    let assigned = report.protocol().assigned(report.world());
     let distinct: BTreeSet<_> = assigned.iter().map(|(_, ip)| *ip).collect();
     assert_eq!(distinct.len(), assigned.len());
 }
 
 #[test]
 fn churn_scenario_keeps_quorum_consistent() {
-    let scen = Scenario {
-        nn: 50,
-        depart_fraction: 0.4,
-        abrupt_ratio: 0.3,
-        settle: SimDuration::from_secs(10),
-        depart_window: SimDuration::from_secs(15),
-        cooldown: SimDuration::from_secs(15),
-        post_arrivals: 5,
-        seed: 11,
-        ..Scenario::default()
-    };
-    let (mut sim, m) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
-    assert!(m.metrics.configured_nodes() > 45);
-    let (w, p) = sim.parts_mut();
+    let scen = Scenario::builder()
+        .nn(50)
+        .depart_fraction(0.4)
+        .abrupt_ratio(0.3)
+        .settle_secs(10)
+        .depart_window_secs(15)
+        .cooldown_secs(15)
+        .post_arrivals(5)
+        .seed(11)
+        .build()
+        .expect("scenario is in-domain");
+    let mut report = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+    assert!(report.metrics().configured_nodes() > 45);
+    let (w, p) = report.sim_mut().parts_mut();
     p.audit_unique(w).unwrap();
 }
 
@@ -101,8 +100,8 @@ fn churn_scenario_keeps_quorum_consistent() {
 fn all_protocols_deterministic_per_seed() {
     macro_rules! check {
         ($mk:expr) => {{
-            let (_, a) = run_scenario(&scen(9), $mk);
-            let (_, b) = run_scenario(&scen(9), $mk);
+            let a = run_scenario(&scen(9), $mk).into_measurements();
+            let b = run_scenario(&scen(9), $mk).into_measurements();
             assert_eq!(a.metrics, b.metrics);
         }};
     }
@@ -115,14 +114,16 @@ fn all_protocols_deterministic_per_seed() {
 /// `--quick`-sized chaos cell: 25 nodes, 20% message loss, one cluster
 /// head killed mid-run.
 fn chaos_scen(seed: u64) -> Scenario {
-    Scenario {
-        nn: 25,
-        settle: SimDuration::from_secs(10),
-        seed,
-        fault_plan: FaultPlan::parse(&format!("seed {seed}\nloss 0.2\nheadkill 1 at 12s\n"))
-            .expect("static plan parses"),
-        ..Scenario::default()
-    }
+    Scenario::builder()
+        .nn(25)
+        .settle_secs(10)
+        .seed(seed)
+        .fault_plan(
+            FaultPlan::parse(&format!("seed {seed}\nloss 0.2\nheadkill 1 at 12s\n"))
+                .expect("static plan parses"),
+        )
+        .build()
+        .expect("scenario is in-domain")
 }
 
 /// Surplus address holders: how many assignments collide with another
@@ -150,35 +151,39 @@ fn chaos_uniqueness_and_leak_regression() {
         (42, 0, 3, 10_000),
         (43, 1, 3, 10_000),
     ] {
-        let (mut sim, m) = run_scenario(&chaos_scen(seed), Qbac::new(ProtocolConfig::default()));
-        assert_eq!(m.metrics.configured_nodes(), 25, "quorum seed {seed}");
-        let (w, p) = sim.parts_mut();
+        let mut report = run_scenario(&chaos_scen(seed), Qbac::new(ProtocolConfig::default()));
+        assert_eq!(
+            report.metrics().configured_nodes(),
+            25,
+            "quorum seed {seed}"
+        );
+        let (w, p) = report.sim_mut().parts_mut();
         p.audit_unique(w)
             .unwrap_or_else(|d| panic!("quorum seed {seed}: duplicates {d:?}"));
         let (leaked, _) = p.leak_audit(w);
         assert_eq!(leaked, 0, "quorum seed {seed} leaked addresses");
 
-        let (sim, _) = run_scenario(&chaos_scen(seed), ManetConf::default());
+        let report = run_scenario(&chaos_scen(seed), ManetConf::default());
         assert_eq!(
-            duplicate_count(&sim.protocol().assigned(sim.world())),
+            duplicate_count(&report.protocol().assigned(report.world())),
             mc_dups,
             "manetconf seed {seed}"
         );
 
-        let (sim, _) = run_scenario(&chaos_scen(seed), CTree::default());
+        let report = run_scenario(&chaos_scen(seed), CTree::default());
         assert_eq!(
-            duplicate_count(&sim.protocol().assigned(sim.world())),
+            duplicate_count(&report.protocol().assigned(report.world())),
             ct_dups,
             "ctree seed {seed}"
         );
 
-        let (sim, _) = run_scenario(&chaos_scen(seed), Buddy::default());
+        let report = run_scenario(&chaos_scen(seed), Buddy::default());
         assert_eq!(
-            duplicate_count(&sim.protocol().assigned(sim.world())),
+            duplicate_count(&report.protocol().assigned(report.world())),
             0,
             "buddy seed {seed} stays unique but leaks instead"
         );
-        let (leaked, total) = sim.protocol().leak_audit(sim.world());
+        let (leaked, total) = report.protocol().leak_audit(report.world());
         assert!(
             leaked >= buddy_leak_floor && leaked < total,
             "buddy seed {seed}: leaked {leaked}/{total}"
@@ -187,10 +192,10 @@ fn chaos_uniqueness_and_leak_regression() {
         // Stateless DAD floods every probe, so under plain loss it still
         // configures everyone uniquely — its weakness is cost, not
         // correctness (until partitions, which this cell excludes).
-        let (sim, m) = run_scenario(&chaos_scen(seed), QueryDad::default());
-        assert_eq!(m.metrics.configured_nodes(), 25, "dad seed {seed}");
+        let report = run_scenario(&chaos_scen(seed), QueryDad::default());
+        assert_eq!(report.metrics().configured_nodes(), 25, "dad seed {seed}");
         assert_eq!(
-            duplicate_count(&sim.protocol().assigned(sim.world())),
+            duplicate_count(&report.protocol().assigned(report.world())),
             0,
             "dad seed {seed}"
         );
@@ -201,14 +206,14 @@ fn chaos_uniqueness_and_leak_regression() {
 fn quorum_latency_beats_manetconf_on_identical_workload() {
     let mut wins = 0;
     for seed in 30..33 {
-        let s = Scenario {
-            nn: 80,
-            settle: SimDuration::from_secs(10),
-            seed,
-            ..Scenario::default()
-        };
-        let (_, ours) = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
-        let (_, theirs) = run_scenario(&s, ManetConf::default());
+        let s = Scenario::builder()
+            .nn(80)
+            .settle_secs(10)
+            .seed(seed)
+            .build()
+            .expect("scenario is in-domain");
+        let ours = run_scenario(&s, Qbac::new(ProtocolConfig::default())).into_measurements();
+        let theirs = run_scenario(&s, ManetConf::default()).into_measurements();
         if ours.metrics.mean_config_latency() < theirs.metrics.mean_config_latency() {
             wins += 1;
         }

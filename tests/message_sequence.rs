@@ -47,6 +47,8 @@ fn variant(msg: &Msg) -> &'static str {
         Msg::RepReq => "REP_REQ",
         Msg::RepAck => "REP_ACK",
         Msg::Reinit { .. } => "REINIT",
+        Msg::OwnClaim { .. } => "OWN_CLAIM",
+        Msg::OwnGrant { .. } => "OWN_GRANT",
     }
 }
 

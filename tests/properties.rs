@@ -6,7 +6,6 @@ use qbac::addrspace::{Addr, AddrBlock, AddressPool};
 use qbac::core::{ProtocolConfig, Qbac};
 use qbac::harness::scenario::{run_scenario, Scenario};
 use qbac::quorum::{DynamicLinearRule, MajorityRule, QuorumRule, VoteTally};
-use qbac::sim::SimDuration;
 
 proptest! {
     /// Two majority quorums over the same voter set always intersect.
@@ -100,18 +99,18 @@ proptest! {
 #[test]
 fn churn_sweep_never_duplicates_addresses() {
     for seed in [7u64, 42, 92, 117, 256, 398, 512, 730, 888, 999] {
-        let scen = Scenario {
-            nn: 12 + (seed % 23) as usize,
-            depart_fraction: (seed % 40) as f64 / 100.0,
-            abrupt_ratio: 0.3,
-            settle: SimDuration::from_secs(5),
-            depart_window: SimDuration::from_secs(10),
-            cooldown: SimDuration::from_secs(10),
-            seed,
-            ..Scenario::default()
-        };
-        let (mut sim, _) = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
-        let (w, p) = sim.parts_mut();
+        let scen = Scenario::builder()
+            .nn(12 + (seed % 23) as usize)
+            .depart_fraction((seed % 40) as f64 / 100.0)
+            .abrupt_ratio(0.3)
+            .settle_secs(5)
+            .depart_window_secs(10)
+            .cooldown_secs(10)
+            .seed(seed)
+            .build()
+            .expect("sweep scenario is in-domain");
+        let mut report = run_scenario(&scen, Qbac::new(ProtocolConfig::default()));
+        let (w, p) = report.sim_mut().parts_mut();
         assert!(p.audit_unique(w).is_ok(), "duplicates at seed {seed}");
     }
 }
@@ -123,14 +122,14 @@ fn assigned_addresses_stay_in_space() {
     let cfg = ProtocolConfig::default();
     let space = cfg.space;
     for seed in [3u64, 81, 222, 640] {
-        let scen = Scenario {
-            nn: 25,
-            settle: SimDuration::from_secs(5),
-            seed,
-            ..Scenario::default()
-        };
-        let (sim, _) = run_scenario(&scen, Qbac::new(cfg.clone()));
-        for (node, ip) in sim.protocol().assigned(sim.world()) {
+        let scen = Scenario::builder()
+            .nn(25)
+            .settle_secs(5)
+            .seed(seed)
+            .build()
+            .expect("sweep scenario is in-domain");
+        let report = run_scenario(&scen, Qbac::new(cfg.clone()));
+        for (node, ip) in report.protocol().assigned(report.world()) {
             assert!(space.contains(ip), "{node} got {ip} outside {space}");
         }
     }
