@@ -66,16 +66,34 @@ impl ConformanceAdapter for Qbac {
     }
 
     fn assigned_pairs(&self, w: &World<Self::Msg>) -> Vec<(NodeId, Addr)> {
-        configured_only(w, self.assigned(w))
+        honest_only(w, configured_only(w, self.assigned(w)))
     }
 
     fn pool_views(&self, w: &World<Self::Msg>) -> Vec<(NodeId, PoolView)> {
-        Qbac::pool_views(self, w)
+        honest_only(w, Qbac::pool_views(self, w))
     }
 
     fn stamp_views(&self, w: &World<Self::Msg>) -> Vec<((NodeId, NodeId, Addr), u64)> {
         Qbac::stamp_views(self, w)
+            .into_iter()
+            .filter(|((holder, _, _), _)| w.attack_assigned(*holder).is_none())
+            .collect()
     }
+}
+
+/// Drops nodes the fault plan designates as attackers from a checked
+/// view. A Byzantine node's *own* state is not a protocol claim — it
+/// freezes its pool, squats addresses, and ignores reclamation probes
+/// by design; what the oracle holds the protocol to is the state of the
+/// honest nodes an attacker damages (duplicate victim addresses,
+/// overlapping honest pools, regressing honest stamps).
+pub(crate) fn honest_only<M, T>(w: &World<M>, v: Vec<(NodeId, T)>) -> Vec<(NodeId, T)>
+where
+    M: Clone + std::fmt::Debug,
+{
+    v.into_iter()
+        .filter(|(n, _)| w.attack_assigned(*n).is_none())
+        .collect()
 }
 
 /// Filters a protocol's `assigned()` view down to nodes the *world*

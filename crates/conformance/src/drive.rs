@@ -61,6 +61,14 @@ pub struct CheckOutcome {
     pub configured: usize,
     /// The first invariant violation, or `None` for a clean run.
     pub violation: Option<Violation>,
+    /// The fault plane's counters at the end of the run — under an
+    /// adversarial plan these quantify the attack surface (squatted
+    /// grants, forged votes, reclaim floods, replayed claims).
+    pub faults: manet_sim::FaultCounters,
+    /// Addresses held by more than one node the adapter still reports
+    /// at the end of the run (0 on any healthy protocol; the stolen
+    /// leases a run conceded when the checker was not armed to stop).
+    pub dup_addrs: usize,
 }
 
 /// Grid positions centered in the arena with `spacing` between
@@ -129,14 +137,18 @@ pub fn run_check<P: ConformanceAdapter>(cfg: &CheckConfig) -> CheckOutcome {
         }
     }
 
-    let configured = {
-        let (w, p) = sim.parts_mut();
-        p.assigned_pairs(w).len()
-    };
+    let (w, p) = sim.parts_mut();
+    let assigned = p.assigned_pairs(w);
+    let mut held = std::collections::HashMap::with_capacity(assigned.len());
+    for (_, a) in &assigned {
+        *held.entry(*a).or_insert(0usize) += 1;
+    }
     CheckOutcome {
         steps,
-        configured,
+        configured: assigned.len(),
         violation,
+        faults: *w.metrics().faults(),
+        dup_addrs: held.values().filter(|&&n| n > 1).count(),
     }
 }
 

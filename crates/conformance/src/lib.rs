@@ -46,6 +46,7 @@
 pub mod adapter;
 pub mod adapters;
 pub mod artifact;
+pub mod attacks;
 pub mod broken;
 pub mod checker;
 pub mod drive;
@@ -54,6 +55,7 @@ pub mod shrink;
 
 pub use adapter::{clean_links, partition_free, ConformanceAdapter, Guarantees};
 pub use artifact::Artifact;
+pub use attacks::{attack_canaries, AttackCanary, HardenedQbac};
 pub use broken::DoubleGrant;
 pub use checker::{Checker, Invariant, Violation};
 pub use drive::{run_check, CheckConfig, CheckOutcome};

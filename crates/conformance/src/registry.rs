@@ -15,10 +15,12 @@ use qbac_core::Qbac;
 /// The five real protocols, by registry name.
 pub const PROTOCOLS: [&str; 5] = ["quorum", "manetconf", "buddy", "ctree", "dad"];
 
-/// Every name [`run_named`] accepts: the five protocols plus the
-/// intentionally broken allocator used for oracle self-tests.
-pub const CHECKABLE: [&str; 6] = [
+/// Every name [`run_named`] accepts: the five protocols, the hardened
+/// quorum variant the attack canaries certify, and the intentionally
+/// broken allocator used for oracle self-tests.
+pub const CHECKABLE: [&str; 7] = [
     "quorum",
+    "quorum-hardened",
     "manetconf",
     "buddy",
     "ctree",
@@ -82,6 +84,7 @@ pub fn chaos_schedules() -> Vec<NamedSchedule> {
 pub fn run_named(protocol: &str, cfg: &CheckConfig) -> Option<CheckOutcome> {
     Some(match protocol {
         "quorum" => run_check::<Qbac>(cfg),
+        "quorum-hardened" => run_check::<crate::attacks::HardenedQbac>(cfg),
         "manetconf" => run_check::<ManetConf>(cfg),
         "buddy" => run_check::<Buddy>(cfg),
         "ctree" => run_check::<CTree>(cfg),

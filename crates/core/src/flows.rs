@@ -97,6 +97,8 @@ impl Qbac {
                 // The owner's authoritative copy must learn of the borrow
                 // even if it was not among the granters.
                 if !vote.grants.contains(&owner) {
+                    let auth =
+                        crate::auth::quorum_commit_tag(self.cfg.auth_key, owner, addr, record);
                     let _ = w.unicast(
                         allocator,
                         owner,
@@ -105,6 +107,7 @@ impl Qbac {
                             owner,
                             addr,
                             record,
+                            auth,
                         },
                     );
                 }
@@ -195,6 +198,9 @@ impl Qbac {
                     return;
                 }
                 let claimant_ip = head.ip;
+                let claim_stamp = self.fresh_claim_stamp();
+                let auth =
+                    crate::auth::own_claim_tag(self.cfg.auth_key, claimant_ip, rival, claim_stamp);
                 if w.unicast(
                     allocator,
                     rival,
@@ -202,6 +208,8 @@ impl Qbac {
                     Msg::OwnClaim {
                         claimant_ip,
                         blocks,
+                        claim_stamp,
+                        auth,
                     },
                 )
                 .is_err()
@@ -225,6 +233,7 @@ impl Qbac {
         record: addrspace::AddrRecord,
         grants: &std::collections::BTreeSet<NodeId>,
     ) -> u32 {
+        let auth = crate::auth::quorum_commit_tag(self.cfg.auth_key, owner, addr, record);
         let mut hops = 0;
         for member in grants {
             if let Ok(h) = w.unicast(
@@ -235,6 +244,7 @@ impl Qbac {
                     owner,
                     addr,
                     record,
+                    auth,
                 },
             ) {
                 hops += h;
@@ -255,11 +265,13 @@ impl Qbac {
         spent_hops: u32,
     ) {
         let cfg_hops = w.hops_between(allocator, requestor).unwrap_or(0);
+        let auth = crate::auth::com_cfg_tag(self.cfg.auth_key, configurer, ip, requestor);
         let msg = Msg::ComCfg {
             ip,
             configurer,
             network_id,
             spent_hops: spent_hops + cfg_hops,
+            auth,
         };
         if w.unicast(allocator, requestor, MsgCategory::Configuration, msg)
             .is_err()
@@ -398,7 +410,17 @@ impl Qbac {
         configurer: Addr,
         network_id: Addr,
         spent_hops: u32,
+        auth: u64,
     ) {
+        // Hardened: a grant must carry the tag only a key-holding
+        // allocator can compute for (configurer, ip, us) — a squatted
+        // grant from a rogue head is dropped and the join retry keeps
+        // the node probing legitimate allocators.
+        if self.cfg.harden
+            && auth != crate::auth::com_cfg_tag(self.cfg.auth_key, configurer, ip, node)
+        {
+            return;
+        }
         let Some(NodeRole::Unconfigured(js)) = self.roles.get(&node) else {
             return; // duplicate or stale configuration
         };
@@ -743,7 +765,18 @@ impl Qbac {
         owner: NodeId,
         addr: Addr,
         record: addrspace::AddrRecord,
+        auth: u64,
     ) {
+        // Hardened: the commit must carry the tag only a key-holding
+        // head can compute for exactly this (owner, addr, record). A
+        // reflected commit with the status flipped to vacant and a
+        // superseding stamp would free a live lease in the owner's
+        // authoritative table — the spoof-cfm attack's payload.
+        if self.cfg.harden
+            && auth != crate::auth::quorum_commit_tag(self.cfg.auth_key, owner, addr, record)
+        {
+            return;
+        }
         let Some(state) = self.head_state_mut(node) else {
             return;
         };

@@ -45,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
+pub mod auth;
 mod flows;
 mod inspect;
 mod maintenance;

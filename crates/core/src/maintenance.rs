@@ -418,6 +418,7 @@ impl Qbac {
         record: addrspace::AddrRecord,
         members: &std::collections::BTreeSet<NodeId>,
     ) -> u32 {
+        let auth = crate::auth::quorum_commit_tag(self.cfg.auth_key, owner, addr, record);
         let mut hops = 0;
         for m in members {
             if let Ok(h) = w.unicast(
@@ -428,6 +429,7 @@ impl Qbac {
                     owner,
                     addr,
                     record,
+                    auth,
                 },
             ) {
                 hops += h;

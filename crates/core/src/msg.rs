@@ -68,6 +68,9 @@ pub enum Msg {
         /// Hop cost the allocator accumulated on this node's behalf
         /// (quorum collection), folded into the latency metric.
         spent_hops: u32,
+        /// Origin-authentication tag ([`crate::auth::com_cfg_tag`]);
+        /// verified only by hardened receivers.
+        auth: u64,
     },
     /// Requestor → allocator: configuration acknowledged.
     ComAck,
@@ -124,6 +127,9 @@ pub enum Msg {
         grant: bool,
         /// Stamp of the voter's replica record, for freshest-copy wins.
         stamp: VersionStamp,
+        /// Origin-authentication tag ([`crate::auth::quorum_cfm_tag`]);
+        /// verified only by hardened allocators.
+        auth: u64,
     },
     /// Allocator → quorum members: commit an address-state change to
     /// their replicas after a successful operation.
@@ -134,6 +140,12 @@ pub enum Msg {
         addr: Addr,
         /// The new record (status + stamp).
         record: AddrRecord,
+        /// Origin-authentication tag
+        /// ([`crate::auth::quorum_commit_tag`]); verified only by
+        /// hardened receivers. Commits rewrite the owner's
+        /// *authoritative* table, so a reflected commit with a
+        /// superseding stamp must not verify.
+        auth: u64,
     },
 
     // ------------------------ replica management -----------------------
@@ -206,6 +218,9 @@ pub enum Msg {
         initiator: NodeId,
         /// The initiator's address (members' new configurer).
         initiator_ip: Addr,
+        /// Origin-authentication tag ([`crate::auth::addr_rec_tag`]);
+        /// verified only by hardened receivers.
+        auth: u64,
     },
     /// Member of the vanished head → closest cluster head: I still hold
     /// this address (`REC_REP`).
@@ -255,6 +270,13 @@ pub enum Msg {
         claimant_ip: Addr,
         /// The contested blocks being claimed.
         blocks: Vec<AddrBlock>,
+        /// Monotonic claim stamp from the claimant's sequence counter;
+        /// hardened receivers reject claims whose stamp is not fresh
+        /// for `(receiver, claimant_ip)` (replay rejection).
+        claim_stamp: u64,
+        /// Origin-authentication tag ([`crate::auth::own_claim_tag`]),
+        /// bound to the recipient; verified only by hardened receivers.
+        auth: u64,
     },
     /// Loser → winner: contested blocks ceded (`OWN_GRANT`). Live
     /// leases inside the ceded space ride along so the winner re-homes
@@ -279,6 +301,7 @@ mod tests {
             configurer: Addr::new(2),
             network_id: Addr::new(0),
             spent_hops: 3,
+            auth: 0,
         };
         assert_eq!(m.clone(), m);
     }

@@ -70,6 +70,26 @@ pub struct ProtocolConfig {
     pub join_retry: SimDuration,
     /// How many times an entering node retries before giving up.
     pub join_attempts: u32,
+    /// Enables the Byzantine-hardened variant: origin-authentication
+    /// checks on `COM_CFG`/`QUORUM_CFM`/`ADDR_REC`/`OWN_CLAIM`,
+    /// stamp-window replay rejection on ownership claims, and
+    /// reclamation rate-limiting. Off by default — the paper's protocol
+    /// trusts every member. Honest *senders* always stamp and tag their
+    /// messages (pure arithmetic), so this flag changes only what
+    /// receivers verify and never perturbs honest-path scheduling.
+    pub harden: bool,
+    /// Scenario-wide authentication key for the HMAC-shaped tags
+    /// ([`crate::auth`]). Models the deployment credential honest
+    /// members share; fault-plan attackers tag under a tainted key.
+    pub auth_key: u64,
+    /// Hardened only: sliding window over which a receiver counts
+    /// accepted `ADDR_REC` floods per initiator.
+    pub reclaim_rate_window: SimDuration,
+    /// Hardened only: `ADDR_REC` floods accepted from one initiator
+    /// within [`ProtocolConfig::reclaim_rate_window`] before further
+    /// floods from it are ignored. One legitimate reclamation needs a
+    /// single flood; a false-reclaim attacker needs many.
+    pub max_reclaims_per_window: u32,
 }
 
 impl ProtocolConfig {
@@ -104,6 +124,10 @@ impl Default for ProtocolConfig {
             reclaim_collect: SimDuration::from_millis(500),
             join_retry: SimDuration::from_millis(600),
             join_attempts: 12,
+            harden: false,
+            auth_key: crate::auth::SCENARIO_AUTH_KEY,
+            reclaim_rate_window: SimDuration::from_secs(5),
+            max_reclaims_per_window: 2,
         }
     }
 }
@@ -121,5 +145,8 @@ mod tests {
         assert!(c.tr > c.td);
         assert_eq!(c.update_policy, UpdatePolicy::Periodic);
         assert_eq!(c.allocator_choice, AllocatorChoice::Nearest);
+        assert!(!c.harden, "paper protocol is unhardened by default");
+        assert_eq!(c.auth_key, crate::auth::SCENARIO_AUTH_KEY);
+        assert!(c.max_reclaims_per_window >= 1);
     }
 }

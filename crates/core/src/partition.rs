@@ -163,9 +163,32 @@ impl Qbac {
         }
     }
 
+    /// Hardened replay window: accepts `stamp` for `(node, claimant_ip)`
+    /// iff it is serially fresh relative to the last accepted one
+    /// ([`crate::vote::stamp_fresh`]), recording it on acceptance. The
+    /// window is protocol state, so it survives partition heals: a claim
+    /// captured before a heal and replayed after it still presents a
+    /// stale stamp and is rejected.
+    pub(crate) fn claim_stamp_fresh(
+        &mut self,
+        node: NodeId,
+        claimant_ip: Addr,
+        stamp: u64,
+    ) -> bool {
+        let key = (node, claimant_ip);
+        if let Some(&last) = self.claim_stamps.get(&key) {
+            if !crate::vote::stamp_fresh(last, stamp) {
+                return false;
+            }
+        }
+        self.claim_stamps.insert(key, stamp);
+        true
+    }
+
     /// The losing head receives `OWN_CLAIM`: the quorum confirmed the
     /// claimant's ownership of `blocks`. Verify the tiebreak, carve the
     /// region out of our pool, and send the drained leases back.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_own_claim(
         &mut self,
         w: &mut World<Msg>,
@@ -173,7 +196,23 @@ impl Qbac {
         from: NodeId,
         claimant_ip: Addr,
         blocks: Vec<AddrBlock>,
+        claim_stamp: u64,
+        auth: u64,
     ) {
+        // Hardened: the claim must carry a tag bound to *us* (a captured
+        // claim replayed at a different head never verifies) and a fresh
+        // stamp (the same claim replayed at the original recipient is a
+        // stale serial). Auth first, so a forged claim cannot burn a
+        // stamp.
+        if self.cfg.harden {
+            if auth != crate::auth::own_claim_tag(self.cfg.auth_key, claimant_ip, node, claim_stamp)
+            {
+                return;
+            }
+            if !self.claim_stamp_fresh(node, claimant_ip, claim_stamp) {
+                return;
+            }
+        }
         let Some(state) = self.head_state_mut(node) else {
             // No pool to cede (we already dissolved or demoted): grant
             // vacuously so the claimant closes its flow.
@@ -295,5 +334,56 @@ impl Qbac {
         w.flow_event(FlowKind::MergeOwnership, node, FlowStage::Finalized);
         // The quorum must see the re-homed leases.
         self.push_replica(w, node, MsgCategory::Maintenance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ProtocolConfig, Qbac};
+    use addrspace::Addr;
+    use manet_sim::NodeId;
+
+    fn hardened() -> Qbac {
+        Qbac::new(ProtocolConfig {
+            harden: true,
+            ..ProtocolConfig::default()
+        })
+    }
+
+    #[test]
+    fn claim_stamp_window_rejects_replay_across_a_heal() {
+        let mut q = hardened();
+        let (node, claimant) = (NodeId::new(4), Addr::new(0x0A00_0001));
+        // Legitimate claim before the partition heals.
+        assert!(q.claim_stamp_fresh(node, claimant, 7));
+        // The heal changes topology, not protocol state: the window
+        // persists, so the captured claim replayed afterwards is stale.
+        assert!(!q.claim_stamp_fresh(node, claimant, 7));
+        assert!(!q.claim_stamp_fresh(node, claimant, 3));
+        // The claimant's next genuine claim still goes through.
+        assert!(q.claim_stamp_fresh(node, claimant, 8));
+    }
+
+    #[test]
+    fn claim_stamp_window_is_per_recipient_and_claimant() {
+        let mut q = hardened();
+        let claimant = Addr::new(0x0A00_0002);
+        assert!(q.claim_stamp_fresh(NodeId::new(1), claimant, 5));
+        // A different recipient has its own window: the same stamp is
+        // fresh there (the auth tag, not the window, stops cross-victim
+        // replays).
+        assert!(q.claim_stamp_fresh(NodeId::new(2), claimant, 5));
+        // A different claimant at the first recipient is independent too.
+        assert!(q.claim_stamp_fresh(NodeId::new(1), Addr::new(0x0A00_0003), 5));
+    }
+
+    #[test]
+    fn claim_stamp_window_accepts_wrapped_counter() {
+        let mut q = hardened();
+        let (node, claimant) = (NodeId::new(9), Addr::new(0x0A00_0004));
+        assert!(q.claim_stamp_fresh(node, claimant, u64::MAX));
+        // The counter wrapped: 1 is ahead of u64::MAX, not behind it.
+        assert!(q.claim_stamp_fresh(node, claimant, 1));
+        assert!(!q.claim_stamp_fresh(node, claimant, u64::MAX));
     }
 }

@@ -96,6 +96,18 @@ pub struct Qbac {
     /// floods — used to forward `REC_REP`s.
     pub(crate) reclaim_initiators: HashMap<NodeId, NodeId>,
     pub(crate) stats: ProtocolStats,
+    /// Hardened replay windows: last accepted `OWN_CLAIM` stamp per
+    /// `(recipient, claimant_ip)`.
+    pub(crate) claim_stamps: HashMap<(NodeId, Addr), u64>,
+    /// Hardened rate limiter: `(window start, accepted)` `ADDR_REC`
+    /// floods per `(receiver, initiator)`.
+    pub(crate) reclaim_accepts: HashMap<(NodeId, NodeId), (manet_sim::SimTime, u32)>,
+    /// Monotonic counter stamping outgoing `OWN_CLAIM`s. Separate from
+    /// `next_seq` so stamping claims never perturbs vote sequencing.
+    pub(crate) next_claim_stamp: u64,
+    /// State of the fault plan's Byzantine attacker nodes (empty unless
+    /// the plan designates attackers).
+    pub(crate) adversary: crate::adversary::AdversaryState,
 }
 
 impl Qbac {
@@ -113,6 +125,10 @@ impl Qbac {
             alloc_spent: HashMap::new(),
             reclaim_initiators: HashMap::new(),
             stats: ProtocolStats::default(),
+            claim_stamps: HashMap::new(),
+            reclaim_accepts: HashMap::new(),
+            next_claim_stamp: 0,
+            adversary: crate::adversary::AdversaryState::default(),
         }
     }
 
@@ -178,10 +194,25 @@ impl Qbac {
         node: NodeId,
         network: Option<Addr>,
     ) -> Option<(NodeId, u32)> {
+        self.nearest_head_excluding(w, node, network, None)
+    }
+
+    /// [`nearest_head`](Self::nearest_head), skipping `excluded`. The
+    /// hardened reclamation path uses this to keep a member's `REC_REP`
+    /// from being relayed through the very head whose silence is being
+    /// reclaimed — a Byzantine head would black-hole the report and get
+    /// its surviving members' leases vacated.
+    pub(crate) fn nearest_head_excluding(
+        &self,
+        w: &mut World<Msg>,
+        node: NodeId,
+        network: Option<Addr>,
+        excluded: Option<NodeId>,
+    ) -> Option<(NodeId, u32)> {
         let dists = w.topology().distances_from(node);
         self.roles
             .iter()
-            .filter(|(n, _)| **n != node)
+            .filter(|(n, _)| **n != node && Some(**n) != excluded)
             .filter_map(|(n, r)| match r {
                 NodeRole::Head(h) if network.is_none_or(|net| h.network_id == net) => {
                     dists.get(n).map(|d| (*n, *d))
@@ -207,6 +238,11 @@ impl Qbac {
     pub(crate) fn fresh_seq(&mut self) -> u64 {
         self.next_seq += 1;
         self.next_seq
+    }
+
+    pub(crate) fn fresh_claim_stamp(&mut self) -> u64 {
+        self.next_claim_stamp += 1;
+        self.next_claim_stamp
     }
 
     // ------------------------------------------------------------------
@@ -392,6 +428,20 @@ impl Protocol for Qbac {
     }
 
     fn on_message(&mut self, w: &mut World<Msg>, to: NodeId, from: NodeId, msg: Msg) {
+        // Fault-plan attacker nodes divert delivery to the adversary
+        // plane once their start time has passed. With no attack
+        // directives in the plan both checks are a single `None` each —
+        // no RNG, no trace impact (the zero-cost-off guarantee).
+        if let Some(kind) = w.attack_role(to) {
+            if self.adversary_on_message(w, to, from, &msg, kind) {
+                return;
+            }
+        } else if matches!(msg, Msg::OwnClaim { .. }) && w.attack_assigned(to).is_some() {
+            // A designated replay-claim attacker captures claims it
+            // receives honestly before its start time, then processes
+            // them honestly (it is still undercover).
+            self.adversary_capture_claim(w, to, &msg);
+        }
         match msg {
             Msg::Hello {
                 sender_ip,
@@ -406,7 +456,8 @@ impl Protocol for Qbac {
                 configurer,
                 network_id,
                 spent_hops,
-            } => self.on_com_cfg(w, to, from, ip, configurer, network_id, spent_hops),
+                auth,
+            } => self.on_com_cfg(w, to, from, ip, configurer, network_id, spent_hops, auth),
             Msg::ComAck => {}
             Msg::ComRej => self.on_config_rejected(w, to),
 
@@ -427,15 +478,21 @@ impl Protocol for Qbac {
             Msg::ChRej => self.on_config_rejected(w, to),
 
             Msg::QuorumClt { seq, op } => self.on_quorum_clt(w, to, from, seq, op),
-            Msg::QuorumCfm { seq, grant, stamp } => {
-                self.on_quorum_cfm(w, to, from, seq, grant, stamp);
+            Msg::QuorumCfm {
+                seq,
+                grant,
+                stamp,
+                auth,
+            } => {
+                self.on_quorum_cfm(w, to, from, seq, grant, stamp, auth);
             }
             Msg::QuorumCommit {
                 owner,
                 addr,
                 record,
+                auth,
             } => {
-                self.on_quorum_commit(w, to, owner, addr, record);
+                self.on_quorum_commit(w, to, owner, addr, record, auth);
             }
 
             Msg::ReplicaPush {
@@ -470,7 +527,8 @@ impl Protocol for Qbac {
                 target_ip,
                 initiator,
                 initiator_ip,
-            } => self.on_addr_rec(w, to, target, target_ip, initiator, initiator_ip),
+                auth,
+            } => self.on_addr_rec(w, to, target, target_ip, initiator, initiator_ip, auth),
             Msg::RecRep {
                 target_ip,
                 ip,
@@ -488,12 +546,23 @@ impl Protocol for Qbac {
             Msg::OwnClaim {
                 claimant_ip,
                 blocks,
-            } => self.on_own_claim(w, to, from, claimant_ip, blocks),
+                claim_stamp,
+                auth,
+            } => self.on_own_claim(w, to, from, claimant_ip, blocks, claim_stamp, auth),
             Msg::OwnGrant { blocks, records } => self.on_own_grant(w, to, from, blocks, records),
         }
     }
 
     fn on_timer(&mut self, w: &mut World<Msg>, node: NodeId, t: u64) {
+        // An active attacker repurposes its hello tick as the adversary
+        // action beat and lets its other timers lapse; before it is
+        // configured it stays honest so it can acquire an insider
+        // identity first.
+        if let Some(kind) = w.attack_role(node) {
+            if self.adversary_on_timer(w, node, t, kind) {
+                return;
+            }
+        }
         match tag::kind(t) {
             tag::HELLO => self.on_hello_timer(w, node),
             tag::LOC_CHECK => self.on_loc_check(w, node),

@@ -54,6 +54,7 @@ impl Qbac {
         );
         self.reclaim_initiators.insert(target, initiator);
         w.flow_event(FlowKind::Reclaim, target, FlowStage::Started);
+        let auth = crate::auth::addr_rec_tag(self.cfg.auth_key, initiator, target_ip);
         let _ = w.flood(
             initiator,
             MsgCategory::Reclamation,
@@ -62,6 +63,7 @@ impl Qbac {
                 target_ip,
                 initiator,
                 initiator_ip,
+                auth,
             },
         );
         let window = self.cfg.reclaim_collect;
@@ -72,7 +74,35 @@ impl Qbac {
         );
     }
 
+    /// Hardened rate limit: at most
+    /// [`max_reclaims_per_window`](crate::ProtocolConfig) `ADDR_REC`
+    /// floods accepted per initiator per receiver within the sliding
+    /// window. A legitimate reclamation needs one flood; a
+    /// false-reclaim attacker evicting head after head needs many.
+    pub(crate) fn accept_reclaim_rate(
+        &mut self,
+        now: manet_sim::SimTime,
+        node: NodeId,
+        initiator: NodeId,
+    ) -> bool {
+        let window = self.cfg.reclaim_rate_window;
+        let max = self.cfg.max_reclaims_per_window;
+        let e = self
+            .reclaim_accepts
+            .entry((node, initiator))
+            .or_insert((now, 0));
+        if now - e.0 > window {
+            *e = (now, 0);
+        }
+        if e.1 >= max {
+            return false;
+        }
+        e.1 += 1;
+        true
+    }
+
     /// Every node processes the `ADDR_REC` flood.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_addr_rec(
         &mut self,
         w: &mut World<Msg>,
@@ -81,7 +111,20 @@ impl Qbac {
         target_ip: Addr,
         initiator: NodeId,
         initiator_ip: Addr,
+        auth: u64,
     ) {
+        // Hardened: the flood must carry the initiator's tag over the
+        // reclaimed head, and stay under the per-initiator rate limit —
+        // an injected reclamation for a live lease fails the first
+        // check, a flood barrage the second.
+        if self.cfg.harden {
+            if auth != crate::auth::addr_rec_tag(self.cfg.auth_key, initiator, target_ip) {
+                return;
+            }
+            if !self.accept_reclaim_rate(w.now(), node, initiator) {
+                return;
+            }
+        }
         // A falsely-suspected head objects: it is alive and reachable
         // (the flood reached it). The REP_ACK cancels the reclamation.
         if node == target {
@@ -109,7 +152,15 @@ impl Qbac {
                 c.configurer = initiator;
                 c.configurer_ip = initiator_ip;
                 c.administrator = None;
-                if let Some((nearest, _)) = self.nearest_head(w, node, Some(network)) {
+                // Hardened: never relay the report through the head being
+                // reclaimed. A crashed or partitioned target can never be
+                // the nearest live head anyway, but an alive-and-silent
+                // Byzantine one can — and it would swallow the REC_REP,
+                // vacating this member's lease at finalize time.
+                let excluded = self.cfg.harden.then_some(target);
+                if let Some((nearest, _)) =
+                    self.nearest_head_excluding(w, node, Some(network), excluded)
+                {
                     let _ = w.unicast(
                         node,
                         nearest,

@@ -19,6 +19,14 @@ use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
 use quorum::{DynamicLinearRule, VersionStamp};
 use std::collections::BTreeSet;
 
+/// RFC-1982-style serial-number freshness over the `u64` stamp space:
+/// `stamp` is fresh relative to `last` iff it is not equal to it and
+/// lies in the half-space ahead of it. Monotonic counters that wrap
+/// stay comparable; a replayed (older or equal) stamp is never fresh.
+pub(crate) fn stamp_fresh(last: u64, stamp: u64) -> bool {
+    stamp != last && stamp.wrapping_sub(last) < 1 << 63
+}
+
 /// Why a vote is being collected; determines what happens on completion.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum VotePurpose {
@@ -255,15 +263,22 @@ impl Qbac {
             // Non-heads hold no replicas and refuse.
             (_, None) => (false, VersionStamp::ZERO),
         };
+        let auth = crate::auth::quorum_cfm_tag(self.cfg.auth_key, member, seq, grant);
         let _ = w.unicast(
             member,
             allocator,
             MsgCategory::Configuration,
-            Msg::QuorumCfm { seq, grant, stamp },
+            Msg::QuorumCfm {
+                seq,
+                grant,
+                stamp,
+                auth,
+            },
         );
     }
 
     /// The allocator tallies a `QUORUM_CFM`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_quorum_cfm(
         &mut self,
         w: &mut World<Msg>,
@@ -272,7 +287,16 @@ impl Qbac {
         seq: u64,
         grant: bool,
         stamp: VersionStamp,
+        auth: u64,
     ) {
+        // Hardened: a vote must carry the tag only a key-holding member
+        // can compute for `(voter, seq, grant)` — forged or spoofed-
+        // origin votes are discarded before they touch the tally.
+        if self.cfg.harden
+            && auth != crate::auth::quorum_cfm_tag(self.cfg.auth_key, voter, seq, grant)
+        {
+            return;
+        }
         let Some(vote) = self.votes.get_mut(&seq) else {
             return;
         };
@@ -418,5 +442,42 @@ impl Qbac {
         {
             self.reinitialize_network(w, head);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stamp_fresh;
+
+    #[test]
+    fn stamp_window_boundary_rejects_equal_accepts_successor() {
+        // The boundary stamp (exactly the last seen value) is a replay.
+        assert!(!stamp_fresh(5, 5));
+        assert!(stamp_fresh(5, 6));
+        assert!(!stamp_fresh(5, 4));
+        // Zero against zero is still a replay; the first real stamp of a
+        // fresh counter (1 against an initial 0) is accepted.
+        assert!(!stamp_fresh(0, 0));
+        assert!(stamp_fresh(0, 1));
+    }
+
+    #[test]
+    fn stamp_window_wraps_across_u64_max() {
+        // A counter near the top of the space wraps: small stamps are
+        // *ahead* of huge ones, not behind them.
+        assert!(stamp_fresh(u64::MAX - 1, 2));
+        assert!(stamp_fresh(u64::MAX, 0));
+        // ...but the old huge stamp is stale relative to the wrapped one.
+        assert!(!stamp_fresh(2, u64::MAX - 1));
+    }
+
+    #[test]
+    fn stamp_window_rejects_stale_half_space() {
+        assert!(!stamp_fresh(10, 3));
+        // Exactly half the space ahead is the ambiguous point; the
+        // strict `< 2^63` window rejects it (RFC 1982's undefined case
+        // resolved conservatively).
+        assert!(!stamp_fresh(0, 1 << 63));
+        assert!(stamp_fresh(0, (1 << 63) - 1));
     }
 }

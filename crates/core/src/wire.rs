@@ -140,12 +140,14 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
             configurer,
             network_id,
             spent_hops,
+            auth,
         } => {
             b.put_u8(tags::COM_CFG);
             put_addr(b, *ip);
             put_addr(b, *configurer);
             put_addr(b, *network_id);
             b.put_u32(*spent_hops);
+            b.put_u64(*auth);
         }
         Msg::ComAck => b.put_u8(tags::COM_ACK),
         Msg::ComRej => b.put_u8(tags::COM_REJ),
@@ -205,21 +207,29 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
                 }
             }
         }
-        Msg::QuorumCfm { seq, grant, stamp } => {
+        Msg::QuorumCfm {
+            seq,
+            grant,
+            stamp,
+            auth,
+        } => {
             b.put_u8(tags::QUORUM_CFM);
             b.put_u64(*seq);
             b.put_u8(u8::from(*grant));
             b.put_u64(stamp.get());
+            b.put_u64(*auth);
         }
         Msg::QuorumCommit {
             owner,
             addr,
             record,
+            auth,
         } => {
             b.put_u8(tags::QUORUM_COMMIT);
             put_node(b, *owner);
             put_addr(b, *addr);
             put_record(b, *record);
+            b.put_u64(*auth);
         }
         Msg::ReplicaPush {
             owner,
@@ -279,12 +289,14 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
             target_ip,
             initiator,
             initiator_ip,
+            auth,
         } => {
             b.put_u8(tags::ADDR_REC);
             put_node(b, *target);
             put_addr(b, *target_ip);
             put_node(b, *initiator);
             put_addr(b, *initiator_ip);
+            b.put_u64(*auth);
         }
         Msg::RecRep {
             target_ip,
@@ -308,6 +320,8 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
         Msg::OwnClaim {
             claimant_ip,
             blocks,
+            claim_stamp,
+            auth,
         } => {
             b.put_u8(tags::OWN_CLAIM);
             put_addr(b, *claimant_ip);
@@ -315,6 +329,8 @@ fn put_msg(b: &mut BytesMut, msg: &Msg) {
             for blk in blocks {
                 put_block(b, *blk);
             }
+            b.put_u64(*claim_stamp);
+            b.put_u64(*auth);
         }
         Msg::OwnGrant { blocks, records } => {
             b.put_u8(tags::OWN_GRANT);
@@ -348,6 +364,7 @@ fn take_msg(cur: &mut &[u8]) -> Result<Msg, WireError> {
             configurer: take_addr(cur)?,
             network_id: take_addr(cur)?,
             spent_hops: take_u32(cur)?,
+            auth: take_u64(cur)?,
         },
         tags::COM_ACK => Msg::ComAck,
         tags::COM_REJ => Msg::ComRej,
@@ -410,11 +427,13 @@ fn take_msg(cur: &mut &[u8]) -> Result<Msg, WireError> {
             seq: take_u64(cur)?,
             grant: take_u8(cur)? != 0,
             stamp: VersionStamp::new(take_u64(cur)?),
+            auth: take_u64(cur)?,
         },
         tags::QUORUM_COMMIT => Msg::QuorumCommit {
             owner: take_node(cur)?,
             addr: take_addr(cur)?,
             record: take_record(cur)?,
+            auth: take_u64(cur)?,
         },
         tags::REPLICA_PUSH => {
             let owner = take_node(cur)?;
@@ -473,6 +492,7 @@ fn take_msg(cur: &mut &[u8]) -> Result<Msg, WireError> {
             target_ip: take_addr(cur)?,
             initiator: take_node(cur)?,
             initiator_ip: take_addr(cur)?,
+            auth: take_u64(cur)?,
         },
         tags::REC_REP => Msg::RecRep {
             target_ip: take_addr(cur)?,
@@ -493,9 +513,13 @@ fn take_msg(cur: &mut &[u8]) -> Result<Msg, WireError> {
             for _ in 0..n {
                 blocks.push(take_block(cur)?);
             }
+            let claim_stamp = take_u64(cur)?;
+            let auth = take_u64(cur)?;
             Msg::OwnClaim {
                 claimant_ip,
                 blocks,
+                claim_stamp,
+                auth,
             }
         }
         tags::OWN_GRANT => {
@@ -658,6 +682,7 @@ mod tests {
                 configurer: Addr::new(2),
                 network_id: Addr::new(0),
                 spent_hops: 12,
+                auth: 0xdead_beef,
             },
             Msg::ComAck,
             Msg::ComRej,
@@ -697,6 +722,7 @@ mod tests {
                 seq: 42,
                 grant: true,
                 stamp: VersionStamp::new(5),
+                auth: 7,
             },
             Msg::QuorumCommit {
                 owner: NodeId::new(1),
@@ -705,6 +731,7 @@ mod tests {
                     status: AddrStatus::Allocated(33),
                     stamp: VersionStamp::new(2),
                 },
+                auth: 0x0bad_c0de,
             },
             Msg::ReplicaPush {
                 owner: NodeId::new(4),
@@ -738,6 +765,7 @@ mod tests {
                 target_ip: Addr::new(50),
                 initiator: NodeId::new(6),
                 initiator_ip: Addr::new(60),
+                auth: u64::MAX,
             },
             Msg::RecRep {
                 target_ip: Addr::new(50),
@@ -762,6 +790,8 @@ mod tests {
             Msg::OwnClaim {
                 claimant_ip: Addr::new(7),
                 blocks: vec![AddrBlock::new(Addr::new(128), 64).unwrap()],
+                claim_stamp: 3,
+                auth: 0x1234_5678,
             },
             Msg::OwnGrant {
                 blocks: vec![AddrBlock::new(Addr::new(128), 64).unwrap()],
@@ -795,7 +825,8 @@ mod tests {
                 configurer: Addr::new(2),
                 network_id: Addr::new(0),
                 spent_hops: 0,
-            }) <= 20
+                auth: 0,
+            }) <= 28
         );
     }
 

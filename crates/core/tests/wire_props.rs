@@ -55,14 +55,22 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             }),
         Just(Msg::ComReq),
         arb_node().prop_map(|requestor| Msg::ComReqFwd { requestor }),
-        (arb_addr(), arb_addr(), arb_addr(), any::<u32>()).prop_map(
-            |(ip, configurer, network_id, spent_hops)| Msg::ComCfg {
-                ip,
-                configurer,
-                network_id,
-                spent_hops
-            }
-        ),
+        (
+            arb_addr(),
+            arb_addr(),
+            arb_addr(),
+            any::<u32>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(ip, configurer, network_id, spent_hops, auth)| Msg::ComCfg {
+                    ip,
+                    configurer,
+                    network_id,
+                    spent_hops,
+                    auth
+                }
+            ),
         Just(Msg::ComAck),
         Just(Msg::ComRej),
         Just(Msg::ChReq),
@@ -110,18 +118,22 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     blocks
                 }
             }),
-        (any::<u64>(), any::<bool>(), any::<u64>()).prop_map(|(seq, grant, s)| Msg::QuorumCfm {
-            seq,
-            grant,
-            stamp: VersionStamp::new(s)
-        }),
-        (arb_node(), arb_addr(), arb_record()).prop_map(|(owner, addr, record)| {
-            Msg::QuorumCommit {
+        (any::<u64>(), any::<bool>(), any::<u64>(), any::<u64>()).prop_map(
+            |(seq, grant, s, auth)| Msg::QuorumCfm {
+                seq,
+                grant,
+                stamp: VersionStamp::new(s),
+                auth
+            }
+        ),
+        (arb_node(), arb_addr(), arb_record(), any::<u64>()).prop_map(
+            |(owner, addr, record, auth)| Msg::QuorumCommit {
                 owner,
                 addr,
                 record,
-            }
-        }),
+                auth,
+            },
+        ),
         (
             arb_node(),
             arb_addr(),
@@ -156,12 +168,13 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         Just(Msg::ReturnBlockAck),
         Just(Msg::Resign),
         arb_addr().prop_map(|new_configurer| Msg::AllocatorChange { new_configurer }),
-        (arb_node(), arb_addr(), arb_node(), arb_addr()).prop_map(
-            |(target, target_ip, initiator, initiator_ip)| Msg::AddrRec {
+        (arb_node(), arb_addr(), arb_node(), arb_addr(), any::<u64>()).prop_map(
+            |(target, target_ip, initiator, initiator_ip, auth)| Msg::AddrRec {
                 target,
                 target_ip,
                 initiator,
-                initiator_ip
+                initiator_ip,
+                auth
             }
         ),
         (arb_addr(), arb_addr(), arb_node(), arb_node()).prop_map(
@@ -176,12 +189,18 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         Just(Msg::RepAck),
         (arb_addr(), any::<bool>())
             .prop_map(|(network_id, force)| Msg::Reinit { network_id, force }),
-        (arb_addr(), prop::collection::vec(arb_block(), 0..5)).prop_map(|(claimant_ip, blocks)| {
-            Msg::OwnClaim {
+        (
+            arb_addr(),
+            prop::collection::vec(arb_block(), 0..5),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(claimant_ip, blocks, claim_stamp, auth)| Msg::OwnClaim {
                 claimant_ip,
                 blocks,
-            }
-        }),
+                claim_stamp,
+                auth,
+            }),
         (
             prop::collection::vec(arb_block(), 0..5),
             prop::collection::vec((arb_addr(), arb_record()), 0..6)
@@ -234,6 +253,7 @@ fn one_of_each() -> Vec<Msg> {
             configurer: addr,
             network_id: addr,
             spent_hops: 4,
+            auth: 0xfeed,
         },
         Msg::ComAck,
         Msg::ComRej,
@@ -270,11 +290,13 @@ fn one_of_each() -> Vec<Msg> {
             seq: 5,
             grant: true,
             stamp: VersionStamp::new(11),
+            auth: 13,
         },
         Msg::QuorumCommit {
             owner: node,
             addr,
             record,
+            auth: 29,
         },
         Msg::ReplicaPush {
             owner: node,
@@ -308,6 +330,7 @@ fn one_of_each() -> Vec<Msg> {
             target_ip: addr,
             initiator: NodeId::new(9),
             initiator_ip: addr,
+            auth: 17,
         },
         Msg::RecRep {
             target_ip: addr,
@@ -324,6 +347,8 @@ fn one_of_each() -> Vec<Msg> {
         Msg::OwnClaim {
             claimant_ip: addr,
             blocks: vec![block],
+            claim_stamp: 19,
+            auth: 23,
         },
         Msg::OwnGrant {
             blocks: vec![block],

@@ -14,6 +14,7 @@
 //! repro check               # conformance oracle: invariants after every event
 //! repro check --quick --artifact-dir out/    # CI smoke; shrunk repros on failure
 //! repro replay out/quorum-storm.repro        # byte-for-byte reproduction
+//! repro attacks             # adversary degradation: open vs hardened QBAC
 //! ```
 //!
 //! `repro` with no subcommand runs `figures`. The pre-subcommand flat
@@ -40,6 +41,7 @@ enum Mode {
     Chaos,
     Check,
     Replay,
+    Attacks,
 }
 
 impl Mode {
@@ -49,6 +51,7 @@ impl Mode {
             Mode::Chaos => "chaos",
             Mode::Check => "check",
             Mode::Replay => "replay",
+            Mode::Attacks => "attacks",
         }
     }
 }
@@ -97,6 +100,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 "figures" => Some(Mode::Figures),
                 "chaos" => Some(Mode::Chaos),
                 "check" => Some(Mode::Check),
+                "attacks" => Some(Mode::Attacks),
                 "replay" => {
                     let v = it.next().ok_or("replay needs an artifact file path")?;
                     if v.starts_with("--") {
@@ -178,6 +182,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \x20      repro chaos [--loss P] [--head-kills K] [--fault-plan FILE]\n\
                      \x20      repro check [--quick] [--artifact-dir DIR]\n\
                      \x20      repro replay FILE\n\
+                     \x20      repro attacks\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
                      IP autoconfiguration paper. Default subcommand: figures, {} rounds.\n\
                      chaos runs the fault-injection suite: message-loss sweep plus scheduled\n\
@@ -189,7 +194,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      check runs the conformance oracle: every protocol under every canned\n\
                      chaos schedule with invariants verified after each simulator event; a\n\
                      violation is shrunk to a minimal replayable artifact (--artifact-dir),\n\
-                     and replay re-runs one artifact demanding byte-for-byte reproduction.",
+                     and replay re-runs one artifact demanding byte-for-byte reproduction.\n\
+                     check also runs the attack-canary smoke: every pinned adversarial\n\
+                     schedule must be caught against open QBAC and held by the hardened\n\
+                     variant. attacks prints the full degradation table for those canaries.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -266,6 +274,23 @@ fn run_check_mode(args: &Args) -> ExitCode {
         };
     }
 
+    let write_artifact = |stem: &str, text: String| -> Result<(), ExitCode> {
+        let Some(dir) = &args.artifact_dir else {
+            return Ok(());
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return Err(ExitCode::FAILURE);
+        }
+        let path = dir.join(format!("{stem}.repro"));
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("wrote {}", path.display());
+        Ok(())
+    };
+
     let cells = harness::oracle::check_suite(args.common.opts.quick);
     let mut failed = false;
     for cell in &cells {
@@ -274,17 +299,22 @@ fn run_check_mode(args: &Args) -> ExitCode {
             continue;
         };
         failed = true;
-        if let Some(dir) = &args.artifact_dir {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("error: creating {}: {e}", dir.display());
-                return ExitCode::FAILURE;
+        if let Err(code) = write_artifact(
+            &format!("{}-{}", cell.protocol, cell.schedule),
+            artifact.to_text(),
+        ) {
+            return code;
+        }
+    }
+    // The attack-canary smoke rides along: the oracle must flag every
+    // pinned adversarial schedule, and hardened QBAC must hold it.
+    for cell in harness::attacks::canary_suite() {
+        println!("{}", cell.line);
+        failed |= !cell.ok;
+        if let Some(artifact) = &cell.artifact {
+            if let Err(code) = write_artifact(&cell.stem, artifact.to_text()) {
+                return code;
             }
-            let path = harness::oracle::artifact_path(dir, cell);
-            if let Err(e) = std::fs::write(&path, artifact.to_text()) {
-                eprintln!("error: writing {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-            eprintln!("wrote {}", path.display());
         }
     }
     if failed {
@@ -306,6 +336,19 @@ fn main() -> ExitCode {
 
     if matches!(args.mode, Mode::Check | Mode::Replay) {
         return run_check_mode(&args);
+    }
+    if args.mode == Mode::Attacks {
+        let outcomes = harness::attacks::attack_suite();
+        println!("{}", harness::attacks::attack_table(&outcomes).to_ascii());
+        let clean = outcomes
+            .iter()
+            .all(|o| o.open.violation.is_some() && o.hardened.violation.is_none());
+        return if clean {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("attacks: a canary missed its expected shape (see table notes)");
+            ExitCode::FAILURE
+        };
     }
 
     let mut phases: Vec<Phase> = Vec::new();
@@ -473,6 +516,7 @@ mod tests {
         assert_eq!(parse_args(argv("figures --fig 5")).unwrap().fig, Some(5));
         assert_eq!(parse_args(argv("chaos")).unwrap().mode, Mode::Chaos);
         assert_eq!(parse_args(argv("check --quick")).unwrap().mode, Mode::Check);
+        assert_eq!(parse_args(argv("attacks")).unwrap().mode, Mode::Attacks);
 
         let a = parse_args(argv("replay out/quorum-storm.repro")).unwrap();
         assert_eq!(a.mode, Mode::Replay);
@@ -497,6 +541,8 @@ mod tests {
         assert!(parse_args(argv("figures --loss 0.1")).is_err());
         assert!(parse_args(argv("check --loss 0.1")).is_err());
         assert!(parse_args(argv("figures --artifact-dir out")).is_err());
+        assert!(parse_args(argv("attacks --loss 0.1")).is_err());
+        assert!(parse_args(argv("attacks --artifact-dir out")).is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attacks;
 pub mod chaos;
 pub mod figures;
 pub mod oracle;
@@ -23,6 +24,7 @@ pub mod scenario;
 pub mod snapshot;
 pub mod stats;
 
+pub use attacks::{attack_suite, attack_table, canary_suite, AttackOutcome, CanaryCell};
 pub use chaos::{chaos_suite, ChaosOpts};
 pub use oracle::{check_suite, CheckCell};
 pub use render::Table;

@@ -17,10 +17,12 @@ use manet_sim::{FaultPlan, Protocol};
 
 /// Fingerprint of [`chaos_snapshot`]`(7)` under the current protocol
 /// workload. Regenerate only if the *workload* changes — never to paper
-/// over an engine behavior change. Last regenerated when post-merge
-/// pool-ownership reconciliation replaced the replica-push zombie
-/// dissolution (new `merge_ownership` flow kind and `OWN_*` traffic).
-const PINNED_FINGERPRINT: &str = "fnv1a:67dd81a61ea1f5b9";
+/// over an engine behavior change. Last regenerated when the adversary
+/// plane grew the *reporting schema*: four attack counters in the
+/// faults JSON and the `attack` flow kind. The underlying event stream
+/// was proven byte-identical across that change by the trace-level pin
+/// in `adversary_zero_cost.rs`.
+const PINNED_FINGERPRINT: &str = "fnv1a:dfeb6d50cb019071";
 
 fn chaos_plan() -> FaultPlan {
     FaultPlan::parse(

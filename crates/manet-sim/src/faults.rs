@@ -143,6 +143,70 @@ impl PartitionEvent {
     }
 }
 
+/// A Byzantine behaviour a designated attacker node runs once active.
+///
+/// Attacks are part of the [`FaultPlan`], so they are seeded,
+/// deterministic, and round-trip through the text grammar like every
+/// other fault directive. The simulator only *records* the role — the
+/// protocol under test decides what (if anything) the role means; the
+/// honest baselines simply ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// Claim addresses without running the quorum allocation procedure
+    /// (address squatting: the attacker grants from a block it never
+    /// acquired).
+    Squat,
+    /// Forge `QUORUM_CFM` grant votes on behalf of polled quorum
+    /// members so contested allocations pass.
+    SpoofCfm,
+    /// Inject `ADDR_REC` reclamation floods naming a live head so the
+    /// honest quorum evicts it and its leases become stealable.
+    FalseReclaim,
+    /// Replay a captured `OWN_CLAIM` after a partition merge to re-run
+    /// an ownership transfer that was already settled.
+    ReplayClaim,
+}
+
+impl AttackKind {
+    /// The keyword used in the fault-plan text grammar.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AttackKind::Squat => "squat",
+            AttackKind::SpoofCfm => "spoof-cfm",
+            AttackKind::FalseReclaim => "false-reclaim",
+            AttackKind::ReplayClaim => "replay-claim",
+        }
+    }
+
+    /// Every attack kind, in canonical order.
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::Squat,
+        AttackKind::SpoofCfm,
+        AttackKind::FalseReclaim,
+        AttackKind::ReplayClaim,
+    ];
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One attacker node assignment: `node` runs `kind` from `start` until
+/// the end of the run (it behaves honestly before `start`, which lets
+/// it join and acquire state like any other member first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackRole {
+    /// The node that turns Byzantine.
+    pub node: NodeId,
+    /// Which attack it runs.
+    pub kind: AttackKind,
+    /// When the attack activates (inclusive).
+    pub start: SimTime,
+}
+
 /// Why the fault plane dropped a delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropCause {
@@ -181,6 +245,8 @@ pub struct FaultPlan {
     pub jams: Vec<JamRegion>,
     /// Scripted partitions.
     pub partitions: Vec<PartitionEvent>,
+    /// Byzantine attacker role assignments.
+    pub attacks: Vec<AttackRole>,
     /// Seed for the dedicated fault RNG (independent of the world seed).
     pub seed: u64,
 }
@@ -207,6 +273,7 @@ impl FaultPlan {
             && self.head_kills.is_empty()
             && self.jams.is_empty()
             && self.partitions.is_empty()
+            && self.attacks.is_empty()
     }
 
     /// Adds a uniform (all-category) drop probability.
@@ -292,6 +359,32 @@ impl FaultPlan {
         self
     }
 
+    /// Assigns `node` the Byzantine role `kind`, active from `start`.
+    #[must_use]
+    pub fn with_attack(mut self, node: NodeId, kind: AttackKind, start: SimTime) -> Self {
+        self.attacks.push(AttackRole { node, kind, start });
+        self
+    }
+
+    /// The attack role `node` is running at `now`, if any. Attacker
+    /// nodes behave honestly before their start time. Consults no RNG.
+    #[must_use]
+    pub fn attack_on(&self, node: NodeId, now: SimTime) -> Option<AttackKind> {
+        self.attacks
+            .iter()
+            .find(|a| a.node == node && a.start <= now)
+            .map(|a| a.kind)
+    }
+
+    /// The attack role `node` is *designated* for, regardless of start
+    /// time. A replay-claim attacker uses this to capture messages it
+    /// receives honestly before its start (the captured material is
+    /// only replayed once active).
+    #[must_use]
+    pub fn attack_assigned(&self, node: NodeId) -> Option<AttackKind> {
+        self.attacks.iter().find(|a| a.node == node).map(|a| a.kind)
+    }
+
     /// Parses the line-oriented text form (see the crate's README for
     /// the full grammar). Lines:
     ///
@@ -304,7 +397,11 @@ impl FaultPlan {
     /// headkill 2 at 10s
     /// jam 0,0 500,500 from 5s until 15s
     /// partition x=500 from 10s heal 30s
+    /// attack 4 squat at 8s
     /// ```
+    ///
+    /// Attack kinds: `squat`, `spoof-cfm`, `false-reclaim`,
+    /// `replay-claim`.
     ///
     /// Blank lines and lines starting with `#` are ignored. Durations
     /// accept the suffixes `s`, `ms`, and `us`.
@@ -440,6 +537,26 @@ impl FaultPlan {
                         heal,
                     });
                 }
+                "attack" => {
+                    // attack <node> <kind> at <time>
+                    let node: u64 = rest
+                        .first()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("bad node id"))?;
+                    let kind = rest
+                        .get(1)
+                        .and_then(|w| parse_attack_kind(w))
+                        .ok_or_else(|| err("bad attack kind"))?;
+                    if rest.get(2) != Some(&"at") {
+                        return Err(err("expected `at`"));
+                    }
+                    let start = parse_time(rest.get(3)).ok_or_else(|| err("bad attack time"))?;
+                    plan.attacks.push(AttackRole {
+                        node: NodeId::new(node),
+                        kind,
+                        start,
+                    });
+                }
                 _ => return Err(err("unknown keyword")),
             }
         }
@@ -529,6 +646,15 @@ impl FaultPlan {
                 fmt_micros(p.heal.as_micros())
             );
         }
+        for a in &self.attacks {
+            let _ = writeln!(
+                out,
+                "attack {} {} at {}",
+                a.node.index(),
+                a.kind.keyword(),
+                fmt_micros(a.start.as_micros())
+            );
+        }
         out
     }
 }
@@ -588,6 +714,10 @@ fn parse_duration(word: Option<&&str>) -> Option<SimDuration> {
 
 fn parse_time(word: Option<&&str>) -> Option<SimTime> {
     parse_duration(word).map(|d| SimTime::ZERO + d)
+}
+
+fn parse_attack_kind(word: &str) -> Option<AttackKind> {
+    AttackKind::ALL.into_iter().find(|k| k.keyword() == word)
 }
 
 fn parse_point(word: Option<&&str>) -> Option<Point> {
@@ -856,6 +986,65 @@ mod tests {
             };
             assert_eq!(a.judge(now, cat, None, None), b.judge(now, cat, None, None));
         }
+    }
+
+    #[test]
+    fn attack_directives_parse_and_round_trip() {
+        let text = "\
+            seed 7\n\
+            loss 0.1\n\
+            crash 3 at 5s\n\
+            attack 4 squat at 8s\n\
+            attack 5 spoof-cfm at 10s\n\
+            attack 6 false-reclaim at 12s\n\
+            attack 7 replay-claim at 1500ms\n\
+        ";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.attacks.len(), 4);
+        assert_eq!(
+            plan.attacks[0],
+            AttackRole {
+                node: NodeId::new(4),
+                kind: AttackKind::Squat,
+                start: SimTime::from_micros(8_000_000),
+            }
+        );
+        assert_eq!(plan.attacks[3].kind, AttackKind::ReplayClaim);
+        let canon = plan.to_text();
+        let reparsed = FaultPlan::parse(&canon).unwrap();
+        assert_eq!(reparsed, plan);
+        // Canonical text is a fixed point of parse ∘ to_text.
+        assert_eq!(reparsed.to_text(), canon);
+        // One directive per line so the line-level shrinker can drop
+        // attacks individually.
+        assert_eq!(canon.lines().filter(|l| l.starts_with("attack")).count(), 4);
+    }
+
+    #[test]
+    fn attack_parse_rejects_malformed_lines() {
+        assert!(FaultPlan::parse("attack x squat at 5s").is_err());
+        assert!(FaultPlan::parse("attack 3 warp at 5s").is_err());
+        assert!(FaultPlan::parse("attack 3 squat by 5s").is_err());
+        assert!(FaultPlan::parse("attack 3 squat at never").is_err());
+    }
+
+    #[test]
+    fn attack_plan_is_not_empty_and_roles_gate_on_start() {
+        let plan = FaultPlan::new(1).with_attack(
+            NodeId::new(2),
+            AttackKind::FalseReclaim,
+            SimTime::from_micros(1_000),
+        );
+        assert!(!plan.is_empty());
+        assert_eq!(plan.attack_on(NodeId::new(2), SimTime::ZERO), None);
+        assert_eq!(
+            plan.attack_on(NodeId::new(2), SimTime::from_micros(1_000)),
+            Some(AttackKind::FalseReclaim)
+        );
+        assert_eq!(
+            plan.attack_on(NodeId::new(3), SimTime::from_micros(5_000)),
+            None
+        );
     }
 
     #[test]

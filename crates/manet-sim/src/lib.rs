@@ -81,7 +81,7 @@ pub mod trace;
 mod world;
 
 pub use event::TimerId;
-pub use faults::FaultPlan;
+pub use faults::{AttackKind, AttackRole, FaultPlan};
 pub use geometry::{Arena, Point};
 pub use histogram::Histogram;
 pub use ids::NodeId;

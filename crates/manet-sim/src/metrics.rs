@@ -73,13 +73,32 @@ pub struct FaultCounters {
     pub crashes: u64,
     /// Crashed nodes that restarted.
     pub restarts: u64,
+    /// Addresses granted by a squatting attacker without quorum.
+    pub squats: u64,
+    /// Forged `QUORUM_CFM` votes injected by a spoofing attacker.
+    pub spoofed_cfms: u64,
+    /// `ADDR_REC` floods injected for live leases.
+    pub false_reclaims: u64,
+    /// Captured `OWN_CLAIM` messages replayed after a merge.
+    pub replayed_claims: u64,
 }
 
 impl FaultCounters {
     /// Total injected fault events of any kind.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.dropped + self.delayed + self.duplicated + self.crashes + self.restarts
+        self.dropped
+            + self.delayed
+            + self.duplicated
+            + self.crashes
+            + self.restarts
+            + self.attack_total()
+    }
+
+    /// Total Byzantine attack actions of any kind.
+    #[must_use]
+    pub fn attack_total(&self) -> u64 {
+        self.squats + self.spoofed_cfms + self.false_reclaims + self.replayed_claims
     }
 
     /// Merges another set of counters into this one. Every field is
@@ -92,12 +111,20 @@ impl FaultCounters {
             duplicated,
             crashes,
             restarts,
+            squats,
+            spoofed_cfms,
+            false_reclaims,
+            replayed_claims,
         } = other;
         self.dropped += dropped;
         self.delayed += delayed;
         self.duplicated += duplicated;
         self.crashes += crashes;
         self.restarts += restarts;
+        self.squats += squats;
+        self.spoofed_cfms += spoofed_cfms;
+        self.false_reclaims += false_reclaims;
+        self.replayed_claims += replayed_claims;
     }
 }
 
@@ -311,8 +338,9 @@ impl Metrics {
         let f = &self.faults;
         let _ = write!(
             s,
-            ",\"faults\":{{\"dropped\":{},\"delayed\":{},\"duplicated\":{},\"crashes\":{},\"restarts\":{},\"total\":{}}}",
-            f.dropped, f.delayed, f.duplicated, f.crashes, f.restarts, f.total()
+            ",\"faults\":{{\"dropped\":{},\"delayed\":{},\"duplicated\":{},\"crashes\":{},\"restarts\":{},\"squats\":{},\"spoofed_cfms\":{},\"false_reclaims\":{},\"replayed_claims\":{},\"total\":{}}}",
+            f.dropped, f.delayed, f.duplicated, f.crashes, f.restarts,
+            f.squats, f.spoofed_cfms, f.false_reclaims, f.replayed_claims, f.total()
         );
         let _ = write!(
             s,
@@ -462,6 +490,10 @@ mod tests {
             duplicated: 3,
             crashes: 4,
             restarts: 5,
+            squats: 6,
+            spoofed_cfms: 7,
+            false_reclaims: 8,
+            replayed_claims: 9,
         };
         let b = FaultCounters {
             dropped: 10,
@@ -469,12 +501,37 @@ mod tests {
             duplicated: 30,
             crashes: 40,
             restarts: 50,
+            squats: 60,
+            spoofed_cfms: 70,
+            false_reclaims: 80,
+            replayed_claims: 90,
         };
         let mut merged = a;
         merged.merge(&b);
         assert_eq!(merged.total(), a.total() + b.total());
         assert_eq!(merged.dropped, 11);
         assert_eq!(merged.restarts, 55);
+        assert_eq!(merged.squats, 66);
+        assert_eq!(merged.replayed_claims, 99);
+        assert_eq!(merged.attack_total(), a.attack_total() + b.attack_total());
+    }
+
+    #[test]
+    fn attack_counters_flow_through_merge_and_json() {
+        let mut a = Metrics::new();
+        a.faults_mut().squats = 2;
+        a.faults_mut().false_reclaims = 1;
+        let mut b = Metrics::new();
+        b.faults_mut().spoofed_cfms = 3;
+        b.faults_mut().replayed_claims = 4;
+        a.merge(&b);
+        assert_eq!(a.faults().attack_total(), 10);
+        let j = a.to_json();
+        assert!(j.contains("\"squats\":2"));
+        assert!(j.contains("\"spoofed_cfms\":3"));
+        assert!(j.contains("\"false_reclaims\":1"));
+        assert!(j.contains("\"replayed_claims\":4"));
+        assert!(j.contains("\"total\":10"));
     }
 
     #[test]

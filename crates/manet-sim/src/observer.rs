@@ -35,14 +35,20 @@ pub enum FlowKind {
     /// re-absorbed the contested space (or abandoned the claim when the
     /// quorum refused).
     MergeOwnership,
+    /// One Byzantine attack action by a fault-plan attacker node (a
+    /// squatted grant, a forged vote, an injected reclamation flood, a
+    /// replayed ownership claim). Opened and finalized per action, so
+    /// `started` counts attack attempts.
+    Attack,
 }
 
 impl FlowKind {
-    const ALL: [FlowKind; 4] = [
+    const ALL: [FlowKind; 5] = [
         FlowKind::Join,
         FlowKind::Reclaim,
         FlowKind::Merge,
         FlowKind::MergeOwnership,
+        FlowKind::Attack,
     ];
 
     fn index(self) -> usize {
@@ -51,6 +57,7 @@ impl FlowKind {
             FlowKind::Reclaim => 1,
             FlowKind::Merge => 2,
             FlowKind::MergeOwnership => 3,
+            FlowKind::Attack => 4,
         }
     }
 }
@@ -62,6 +69,7 @@ impl fmt::Display for FlowKind {
             FlowKind::Reclaim => "reclaim",
             FlowKind::Merge => "merge",
             FlowKind::MergeOwnership => "merge_ownership",
+            FlowKind::Attack => "attack",
         })
     }
 }
@@ -162,7 +170,7 @@ pub struct Observer {
     enabled: bool,
     next_id: u64,
     open: HashMap<(FlowKind, NodeId), u64>,
-    tallies: [FlowTally; 4],
+    tallies: [FlowTally; 5],
 }
 
 impl Observer {
@@ -173,7 +181,7 @@ impl Observer {
             enabled: true,
             next_id: 0,
             open: HashMap::new(),
-            tallies: [FlowTally::default(); 4],
+            tallies: [FlowTally::default(); 5],
         }
     }
 
@@ -244,7 +252,7 @@ impl Observer {
 
 /// Iterates all flow kinds (for manifest rendering).
 #[must_use]
-pub fn all_kinds() -> [FlowKind; 4] {
+pub fn all_kinds() -> [FlowKind; 5] {
     FlowKind::ALL
 }
 

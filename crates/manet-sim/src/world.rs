@@ -1,5 +1,5 @@
 use crate::event::{EventKind, Scheduled, TimerId};
-use crate::faults::{DeliveryFate, FaultPlan, FaultState};
+use crate::faults::{AttackKind, DeliveryFate, FaultPlan, FaultState};
 use crate::mobility::MobilityState;
 use crate::observer::{FlowKind, FlowStage, Observer};
 use crate::topology::Topology;
@@ -713,6 +713,27 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// driver to pick head-kill victims deterministically).
     pub(crate) fn fault_rng(&mut self) -> Option<&mut SimRng> {
         self.faults.as_deref_mut().map(FaultState::rng_mut)
+    }
+
+    /// The Byzantine role `node` is running right now, if the fault
+    /// plan assigns it one whose start time has passed. Protocols under
+    /// test consult this at their dispatch points; honest protocols
+    /// simply never ask. Consults no RNG and costs one `Option` check
+    /// when no fault plan is active.
+    #[must_use]
+    pub fn attack_role(&self, node: NodeId) -> Option<AttackKind> {
+        self.faults
+            .as_deref()
+            .and_then(|fs| fs.plan().attack_on(node, self.now))
+    }
+
+    /// The Byzantine role `node` is *designated* for, even before its
+    /// start time (see [`FaultPlan::attack_assigned`]).
+    #[must_use]
+    pub fn attack_assigned(&self, node: NodeId) -> Option<AttackKind> {
+        self.faults
+            .as_deref()
+            .and_then(|fs| fs.plan().attack_assigned(node))
     }
 
     /// Marks `node` configured: records the fact and, if the world has a
