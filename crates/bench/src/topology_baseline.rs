@@ -127,7 +127,12 @@ impl TopologyBaseline {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(2048);
-        s.push_str("{\n  \"bench\": \"topology\",\n");
+        let _ = writeln!(
+            s,
+            "{{\n  \"schema_version\": {},",
+            manet_sim::ARTIFACT_SCHEMA_VERSION
+        );
+        s.push_str("  \"bench\": \"topology\",\n");
         let _ = writeln!(
             s,
             "  \"engine\": \"strip-sweep vs naive all-pairs, range {RANGE} m, 1000 m x 1000 m arena\","
@@ -193,6 +198,7 @@ mod tests {
         };
         let json = TopologyBaseline { rows: vec![row] }.to_json();
         for key in [
+            "\"schema_version\": 1",
             "\"bench\": \"topology\"",
             "\"rows\"",
             "\"n\": 60",

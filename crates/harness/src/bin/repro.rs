@@ -15,6 +15,9 @@
 //! repro check --quick --artifact-dir out/    # CI smoke; shrunk repros on failure
 //! repro replay out/quorum-storm.repro        # byte-for-byte reproduction
 //! repro attacks             # adversary degradation: open vs hardened QBAC
+//! repro sweep --quick --threads 4 --out sweep.json   # parallel grid sweep
+//! repro sweep --soak --rounds 5              # chaos soak vs the oracle
+//! repro gate BENCH_sweep.json sweep.json     # regression gate vs baseline
 //! ```
 //!
 //! `repro` with no subcommand runs `figures`. The pre-subcommand flat
@@ -42,6 +45,8 @@ enum Mode {
     Check,
     Replay,
     Attacks,
+    Sweep,
+    Gate,
 }
 
 impl Mode {
@@ -52,6 +57,8 @@ impl Mode {
             Mode::Check => "check",
             Mode::Replay => "replay",
             Mode::Attacks => "attacks",
+            Mode::Sweep => "sweep",
+            Mode::Gate => "gate",
         }
     }
 }
@@ -65,6 +72,17 @@ struct CommonOpts {
     trace_out: Option<PathBuf>,
 }
 
+/// Options for the `sweep` and `gate` subcommands.
+#[derive(Debug, Default)]
+struct SweepOpts {
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    soak: bool,
+    chaos_axis: bool,
+    tolerance: Option<f64>,
+    gate_files: Vec<PathBuf>,
+}
+
 #[derive(Debug)]
 struct Args {
     mode: Mode,
@@ -76,6 +94,7 @@ struct Args {
     fault_plan: Option<FaultPlan>,
     replay: Option<PathBuf>,
     artifact_dir: Option<PathBuf>,
+    sweep: SweepOpts,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -92,6 +111,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut check = false;
     let mut replay = None;
     let mut artifact_dir = None;
+    let mut sweep = SweepOpts::default();
     let mut it = argv;
     let mut first = true;
     while let Some(arg) = it.next() {
@@ -101,6 +121,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 "chaos" => Some(Mode::Chaos),
                 "check" => Some(Mode::Check),
                 "attacks" => Some(Mode::Attacks),
+                "sweep" => Some(Mode::Sweep),
+                "gate" => Some(Mode::Gate),
                 "replay" => {
                     let v = it.next().ok_or("replay needs an artifact file path")?;
                     if v.starts_with("--") {
@@ -163,6 +185,31 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                     .map_err(|e| format!("--fault-plan: parsing {v}: {e}"))?;
                 fault_plan = Some(plan);
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                let t = v.parse::<usize>().map_err(|e| format!("--threads: {e}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                sweep.threads = Some(t);
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                sweep.out = Some(PathBuf::from(v));
+            }
+            "--soak" => sweep.soak = true,
+            "--with-chaos" => sweep.chaos_axis = true,
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a fraction (e.g. 0.1)")?;
+                let t = v.parse::<f64>().map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..=10.0).contains(&t) {
+                    return Err("--tolerance must be within 0-10".into());
+                }
+                sweep.tolerance = Some(t);
+            }
+            path if subcommand == Some(Mode::Gate) && !path.starts_with("--") => {
+                sweep.gate_files.push(PathBuf::from(path));
+            }
             "--csv" => {
                 let v = it.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(PathBuf::from(v));
@@ -183,6 +230,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \x20      repro check [--quick] [--artifact-dir DIR]\n\
                      \x20      repro replay FILE\n\
                      \x20      repro attacks\n\
+                     \x20      repro sweep [--quick] [--threads N] [--out FILE] [--seed S] [--with-chaos]\n\
+                     \x20      repro sweep --soak [--rounds R] [--quick] [--threads N]\n\
+                     \x20      repro gate BASELINE CANDIDATE [--tolerance F]\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
                      IP autoconfiguration paper. Default subcommand: figures, {} rounds.\n\
                      chaos runs the fault-injection suite: message-loss sweep plus scheduled\n\
@@ -197,7 +247,14 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      and replay re-runs one artifact demanding byte-for-byte reproduction.\n\
                      check also runs the attack-canary smoke: every pinned adversarial\n\
                      schedule must be caught against open QBAC and held by the hardened\n\
-                     variant. attacks prints the full degradation table for those canaries.",
+                     variant. attacks prints the full degradation table for those canaries.\n\
+                     sweep fans a parameter grid (protocol x size x mobility x loss, plus\n\
+                     chaos schedules with --with-chaos) across worker threads and merges\n\
+                     per-shard telemetry into one deterministic sweep.json; --soak loops\n\
+                     the chaos schedules against the conformance oracle and reports\n\
+                     violations per simulated hour. gate compares two sweep artifacts and\n\
+                     exits nonzero when a latency/overhead/configured metric regresses\n\
+                     past the tolerance (default 10%).",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -228,6 +285,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if mode != Mode::Chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
         return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
     }
+    if mode != Mode::Sweep
+        && (sweep.threads.is_some() || sweep.out.is_some() || sweep.soak || sweep.chaos_axis)
+    {
+        return Err("--threads / --out / --soak / --with-chaos only apply to sweep runs".into());
+    }
+    if mode != Mode::Gate && sweep.tolerance.is_some() {
+        return Err("--tolerance only applies to gate runs".into());
+    }
+    if mode == Mode::Gate && sweep.gate_files.len() != 2 {
+        return Err("gate needs exactly two files: gate BASELINE CANDIDATE".into());
+    }
     if !matches!(mode, Mode::Check | Mode::Replay) && (replay.is_some() || artifact_dir.is_some()) {
         return Err("--replay / --artifact-dir only apply to --check runs".into());
     }
@@ -251,7 +319,105 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         fault_plan,
         replay,
         artifact_dir,
+        sweep,
     })
+}
+
+/// Runs `repro sweep`: the parallel grid sweep (or the chaos soak),
+/// writing the merged artifact when `--out` is given.
+fn run_sweep_mode(args: &Args) -> ExitCode {
+    let threads = args.sweep.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    });
+    if args.sweep.soak {
+        let nn = if args.common.opts.quick { 8 } else { 16 };
+        let report = harness::run_soak(nn, args.common.opts.rounds, args.common.opts.seed, threads);
+        print!("{}", report.render_text());
+        return if report.violations() == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let mut grid = if args.common.opts.quick {
+        harness::SweepGrid::smoke(args.common.opts.seed)
+    } else {
+        harness::SweepGrid::full(args.common.opts.seed)
+    };
+    if args.sweep.chaos_axis {
+        grid.plans = vec![
+            "none".into(),
+            "storm".into(),
+            "splitbrain".into(),
+            "reaper".into(),
+        ];
+    }
+    let report = match harness::run_sweep(&grid, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (cell, panic) in &report.failed {
+        eprintln!("sweep FAIL {cell}: {panic}");
+    }
+    eprintln!(
+        "sweep: {} cells over {} threads, {} failed, fingerprint fnv1a:{:016x}",
+        report.cells.len(),
+        threads,
+        report.failed.len(),
+        report.fingerprint()
+    );
+    if let Some(path) = &args.sweep.out {
+        let json = if std::env::var_os("REPRO_NO_WALL_CLOCK").is_some() {
+            report.deterministic_json()
+        } else {
+            report.to_json()
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if report.failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs `repro gate BASELINE CANDIDATE`: nonzero exit on regression.
+fn run_gate_mode(args: &Args) -> ExitCode {
+    let read = |path: &std::path::Path| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("error: reading {}: {e}", path.display());
+            ExitCode::FAILURE
+        })
+    };
+    let (baseline, candidate) = (&args.sweep.gate_files[0], &args.sweep.gate_files[1]);
+    let (base_text, cand_text) = match (read(baseline), read(candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let tolerance = args.sweep.tolerance.unwrap_or(0.10);
+    match harness::gate(&base_text, &cand_text, tolerance) {
+        Ok(report) => {
+            print!("{}", report.render_text());
+            if report.pass() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Runs `repro --check`: the replay of one artifact, or the full
@@ -336,6 +502,12 @@ fn main() -> ExitCode {
 
     if matches!(args.mode, Mode::Check | Mode::Replay) {
         return run_check_mode(&args);
+    }
+    if args.mode == Mode::Sweep {
+        return run_sweep_mode(&args);
+    }
+    if args.mode == Mode::Gate {
+        return run_gate_mode(&args);
     }
     if args.mode == Mode::Attacks {
         let outcomes = harness::attacks::attack_suite();
@@ -559,6 +731,36 @@ mod tests {
     fn replay_subcommand_requires_a_file() {
         assert!(parse_args(argv("replay")).is_err());
         assert!(parse_args(argv("replay --quick")).is_err());
+    }
+
+    #[test]
+    fn sweep_and_gate_subcommands_parse() {
+        let a = parse_args(argv("sweep --quick --threads 4 --out sweep.json")).unwrap();
+        assert_eq!(a.mode, Mode::Sweep);
+        assert!(a.common.opts.quick);
+        assert_eq!(a.sweep.threads, Some(4));
+        assert_eq!(a.sweep.out.as_deref().unwrap().to_str(), Some("sweep.json"));
+        assert!(!a.sweep.soak && !a.sweep.chaos_axis);
+
+        let a = parse_args(argv("sweep --soak --rounds 3 --with-chaos")).unwrap();
+        assert!(a.sweep.soak && a.sweep.chaos_axis);
+        assert_eq!(a.common.opts.rounds, 3);
+
+        let a = parse_args(argv("gate BENCH_sweep.json sweep.json --tolerance 0.2")).unwrap();
+        assert_eq!(a.mode, Mode::Gate);
+        assert_eq!(a.sweep.tolerance, Some(0.2));
+        assert_eq!(a.sweep.gate_files.len(), 2);
+
+        // Sweep/gate flags stay rejected outside their modes.
+        assert!(parse_args(argv("figures --threads 2")).is_err());
+        assert!(parse_args(argv("chaos --out x.json")).is_err());
+        assert!(parse_args(argv("figures --soak")).is_err());
+        assert!(parse_args(argv("sweep --tolerance 0.1")).is_err());
+        // Gate arity and sweep flag domains are validated.
+        assert!(parse_args(argv("gate only-one.json")).is_err());
+        assert!(parse_args(argv("gate")).is_err());
+        assert!(parse_args(argv("sweep --threads 0")).is_err());
+        assert!(parse_args(argv("gate a.json b.json --tolerance -1")).is_err());
     }
 
     #[test]

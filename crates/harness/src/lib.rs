@@ -18,17 +18,23 @@
 pub mod attacks;
 pub mod chaos;
 pub mod figures;
+pub mod gate;
+pub mod json;
 pub mod oracle;
 pub mod render;
 pub mod scenario;
 pub mod snapshot;
 pub mod stats;
+pub mod sweep;
 
 pub use attacks::{attack_suite, attack_table, canary_suite, AttackOutcome, CanaryCell};
 pub use chaos::{chaos_suite, ChaosOpts};
+pub use gate::{gate, Finding, GateReport, Verdict};
+pub use json::Value;
 pub use oracle::{check_suite, CheckCell};
 pub use render::Table;
 pub use scenario::{
     run_scenario, RunMeasurements, RunReport, Scenario, ScenarioBuilder, ScenarioError,
 };
 pub use snapshot::{Phase, ProtocolRun, Snapshot, SnapshotParams};
+pub use sweep::{run_jobs, run_soak, run_sweep, CellResult, SoakReport, SweepGrid, SweepReport};

@@ -45,6 +45,10 @@ pub struct Scenario {
     /// networks that all carry the same network ID (the lowest address),
     /// an ambiguity the paper's merge scheme cannot resolve.
     pub connected_arrivals: bool,
+    /// Per-message delivery loss probability in `[0, 1]` (default 0,
+    /// the paper's reliable-delivery assumption). Sweep cells use this
+    /// for the robustness axis without building a fault plan.
+    pub loss_rate: f64,
     /// RNG seed; also perturbs node placement and departures.
     pub seed: u64,
     /// Fault-injection plan applied on top of the workload (default:
@@ -74,6 +78,7 @@ impl Default for Scenario {
             cooldown: SimDuration::from_secs(20),
             post_arrivals: 0,
             connected_arrivals: true,
+            loss_rate: 0.0,
             seed: 1,
             fault_plan: FaultPlan::default(),
             observe: false,
@@ -223,6 +228,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Per-message delivery loss probability (0 disables).
+    #[must_use]
+    pub fn loss_rate(mut self, loss: f64) -> Self {
+        self.s.loss_rate = loss;
+        self
+    }
+
     /// RNG seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -289,6 +301,9 @@ impl ScenarioBuilder {
         if !(0.0..=1.0).contains(&s.abrupt_ratio) {
             return out_of_range("abrupt_ratio", s.abrupt_ratio.to_string(), "within [0, 1]");
         }
+        if !(0.0..=1.0).contains(&s.loss_rate) {
+            return out_of_range("loss_rate", s.loss_rate.to_string(), "within [0, 1]");
+        }
         Ok(s)
     }
 }
@@ -309,6 +324,7 @@ impl Scenario {
             arena: Arena::new(self.area, self.area),
             range: self.tr,
             speed: self.speed,
+            loss_rate: self.loss_rate,
             seed: self.seed,
             fault_plan: self.fault_plan.clone(),
             ..WorldConfig::default()
@@ -503,11 +519,15 @@ where
     if rounds == 0 {
         return Vec::new();
     }
-    let mut out: Vec<Option<T>> = (0..rounds).map(|_| None).collect();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(rounds as usize);
+    // One round or one core: run inline, no thread machinery.
+    if workers <= 1 {
+        return (0..rounds).map(|i| f(base_seed.wrapping_add(i))).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..rounds).map(|_| None).collect();
     let next = std::sync::atomic::AtomicU64::new(0);
     let results = std::sync::Mutex::new(&mut out);
     std::thread::scope(|scope| {

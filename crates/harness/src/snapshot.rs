@@ -193,7 +193,8 @@ impl Snapshot {
         let mut s = String::with_capacity(16 * 1024);
         let _ = write!(
             s,
-            "{{\"manifest\":{{\"crate_version\":\"{}\",\"seed\":{},\"rounds\":{},\"quick\":{},\"fig\":{},\"chaos\":{},\"loss\":{},\"head_kills\":{}}}",
+            "{{\"schema_version\":{},\"manifest\":{{\"crate_version\":\"{}\",\"seed\":{},\"rounds\":{},\"quick\":{},\"fig\":{},\"chaos\":{},\"loss\":{},\"head_kills\":{}}}",
+            manet_sim::ARTIFACT_SCHEMA_VERSION,
             env!("CARGO_PKG_VERSION"),
             p.seed,
             p.rounds,
@@ -264,6 +265,7 @@ mod tests {
         let s = sample(7);
         let json = s.to_json();
         for key in [
+            "\"schema_version\":1",
             "\"manifest\"",
             "\"crate_version\"",
             "\"seed\":7",

@@ -17,12 +17,13 @@ use manet_sim::{FaultPlan, Protocol};
 
 /// Fingerprint of [`chaos_snapshot`]`(7)` under the current protocol
 /// workload. Regenerate only if the *workload* changes — never to paper
-/// over an engine behavior change. Last regenerated when the adversary
-/// plane grew the *reporting schema*: four attack counters in the
-/// faults JSON and the `attack` flow kind. The underlying event stream
-/// was proven byte-identical across that change by the trace-level pin
-/// in `adversary_zero_cost.rs`.
-const PINNED_FINGERPRINT: &str = "fnv1a:dfeb6d50cb019071";
+/// over an engine behavior change. Last regenerated when every artifact
+/// gained the shared `schema_version` header field: the snapshot
+/// *rendering* grew one key, so the FNV hash over it moved. The
+/// underlying event stream is unchanged — the trace-level pin in
+/// `adversary_zero_cost.rs` (which hashes raw events, not JSON) did not
+/// move across this change.
+const PINNED_FINGERPRINT: &str = "fnv1a:66e0158f04a8bc6e";
 
 fn chaos_plan() -> FaultPlan {
     FaultPlan::parse(

@@ -85,10 +85,16 @@ pub use faults::{AttackKind, AttackRole, FaultPlan};
 pub use geometry::{Arena, Point};
 pub use histogram::Histogram;
 pub use ids::NodeId;
-pub use metrics::{FaultCounters, Metrics, MsgCategory};
+pub use metrics::{FaultCounters, Metrics, MsgCategory, PerfCounters};
 pub use observer::{FlowKind, FlowStage, FlowTally, Observer};
 pub use protocol::Protocol;
 pub use rng::SimRng;
 pub use sim::Sim;
 pub use time::{SimDuration, SimTime};
 pub use world::{SendError, World, WorldConfig};
+
+/// Schema version stamped into every JSON artifact the workspace emits
+/// (run manifests, `sweep.json`, `BENCH_*.json`). Readers check it
+/// before interpreting fields; bump it when an artifact's shape changes
+/// incompatibly.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;

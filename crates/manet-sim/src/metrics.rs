@@ -128,6 +128,71 @@ impl FaultCounters {
     }
 }
 
+/// Simulator-internal performance counters: how much machinery one run
+/// exercised. The event loop and the topology cache feed these; the
+/// sweep harness renders them per cell so parameter sweeps double as
+/// profiles.
+///
+/// Every value is a deterministic function of the run (no wall clock
+/// lives here), so perf counters are safe inside fingerprinted
+/// artifacts. They are intentionally **not** part of
+/// [`Metrics::to_json`]: the run-snapshot fingerprint pins protocol
+/// *behavior*, and a pure engine optimization (say, a better memo) must
+/// be able to change rebuild counts without moving it. Render them
+/// explicitly with [`PerfCounters::to_json`] where profiles belong.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Events dispatched by the event loop (every queue pop).
+    pub events: u64,
+    /// `Deliver` events handed to the protocol (dead-target deliveries
+    /// and fault-plane drops never count).
+    pub deliveries: u64,
+    /// Timer events that actually fired (cancelled timers excluded).
+    pub timers_fired: u64,
+    /// High-water mark of the event-queue length.
+    pub queue_high_water: u64,
+    /// Topology snapshots rebuilt from node positions.
+    pub topo_builds: u64,
+    /// Topology queries served from the cached snapshot.
+    pub topo_hits: u64,
+}
+
+impl PerfCounters {
+    /// Merges another set of counters: totals add, the queue high-water
+    /// mark takes the maximum across shards (the shards ran as separate
+    /// event loops, so their peaks never coexisted in one queue).
+    pub fn merge(&mut self, other: &PerfCounters) {
+        let PerfCounters {
+            events,
+            deliveries,
+            timers_fired,
+            queue_high_water,
+            topo_builds,
+            topo_hits,
+        } = other;
+        self.events += events;
+        self.deliveries += deliveries;
+        self.timers_fired += timers_fired;
+        self.queue_high_water = self.queue_high_water.max(*queue_high_water);
+        self.topo_builds += topo_builds;
+        self.topo_hits += topo_hits;
+    }
+
+    /// Renders the counters as one JSON object with fixed key order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"events\":{},\"deliveries\":{},\"timers_fired\":{},\"queue_high_water\":{},\"topo_builds\":{},\"topo_hits\":{}}}",
+            self.events,
+            self.deliveries,
+            self.timers_fired,
+            self.queue_high_water,
+            self.topo_builds,
+            self.topo_hits
+        )
+    }
+}
+
 /// Simulation-wide measurement sink.
 ///
 /// The delivery engine records every send's hop cost here; protocols add
@@ -161,6 +226,7 @@ pub struct Metrics {
     configured_nodes: u64,
     failed_configurations: u64,
     faults: FaultCounters,
+    perf: PerfCounters,
 }
 
 impl Metrics {
@@ -295,6 +361,18 @@ impl Metrics {
         &mut self.faults
     }
 
+    /// Simulator performance counters (see [`PerfCounters`]).
+    #[must_use]
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
+    }
+
+    /// Mutable access to the performance counters (the event loop and
+    /// topology cache record here).
+    pub fn perf_mut(&mut self) -> &mut PerfCounters {
+        &mut self.perf
+    }
+
     /// Merges another sink into this one (for aggregating replications).
     pub fn merge(&mut self, other: &Metrics) {
         for (cat, c) in &other.counters {
@@ -309,6 +387,7 @@ impl Metrics {
         self.configured_nodes += other.configured_nodes;
         self.failed_configurations += other.failed_configurations;
         self.faults.merge(&other.faults);
+        self.perf.merge(&other.perf);
     }
 
     /// Renders the sink as one JSON object: per-category counters,
@@ -551,6 +630,53 @@ mod tests {
         m2.add_send(MsgCategory::Configuration, 2);
         m2.record_config_latency(2);
         assert_eq!(j, m2.to_json());
+    }
+
+    #[test]
+    fn perf_counters_merge_sums_and_maxes() {
+        let a = PerfCounters {
+            events: 10,
+            deliveries: 4,
+            timers_fired: 3,
+            queue_high_water: 7,
+            topo_builds: 2,
+            topo_hits: 20,
+        };
+        let b = PerfCounters {
+            events: 5,
+            deliveries: 1,
+            timers_fired: 2,
+            queue_high_water: 4,
+            topo_builds: 1,
+            topo_hits: 9,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.events, 15);
+        assert_eq!(merged.deliveries, 5);
+        assert_eq!(merged.timers_fired, 5);
+        assert_eq!(merged.queue_high_water, 7, "high water is a max");
+        assert_eq!(merged.topo_builds, 3);
+        assert_eq!(merged.topo_hits, 29);
+    }
+
+    #[test]
+    fn perf_counters_ride_metrics_merge_but_not_metrics_json() {
+        let mut a = Metrics::new();
+        a.perf_mut().events = 3;
+        a.perf_mut().queue_high_water = 9;
+        let mut b = Metrics::new();
+        b.perf_mut().events = 4;
+        b.perf_mut().queue_high_water = 2;
+        a.merge(&b);
+        assert_eq!(a.perf().events, 7);
+        assert_eq!(a.perf().queue_high_water, 9);
+        // Perf is rendered explicitly, never inside the behavior JSON
+        // (the snapshot fingerprint must not move on engine tuning).
+        assert!(!a.to_json().contains("queue_high_water"));
+        let j = a.perf().to_json();
+        assert!(j.starts_with("{\"events\":7"), "{j}");
+        assert!(j.contains("\"queue_high_water\":9"), "{j}");
     }
 
     #[test]

@@ -160,6 +160,24 @@ impl FlowTally {
         self.started
             .saturating_sub(self.assigned + self.abandoned + self.finalized)
     }
+
+    /// Merges another tally into this one (for aggregating independent
+    /// replications or sweep shards). Destructures so a newly added
+    /// counter cannot be silently dropped.
+    pub fn merge(&mut self, other: &FlowTally) {
+        let FlowTally {
+            started,
+            assigned,
+            abandoned,
+            finalized,
+            retries,
+        } = other;
+        self.started += started;
+        self.assigned += assigned;
+        self.abandoned += abandoned;
+        self.finalized += finalized;
+        self.retries += retries;
+    }
 }
 
 /// Correlation-ID registry and outcome tallies for flow spans.

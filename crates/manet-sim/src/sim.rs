@@ -169,11 +169,13 @@ impl<P: Protocol> Sim<P> {
         match kind {
             EventKind::Deliver { to, from, msg } => {
                 if self.world.is_alive(to) {
+                    self.world.metrics_mut().perf_mut().deliveries += 1;
                     self.protocol.on_message(&mut self.world, to, from, msg);
                 }
             }
             EventKind::Timer { node, id, tag } => {
                 if !self.world.timer_cancelled(id) && self.world.is_alive(node) {
+                    self.world.metrics_mut().perf_mut().timers_fired += 1;
                     self.protocol.on_timer(&mut self.world, node, tag);
                 }
             }

@@ -326,6 +326,7 @@ impl<M: Clone + fmt::Debug> World<M> {
         let key = (bucket, self.topo_version);
         let stale = !matches!(&self.topo_cache, Some((t, v, _)) if (*t, *v) == key);
         if stale {
+            self.metrics.perf_mut().topo_builds += 1;
             let positions: Vec<(NodeId, Point)> = self
                 .nodes
                 .iter()
@@ -335,6 +336,8 @@ impl<M: Clone + fmt::Debug> World<M> {
                 .collect();
             let topo = Topology::build(&positions, self.config.range);
             self.topo_cache = Some((key.0, key.1, topo));
+        } else {
+            self.metrics.perf_mut().topo_hits += 1;
         }
         &self.topo_cache.as_ref().expect("cache just filled").2
     }
@@ -803,6 +806,9 @@ impl<M: Clone + fmt::Debug> World<M> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Scheduled { at, seq, kind });
+        let depth = self.queue.len() as u64;
+        let perf = self.metrics.perf_mut();
+        perf.queue_high_water = perf.queue_high_water.max(depth);
     }
 
     pub(crate) fn pop_due(&mut self, until: SimTime) -> Option<Scheduled<M>> {
@@ -810,6 +816,7 @@ impl<M: Clone + fmt::Debug> World<M> {
             let ev = self.queue.pop().expect("peeked");
             debug_assert!(ev.at >= self.now, "time went backwards");
             self.now = ev.at;
+            self.metrics.perf_mut().events += 1;
             Some(ev)
         } else {
             None

@@ -1,0 +1,195 @@
+//! Property tests for telemetry merging.
+//!
+//! The sweep harness runs replications on arbitrary worker threads and
+//! merges each shard's [`Metrics`] into one aggregate, so the merge must
+//! be insensitive to shard order: fold-left, fold-right over a reversed
+//! or rotated shard list, and pairwise tree reduction must all render
+//! byte-identical JSON. Histograms and fault counters get the same
+//! treatment individually, since they are the only compound members.
+
+use manet_sim::{FaultCounters, Histogram, Metrics, MsgCategory};
+use proptest::prelude::*;
+
+/// One telemetry operation, encoded as `(kind, value)` so strategies
+/// stay primitive. Every mutating entry point of [`Metrics`] is covered.
+fn apply(m: &mut Metrics, kind: u8, v: u64) {
+    match kind {
+        0 => m.add_send(MsgCategory::ALL[(v % 5) as usize], v % 17),
+        1 => m.record_config_latency((v % 40) as u32),
+        2 => m.record_config_failure(),
+        3 => m.record_vote_rounds(1 + v % 3),
+        4 => m.record_join_retries(v % 6),
+        5 => {
+            let f = m.faults_mut();
+            f.dropped += v % 7;
+            f.delayed += v % 4;
+            f.crashes += v % 3;
+            f.squats += v % 2;
+            f.replayed_claims += v % 5;
+        }
+        _ => {
+            let p = m.perf_mut();
+            p.events += v;
+            p.deliveries += v % 9;
+            p.timers_fired += v % 5;
+            p.queue_high_water = p.queue_high_water.max(v.wrapping_mul(3) % 97);
+            p.topo_builds += v % 4;
+            p.topo_hits += v % 11;
+        }
+    }
+}
+
+fn build(ops: &[(u8, u64)]) -> Metrics {
+    let mut m = Metrics::new();
+    for &(kind, v) in ops {
+        apply(&mut m, kind, v);
+    }
+    m
+}
+
+/// Renders the full observable surface of one aggregate: behavior JSON
+/// plus the separately-rendered perf profile.
+fn render(m: &Metrics) -> String {
+    format!("{}|{}", m.to_json(), m.perf().to_json())
+}
+
+fn fold(shards: &[Metrics]) -> Metrics {
+    let mut acc = Metrics::new();
+    for s in shards {
+        acc.merge(s);
+    }
+    acc
+}
+
+/// Pairwise tree reduction — a different association of the same merge.
+fn tree(shards: &[Metrics]) -> Metrics {
+    let mut layer: Vec<Metrics> = shards.to_vec();
+    if layer.is_empty() {
+        return Metrics::new();
+    }
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            let mut acc = pair[0].clone();
+            if let Some(b) = pair.get(1) {
+                acc.merge(b);
+            }
+            next.push(acc);
+        }
+        layer = next;
+    }
+    layer.pop().unwrap()
+}
+
+fn shard_strategy() -> impl Strategy<Value = Vec<Vec<(u8, u64)>>> {
+    prop::collection::vec(prop::collection::vec((0u8..7, 0u64..1000), 0..25), 1..6)
+}
+
+proptest! {
+    /// Merging shards in any order — forward, reversed, rotated, or as
+    /// a pairwise tree — produces byte-identical aggregate JSON.
+    #[test]
+    fn metrics_merge_is_shard_order_insensitive(
+        op_lists in shard_strategy(),
+        rot in 0usize..5,
+    ) {
+        let shards: Vec<Metrics> = op_lists.iter().map(|ops| build(ops)).collect();
+
+        let forward = render(&fold(&shards));
+
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        prop_assert_eq!(&forward, &render(&fold(&reversed)));
+
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rot % shards.len().max(1));
+        prop_assert_eq!(&forward, &render(&fold(&rotated)));
+
+        prop_assert_eq!(&forward, &render(&tree(&shards)));
+    }
+
+    /// The empty sink is the merge identity on both sides.
+    #[test]
+    fn empty_metrics_is_merge_identity(ops in prop::collection::vec((0u8..7, 0u64..1000), 0..25)) {
+        let m = build(&ops);
+        let mut left = Metrics::new();
+        left.merge(&m);
+        prop_assert_eq!(render(&left), render(&m));
+        let mut right = m.clone();
+        right.merge(&Metrics::new());
+        prop_assert_eq!(render(&right), render(&m));
+    }
+
+    /// Histogram merge is associative and commutative: sequential
+    /// fold and pairwise tree reduction agree on JSON and quantiles.
+    #[test]
+    fn histogram_merge_is_order_insensitive(
+        sample_lists in prop::collection::vec(
+            prop::collection::vec(0u64..100_000, 0..30),
+            1..5,
+        ),
+    ) {
+        let hists: Vec<Histogram> = sample_lists
+            .iter()
+            .map(|samples| {
+                let mut h = Histogram::default();
+                for &s in samples {
+                    h.record(s);
+                }
+                h
+            })
+            .collect();
+
+        let mut forward = Histogram::default();
+        for h in &hists {
+            forward.merge(h);
+        }
+        let mut backward = Histogram::default();
+        for h in hists.iter().rev() {
+            backward.merge(h);
+        }
+        prop_assert_eq!(forward.to_json(), backward.to_json());
+        prop_assert_eq!(forward.p50(), backward.p50());
+        prop_assert_eq!(forward.p90(), backward.p90());
+        prop_assert_eq!(forward.p99(), backward.p99());
+
+        // One big histogram of all samples equals the merge of shards.
+        let mut all = Histogram::default();
+        for samples in &sample_lists {
+            for &s in samples {
+                all.record(s);
+            }
+        }
+        prop_assert_eq!(all.to_json(), forward.to_json());
+    }
+
+    /// Fault-counter merge commutes field-for-field.
+    #[test]
+    fn fault_counters_merge_commutes(
+        a in (0u64..500, 0u64..500, 0u64..500, 0u64..500, 0u64..500),
+        b in (0u64..500, 0u64..500, 0u64..500, 0u64..500, 0u64..500),
+    ) {
+        let x = FaultCounters {
+            dropped: a.0,
+            delayed: a.1,
+            duplicated: a.2,
+            squats: a.3,
+            false_reclaims: a.4,
+            ..FaultCounters::default()
+        };
+        let y = FaultCounters {
+            crashes: b.0,
+            restarts: b.1,
+            spoofed_cfms: b.2,
+            replayed_claims: b.3,
+            dropped: b.4,
+            ..FaultCounters::default()
+        };
+        let mut xy = x;
+        xy.merge(&y);
+        let mut yx = y;
+        yx.merge(&x);
+        prop_assert_eq!(xy, yx);
+        prop_assert_eq!(xy.total(), x.total() + y.total());
+    }
+}
