@@ -16,7 +16,12 @@
 //!   re-learns allocations from quorum replicas, and a lost `REC_REP`
 //!   can transiently leave a live member's address vacant in the
 //!   absorbing pool (blocking re-use is exactly what the quorum vote
-//!   then provides).
+//!   then provides). Coverage is also reachability-scoped like
+//!   disjointness: when every head dies at once, a restarted node
+//!   founds a fresh network owning the whole space with no record of
+//!   the survivors' leases, and the hello-driven merge re-registers
+//!   them within the grace window (measured ~0.5 s against a 5 s
+//!   allowance).
 //! * The **baselines** claim uniqueness and cross-owner disjointness
 //!   only under [`clean_links`] plans (crashes and head kills still
 //!   allowed). Under message loss they genuinely double-allocate — the

@@ -9,6 +9,7 @@
 
 use crate::checker::Invariant;
 use manet_sim::faults::FaultPlan;
+use manet_sim::MobilityConfig;
 use std::fmt;
 
 /// Artifact header line; bump the trailing version on format changes.
@@ -23,6 +24,13 @@ pub struct Artifact {
     pub nodes: usize,
     /// World seed.
     pub seed: u64,
+    /// Node speed in m/s (`0.0` — the canonical static workload — is
+    /// omitted from the text form, so pre-mobility artifacts replay
+    /// byte-identically).
+    pub speed: f64,
+    /// Mobility model (the default is likewise omitted from the text
+    /// form, and irrelevant at speed 0).
+    pub mobility: MobilityConfig,
     /// The invariant that broke.
     pub invariant: Invariant,
     /// Simulator event count at which the violation was observed.
@@ -44,6 +52,12 @@ impl Artifact {
         s.push_str(&format!("protocol: {}\n", self.protocol));
         s.push_str(&format!("nodes: {}\n", self.nodes));
         s.push_str(&format!("seed: {}\n", self.seed));
+        if self.speed != 0.0 {
+            s.push_str(&format!("speed: {}\n", self.speed));
+        }
+        if self.mobility != MobilityConfig::default() {
+            s.push_str(&format!("mobility: {}\n", self.mobility));
+        }
         s.push_str(&format!("invariant: {}\n", self.invariant));
         s.push_str(&format!("step: {}\n", self.step));
         s.push_str(&format!("detail: {}\n", self.detail.replace('\n', " ")));
@@ -67,6 +81,8 @@ impl Artifact {
         let mut protocol = None;
         let mut nodes = None;
         let mut seed = None;
+        let mut speed = 0.0f64;
+        let mut mobility = MobilityConfig::default();
         let mut invariant = None;
         let mut step = None;
         let mut detail = None;
@@ -89,6 +105,16 @@ impl Artifact {
                 "protocol" => protocol = Some(value.to_string()),
                 "nodes" => nodes = Some(value.parse().map_err(|_| bad("node count"))?),
                 "seed" => seed = Some(value.parse().map_err(|_| bad("seed"))?),
+                "speed" => {
+                    speed = value
+                        .parse()
+                        .ok()
+                        .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                        .ok_or_else(|| bad("speed"))?;
+                }
+                "mobility" => {
+                    mobility = MobilityConfig::parse(value).map_err(|_| bad("mobility"))?;
+                }
                 "invariant" => {
                     invariant = Some(Invariant::from_name(value).ok_or_else(|| bad("invariant"))?);
                 }
@@ -106,6 +132,8 @@ impl Artifact {
             protocol: protocol.ok_or_else(|| missing("protocol"))?,
             nodes: nodes.ok_or_else(|| missing("nodes"))?,
             seed: seed.ok_or_else(|| missing("seed"))?,
+            speed,
+            mobility,
             invariant: invariant.ok_or_else(|| missing("invariant"))?,
             step: step.ok_or_else(|| missing("step"))?,
             detail: detail.ok_or_else(|| missing("detail"))?,
@@ -135,6 +163,8 @@ mod tests {
             protocol: "broken-doublegrant".into(),
             nodes: 10,
             seed: 1,
+            speed: 0.0,
+            mobility: MobilityConfig::default(),
             invariant: Invariant::AddrUnique,
             step: 42,
             detail: "address 10.0.0.1 held by nodes 2 and 5 in one partition".into(),
@@ -161,6 +191,34 @@ mod tests {
         assert!(Artifact::parse(&mangled).is_err());
         let truncated = sample().to_text().replace("seed: 1\n", "");
         assert!(Artifact::parse(&truncated).is_err());
+    }
+
+    #[test]
+    fn default_workload_omits_speed_and_mobility_lines() {
+        let text = sample().to_text();
+        assert!(
+            !text.contains("speed:"),
+            "static runs stay pre-mobility: {text}"
+        );
+        assert!(
+            !text.contains("mobility:"),
+            "default model is implicit: {text}"
+        );
+    }
+
+    #[test]
+    fn mobile_workload_round_trips() {
+        let mut a = sample();
+        a.speed = 12.5;
+        a.mobility = MobilityConfig::Manhattan { spacing: 100.0 };
+        let text = a.to_text();
+        assert!(text.contains("speed: 12.5\n"));
+        assert!(text.contains("mobility: manhattan:100\n"));
+        let back = Artifact::parse(&text).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(back.to_text(), text);
+        let mangled = text.replace("mobility: manhattan:100", "mobility: warp:9");
+        assert!(Artifact::parse(&mangled).is_err());
     }
 
     #[test]

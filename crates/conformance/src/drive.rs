@@ -3,17 +3,21 @@
 //! run after every event.
 //!
 //! The workload is intentionally simple and fully determined by
-//! `(nn, seed, plan)`: nodes spawn on a connected grid (spacing well
-//! inside radio range) every [`ARRIVAL_GAP`], the run settles, and a
-//! cooldown lets reclamation and merge flows finish. All churn beyond
-//! arrivals comes from the fault plan (crashes, head kills, jams,
-//! partitions), which keeps failing configurations replayable from an
-//! artifact's four header fields alone.
+//! `(nn, seed, plan, speed, mobility)`: nodes spawn on a connected
+//! grid (spacing well inside radio range) every [`ARRIVAL_GAP`], the
+//! run settles, and a cooldown lets reclamation and merge flows
+//! finish. The canonical workload is static (speed 0); the fuzzer may
+//! raise the speed and pick a mobility model, both of which an
+//! artifact then records. All other churn comes from the fault plan
+//! (crashes, head kills, jams, partitions), which keeps failing
+//! configurations replayable from an artifact's header fields alone.
 
 use crate::adapter::ConformanceAdapter;
-use crate::checker::{Checker, Violation};
+use crate::checker::{Checker, NearMiss, Violation};
 use manet_sim::faults::FaultPlan;
-use manet_sim::{Point, Sim, SimDuration, SimTime, WorldConfig};
+use manet_sim::{
+    observer, FlowKind, FlowTally, MobilityConfig, Point, Sim, SimDuration, SimTime, WorldConfig,
+};
 
 /// Virtual time between scheduled arrivals.
 pub const ARRIVAL_GAP: SimDuration = SimDuration::from_micros(500_000);
@@ -35,18 +39,28 @@ pub struct CheckConfig {
     pub seed: u64,
     /// The chaos schedule.
     pub plan: FaultPlan,
+    /// Node speed in m/s once configured. The canonical workload is
+    /// static (`0.0`) so physical components only change through joins
+    /// and deaths; the fuzzer raises it to fold mobility churn into
+    /// the search space.
+    pub speed: f64,
+    /// Mobility model driving moving nodes (irrelevant at speed 0).
+    pub mobility: MobilityConfig,
     /// Hard cap on dispatched events.
     pub max_events: u64,
 }
 
 impl CheckConfig {
-    /// A config with the default event budget.
+    /// A config with the default event budget and the canonical static
+    /// workload (speed 0, random-waypoint).
     #[must_use]
     pub fn new(nn: usize, seed: u64, plan: FaultPlan) -> Self {
         CheckConfig {
             nn,
             seed,
             plan,
+            speed: 0.0,
+            mobility: MobilityConfig::default(),
             max_events: DEFAULT_MAX_EVENTS,
         }
     }
@@ -69,6 +83,13 @@ pub struct CheckOutcome {
     /// at the end of the run (0 on any healthy protocol; the stolen
     /// leases a run conceded when the checker was not armed to stop).
     pub dup_addrs: usize,
+    /// Final flow-span tallies per [`FlowKind`], in
+    /// [`observer::all_kinds`] order — the fuzzer's behavioral
+    /// coverage signal (which protocol lifecycles a schedule
+    /// exercised, and how often they were abandoned or retried).
+    pub flows: [(FlowKind, FlowTally); 5],
+    /// How close the run came to a grace-windowed violation.
+    pub near_miss: NearMiss,
 }
 
 /// Grid positions centered in the arena with `spacing` between
@@ -93,16 +114,14 @@ fn grid_positions(nn: usize, arena_w: f64, arena_h: f64, spacing: f64) -> Vec<Po
 pub fn run_check<P: ConformanceAdapter>(cfg: &CheckConfig) -> CheckOutcome {
     let wc = WorldConfig {
         seed: cfg.seed,
-        // Static nodes: physical components then only change through
-        // joins and deaths, so the per-component uniqueness invariant
-        // is never confounded by radio contact between two networks
-        // that have not had time to merge.
-        speed: 0.0,
+        speed: cfg.speed,
+        mobility: cfg.mobility,
         fault_plan: cfg.plan.clone(),
         ..WorldConfig::default()
     };
     let (arena_w, arena_h, range) = (wc.arena.width(), wc.arena.height(), wc.range);
     let mut sim = Sim::new(wc, P::fresh());
+    sim.world_mut().enable_observer();
     let mut checker = Checker::new(P::guarantees(&cfg.plan));
 
     let positions = grid_positions(cfg.nn, arena_w, arena_h, range * 0.6);
@@ -143,12 +162,15 @@ pub fn run_check<P: ConformanceAdapter>(cfg: &CheckConfig) -> CheckOutcome {
     for (_, a) in &assigned {
         *held.entry(*a).or_insert(0usize) += 1;
     }
+    let flows = observer::all_kinds().map(|k| (k, *w.observer().tally(k)));
     CheckOutcome {
         steps,
         configured: assigned.len(),
         violation,
         faults: *w.metrics().faults(),
         dup_addrs: held.values().filter(|&&n| n > 1).count(),
+        flows,
+        near_miss: checker.near_miss(),
     }
 }
 

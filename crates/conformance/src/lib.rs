@@ -57,7 +57,7 @@ pub use adapter::{clean_links, partition_free, ConformanceAdapter, Guarantees};
 pub use artifact::Artifact;
 pub use attacks::{attack_canaries, AttackCanary, HardenedQbac};
 pub use broken::DoubleGrant;
-pub use checker::{Checker, Invariant, Violation};
+pub use checker::{Checker, Invariant, NearMiss, Violation};
 pub use drive::{run_check, CheckConfig, CheckOutcome};
 pub use registry::{chaos_schedules, replay_check, run_named, shrink_named, NamedSchedule};
 pub use shrink::shrink;

@@ -111,6 +111,8 @@ pub fn shrink_named(protocol: &str, cfg: &CheckConfig) -> Option<Artifact> {
         protocol: protocol.to_string(),
         nodes: small.nn,
         seed: small.seed,
+        speed: small.speed,
+        mobility: small.mobility,
         invariant: v.invariant,
         step: v.step,
         detail: v.detail,
@@ -128,7 +130,11 @@ pub fn shrink_named(protocol: &str, cfg: &CheckConfig) -> Option<Artifact> {
 /// clean re-run, or a mismatching regenerated artifact.
 pub fn replay_check(text: &str) -> Result<Artifact, String> {
     let a = Artifact::parse(text).map_err(|e| format!("artifact does not parse: {e}"))?;
-    let cfg = CheckConfig::new(a.nodes, a.seed, a.plan.clone());
+    let cfg = CheckConfig {
+        speed: a.speed,
+        mobility: a.mobility,
+        ..CheckConfig::new(a.nodes, a.seed, a.plan.clone())
+    };
     let out =
         run_named(&a.protocol, &cfg).ok_or_else(|| format!("unknown protocol {:?}", a.protocol))?;
     let v = out.violation.ok_or_else(|| {

@@ -1,8 +1,10 @@
 //! Delta-debugging shrinker for failing conformance runs.
 //!
-//! The shrinker minimizes along the two axes an artifact records: the
+//! The shrinker minimizes along the axes an artifact records: the
 //! fault plan (as canonical [`FaultPlan::to_text`] lines, so one "line"
-//! is exactly one independently-removable fault) and the node count.
+//! is exactly one independently-removable fault), the node count, and
+//! the world knobs a fuzzed run may have raised (speed, mobility
+//! model).
 //! It is greedy rather than clever — remove one line at a time until no
 //! single removal still fails, then walk a node-count ladder from the
 //! bottom — because conformance runs are deterministic: every candidate
@@ -34,14 +36,28 @@ where
     let mut violation = fails(&best).expect("shrink requires a failing starting config");
 
     loop {
-        let before = (plan_lines(&best.plan).len(), best.nn);
+        let before = (
+            plan_lines(&best.plan).len(),
+            best.nn,
+            best.speed.to_bits(),
+            best.mobility,
+        );
         if let Some(v) = shrink_lines(&mut best, &fails) {
             violation = v;
         }
         if let Some(v) = shrink_nodes(&mut best, &fails) {
             violation = v;
         }
-        if (plan_lines(&best.plan).len(), best.nn) == before {
+        if let Some(v) = shrink_world(&mut best, &fails) {
+            violation = v;
+        }
+        if (
+            plan_lines(&best.plan).len(),
+            best.nn,
+            best.speed.to_bits(),
+            best.mobility,
+        ) == before
+        {
             break;
         }
     }
@@ -82,6 +98,37 @@ where
             // Retry the same index: it now names the next line.
         } else {
             i += 1;
+        }
+    }
+    last
+}
+
+/// Tries the canonical static workload first (speed 0, then the
+/// default mobility model): a repro that fails without movement is
+/// strictly simpler, and its artifact omits both lines.
+fn shrink_world<F>(best: &mut CheckConfig, fails: &F) -> Option<Violation>
+where
+    F: Fn(&CheckConfig) -> Option<Violation>,
+{
+    let mut last = None;
+    if best.speed != 0.0 {
+        let candidate = CheckConfig {
+            speed: 0.0,
+            ..best.clone()
+        };
+        if let Some(v) = fails(&candidate) {
+            *best = candidate;
+            last = Some(v);
+        }
+    }
+    if best.mobility != manet_sim::MobilityConfig::default() {
+        let candidate = CheckConfig {
+            mobility: manet_sim::MobilityConfig::default(),
+            ..best.clone()
+        };
+        if let Some(v) = fails(&candidate) {
+            *best = candidate;
+            last = Some(v);
         }
     }
     last

@@ -4,6 +4,7 @@
 
 use conformance::{Artifact, Invariant};
 use manet_sim::faults::FaultPlan;
+use manet_sim::MobilityConfig;
 use proptest::prelude::*;
 
 fn arb_invariant() -> impl Strategy<Value = Invariant> {
@@ -47,6 +48,24 @@ fn arb_plan() -> impl Strategy<Value = FaultPlan> {
     })
 }
 
+fn arb_workload() -> impl Strategy<Value = (f64, MobilityConfig)> {
+    (
+        prop_oneof![Just(0.0), Just(5.0), Just(12.5), Just(20.0)],
+        prop_oneof![
+            Just(MobilityConfig::RandomWaypoint),
+            Just(MobilityConfig::Manhattan { spacing: 100.0 }),
+            Just(MobilityConfig::Group {
+                size: 4,
+                radius: 50.0
+            }),
+            Just(MobilityConfig::FlashCrowd {
+                radius: 80.0,
+                until_s: 30.0
+            }),
+        ],
+    )
+}
+
 fn arb_artifact() -> impl Strategy<Value = Artifact> {
     (
         prop_oneof![
@@ -59,16 +78,19 @@ fn arb_artifact() -> impl Strategy<Value = Artifact> {
         ],
         1usize..200,
         any::<u64>(),
+        arb_workload(),
         arb_invariant(),
         any::<u64>(),
         arb_detail(),
         arb_plan(),
     )
         .prop_map(
-            |(protocol, nodes, seed, invariant, step, detail, plan)| Artifact {
+            |(protocol, nodes, seed, (speed, mobility), invariant, step, detail, plan)| Artifact {
                 protocol: protocol.to_string(),
                 nodes,
                 seed,
+                speed,
+                mobility,
                 invariant,
                 step,
                 detail,

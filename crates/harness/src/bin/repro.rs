@@ -16,8 +16,10 @@
 //! repro replay out/quorum-storm.repro        # byte-for-byte reproduction
 //! repro attacks             # adversary degradation: open vs hardened QBAC
 //! repro sweep --quick --threads 4 --out sweep.json   # parallel grid sweep
+//! repro sweep --quick --mobility manhattan:100 --mobility group:4,50
 //! repro sweep --soak --rounds 5              # chaos soak vs the oracle
 //! repro gate BENCH_sweep.json sweep.json     # regression gate vs baseline
+//! repro fuzz --time-budget 60s --seed 42     # coverage-guided schedule fuzz
 //! ```
 //!
 //! `repro` with no subcommand runs `figures`. The pre-subcommand flat
@@ -47,6 +49,7 @@ enum Mode {
     Attacks,
     Sweep,
     Gate,
+    Fuzz,
 }
 
 impl Mode {
@@ -59,6 +62,7 @@ impl Mode {
             Mode::Attacks => "attacks",
             Mode::Sweep => "sweep",
             Mode::Gate => "gate",
+            Mode::Fuzz => "fuzz",
         }
     }
 }
@@ -79,8 +83,16 @@ struct SweepOpts {
     out: Option<PathBuf>,
     soak: bool,
     chaos_axis: bool,
+    mobilities: Option<Vec<String>>,
     tolerance: Option<f64>,
     gate_files: Vec<PathBuf>,
+}
+
+/// Options for the `fuzz` subcommand.
+#[derive(Debug, Default)]
+struct FuzzOpts {
+    time_budget: Option<String>,
+    protocol: Option<String>,
 }
 
 #[derive(Debug)]
@@ -95,6 +107,7 @@ struct Args {
     replay: Option<PathBuf>,
     artifact_dir: Option<PathBuf>,
     sweep: SweepOpts,
+    fuzz: FuzzOpts,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -112,6 +125,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut replay = None;
     let mut artifact_dir = None;
     let mut sweep = SweepOpts::default();
+    let mut fuzz = FuzzOpts::default();
     let mut it = argv;
     let mut first = true;
     while let Some(arg) = it.next() {
@@ -123,6 +137,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 "attacks" => Some(Mode::Attacks),
                 "sweep" => Some(Mode::Sweep),
                 "gate" => Some(Mode::Gate),
+                "fuzz" => Some(Mode::Fuzz),
                 "replay" => {
                     let v = it.next().ok_or("replay needs an artifact file path")?;
                     if v.starts_with("--") {
@@ -199,6 +214,24 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--soak" => sweep.soak = true,
             "--with-chaos" => sweep.chaos_axis = true,
+            "--mobility" => {
+                // Repeatable: each occurrence adds one model to the
+                // sweep's mobility axis (specs may contain commas).
+                let v = it
+                    .next()
+                    .ok_or("--mobility needs a model spec (e.g. manhattan:100)")?;
+                sweep.mobilities.get_or_insert_with(Vec::new).push(v);
+            }
+            "--time-budget" => {
+                let v = it
+                    .next()
+                    .ok_or("--time-budget needs a duration (e.g. 60s)")?;
+                fuzz.time_budget = Some(v);
+            }
+            "--protocol" => {
+                let v = it.next().ok_or("--protocol needs a registry name")?;
+                fuzz.protocol = Some(v);
+            }
             "--tolerance" => {
                 let v = it.next().ok_or("--tolerance needs a fraction (e.g. 0.1)")?;
                 let t = v.parse::<f64>().map_err(|e| format!("--tolerance: {e}"))?;
@@ -231,8 +264,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \x20      repro replay FILE\n\
                      \x20      repro attacks\n\
                      \x20      repro sweep [--quick] [--threads N] [--out FILE] [--seed S] [--with-chaos]\n\
+                     \x20                  [--mobility SPEC]...\n\
                      \x20      repro sweep --soak [--rounds R] [--quick] [--threads N]\n\
                      \x20      repro gate BASELINE CANDIDATE [--tolerance F]\n\
+                     \x20      repro fuzz [--time-budget 60s] [--seed S] [--protocol P] [--quick]\n\
+                     \x20                 [--artifact-dir DIR] [--out FILE]\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
                      IP autoconfiguration paper. Default subcommand: figures, {} rounds.\n\
                      chaos runs the fault-injection suite: message-loss sweep plus scheduled\n\
@@ -252,9 +288,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      chaos schedules with --with-chaos) across worker threads and merges\n\
                      per-shard telemetry into one deterministic sweep.json; --soak loops\n\
                      the chaos schedules against the conformance oracle and reports\n\
-                     violations per simulated hour. gate compares two sweep artifacts and\n\
-                     exits nonzero when a latency/overhead/configured metric regresses\n\
-                     past the tolerance (default 10%).",
+                     violations per simulated hour. --mobility overrides the grid's\n\
+                     mobility axis (random-waypoint, manhattan:SPACING, group:SIZE,RADIUS,\n\
+                     flash-crowd:RADIUS,UNTIL; repeat the flag for several models).\n\
+                     gate compares two sweep artifacts and exits nonzero when a\n\
+                     latency/overhead/configured metric regresses past the tolerance\n\
+                     (default 10%).\n\
+                     fuzz mutates fault schedules coverage-guided against the conformance\n\
+                     oracle for a deterministic simulated-time budget; violations are\n\
+                     shrunk to replayable artifacts (--artifact-dir) and the campaign\n\
+                     report (--out) is byte-identical for the same protocol/seed/budget.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -286,9 +329,17 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
     }
     if mode != Mode::Sweep
-        && (sweep.threads.is_some() || sweep.out.is_some() || sweep.soak || sweep.chaos_axis)
+        && (sweep.threads.is_some() || sweep.soak || sweep.chaos_axis || sweep.mobilities.is_some())
     {
-        return Err("--threads / --out / --soak / --with-chaos only apply to sweep runs".into());
+        return Err(
+            "--threads / --soak / --with-chaos / --mobility only apply to sweep runs".into(),
+        );
+    }
+    if !matches!(mode, Mode::Sweep | Mode::Fuzz) && sweep.out.is_some() {
+        return Err("--out only applies to sweep and fuzz runs".into());
+    }
+    if mode != Mode::Fuzz && (fuzz.time_budget.is_some() || fuzz.protocol.is_some()) {
+        return Err("--time-budget / --protocol only apply to fuzz runs".into());
     }
     if mode != Mode::Gate && sweep.tolerance.is_some() {
         return Err("--tolerance only applies to gate runs".into());
@@ -296,8 +347,11 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if mode == Mode::Gate && sweep.gate_files.len() != 2 {
         return Err("gate needs exactly two files: gate BASELINE CANDIDATE".into());
     }
-    if !matches!(mode, Mode::Check | Mode::Replay) && (replay.is_some() || artifact_dir.is_some()) {
-        return Err("--replay / --artifact-dir only apply to --check runs".into());
+    if !matches!(mode, Mode::Check | Mode::Replay) && replay.is_some() {
+        return Err("--replay only applies to --check runs".into());
+    }
+    if !matches!(mode, Mode::Check | Mode::Replay | Mode::Fuzz) && artifact_dir.is_some() {
+        return Err("--artifact-dir only applies to --check and fuzz runs".into());
     }
     if mode == Mode::Check && replay.is_some() {
         mode = Mode::Replay;
@@ -320,6 +374,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         replay,
         artifact_dir,
         sweep,
+        fuzz,
     })
 }
 
@@ -354,6 +409,9 @@ fn run_sweep_mode(args: &Args) -> ExitCode {
             "reaper".into(),
         ];
     }
+    if let Some(mobilities) = &args.sweep.mobilities {
+        grid.mobilities = mobilities.clone();
+    }
     let report = match harness::run_sweep(&grid, threads) {
         Ok(r) => r,
         Err(e) => {
@@ -386,6 +444,70 @@ fn run_sweep_mode(args: &Args) -> ExitCode {
     if report.failed.is_empty() {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs `repro fuzz`: a coverage-guided campaign against one protocol,
+/// writing shrunk finding artifacts (`--artifact-dir`) and the
+/// deterministic campaign report (`--out`). Exits nonzero when the
+/// fuzzer found invariant violations.
+fn run_fuzz_mode(args: &Args) -> ExitCode {
+    let budget_text = args.fuzz.time_budget.as_deref().unwrap_or("60s");
+    let budget = match harness::parse_time_budget(budget_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: --time-budget: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let protocol = args
+        .fuzz
+        .protocol
+        .clone()
+        .unwrap_or_else(|| "quorum".into());
+    if !conformance::registry::CHECKABLE.contains(&protocol.as_str()) {
+        eprintln!(
+            "error: --protocol {protocol:?} is not checkable; pick one of {}",
+            conformance::registry::CHECKABLE.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = harness::run_fuzz(&harness::FuzzConfig {
+        protocol,
+        budget,
+        seed: args.common.opts.seed,
+        quick: args.common.opts.quick,
+    });
+    print!("{}", report.render_text());
+    if let Some(dir) = &args.artifact_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: creating {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (i, finding) in report.findings.iter().enumerate() {
+            let path = dir.join(format!("fuzz-{}-{i}.repro", report.protocol));
+            if let Err(e) = std::fs::write(&path, finding.artifact.to_text()) {
+                eprintln!("error: writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    if let Some(path) = &args.sweep.out {
+        if let Err(e) = std::fs::write(path, report.render_text()) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fuzz: {} invariant violation(s) found (artifacts above are replayable)",
+            report.findings.len()
+        );
         ExitCode::FAILURE
     }
 }
@@ -508,6 +630,9 @@ fn main() -> ExitCode {
     }
     if args.mode == Mode::Gate {
         return run_gate_mode(&args);
+    }
+    if args.mode == Mode::Fuzz {
+        return run_fuzz_mode(&args);
     }
     if args.mode == Mode::Attacks {
         let outcomes = harness::attacks::attack_suite();
@@ -799,11 +924,51 @@ mod tests {
         );
 
         let err = parse_args(argv("--replay x.repro")).unwrap_err();
-        assert!(err.contains("only apply to --check"), "{err}");
+        assert!(err.contains("only applies to --check"), "{err}");
         let err = parse_args(argv("--artifact-dir out")).unwrap_err();
-        assert!(err.contains("only apply to --check"), "{err}");
+        assert!(err.contains("--check and fuzz"), "{err}");
         let err = parse_args(argv("--check --chaos")).unwrap_err();
         assert!(err.contains("separate modes"), "{err}");
         assert!(parse_args(argv("--check --replay")).is_err());
+    }
+
+    #[test]
+    fn fuzz_subcommand_parses_and_gates_its_flags() {
+        let a = parse_args(argv(
+            "fuzz --time-budget 60s --seed 42 --protocol quorum --quick --artifact-dir out --out fuzz.txt",
+        ))
+        .unwrap();
+        assert_eq!(a.mode, Mode::Fuzz);
+        assert_eq!(a.fuzz.time_budget.as_deref(), Some("60s"));
+        assert_eq!(a.fuzz.protocol.as_deref(), Some("quorum"));
+        assert_eq!(a.common.opts.seed, 42);
+        assert!(a.common.opts.quick);
+        assert_eq!(a.artifact_dir.as_deref().unwrap().to_str(), Some("out"));
+        assert_eq!(a.sweep.out.as_deref().unwrap().to_str(), Some("fuzz.txt"));
+
+        // Defaults: budget and protocol resolved at the run site.
+        let a = parse_args(argv("fuzz")).unwrap();
+        assert_eq!(a.mode, Mode::Fuzz);
+        assert!(a.fuzz.time_budget.is_none() && a.fuzz.protocol.is_none());
+
+        // Fuzz flags stay rejected outside fuzz runs.
+        assert!(parse_args(argv("figures --time-budget 60s")).is_err());
+        assert!(parse_args(argv("sweep --protocol quorum")).is_err());
+        assert!(parse_args(argv("--time-budget")).is_err());
+    }
+
+    #[test]
+    fn sweep_mobility_flag_is_repeatable_and_gated() {
+        let a = parse_args(argv(
+            "sweep --quick --mobility manhattan:100 --mobility group:4,50",
+        ))
+        .unwrap();
+        assert_eq!(
+            a.sweep.mobilities.as_deref(),
+            Some(&["manhattan:100".to_string(), "group:4,50".to_string()][..])
+        );
+        assert!(parse_args(argv("figures --mobility manhattan:100")).is_err());
+        assert!(parse_args(argv("fuzz --mobility manhattan:100")).is_err());
+        assert!(parse_args(argv("sweep --mobility")).is_err());
     }
 }

@@ -30,7 +30,7 @@ pub enum Verdict {
 /// One compared metric.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Cell key (`protocol/nN/vV/lossL/plan`).
+    /// Cell key (`protocol/nN/vV/mobility/lossL/plan`).
     pub cell: String,
     /// Metric name.
     pub metric: &'static str,
@@ -177,11 +177,18 @@ const SPECS: [MetricSpec; METRICS_PER_CELL] = [
 ];
 
 fn cell_key(cell: &Value) -> Option<String> {
+    // Pre-mobility-axis artifacts lack the field; they ran the default
+    // model, so keying them as random-waypoint keeps them comparable.
+    let mobility = cell
+        .get("mobility")
+        .and_then(Value::as_str)
+        .unwrap_or("random-waypoint");
     Some(format!(
-        "{}/n{}/v{}/loss{}/{}",
+        "{}/n{}/v{}/{}/loss{}/{}",
         cell.get("protocol")?.as_str()?,
         cell.get("nn")?.as_u64()?,
         cell.get("speed")?.as_f64()?,
+        mobility,
         cell.get("loss")?.as_f64()?,
         cell.get("plan")?.as_str()?,
     ))
@@ -291,6 +298,7 @@ mod tests {
             protocols: vec!["quorum".into()],
             sizes: vec![8],
             speeds: vec![0.0],
+            mobilities: vec!["random-waypoint".into()],
             losses: vec![0.0],
             plans: vec!["none".into()],
             reps: 1,

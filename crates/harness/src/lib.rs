@@ -18,6 +18,7 @@
 pub mod attacks;
 pub mod chaos;
 pub mod figures;
+pub mod fuzz;
 pub mod gate;
 pub mod json;
 pub mod oracle;
@@ -29,6 +30,7 @@ pub mod sweep;
 
 pub use attacks::{attack_suite, attack_table, canary_suite, AttackOutcome, CanaryCell};
 pub use chaos::{chaos_suite, ChaosOpts};
+pub use fuzz::{mutate_input, parse_time_budget, run_fuzz, FuzzConfig, FuzzInput, FuzzReport};
 pub use gate::{gate, Finding, GateReport, Verdict};
 pub use json::Value;
 pub use oracle::{check_suite, CheckCell};

@@ -7,7 +7,8 @@
 //! chosen to depart gracefully or abruptly."
 
 use manet_sim::{
-    Arena, FaultPlan, Metrics, NodeId, Protocol, Sim, SimDuration, SimTime, World, WorldConfig,
+    Arena, FaultPlan, Metrics, MobilityConfig, NodeId, Protocol, Sim, SimDuration, SimTime, World,
+    WorldConfig,
 };
 
 /// A reproducible experiment scenario.
@@ -21,6 +22,10 @@ pub struct Scenario {
     pub area: f64,
     /// Node speed after configuration, m/s (paper: 20).
     pub speed: f64,
+    /// Mobility model driving configured nodes (paper: random
+    /// waypoint; the alternatives stress spatially-correlated and
+    /// burst-join movement). Irrelevant at speed 0.
+    pub mobility: MobilityConfig,
     /// Gap between sequential arrivals.
     pub arrival_gap: SimDuration,
     /// Extra time after the last arrival before departures begin.
@@ -70,6 +75,7 @@ impl Default for Scenario {
             tr: 150.0,
             area: 1000.0,
             speed: 20.0,
+            mobility: MobilityConfig::default(),
             arrival_gap: SimDuration::from_millis(1000),
             settle: SimDuration::from_secs(10),
             depart_fraction: 0.0,
@@ -161,6 +167,13 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn speed_mps(mut self, speed: f64) -> Self {
         self.s.speed = speed;
+        self
+    }
+
+    /// Mobility model driving configured nodes.
+    #[must_use]
+    pub fn mobility(mut self, mobility: MobilityConfig) -> Self {
+        self.s.mobility = mobility;
         self
     }
 
@@ -268,8 +281,11 @@ impl ScenarioBuilder {
     /// # Errors
     ///
     /// Rejects values outside their meaningful domain: `nn == 0`,
-    /// `tr <= 0`, `area <= 0`, `speed < 0`, and `depart_fraction` or
-    /// `abrupt_ratio` outside `[0, 1]`.
+    /// `tr <= 0`, `area <= 0`, `speed < 0`, `depart_fraction` or
+    /// `abrupt_ratio` outside `[0, 1]`, and mobility parameters that
+    /// cannot shape movement inside the arena (non-positive Manhattan
+    /// spacing or spacing wider than the arena, empty groups,
+    /// non-positive group/crowd radii, negative crowd deadlines).
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let out_of_range = |field: &'static str, value: String, expected: &'static str| {
             Err(ScenarioError::OutOfRange {
@@ -304,6 +320,41 @@ impl ScenarioBuilder {
         if !(0.0..=1.0).contains(&s.loss_rate) {
             return out_of_range("loss_rate", s.loss_rate.to_string(), "within [0, 1]");
         }
+        match s.mobility {
+            MobilityConfig::RandomWaypoint => {}
+            MobilityConfig::Manhattan { spacing } => {
+                if !(spacing > 0.0 && spacing.is_finite()) {
+                    return out_of_range("mobility", s.mobility.to_string(), "positive spacing");
+                }
+                if spacing > s.area {
+                    return out_of_range(
+                        "mobility",
+                        s.mobility.to_string(),
+                        "spacing no wider than the arena",
+                    );
+                }
+            }
+            MobilityConfig::Group { size, radius } => {
+                if size == 0 {
+                    return out_of_range("mobility", s.mobility.to_string(), "a non-empty group");
+                }
+                if !(radius > 0.0 && radius.is_finite()) {
+                    return out_of_range("mobility", s.mobility.to_string(), "positive radius");
+                }
+            }
+            MobilityConfig::FlashCrowd { radius, until_s } => {
+                if !(radius > 0.0 && radius.is_finite()) {
+                    return out_of_range("mobility", s.mobility.to_string(), "positive radius");
+                }
+                if !(until_s >= 0.0 && until_s.is_finite()) {
+                    return out_of_range(
+                        "mobility",
+                        s.mobility.to_string(),
+                        "a non-negative gather deadline",
+                    );
+                }
+            }
+        }
         Ok(s)
     }
 }
@@ -324,6 +375,7 @@ impl Scenario {
             arena: Arena::new(self.area, self.area),
             range: self.tr,
             speed: self.speed,
+            mobility: self.mobility,
             loss_rate: self.loss_rate,
             seed: self.seed,
             fault_plan: self.fault_plan.clone(),
@@ -612,6 +664,42 @@ mod tests {
             (Scenario::builder().depart_fraction(1.5), "depart_fraction"),
             (Scenario::builder().depart_fraction(-0.1), "depart_fraction"),
             (Scenario::builder().abrupt_ratio(2.0), "abrupt_ratio"),
+            (
+                Scenario::builder().mobility(MobilityConfig::Manhattan { spacing: 0.0 }),
+                "mobility",
+            ),
+            (
+                Scenario::builder().mobility(MobilityConfig::Manhattan { spacing: 5000.0 }),
+                "mobility",
+            ),
+            (
+                Scenario::builder().mobility(MobilityConfig::Group {
+                    size: 0,
+                    radius: 50.0,
+                }),
+                "mobility",
+            ),
+            (
+                Scenario::builder().mobility(MobilityConfig::Group {
+                    size: 4,
+                    radius: -1.0,
+                }),
+                "mobility",
+            ),
+            (
+                Scenario::builder().mobility(MobilityConfig::FlashCrowd {
+                    radius: f64::NAN,
+                    until_s: 30.0,
+                }),
+                "mobility",
+            ),
+            (
+                Scenario::builder().mobility(MobilityConfig::FlashCrowd {
+                    radius: 80.0,
+                    until_s: -3.0,
+                }),
+                "mobility",
+            ),
         ] {
             let err = broken.build().expect_err(field);
             let ScenarioError::OutOfRange { field: got, .. } = err;
@@ -648,6 +736,30 @@ mod tests {
         assert_eq!(s.seed, 42);
         assert!(s.observe);
         assert_eq!(s.trace_capacity, 64);
+    }
+
+    #[test]
+    fn mobility_flows_through_to_world_config() {
+        let m = MobilityConfig::Group {
+            size: 4,
+            radius: 50.0,
+        };
+        let s = Scenario::builder()
+            .mobility(m)
+            .build()
+            .expect("valid mobility");
+        assert_eq!(s.mobility, m);
+        assert_eq!(s.world_config().mobility, m);
+        // Every canned spec builds a runnable scenario.
+        for spec in [
+            "random-waypoint",
+            "manhattan:100",
+            "group:4,50",
+            "flash-crowd:80,30",
+        ] {
+            let cfg = MobilityConfig::parse(spec).expect("spec parses");
+            assert!(Scenario::builder().mobility(cfg).build().is_ok(), "{spec}");
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::scenario::{run_scenario, Scenario};
 use baselines::{buddy::Buddy, ctree::CTree, dad::QueryDad, manetconf::ManetConf};
 use manet_sim::observer::all_kinds;
-use manet_sim::{FaultPlan, FlowTally, Metrics, ARTIFACT_SCHEMA_VERSION};
+use manet_sim::{FaultPlan, FlowTally, Metrics, MobilityConfig, ARTIFACT_SCHEMA_VERSION};
 use qbac_core::{ProtocolConfig, Qbac};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,6 +41,10 @@ pub struct SweepGrid {
     pub sizes: Vec<usize>,
     /// Node speeds after configuration, m/s.
     pub speeds: Vec<f64>,
+    /// Mobility model specs ([`MobilityConfig::parse`] grammar:
+    /// `random-waypoint`, `manhattan:SPACING`, `group:SIZE,RADIUS`,
+    /// `flash-crowd:RADIUS,UNTIL`).
+    pub mobilities: Vec<String>,
     /// Delivery loss probabilities.
     pub losses: Vec<f64>,
     /// Chaos schedule names: `"none"` or a name from
@@ -58,7 +62,8 @@ pub struct SweepGrid {
 
 impl SweepGrid {
     /// The CI smoke grid: every protocol over two sizes, mobile and
-    /// static, reliable links, no chaos, one replication.
+    /// static, random-waypoint and Manhattan-grid motion, reliable
+    /// links, no chaos, one replication.
     #[must_use]
     pub fn smoke(base_seed: u64) -> Self {
         SweepGrid {
@@ -68,6 +73,7 @@ impl SweepGrid {
                 .collect(),
             sizes: vec![20, 30],
             speeds: vec![0.0, 20.0],
+            mobilities: vec!["random-waypoint".into(), "manhattan:100".into()],
             losses: vec![0.0],
             plans: vec!["none".into()],
             reps: 1,
@@ -87,6 +93,7 @@ impl SweepGrid {
                 .collect(),
             sizes: vec![50, 100, 200],
             speeds: vec![0.0, 20.0],
+            mobilities: vec!["random-waypoint".into()],
             losses: vec![0.0, 0.1],
             plans: vec!["none".into()],
             reps: 3,
@@ -101,28 +108,33 @@ impl SweepGrid {
         self.protocols.len()
             * self.sizes.len()
             * self.speeds.len()
+            * self.mobilities.len()
             * self.losses.len()
             * self.plans.len()
     }
 
     /// Expands the grid into cell parameter tuples, in the fixed
-    /// nesting order protocol → size → speed → loss → plan. This order
-    /// is the artifact's cell order regardless of execution schedule.
+    /// nesting order protocol → size → speed → mobility → loss → plan.
+    /// This order is the artifact's cell order regardless of execution
+    /// schedule.
     #[must_use]
     pub fn expand(&self) -> Vec<CellParams> {
         let mut cells = Vec::with_capacity(self.cell_count());
         for protocol in &self.protocols {
             for &nn in &self.sizes {
                 for &speed in &self.speeds {
-                    for &loss in &self.losses {
-                        for plan in &self.plans {
-                            cells.push(CellParams {
-                                protocol: protocol.clone(),
-                                nn,
-                                speed,
-                                loss,
-                                plan: plan.clone(),
-                            });
+                    for mobility in &self.mobilities {
+                        for &loss in &self.losses {
+                            for plan in &self.plans {
+                                cells.push(CellParams {
+                                    protocol: protocol.clone(),
+                                    nn,
+                                    speed,
+                                    mobility: mobility.clone(),
+                                    loss,
+                                    plan: plan.clone(),
+                                });
+                            }
                         }
                     }
                 }
@@ -141,6 +153,8 @@ pub struct CellParams {
     pub nn: usize,
     /// Node speed, m/s.
     pub speed: f64,
+    /// Mobility model spec (canonical [`MobilityConfig`] text).
+    pub mobility: String,
     /// Delivery loss probability.
     pub loss: f64,
     /// Chaos schedule name (`"none"` for a fault-free cell).
@@ -152,8 +166,8 @@ impl CellParams {
     #[must_use]
     pub fn key(&self) -> String {
         format!(
-            "{}/n{}/v{}/loss{}/{}",
-            self.protocol, self.nn, self.speed, self.loss, self.plan
+            "{}/n{}/v{}/{}/loss{}/{}",
+            self.protocol, self.nn, self.speed, self.mobility, self.loss, self.plan
         )
     }
 }
@@ -196,7 +210,7 @@ pub struct SweepReport {
 pub enum SweepError {
     /// A grid axis named something the registry doesn't know.
     UnknownName {
-        /// Which axis (`protocol` or `plan`).
+        /// Which axis (`protocol`, `mobility`, or `plan`).
         axis: &'static str,
         /// The unknown name.
         name: String,
@@ -284,6 +298,7 @@ fn cell_scenario(p: &CellParams, plan: FaultPlan, seed: u64, quick: bool) -> Sce
     Scenario::builder()
         .nn(p.nn)
         .speed_mps(p.speed)
+        .mobility(MobilityConfig::parse(&p.mobility).expect("mobility spec validated up front"))
         .loss_rate(p.loss)
         .arrival_gap_ms(if quick { 500 } else { 1000 })
         .settle_secs(if quick { 5 } else { 10 })
@@ -375,6 +390,14 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, SweepE
             return Err(SweepError::UnknownName {
                 axis: "protocol",
                 name: p.clone(),
+            });
+        }
+    }
+    for m in &grid.mobilities {
+        if MobilityConfig::parse(m).is_err() {
+            return Err(SweepError::UnknownName {
+                axis: "mobility",
+                name: m.clone(),
             });
         }
     }
@@ -471,13 +494,14 @@ impl SweepReport {
         let mut s = String::with_capacity(32 * 1024);
         let _ = write!(
             s,
-            "{{\"schema_version\":{ARTIFACT_SCHEMA_VERSION},\"sweep\":{{\"base_seed\":{},\"reps\":{},\"quick\":{},\"grid\":{{\"protocols\":{},\"sizes\":{},\"speeds\":{},\"losses\":{},\"plans\":{}}}}}",
+            "{{\"schema_version\":{ARTIFACT_SCHEMA_VERSION},\"sweep\":{{\"base_seed\":{},\"reps\":{},\"quick\":{},\"grid\":{{\"protocols\":{},\"sizes\":{},\"speeds\":{},\"mobilities\":{},\"losses\":{},\"plans\":{}}}}}",
             g.base_seed,
             g.reps,
             g.quick,
             json_str_list(&g.protocols),
             json_usize_list(&g.sizes),
             json_f64_list(&g.speeds),
+            json_str_list(&g.mobilities),
             json_f64_list(&g.losses),
             json_str_list(&g.plans),
         );
@@ -490,8 +514,8 @@ impl SweepReport {
             let wall = if zero_walls { 0 } else { c.wall_us };
             let _ = write!(
                 s,
-                "{{\"protocol\":\"{}\",\"nn\":{},\"speed\":{},\"loss\":{},\"plan\":\"{}\",\"reps\":{},\"sim_us\":{},\"wall_us\":{wall},\"metrics\":{},\"perf\":{},\"flows\":[",
-                p.protocol, p.nn, p.speed, p.loss, p.plan, c.reps, c.sim_us,
+                "{{\"protocol\":\"{}\",\"nn\":{},\"speed\":{},\"mobility\":\"{}\",\"loss\":{},\"plan\":\"{}\",\"reps\":{},\"sim_us\":{},\"wall_us\":{wall},\"metrics\":{},\"perf\":{},\"flows\":[",
+                p.protocol, p.nn, p.speed, p.mobility, p.loss, p.plan, c.reps, c.sim_us,
                 c.metrics.to_json(),
                 c.metrics.perf().to_json(),
             );
@@ -678,6 +702,7 @@ mod tests {
             protocols: vec!["quorum".into(), "dad".into()],
             sizes: vec![8],
             speeds: vec![0.0],
+            mobilities: vec!["random-waypoint".into()],
             losses: vec![0.0],
             plans: vec!["none".into()],
             reps: 1,
@@ -690,17 +715,22 @@ mod tests {
     fn expansion_order_is_fixed() {
         let mut g = tiny_grid();
         g.sizes = vec![8, 12];
+        g.mobilities = vec!["random-waypoint".into(), "manhattan:100".into()];
         let keys: Vec<String> = g.expand().iter().map(CellParams::key).collect();
         assert_eq!(
             keys,
             vec![
-                "quorum/n8/v0/loss0/none",
-                "quorum/n12/v0/loss0/none",
-                "dad/n8/v0/loss0/none",
-                "dad/n12/v0/loss0/none",
+                "quorum/n8/v0/random-waypoint/loss0/none",
+                "quorum/n8/v0/manhattan:100/loss0/none",
+                "quorum/n12/v0/random-waypoint/loss0/none",
+                "quorum/n12/v0/manhattan:100/loss0/none",
+                "dad/n8/v0/random-waypoint/loss0/none",
+                "dad/n8/v0/manhattan:100/loss0/none",
+                "dad/n12/v0/random-waypoint/loss0/none",
+                "dad/n12/v0/manhattan:100/loss0/none",
             ]
         );
-        assert_eq!(g.cell_count(), 4);
+        assert_eq!(g.cell_count(), 8);
     }
 
     #[test]
@@ -756,6 +786,31 @@ mod tests {
         g.plans = vec!["hurricane".into()];
         let err = run_sweep(&g, 1).unwrap_err();
         assert!(err.to_string().contains("hurricane"), "{err}");
+
+        let mut g = tiny_grid();
+        g.mobilities = vec!["teleport:9".into()];
+        let err = run_sweep(&g, 1).unwrap_err();
+        assert!(err.to_string().contains("mobility"), "{err}");
+        assert!(err.to_string().contains("teleport"), "{err}");
+    }
+
+    #[test]
+    fn mobile_cell_runs_under_every_model() {
+        let mut g = tiny_grid();
+        g.protocols = vec!["quorum".into()];
+        g.speeds = vec![10.0];
+        g.mobilities = vec![
+            "random-waypoint".into(),
+            "manhattan:100".into(),
+            "group:4,50".into(),
+            "flash-crowd:80,30".into(),
+        ];
+        let report = run_sweep(&g, 2).unwrap();
+        assert_eq!(report.cells.len(), 4, "failed: {:?}", report.failed);
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        let json = report.deterministic_json();
+        assert!(json.contains("\"mobility\":\"manhattan:100\""), "{json}");
+        assert!(json.contains("\"mobilities\":[\"random-waypoint\""));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! End-to-end tests of the coverage-guided fuzzer: mutated plans stay
+//! inside the artifact grammar, campaigns are deterministic, and a
+//! known-broken allocator is found *and* shrunk within a smoke budget.
+
+use conformance::Invariant;
+use harness::fuzz::{
+    coverage_cells, mutate_input, parse_time_budget, run_fuzz, FuzzConfig, FuzzInput,
+};
+use manet_sim::faults::FaultPlan;
+use manet_sim::{MobilityConfig, SimRng};
+use proptest::prelude::*;
+
+fn seed_input(seed: u64) -> FuzzInput {
+    FuzzInput {
+        nn: 8,
+        seed,
+        speed: 0.0,
+        mobility: MobilityConfig::default(),
+        plan: FaultPlan::new(seed),
+    }
+}
+
+proptest! {
+    /// Any chain of fuzzer mutations leaves the plan inside the
+    /// canonical text grammar: `to_text` parses back to the same plan
+    /// and is a fixed point. This is what makes every corpus entry and
+    /// finding replayable from its text form alone.
+    #[test]
+    fn mutation_chains_round_trip_through_plan_text(
+        fuzz_seed in any::<u64>(),
+        world_seed in 1u64..1 << 20,
+        steps in 1usize..40,
+        quick in any::<bool>(),
+    ) {
+        let mut rng = SimRng::seed_from(fuzz_seed);
+        let mut input = seed_input(world_seed);
+        for _ in 0..steps {
+            mutate_input(&mut input, &mut rng, quick);
+            let text = input.plan.to_text();
+            let back = FaultPlan::parse(&text);
+            prop_assert!(back.is_ok(), "mutated plan must parse:\n{text}");
+            prop_assert_eq!(back.unwrap().to_text(), text, "text form is canonical");
+        }
+        // The workload knobs stay in the artifact grammar's domain too.
+        prop_assert!(input.speed.is_finite() && input.speed >= 0.0);
+        prop_assert!(input.nn >= 2);
+    }
+}
+
+/// The fuzzer catches the intentionally broken central allocator within
+/// a smoke budget and hands back a minimized, replayable artifact. The
+/// seed corpus already contains lossy schedules, so any loss at all
+/// triggers the double grant — what this certifies end to end is the
+/// find → shrink → artifact pipeline.
+#[test]
+fn broken_allocator_is_found_and_shrunk_within_smoke_budget() {
+    let report = run_fuzz(&FuzzConfig {
+        protocol: "broken-doublegrant".into(),
+        budget: parse_time_budget("5s").expect("static budget parses"),
+        seed: 42,
+        quick: true,
+    });
+    assert!(
+        !report.findings.is_empty(),
+        "smoke budget must surface the double-grant bug:\n{}",
+        report.render_text()
+    );
+    let first = &report.findings[0];
+    assert_eq!(first.artifact.invariant, Invariant::AddrUnique);
+    let fault_lines = first.artifact.plan.to_text().lines().count() - 1;
+    assert!(
+        fault_lines <= 2,
+        "shrinker should cut the schedule to the triggering loss line(s), got {fault_lines}:\n{}",
+        first.artifact.plan.to_text()
+    );
+    // The artifact replays from text alone and reproduces the violation.
+    let replayed = conformance::replay_check(&first.artifact.to_text())
+        .expect("minimized artifact must replay to the same violation");
+    assert_eq!(replayed.to_text(), first.artifact.to_text());
+}
+
+/// Same `(protocol, seed, budget)` → byte-identical report: corpus,
+/// coverage, and findings. This is the property the CI smoke job
+/// re-checks by running the binary twice and diffing.
+#[test]
+fn campaigns_are_deterministic() {
+    let cfg = FuzzConfig {
+        protocol: "quorum".into(),
+        budget: parse_time_budget("5s").expect("static budget parses"),
+        seed: 7,
+        quick: true,
+    };
+    let a = run_fuzz(&cfg);
+    let b = run_fuzz(&cfg);
+    assert_eq!(a.render_text(), b.render_text());
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.coverage, b.coverage);
+}
+
+/// The coverage signal distinguishes a clean run from a chaotic one:
+/// chaos lights up fault counters and near-miss buckets a clean run
+/// cannot reach.
+#[test]
+fn chaos_extends_coverage_over_clean_runs() {
+    let clean = conformance::run_named("quorum", &seed_input(1).check_config())
+        .expect("quorum is checkable");
+    let storm = conformance::chaos_schedules()
+        .into_iter()
+        .find(|s| s.name == "storm")
+        .expect("storm schedule exists");
+    let chaotic_input = FuzzInput {
+        seed: storm.world_seed,
+        plan: storm.plan,
+        ..seed_input(1)
+    };
+    let chaotic = conformance::run_named("quorum", &chaotic_input.check_config())
+        .expect("quorum is checkable");
+    let clean_cells = coverage_cells(&clean);
+    let chaotic_cells = coverage_cells(&chaotic);
+    assert!(clean_cells.contains("flow:join:assigned"));
+    assert!(
+        chaotic_cells.difference(&clean_cells).next().is_some(),
+        "storm must reach cells a clean run cannot: clean={clean_cells:?}"
+    );
+    assert!(chaotic_cells.contains("fault:dropped"));
+}

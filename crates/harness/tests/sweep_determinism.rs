@@ -18,6 +18,7 @@ fn acceptance_grid() -> SweepGrid {
         protocols: vec!["quorum".into(), "buddy".into(), "dad".into()],
         sizes: vec![10, 15, 20],
         speeds: vec![0.0, 20.0],
+        mobilities: vec!["random-waypoint".into()],
         losses: vec![0.0],
         plans: vec!["none".into()],
         reps: 1,
@@ -46,6 +47,7 @@ fn sweep_artifact_parses_and_carries_schema_version() {
         protocols: vec!["quorum".into()],
         sizes: vec![10],
         speeds: vec![0.0],
+        mobilities: vec!["random-waypoint".into()],
         losses: vec![0.0],
         plans: vec!["none".into()],
         reps: 1,

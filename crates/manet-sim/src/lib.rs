@@ -86,6 +86,7 @@ pub use geometry::{Arena, Point};
 pub use histogram::Histogram;
 pub use ids::NodeId;
 pub use metrics::{FaultCounters, Metrics, MsgCategory, PerfCounters};
+pub use mobility::{MobilityConfig, MobilityModel, RetargetCtx};
 pub use observer::{FlowKind, FlowStage, FlowTally, Observer};
 pub use protocol::Protocol;
 pub use rng::SimRng;

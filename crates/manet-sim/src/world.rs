@@ -1,6 +1,6 @@
 use crate::event::{EventKind, Scheduled, TimerId};
 use crate::faults::{AttackKind, DeliveryFate, FaultPlan, FaultState};
-use crate::mobility::MobilityState;
+use crate::mobility::{MobilityConfig, MobilityModel, MobilityState, RetargetCtx};
 use crate::observer::{FlowKind, FlowStage, Observer};
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
@@ -19,6 +19,9 @@ pub struct WorldConfig {
     /// Node speed once configured, m/s (paper: 20 m/s). Zero disables
     /// mobility.
     pub speed: f64,
+    /// Movement policy once configured (paper: random waypoint). Only
+    /// consulted when `speed` is positive.
+    pub mobility: MobilityConfig,
     /// Virtual time one hop takes (per-hop transmission + processing).
     pub hop_delay: SimDuration,
     /// Per-message delivery loss probability in `[0, 1]`. The paper
@@ -48,6 +51,7 @@ impl Default for WorldConfig {
             arena: Arena::default(),
             range: 150.0,
             speed: 20.0,
+            mobility: MobilityConfig::RandomWaypoint,
             hop_delay: SimDuration::from_millis(5),
             loss_rate: 0.0,
             topology_quantum: SimDuration::from_millis(100),
@@ -111,6 +115,7 @@ pub struct World<M> {
     trace: Trace,
     observer: Observer,
     faults: Option<Box<FaultState>>,
+    mobility_model: Box<dyn MobilityModel>,
 }
 
 impl<M: Clone + fmt::Debug> World<M> {
@@ -118,6 +123,7 @@ impl<M: Clone + fmt::Debug> World<M> {
         let rng = SimRng::seed_from(config.seed);
         let faults = (!config.fault_plan.is_empty())
             .then(|| Box::new(FaultState::new(config.fault_plan.clone())));
+        let mobility_model = config.mobility.build(config.seed);
         let mut world = World {
             config,
             now: SimTime::ZERO,
@@ -133,6 +139,7 @@ impl<M: Clone + fmt::Debug> World<M> {
             trace: Trace::default(),
             observer: Observer::default(),
             faults,
+            mobility_model,
         };
         world.schedule_fault_events();
         world
@@ -740,13 +747,11 @@ impl<M: Clone + fmt::Debug> World<M> {
     }
 
     /// Marks `node` configured: records the fact and, if the world has a
-    /// positive speed, starts random-waypoint movement (the paper's nodes
-    /// move only "after configuration with the network").
+    /// positive speed, starts movement under the configured
+    /// [`MobilityModel`] (the paper's nodes move only "after
+    /// configuration with the network").
     pub fn mark_configured(&mut self, node: NodeId) {
-        let now = self.now;
-        let arena = self.config.arena;
         let speed = self.config.speed;
-        let mut rng = self.rng.clone();
         let Some(slot) = self.slot_mut(node) else {
             return;
         };
@@ -755,15 +760,44 @@ impl<M: Clone + fmt::Debug> World<M> {
         }
         slot.configured = true;
         if speed > 0.0 {
-            slot.mobility.retarget(now, &arena, speed, &mut rng);
-            slot.mobility_epoch += 1;
-            let epoch = slot.mobility_epoch;
-            let arrival = slot.mobility.arrival().unwrap_or(now);
-            self.rng = rng;
-            self.topo_version += 1;
+            self.start_leg(node);
+        }
+    }
+
+    /// Consults the mobility model for `node`'s next leg, starts it, and
+    /// schedules the waypoint-arrival event. The model draws from the
+    /// world's main RNG stream (plus any model-internal state), so runs
+    /// stay bit-identical per `(WorldConfig, scenario)`.
+    fn start_leg(&mut self, node: NodeId) {
+        let now = self.now;
+        let arena = self.config.arena;
+        let speed = self.config.speed;
+        let Some(here) = self.slot(node).map(|s| s.mobility.position(now)) else {
+            return;
+        };
+        let mut rng = self.rng.clone();
+        let ctx = RetargetCtx {
+            node,
+            now,
+            here,
+            arena: &arena,
+            speed,
+        };
+        let (dest, leg_speed) = self.mobility_model.next_leg(&ctx, &mut rng);
+        let dest = arena.clamp(dest);
+        let Some(slot) = self.slot_mut(node) else {
+            return;
+        };
+        slot.mobility.set_leg(now, here, dest, leg_speed);
+        slot.mobility_epoch += 1;
+        let epoch = slot.mobility_epoch;
+        let arrival = slot.mobility.arrival();
+        self.rng = rng;
+        self.topo_version += 1;
+        // A model may park a node (e.g. a degenerate street grid); no
+        // arrival means no further waypoint events for this epoch.
+        if let Some(arrival) = arrival {
             self.push_at(arrival, EventKind::Waypoint { node, epoch });
-        } else {
-            self.rng = rng;
         }
     }
 
@@ -779,23 +813,14 @@ impl<M: Clone + fmt::Debug> World<M> {
 
     /// Handles a waypoint-arrival event: picks the next leg.
     pub(crate) fn handle_waypoint(&mut self, node: NodeId, epoch: u64) {
-        let now = self.now;
-        let arena = self.config.arena;
         let speed = self.config.speed;
-        let mut rng = self.rng.clone();
-        let Some(slot) = self.slot_mut(node) else {
+        let Some(slot) = self.slot(node) else {
             return;
         };
         if !slot.alive || slot.mobility_epoch != epoch || speed <= 0.0 {
             return;
         }
-        slot.mobility.retarget(now, &arena, speed, &mut rng);
-        slot.mobility_epoch += 1;
-        let epoch = slot.mobility_epoch;
-        let arrival = slot.mobility.arrival().unwrap_or(now);
-        self.rng = rng;
-        self.topo_version += 1;
-        self.push_at(arrival, EventKind::Waypoint { node, epoch });
+        self.start_leg(node);
     }
 
     // ------------------------------------------------------------------
