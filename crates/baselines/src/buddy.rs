@@ -11,7 +11,9 @@
 //! growing with network size.
 
 use addrspace::{Addr, AddrBlock, AddressPool, PoolView};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
+use proto_io::{
+    FlowKind, FlowStage, MsgCategory, Net, NetBackend, NodeId, ProtocolCore, SimDuration,
+};
 use std::collections::HashMap;
 
 /// Parameters of the buddy baseline.
@@ -67,6 +69,10 @@ pub enum BuddyMsg {
     },
 }
 
+/// Transcript canonical form: the `Debug` rendering (this baseline has
+/// no binary wire codec; the simulator backend carries typed messages).
+impl proto_io::ProtoMsg for BuddyMsg {}
+
 #[derive(Debug)]
 struct BuddyNode {
     pool: AddressPool,
@@ -105,7 +111,7 @@ impl Buddy {
 
     /// Addresses of every alive configured node.
     #[must_use]
-    pub fn assigned(&self, w: &World<BuddyMsg>) -> Vec<(NodeId, Addr)> {
+    pub fn assigned<B: NetBackend<BuddyMsg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, Addr)> {
         let mut v: Vec<(NodeId, Addr)> = self
             .nodes
             .iter()
@@ -124,7 +130,7 @@ impl Buddy {
     /// Returns `(leaked, total)` address counts; `(0, 0)` before the
     /// first node claims the space.
     #[must_use]
-    pub fn leak_audit(&self, w: &World<BuddyMsg>) -> (u64, u64) {
+    pub fn leak_audit<B: NetBackend<BuddyMsg> + ?Sized>(&self, w: &B) -> (u64, u64) {
         if self.nodes.is_empty() {
             return (0, 0);
         }
@@ -141,7 +147,7 @@ impl Buddy {
     /// Accounting snapshots of every alive node's buddy pool, for the
     /// conformance oracle's leak-freedom invariant.
     #[must_use]
-    pub fn pool_views(&self, w: &World<BuddyMsg>) -> Vec<(NodeId, PoolView)> {
+    pub fn pool_views<B: NetBackend<BuddyMsg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, PoolView)> {
         let mut v: Vec<(NodeId, PoolView)> = self
             .nodes
             .iter()
@@ -154,7 +160,7 @@ impl Buddy {
 
     /// The block sizes of all alive nodes (fragmentation studies).
     #[must_use]
-    pub fn block_sizes(&self, w: &World<BuddyMsg>) -> Vec<u64> {
+    pub fn block_sizes<B: NetBackend<BuddyMsg> + ?Sized>(&self, w: &B) -> Vec<u64> {
         self.nodes
             .iter()
             .filter(|(n, _)| w.is_alive(**n))
@@ -162,21 +168,18 @@ impl Buddy {
             .collect()
     }
 
-    fn attempt_join(&mut self, w: &mut World<BuddyMsg>, node: NodeId) {
+    fn attempt_join(&mut self, w: &mut Net<'_, BuddyMsg>, node: NodeId) {
         // Any configured neighbor can allocate; prefer the one with the
         // largest block (the paper's [2] borrows from the largest
         // holder). Fall back to the nearest configured node via
         // multi-hop routing when no neighbor is configured yet.
-        let one_hop = {
-            let topo = w.topology();
-            topo.neighbor_indices(node)
-                .iter()
-                .map(|&i| topo.node_at(i as usize))
-                .filter(|n| self.nodes.contains_key(n))
-                .max_by_key(|n| self.nodes[n].pool.total_len())
-        };
+        let one_hop = w
+            .neighbors(node)
+            .into_iter()
+            .filter(|n| self.nodes.contains_key(n))
+            .max_by_key(|n| self.nodes[n].pool.total_len());
         let neighbor = one_hop.or_else(|| {
-            let dists = w.topology().distances_from(node);
+            let dists = w.distances_from(node);
             self.nodes
                 .keys()
                 .filter(|n| **n != node && w.is_alive(**n))
@@ -239,16 +242,16 @@ impl Default for Buddy {
     }
 }
 
-impl Protocol for Buddy {
+impl ProtocolCore for Buddy {
     type Msg = BuddyMsg;
 
-    fn on_join(&mut self, w: &mut World<BuddyMsg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, BuddyMsg>, node: NodeId) {
         self.joining.insert(node, (0, 0));
         w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.attempt_join(w, node);
     }
 
-    fn on_message(&mut self, w: &mut World<BuddyMsg>, to: NodeId, from: NodeId, msg: BuddyMsg) {
+    fn on_message(&mut self, w: &mut Net<'_, BuddyMsg>, to: NodeId, from: NodeId, msg: BuddyMsg) {
         match msg {
             BuddyMsg::Req => {
                 let Some(alloc) = self.nodes.get_mut(&to) else {
@@ -325,7 +328,7 @@ impl Protocol for Buddy {
         }
     }
 
-    fn on_timer(&mut self, w: &mut World<BuddyMsg>, node: NodeId, tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, BuddyMsg>, node: NodeId, tag: u64) {
         match tag {
             TAG_SYNC => {
                 let Some(me) = self.nodes.get(&node) else {
@@ -348,7 +351,7 @@ impl Protocol for Buddy {
         }
     }
 
-    fn on_leave(&mut self, w: &mut World<BuddyMsg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, BuddyMsg>, node: NodeId, graceful: bool) {
         if graceful {
             if let Some(me) = self.nodes.get(&node) {
                 let heir = me

@@ -13,7 +13,9 @@
 
 use addrspace::fragmentation::{self, FragmentationReport};
 use addrspace::{Addr, AddrBlock, AddressPool, PoolView};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
+use proto_io::{
+    FlowKind, FlowStage, MsgCategory, Net, NetBackend, NodeId, ProtocolCore, SimDuration,
+};
 use std::collections::HashMap;
 
 /// Parameters of the C-tree baseline.
@@ -97,6 +99,10 @@ pub enum CtMsg {
     },
 }
 
+/// Transcript canonical form: the `Debug` rendering (this baseline has
+/// no binary wire codec; the simulator backend carries typed messages).
+impl proto_io::ProtoMsg for CtMsg {}
+
 #[derive(Debug)]
 enum CtRole {
     Joining { attempts: u32, hops: u32 },
@@ -155,7 +161,7 @@ impl CTree {
 
     /// Addresses of every alive configured node.
     #[must_use]
-    pub fn assigned(&self, w: &World<CtMsg>) -> Vec<(NodeId, Addr)> {
+    pub fn assigned<B: NetBackend<CtMsg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, Addr)> {
         let mut v: Vec<(NodeId, Addr)> = self
             .roles
             .iter()
@@ -174,7 +180,7 @@ impl CTree {
     /// Returns `(leaked, tracked)` address counts over all coordinator
     /// pools ever created.
     #[must_use]
-    pub fn leak_audit(&self, w: &World<CtMsg>) -> (u64, u64) {
+    pub fn leak_audit<B: NetBackend<CtMsg> + ?Sized>(&self, w: &B) -> (u64, u64) {
         let mut leaked = 0;
         let mut tracked = 0;
         for (n, role) in &self.roles {
@@ -190,7 +196,7 @@ impl CTree {
 
     /// Alive coordinators.
     #[must_use]
-    pub fn coordinators(&self, w: &World<CtMsg>) -> Vec<NodeId> {
+    pub fn coordinators<B: NetBackend<CtMsg> + ?Sized>(&self, w: &B) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
             .roles
             .iter()
@@ -205,7 +211,7 @@ impl CTree {
     /// paper's Figure 12 compares against the quorum protocol's extended
     /// space (no replication here, so own pool only).
     #[must_use]
-    pub fn coordinator_space(&self, w: &World<CtMsg>) -> Vec<u64> {
+    pub fn coordinator_space<B: NetBackend<CtMsg> + ?Sized>(&self, w: &B) -> Vec<u64> {
         self.coordinators(w)
             .into_iter()
             .filter_map(|c| match self.roles.get(&c) {
@@ -218,7 +224,7 @@ impl CTree {
     /// Accounting snapshots of every alive coordinator's pool, for the
     /// conformance oracle's leak-freedom invariant.
     #[must_use]
-    pub fn pool_views(&self, w: &World<CtMsg>) -> Vec<(NodeId, PoolView)> {
+    pub fn pool_views<B: NetBackend<CtMsg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, PoolView)> {
         self.coordinators(w)
             .into_iter()
             .filter_map(|c| match self.roles.get(&c) {
@@ -232,7 +238,10 @@ impl CTree {
     /// study: returned addresses stay wherever they were handed in,
     /// scattering singleton blocks).
     #[must_use]
-    pub fn coordinator_fragmentation(&self, w: &World<CtMsg>) -> Vec<FragmentationReport> {
+    pub fn coordinator_fragmentation<B: NetBackend<CtMsg> + ?Sized>(
+        &self,
+        w: &B,
+    ) -> Vec<FragmentationReport> {
         self.coordinators(w)
             .into_iter()
             .filter_map(|c| match self.roles.get(&c) {
@@ -247,7 +256,11 @@ impl CTree {
     /// is preserved iff the C-root is alive (and is not itself the
     /// vanished node). Returns `(preserved, lost)`.
     #[must_use]
-    pub fn preservation_audit(&self, w: &World<CtMsg>, departed: &[NodeId]) -> (usize, usize) {
+    pub fn preservation_audit<B: NetBackend<CtMsg> + ?Sized>(
+        &self,
+        w: &B,
+        departed: &[NodeId],
+    ) -> (usize, usize) {
         let root_alive = self.root.is_some_and(|r| w.is_alive(r));
         let mut preserved = 0;
         let mut lost = 0;
@@ -266,15 +279,15 @@ impl CTree {
         (preserved, lost)
     }
 
-    fn coordinator_within(&self, w: &mut World<CtMsg>, node: NodeId, k: u32) -> Option<NodeId> {
+    fn coordinator_within(&self, w: &mut Net<'_, CtMsg>, node: NodeId, k: u32) -> Option<NodeId> {
         w.nodes_within(node, k)
             .into_iter()
             .map(|(n, _)| n)
             .find(|n| matches!(self.roles.get(n), Some(CtRole::Coordinator { .. })))
     }
 
-    fn nearest_coordinator(&self, w: &mut World<CtMsg>, node: NodeId) -> Option<NodeId> {
-        let dists = w.topology().distances_from(node);
+    fn nearest_coordinator(&self, w: &mut Net<'_, CtMsg>, node: NodeId) -> Option<NodeId> {
+        let dists = w.distances_from(node);
         self.roles
             .iter()
             .filter(|(n, r)| **n != node && matches!(r, CtRole::Coordinator { .. }))
@@ -283,7 +296,7 @@ impl CTree {
             .map(|(n, _)| n)
     }
 
-    fn attempt_join(&mut self, w: &mut World<CtMsg>, node: NodeId) {
+    fn attempt_join(&mut self, w: &mut Net<'_, CtMsg>, node: NodeId) {
         if let Some(coord) = self.coordinator_within(w, node, 2) {
             if let Ok(h) = w.unicast(node, coord, MsgCategory::Configuration, CtMsg::Req) {
                 if let Some(CtRole::Joining { hops, .. }) = self.roles.get_mut(&node) {
@@ -346,10 +359,10 @@ impl Default for CTree {
     }
 }
 
-impl Protocol for CTree {
+impl ProtocolCore for CTree {
     type Msg = CtMsg;
 
-    fn on_join(&mut self, w: &mut World<CtMsg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, CtMsg>, node: NodeId) {
         self.roles.insert(
             node,
             CtRole::Joining {
@@ -361,7 +374,7 @@ impl Protocol for CTree {
         self.attempt_join(w, node);
     }
 
-    fn on_message(&mut self, w: &mut World<CtMsg>, to: NodeId, from: NodeId, msg: CtMsg) {
+    fn on_message(&mut self, w: &mut Net<'_, CtMsg>, to: NodeId, from: NodeId, msg: CtMsg) {
         match msg {
             CtMsg::Req => {
                 let Some(CtRole::Coordinator { pool, .. }) = self.roles.get_mut(&to) else {
@@ -523,7 +536,7 @@ impl Protocol for CTree {
         }
     }
 
-    fn on_timer(&mut self, w: &mut World<CtMsg>, node: NodeId, tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, CtMsg>, node: NodeId, tag: u64) {
         match tag {
             TAG_REPORT => {
                 let Some(CtRole::Coordinator { pool, ip }) = self.roles.get(&node) else {
@@ -572,7 +585,7 @@ impl Protocol for CTree {
         }
     }
 
-    fn on_leave(&mut self, w: &mut World<CtMsg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, CtMsg>, node: NodeId, graceful: bool) {
         if graceful {
             if let Some(CtRole::Member { ip, .. }) = self.roles.get(&node) {
                 let my_ip = *ip;

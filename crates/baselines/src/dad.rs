@@ -12,7 +12,9 @@
 //! (stateless schemes only make duplicates unlikely, not impossible).
 
 use addrspace::{Addr, AddrBlock};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, World};
+use proto_io::{
+    FlowKind, FlowStage, MsgCategory, Net, NetBackend, NodeId, ProtocolCore, SimDuration,
+};
 use std::collections::HashMap;
 
 /// Parameters of the stateless DAD baseline.
@@ -49,6 +51,43 @@ pub enum DadMsg {
         /// The contested address.
         addr: Addr,
     },
+}
+
+/// QueryDad canonicalizes messages as their wire encoding: one tag byte
+/// then the big-endian address. Having a real codec lets the UDP-mesh
+/// backend carry this baseline, so the transcript-differential suite
+/// covers a non-quorum protocol too.
+impl proto_io::ProtoMsg for DadMsg {
+    fn canon(&self, out: &mut Vec<u8>) {
+        proto_io::WireMsg::wire_encode(self, out);
+    }
+}
+
+impl proto_io::WireMsg for DadMsg {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DadMsg::Areq { addr } => {
+                out.push(0x01);
+                out.extend_from_slice(&addr.bits().to_be_bytes());
+            }
+            DadMsg::Arep { addr } => {
+                out.push(0x02);
+                out.extend_from_slice(&addr.bits().to_be_bytes());
+            }
+        }
+    }
+
+    fn wire_decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() != 5 {
+            return Err(format!("DadMsg: expected 5 bytes, got {}", bytes.len()));
+        }
+        let addr = Addr::new(u32::from_be_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
+        match bytes[0] {
+            0x01 => Ok(DadMsg::Areq { addr }),
+            0x02 => Ok(DadMsg::Arep { addr }),
+            tag => Err(format!("DadMsg: unknown tag {tag:#04x}")),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -89,7 +128,7 @@ impl QueryDad {
 
     /// Addresses of every alive configured node.
     #[must_use]
-    pub fn assigned(&self, w: &World<DadMsg>) -> Vec<(NodeId, Addr)> {
+    pub fn assigned<B: NetBackend<DadMsg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, Addr)> {
         let mut v: Vec<(NodeId, Addr)> = self
             .configured
             .iter()
@@ -103,7 +142,7 @@ impl QueryDad {
     /// Duplicate pairs among alive nodes — stateless DAD cannot rule
     /// them out, so the harness can count how often they happen.
     #[must_use]
-    pub fn duplicates(&self, w: &World<DadMsg>) -> Vec<(Addr, NodeId, NodeId)> {
+    pub fn duplicates<B: NetBackend<DadMsg> + ?Sized>(&self, w: &B) -> Vec<(Addr, NodeId, NodeId)> {
         let mut by_addr: HashMap<Addr, Vec<NodeId>> = HashMap::new();
         for (n, a) in self.assigned(w) {
             by_addr.entry(a).or_default().push(n);
@@ -117,13 +156,13 @@ impl QueryDad {
         dups
     }
 
-    fn pick_candidate(&mut self, w: &mut World<DadMsg>) -> Addr {
+    fn pick_candidate(&mut self, w: &mut Net<'_, DadMsg>) -> Addr {
         let len = u64::from(self.cfg.space.len());
-        let offset = w.rng_mut().range_u64(0..len) as u32;
+        let offset = w.rng_range_u64(0..len) as u32;
         self.cfg.space.base().offset(offset)
     }
 
-    fn start_probe(&mut self, w: &mut World<DadMsg>, node: NodeId, candidates_tried: u32) {
+    fn start_probe(&mut self, w: &mut Net<'_, DadMsg>, node: NodeId, candidates_tried: u32) {
         let addr = self.pick_candidate(w);
         let _ = w.flood(node, MsgCategory::Configuration, DadMsg::Areq { addr });
         self.probing.insert(
@@ -147,15 +186,15 @@ impl Default for QueryDad {
     }
 }
 
-impl Protocol for QueryDad {
+impl ProtocolCore for QueryDad {
     type Msg = DadMsg;
 
-    fn on_join(&mut self, w: &mut World<DadMsg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, DadMsg>, node: NodeId) {
         w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.start_probe(w, node, 0);
     }
 
-    fn on_message(&mut self, w: &mut World<DadMsg>, to: NodeId, from: NodeId, msg: DadMsg) {
+    fn on_message(&mut self, w: &mut Net<'_, DadMsg>, to: NodeId, from: NodeId, msg: DadMsg) {
         match msg {
             DadMsg::Areq { addr } => {
                 // The holder defends its address.
@@ -184,7 +223,7 @@ impl Protocol for QueryDad {
         }
     }
 
-    fn on_timer(&mut self, w: &mut World<DadMsg>, node: NodeId, tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, DadMsg>, node: NodeId, tag: u64) {
         if tag != TAG_ROUND {
             return;
         }
@@ -228,7 +267,7 @@ impl Protocol for QueryDad {
         w.set_timer(node, timeout, TAG_ROUND);
     }
 
-    fn on_leave(&mut self, w: &mut World<DadMsg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, DadMsg>, node: NodeId, graceful: bool) {
         // Stateless: nothing to return, nothing to clean up anywhere.
         if graceful {
             w.remove_node(node);

@@ -9,7 +9,9 @@
 //! protocol's partial replication avoids.
 
 use addrspace::{Addr, AddrBlock, AddrStatus, AllocationTable};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, SimDuration, SimTime, World};
+use proto_io::{
+    FlowKind, FlowStage, MsgCategory, Net, NetBackend, NodeId, ProtocolCore, SimDuration, SimTime,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Parameters of the MANETconf baseline.
@@ -78,6 +80,10 @@ pub enum McMsg {
         addr: Addr,
     },
 }
+
+/// Transcript canonical form: the `Debug` rendering (this baseline has
+/// no binary wire codec; the simulator backend carries typed messages).
+impl proto_io::ProtoMsg for McMsg {}
 
 #[derive(Debug, Clone)]
 enum McRole {
@@ -149,7 +155,7 @@ impl ManetConf {
     /// Returns `(leaked, tracked)` entry counts; `(0, 0)` if no
     /// configured node survives.
     #[must_use]
-    pub fn leak_audit(&self, w: &World<McMsg>) -> (u64, u64) {
+    pub fn leak_audit<B: NetBackend<McMsg> + ?Sized>(&self, w: &B) -> (u64, u64) {
         // Lowest-id survivor, so the audit is deterministic even if the
         // replicas diverged under message loss.
         let Some(table) = self
@@ -174,7 +180,7 @@ impl ManetConf {
 
     /// Addresses of every alive configured node.
     #[must_use]
-    pub fn assigned(&self, w: &World<McMsg>) -> Vec<(NodeId, Addr)> {
+    pub fn assigned<B: NetBackend<McMsg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, Addr)> {
         let mut v: Vec<(NodeId, Addr)> = self
             .roles
             .iter()
@@ -188,21 +194,18 @@ impl ManetConf {
         v
     }
 
-    fn configured_neighbor(&self, w: &mut World<McMsg>, node: NodeId) -> Option<NodeId> {
+    fn configured_neighbor(&self, w: &mut Net<'_, McMsg>, node: NodeId) -> Option<NodeId> {
         // Prefer a one-hop initiator (the protocol as published), chosen
         // uniformly so initiator load spreads instead of piling onto one
         // hot node; fall back to the nearest configured node via
         // multi-hop routing so sparse arrival orders still converge.
-        let candidates: Vec<NodeId> = {
-            let topo = w.topology();
-            topo.neighbor_indices(node)
-                .iter()
-                .map(|&i| topo.node_at(i as usize))
-                .filter(|n| matches!(self.roles.get(n), Some(McRole::Configured { .. })))
-                .collect()
-        };
-        w.rng_mut().choose(&candidates).copied().or_else(|| {
-            let dists = w.topology().distances_from(node);
+        let candidates: Vec<NodeId> = w
+            .neighbors(node)
+            .into_iter()
+            .filter(|n| matches!(self.roles.get(n), Some(McRole::Configured { .. })))
+            .collect();
+        w.rng_choose(&candidates).copied().or_else(|| {
+            let dists = w.distances_from(node);
             self.roles
                 .iter()
                 .filter(|(n, r)| {
@@ -221,7 +224,7 @@ impl ManetConf {
             .find(|a| table.status(*a).is_available())
     }
 
-    fn attempt_join(&mut self, w: &mut World<McMsg>, node: NodeId) {
+    fn attempt_join(&mut self, w: &mut Net<'_, McMsg>, node: NodeId) {
         if let Some(initiator) = self.configured_neighbor(w, node) {
             if let Ok(h) = w.unicast(node, initiator, MsgCategory::Configuration, McMsg::Req) {
                 if let Some(McRole::Unconfigured { hops, attempts }) = self.roles.get_mut(&node) {
@@ -268,7 +271,7 @@ impl ManetConf {
 
     fn configure(
         &mut self,
-        w: &mut World<McMsg>,
+        w: &mut Net<'_, McMsg>,
         node: NodeId,
         ip: Addr,
         latency: u32,
@@ -293,7 +296,7 @@ impl ManetConf {
         w.mark_configured(node);
     }
 
-    fn start_init(&mut self, w: &mut World<McMsg>, initiator: NodeId, requestor: NodeId) {
+    fn start_init(&mut self, w: &mut Net<'_, McMsg>, initiator: NodeId, requestor: NodeId) {
         if let Some(p) = self.pending.get_mut(&initiator) {
             // An initiator serves one request at a time; later requestors
             // queue instead of being dropped (and re-flooding retries).
@@ -317,7 +320,7 @@ impl ManetConf {
 
     fn flood_init(
         &mut self,
-        w: &mut World<McMsg>,
+        w: &mut Net<'_, McMsg>,
         initiator: NodeId,
         requestor: NodeId,
         addr: Addr,
@@ -375,7 +378,7 @@ impl ManetConf {
         w.set_timer(initiator, wait, TAG_REPLY_WAIT);
     }
 
-    fn decide(&mut self, w: &mut World<McMsg>, initiator: NodeId) {
+    fn decide(&mut self, w: &mut Net<'_, McMsg>, initiator: NodeId) {
         let Some(p) = self.pending.remove(&initiator) else {
             return;
         };
@@ -425,7 +428,7 @@ impl ManetConf {
     }
 
     /// Starts serving the next still-unconfigured queued requestor.
-    fn serve_queue(&mut self, w: &mut World<McMsg>, initiator: NodeId, queue: Vec<NodeId>) {
+    fn serve_queue(&mut self, w: &mut Net<'_, McMsg>, initiator: NodeId, queue: Vec<NodeId>) {
         let mut rest = queue.into_iter();
         for next in rest.by_ref() {
             if matches!(self.roles.get(&next), Some(McRole::Unconfigured { .. }))
@@ -452,10 +455,10 @@ impl Default for ManetConf {
     }
 }
 
-impl Protocol for ManetConf {
+impl ProtocolCore for ManetConf {
     type Msg = McMsg;
 
-    fn on_join(&mut self, w: &mut World<McMsg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, McMsg>, node: NodeId) {
         self.roles.insert(
             node,
             McRole::Unconfigured {
@@ -467,7 +470,7 @@ impl Protocol for ManetConf {
         self.attempt_join(w, node);
     }
 
-    fn on_message(&mut self, w: &mut World<McMsg>, to: NodeId, from: NodeId, msg: McMsg) {
+    fn on_message(&mut self, w: &mut Net<'_, McMsg>, to: NodeId, from: NodeId, msg: McMsg) {
         match msg {
             McMsg::Req => {
                 if matches!(self.roles.get(&to), Some(McRole::Configured { .. })) {
@@ -553,7 +556,7 @@ impl Protocol for ManetConf {
         }
     }
 
-    fn on_timer(&mut self, w: &mut World<McMsg>, node: NodeId, tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, McMsg>, node: NodeId, tag: u64) {
         match tag {
             TAG_REPLY_WAIT => self.decide(w, node),
             TAG_JOIN_RETRY => {
@@ -565,7 +568,7 @@ impl Protocol for ManetConf {
         }
     }
 
-    fn on_leave(&mut self, w: &mut World<McMsg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, McMsg>, node: NodeId, graceful: bool) {
         if graceful {
             if let Some(McRole::Configured { ip }) = self.roles.get(&node) {
                 // Full replication: the departure is flooded so every

@@ -9,7 +9,7 @@
 //! baselines with `jq '.rows[] | {n, build_speedup}' BENCH_topology.json`.
 
 use manet_sim::topology::Topology;
-use manet_sim::{Arena, MsgCategory, NodeId, Point, Protocol, Sim, SimRng, World, WorldConfig};
+use manet_sim::{Arena, MsgCategory, Net, NodeId, Point, Protocol, Sim, SimRng, WorldConfig};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -75,8 +75,8 @@ fn layout(n: usize, seed: u64) -> Vec<(NodeId, Point)> {
 struct Inert;
 impl Protocol for Inert {
     type Msg = ();
-    fn on_join(&mut self, _w: &mut World<()>, _node: NodeId) {}
-    fn on_message(&mut self, _w: &mut World<()>, _to: NodeId, _from: NodeId, _m: ()) {}
+    fn on_join(&mut self, _w: &mut Net<'_, ()>, _node: NodeId) {}
+    fn on_message(&mut self, _w: &mut Net<'_, ()>, _to: NodeId, _from: NodeId, _m: ()) {}
 }
 
 /// Measures every sweep point. Takes a few hundred milliseconds total.

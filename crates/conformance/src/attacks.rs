@@ -24,6 +24,7 @@ use crate::drive::CheckConfig;
 use addrspace::{Addr, PoolView};
 use manet_sim::faults::FaultPlan;
 use manet_sim::{AttackKind, NodeId, Protocol, World};
+use proto_io::Net;
 use qbac_core::{Msg, ProtocolConfig, Qbac};
 
 /// The quorum protocol with the adversary hardening switched on:
@@ -36,19 +37,19 @@ pub struct HardenedQbac(Qbac);
 impl Protocol for HardenedQbac {
     type Msg = Msg;
 
-    fn on_join(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         self.0.on_join(w, node);
     }
 
-    fn on_message(&mut self, w: &mut World<Msg>, to: NodeId, from: NodeId, msg: Msg) {
+    fn on_message(&mut self, w: &mut Net<'_, Msg>, to: NodeId, from: NodeId, msg: Msg) {
         self.0.on_message(w, to, from, msg);
     }
 
-    fn on_timer(&mut self, w: &mut World<Msg>, node: NodeId, tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, Msg>, node: NodeId, tag: u64) {
         self.0.on_timer(w, node, tag);
     }
 
-    fn on_leave(&mut self, w: &mut World<Msg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, Msg>, node: NodeId, graceful: bool) {
         self.0.on_leave(w, node, graceful);
     }
 

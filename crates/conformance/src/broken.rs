@@ -15,6 +15,7 @@ use crate::adapter::{ConformanceAdapter, Guarantees};
 use addrspace::{Addr, AddrBlock};
 use manet_sim::faults::FaultPlan;
 use manet_sim::{MsgCategory, NodeId, Protocol, SimDuration, World};
+use proto_io::Net;
 use std::collections::HashMap;
 
 /// Wire messages of the broken allocator.
@@ -28,6 +29,8 @@ pub enum DgMsg {
     /// cursor (the bug).
     Ack,
 }
+
+impl proto_io::ProtoMsg for DgMsg {}
 
 /// The broken central allocator. See the [module docs](self).
 #[derive(Debug)]
@@ -53,7 +56,7 @@ impl DoubleGrant {
         }
     }
 
-    fn request(&self, w: &mut World<DgMsg>, node: NodeId) {
+    fn request(&self, w: &mut Net<'_, DgMsg>, node: NodeId) {
         if let Some(server) = self.server {
             let _ = w.unicast(node, server, MsgCategory::Configuration, DgMsg::Req);
         }
@@ -70,7 +73,7 @@ impl Default for DoubleGrant {
 impl Protocol for DoubleGrant {
     type Msg = DgMsg;
 
-    fn on_join(&mut self, w: &mut World<DgMsg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, DgMsg>, node: NodeId) {
         if self.server.is_none() {
             self.server = Some(node);
             self.assigned.insert(node, self.space.base());
@@ -80,7 +83,7 @@ impl Protocol for DoubleGrant {
         }
     }
 
-    fn on_message(&mut self, w: &mut World<DgMsg>, to: NodeId, from: NodeId, msg: DgMsg) {
+    fn on_message(&mut self, w: &mut Net<'_, DgMsg>, to: NodeId, from: NodeId, msg: DgMsg) {
         match msg {
             DgMsg::Req => {
                 if Some(to) == self.server {
@@ -105,7 +108,7 @@ impl Protocol for DoubleGrant {
         }
     }
 
-    fn on_timer(&mut self, w: &mut World<DgMsg>, node: NodeId, _tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, DgMsg>, node: NodeId, _tag: u64) {
         if !self.assigned.contains_key(&node) && w.is_alive(node) {
             self.request(w, node);
         }

@@ -54,7 +54,7 @@ use crate::msg::Msg;
 use crate::protocol::{tag, Qbac};
 use crate::roles::NodeRole;
 use addrspace::{Addr, AddrBlock, AddrRecord, AddrStatus};
-use manet_sim::{AttackKind, FlowKind, FlowStage, MsgCategory, NodeId, World};
+use proto_io::{AttackKind, FlowKind, FlowStage, MsgCategory, Net, NodeId};
 use quorum::VersionStamp;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -107,7 +107,7 @@ impl Qbac {
 
     /// Honest, live cluster heads (victim candidates), excluding every
     /// designated attacker, sorted by id for determinism.
-    fn honest_heads(&self, w: &World<Msg>) -> Vec<NodeId> {
+    fn honest_heads(&self, w: &Net<'_, Msg>) -> Vec<NodeId> {
         let mut heads: Vec<NodeId> = self
             .roles
             .iter()
@@ -119,7 +119,7 @@ impl Qbac {
     }
 
     /// Live, still-unconfigured nodes — the squatted-grant targets.
-    fn grant_targets(&self, w: &World<Msg>) -> Vec<NodeId> {
+    fn grant_targets(&self, w: &Net<'_, Msg>) -> Vec<NodeId> {
         let mut t: Vec<NodeId> = self
             .roles
             .iter()
@@ -134,7 +134,7 @@ impl Qbac {
         t
     }
 
-    fn attack_span(w: &mut World<Msg>, node: NodeId) {
+    fn attack_span(w: &mut Net<'_, Msg>, node: NodeId) {
         w.flow_event(FlowKind::Attack, node, FlowStage::Started);
         w.flow_event(FlowKind::Attack, node, FlowStage::Finalized);
     }
@@ -149,7 +149,7 @@ impl Qbac {
     /// honest).
     pub(crate) fn adversary_on_message(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         to: NodeId,
         from: NodeId,
         msg: &Msg,
@@ -226,7 +226,7 @@ impl Qbac {
     /// the adversary action beat; every other timer lapses.
     pub(crate) fn adversary_on_timer(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         t: u64,
         kind: AttackKind,
@@ -248,7 +248,7 @@ impl Qbac {
     /// Pre-start capture hook: a *designated* replay-claim attacker
     /// records every `OWN_CLAIM` it receives while still honest. The
     /// claim is then also processed honestly by the caller.
-    pub(crate) fn adversary_capture_claim(&mut self, w: &World<Msg>, to: NodeId, msg: &Msg) {
+    pub(crate) fn adversary_capture_claim(&mut self, w: &Net<'_, Msg>, to: NodeId, msg: &Msg) {
         if w.attack_assigned(to) != Some(AttackKind::ReplayClaim) {
             return;
         }
@@ -287,7 +287,7 @@ impl Qbac {
     // Per-tick attack actions
     // ------------------------------------------------------------------
 
-    fn adversary_tick(&mut self, w: &mut World<Msg>, node: NodeId, kind: AttackKind) {
+    fn adversary_tick(&mut self, w: &mut Net<'_, Msg>, node: NodeId, kind: AttackKind) {
         match kind {
             AttackKind::Squat => {
                 if self.adversary.engaged.insert(node) {
@@ -312,7 +312,7 @@ impl Qbac {
     /// Squat setup: target the busiest honest allocator and queue its
     /// next allocations — the same addresses, in the same first-free
     /// order the victim will propose them.
-    fn setup_squat(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn setup_squat(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let victim = self.honest_heads(w).into_iter().max_by_key(|h| {
             (
                 self.head_state(*h).map_or(0, |s| s.pool.free_count()),
@@ -346,7 +346,7 @@ impl Qbac {
     /// False-reclaim setup: flood a forged `ADDR_REC` against the
     /// honest head with the most live leases, and queue those leases
     /// for stealing.
-    fn setup_false_reclaim(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn setup_false_reclaim(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some((my_ip, _)) = self.attacker_identity(node) else {
             return;
         };
@@ -391,7 +391,7 @@ impl Qbac {
     /// region is amplified to the victim's own blocks, read from the
     /// attacker's replica of it, so a victim that loses the tiebreak to
     /// the stale claimant cedes everything it owns.
-    fn replay_captured(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn replay_captured(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let caps = match self.adversary.captured.get(&node) {
             Some(c) if !c.is_empty() => c.clone(),
             _ => return,
@@ -443,7 +443,7 @@ impl Qbac {
 
     /// Hands out up to [`GRANTS_PER_TICK`] queued addresses to live
     /// unconfigured nodes by unsolicited, unquorumed `COM_CFG`.
-    fn drain_grants(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn drain_grants(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some((my_ip, network_id)) = self.attacker_identity(node) else {
             return;
         };
@@ -462,7 +462,7 @@ impl Qbac {
     }
 
     /// A requestor asked the attacker directly: same rogue grant.
-    fn rogue_grant(&mut self, w: &mut World<Msg>, node: NodeId, requestor: NodeId) {
+    fn rogue_grant(&mut self, w: &mut Net<'_, Msg>, node: NodeId, requestor: NodeId) {
         let Some((my_ip, network_id)) = self.attacker_identity(node) else {
             return;
         };
@@ -479,7 +479,7 @@ impl Qbac {
 
     fn send_rogue_cfg(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         target: NodeId,
         addr: Addr,
@@ -509,7 +509,7 @@ impl Qbac {
     /// Forges a full slate of grants for one `QUORUM_CLT`: our own vote
     /// plus one in the name of every other member of the allocator's
     /// electorate (source-address spoofing at the network layer).
-    fn spoof_votes(&mut self, w: &mut World<Msg>, node: NodeId, allocator: NodeId, seq: u64) {
+    fn spoof_votes(&mut self, w: &mut Net<'_, Msg>, node: NodeId, allocator: NodeId, seq: u64) {
         let mut voters = vec![node];
         if let Some(head) = self.head_state(allocator) {
             for m in head.electorate() {
@@ -550,7 +550,7 @@ impl Qbac {
     /// one so the freshest-copy rule at the owner prefers it.
     fn reflect_poisoned_commit(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         owner: NodeId,
         addr: Addr,

@@ -26,7 +26,7 @@
 //! plan stays byte-identical to pre-adversary builds.
 
 use addrspace::{Addr, AddrRecord, AddrStatus};
-use manet_sim::NodeId;
+use proto_io::NodeId;
 
 /// Default scenario-wide authentication key ("QBACKEY1").
 pub const SCENARIO_AUTH_KEY: u64 = 0x5142_4143_4b45_5931;

@@ -6,7 +6,7 @@ use crate::protocol::{tag, Qbac};
 use crate::roles::{CommonState, HeadState, NodeRole};
 use crate::vote::VotePurpose;
 use addrspace::{Addr, AddrBlock, AddrStatus, AllocationTable};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
+use proto_io::{FlowKind, FlowStage, MsgCategory, Net, NodeId};
 
 impl Qbac {
     // ------------------------------------------------------------------
@@ -14,7 +14,7 @@ impl Qbac {
     // ------------------------------------------------------------------
 
     /// Applies the outcome of a completed quorum collection.
-    pub(crate) fn finish_vote(&mut self, w: &mut World<Msg>, seq: u64, ok: bool) {
+    pub(crate) fn finish_vote(&mut self, w: &mut Net<'_, Msg>, seq: u64, ok: bool) {
         let Some(vote) = self.votes.remove(&seq) else {
             return;
         };
@@ -226,7 +226,7 @@ impl Qbac {
     /// members; returns the hop cost.
     pub(crate) fn commit_to_quorum(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         allocator: NodeId,
         owner: NodeId,
         addr: Addr,
@@ -256,7 +256,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     fn send_com_cfg(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         allocator: NodeId,
         requestor: NodeId,
         ip: Addr,
@@ -290,7 +290,7 @@ impl Qbac {
         }
     }
 
-    fn reject_common(&mut self, w: &mut World<Msg>, allocator: NodeId, requestor: NodeId) {
+    fn reject_common(&mut self, w: &mut Net<'_, Msg>, allocator: NodeId, requestor: NodeId) {
         let _ = w.unicast(
             allocator,
             requestor,
@@ -299,7 +299,7 @@ impl Qbac {
         );
     }
 
-    fn reject_head(&mut self, w: &mut World<Msg>, allocator: NodeId, requestor: NodeId) {
+    fn reject_head(&mut self, w: &mut Net<'_, Msg>, allocator: NodeId, requestor: NodeId) {
         let _ = w.unicast(allocator, requestor, MsgCategory::Configuration, Msg::ChRej);
     }
 
@@ -310,7 +310,7 @@ impl Qbac {
     /// An allocator receives `COM_REQ` (or a forwarded one as agent).
     pub(crate) fn on_com_req(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         allocator: NodeId,
         from: NodeId,
         forwarded_for: Option<NodeId>,
@@ -403,7 +403,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_com_cfg(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         ip: Addr,
@@ -450,7 +450,7 @@ impl Qbac {
     /// that exhausts its attempt budget records one failure and drops to
     /// a slow background retry — it keeps trying as long as it lives
     /// (mobility may reconnect it at any time).
-    pub(crate) fn on_config_rejected(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn on_config_rejected(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some(NodeRole::Unconfigured(js)) = self.roles.get_mut(&node) else {
             return;
         };
@@ -476,7 +476,7 @@ impl Qbac {
     /// The join-retry timer fired: if still unconfigured and this is the
     /// latest armed retry (stale generations are ignored so parallel
     /// timers cannot multiply), try again.
-    pub(crate) fn on_join_retry(&mut self, w: &mut World<Msg>, node: NodeId, gen: u32) {
+    pub(crate) fn on_join_retry(&mut self, w: &mut Net<'_, Msg>, node: NodeId, gen: u32) {
         match self.roles.get_mut(&node) {
             Some(NodeRole::Unconfigured(js)) if !js.first_node_probe => {
                 if gen < js.attempts {
@@ -503,7 +503,7 @@ impl Qbac {
     }
 
     /// The first-node `T_e` timer fired (§IV-B).
-    pub(crate) fn on_first_retry(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn on_first_retry(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some(NodeRole::Unconfigured(js)) = self.roles.get(&node) else {
             return;
         };
@@ -532,7 +532,7 @@ impl Qbac {
     // ------------------------------------------------------------------
 
     /// A head receives `CH_REQ`: answer with a proposal.
-    pub(crate) fn on_ch_req(&mut self, w: &mut World<Msg>, allocator: NodeId, requestor: NodeId) {
+    pub(crate) fn on_ch_req(&mut self, w: &mut Net<'_, Msg>, allocator: NodeId, requestor: NodeId) {
         let Some(head) = self.head_state(allocator) else {
             return;
         };
@@ -554,7 +554,7 @@ impl Qbac {
     /// The requestor receives `CH_PRP` and confirms.
     pub(crate) fn on_ch_prp(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         _available: u64,
@@ -573,7 +573,7 @@ impl Qbac {
     }
 
     /// The allocator receives `CH_CNF`: run the split vote.
-    pub(crate) fn on_ch_cnf(&mut self, w: &mut World<Msg>, allocator: NodeId, requestor: NodeId) {
+    pub(crate) fn on_ch_cnf(&mut self, w: &mut Net<'_, Msg>, allocator: NodeId, requestor: NodeId) {
         if self.head_state(allocator).is_none() {
             return;
         }
@@ -595,7 +595,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_ch_cfg(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         block: AddrBlock,
@@ -684,7 +684,7 @@ impl Qbac {
     /// requesting replies. Returns the hop cost.
     pub(crate) fn push_replica(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         head: NodeId,
         category: MsgCategory,
     ) -> u32 {
@@ -693,7 +693,7 @@ impl Qbac {
 
     pub(crate) fn push_replica_full(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         head: NodeId,
         category: MsgCategory,
         reply_requested: bool,
@@ -722,7 +722,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_replica_push(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         owner: NodeId,
         owner_ip: Addr,
@@ -760,7 +760,7 @@ impl Qbac {
     /// head applies it to its own authoritative copy, for borrows).
     pub(crate) fn on_quorum_commit(
         &mut self,
-        _w: &mut World<Msg>,
+        _w: &mut Net<'_, Msg>,
         node: NodeId,
         owner: NodeId,
         addr: Addr,

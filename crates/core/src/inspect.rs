@@ -4,7 +4,7 @@ use crate::msg::Msg;
 use crate::protocol::Qbac;
 use crate::roles::{HeadState, NodeRole};
 use addrspace::{Addr, PoolView};
-use manet_sim::{NodeId, World};
+use proto_io::{NetBackend, NodeId};
 use std::collections::HashMap;
 
 /// A duplicate-address violation found by [`Qbac::audit_unique`].
@@ -21,7 +21,7 @@ pub struct DuplicateAddress {
 impl Qbac {
     /// Addresses of every alive configured node.
     #[must_use]
-    pub fn assigned(&self, w: &World<Msg>) -> Vec<(NodeId, Addr)> {
+    pub fn assigned<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, Addr)> {
         let mut v: Vec<(NodeId, Addr)> = self
             .roles_iter()
             .filter(|(n, _)| w.is_alive(*n))
@@ -33,7 +33,7 @@ impl Qbac {
 
     /// Alive cluster heads.
     #[must_use]
-    pub fn heads(&self, w: &World<Msg>) -> Vec<NodeId> {
+    pub fn heads<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
             .roles_iter()
             .filter(|(n, r)| w.is_alive(*n) && r.is_head())
@@ -45,7 +45,7 @@ impl Qbac {
 
     /// Alive configured common nodes.
     #[must_use]
-    pub fn common_nodes(&self, w: &World<Msg>) -> Vec<NodeId> {
+    pub fn common_nodes<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> Vec<NodeId> {
         let mut v: Vec<NodeId> = self
             .roles_iter()
             .filter(|(n, r)| w.is_alive(*n) && matches!(r, NodeRole::Common(_)))
@@ -64,7 +64,7 @@ impl Qbac {
 
     /// `|QDSet|` of every alive head.
     #[must_use]
-    pub fn qdset_sizes(&self, w: &World<Msg>) -> Vec<usize> {
+    pub fn qdset_sizes<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> Vec<usize> {
         self.heads(w)
             .into_iter()
             .filter_map(|h| self.head_state(h).map(|s| s.qd_set.len()))
@@ -74,7 +74,7 @@ impl Qbac {
     /// For every alive head, the ratio of its extended space (own +
     /// replicated) to its own space — the Figure 12 quantity.
     #[must_use]
-    pub fn extension_ratios(&self, w: &World<Msg>) -> Vec<f64> {
+    pub fn extension_ratios<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> Vec<f64> {
         self.heads(w)
             .into_iter()
             .filter_map(|h| self.head_state(h))
@@ -89,7 +89,10 @@ impl Qbac {
     /// # Errors
     ///
     /// Returns all violations found.
-    pub fn audit_unique(&self, w: &mut World<Msg>) -> Result<(), Vec<DuplicateAddress>> {
+    pub fn audit_unique<B: NetBackend<Msg> + ?Sized>(
+        &self,
+        w: &mut B,
+    ) -> Result<(), Vec<DuplicateAddress>> {
         let mut seen: HashMap<(usize, Addr), NodeId> = HashMap::new();
         let mut dups = Vec::new();
         let components = w.components();
@@ -124,7 +127,7 @@ impl Qbac {
     ///
     /// Returns `(leaked, tracked)` record counts.
     #[must_use]
-    pub fn leak_audit(&self, w: &World<Msg>) -> (u64, u64) {
+    pub fn leak_audit<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> (u64, u64) {
         let mut leaked = 0;
         let mut tracked = 0;
         for h in self.heads(w) {
@@ -149,7 +152,11 @@ impl Qbac {
     /// Returns `(preserved, lost)` counts over the given set of heads
     /// that left abruptly.
     #[must_use]
-    pub fn preservation_audit(&self, w: &World<Msg>, departed_heads: &[NodeId]) -> (usize, usize) {
+    pub fn preservation_audit<B: NetBackend<Msg> + ?Sized>(
+        &self,
+        w: &B,
+        departed_heads: &[NodeId],
+    ) -> (usize, usize) {
         let mut preserved = 0;
         let mut lost = 0;
         for &h in departed_heads {
@@ -175,7 +182,7 @@ impl Qbac {
     /// Accounting snapshots of every alive head's `IPSpace`, for the
     /// conformance oracle's leak-freedom invariant.
     #[must_use]
-    pub fn pool_views(&self, w: &World<Msg>) -> Vec<(NodeId, PoolView)> {
+    pub fn pool_views<B: NetBackend<Msg> + ?Sized>(&self, w: &B) -> Vec<(NodeId, PoolView)> {
         self.heads(w)
             .into_iter()
             .filter_map(|h| self.head_state(h).map(|s| (h, s.pool.view())))
@@ -189,7 +196,10 @@ impl Qbac {
     /// stamps are "incrementally increased each time the copy is
     /// updated").
     #[must_use]
-    pub fn stamp_views(&self, w: &World<Msg>) -> Vec<((NodeId, NodeId, Addr), u64)> {
+    pub fn stamp_views<B: NetBackend<Msg> + ?Sized>(
+        &self,
+        w: &B,
+    ) -> Vec<((NodeId, NodeId, Addr), u64)> {
         let mut v = Vec::new();
         for h in self.heads(w) {
             let Some(state) = self.head_state(h) else {

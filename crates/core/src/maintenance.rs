@@ -5,7 +5,7 @@ use crate::msg::Msg;
 use crate::protocol::{tag, Qbac};
 use crate::roles::NodeRole;
 use addrspace::{Addr, AddrStatus};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
+use proto_io::{FlowKind, FlowStage, MsgCategory, Net, NodeId};
 
 impl Qbac {
     // ------------------------------------------------------------------
@@ -16,7 +16,7 @@ impl Qbac {
     /// neighborhood scan that grows the quorum set when new heads appear
     /// (§V-B: "quorum sets are updated whenever a new cluster head enters
     /// the neighborhood").
-    pub(crate) fn on_hello_timer(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn on_hello_timer(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some(role) = self.roles.get(&node) else {
             return;
         };
@@ -45,7 +45,7 @@ impl Qbac {
     /// `QDSet`, exchanging replicas with them. Prioritized when the
     /// replication floor `|QDSet| < min_qdset` is violated, but newcomers
     /// are always adopted.
-    pub(crate) fn grow_quorum(&mut self, w: &mut World<Msg>, head: NodeId) {
+    pub(crate) fn grow_quorum(&mut self, w: &mut Net<'_, Msg>, head: NodeId) {
         let Some(state) = self.head_state(head) else {
             return;
         };
@@ -97,7 +97,7 @@ impl Qbac {
     /// the race and must reconfigure).
     pub(crate) fn on_hello(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         sender_ip: Option<Addr>,
@@ -171,7 +171,7 @@ impl Qbac {
 
     /// Drops the node's current configuration and re-enters the protocol
     /// targeting `network` (merge or re-init).
-    pub(crate) fn rejoin_network(&mut self, w: &mut World<Msg>, node: NodeId, network: Addr) {
+    pub(crate) fn rejoin_network(&mut self, w: &mut Net<'_, Msg>, node: NodeId, network: Addr) {
         self.stats.merges += 1;
         w.flow_event(FlowKind::Merge, node, FlowStage::Started);
         let js = crate::roles::JoinState {
@@ -188,7 +188,7 @@ impl Qbac {
 
     /// Periodic check: a common node more than three hops from both its
     /// configurer and its administrator reports to the nearest head.
-    pub(crate) fn on_loc_check(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn on_loc_check(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some(NodeRole::Common(c)) = self.roles.get(&node) else {
             return;
         };
@@ -228,7 +228,7 @@ impl Qbac {
     /// already provides; the message cost is the measured quantity.
     pub(crate) fn on_update_loc(
         &mut self,
-        _w: &mut World<Msg>,
+        _w: &mut Net<'_, Msg>,
         _head: NodeId,
         _from: NodeId,
         _configurer: Addr,
@@ -241,7 +241,7 @@ impl Qbac {
     // ------------------------------------------------------------------
 
     /// Graceful departure entry point.
-    pub(crate) fn graceful_leave(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn graceful_leave(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         match self.roles.get(&node) {
             None | Some(NodeRole::Unconfigured(_)) => {
                 w.remove_node(node);
@@ -277,7 +277,7 @@ impl Qbac {
     /// A departing cluster head returns its block (§IV-C.2): to its
     /// configurer if within three hops, otherwise to the `QDSet` member
     /// with the smallest block.
-    fn head_graceful_leave(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn head_graceful_leave(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some(state) = self.head_state(node) else {
             w.remove_node(node);
             return;
@@ -334,14 +334,14 @@ impl Qbac {
 
     /// The departure safety timer fired before the ack arrived: leave
     /// anyway (the address may leak; reclamation will recover it).
-    pub(crate) fn on_depart_timeout(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn on_depart_timeout(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         w.remove_node(node);
     }
 
     /// A head receives a returned address (§IV-C.1).
     pub(crate) fn on_return_addr(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         head: NodeId,
         from: NodeId,
         configurer_ip: Addr,
@@ -411,7 +411,7 @@ impl Qbac {
     /// Maintenance-category variant of the quorum commit fan-out.
     pub(crate) fn commit_to_quorum2(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         sender: NodeId,
         owner: NodeId,
         addr: Addr,
@@ -442,7 +442,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_return_block(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         succ: NodeId,
         from: NodeId,
         blocks: Vec<addrspace::AddrBlock>,
@@ -468,7 +468,7 @@ impl Qbac {
                 .table_mut()
                 .set(own_ip, AddrStatus::Allocated(succ.index()));
         }
-        let mine: Vec<(Addr, manet_sim::NodeId)> =
+        let mine: Vec<(Addr, proto_io::NodeId)> =
             state.members.iter().map(|(a, n)| (*a, *n)).collect();
         for (a, n) in mine {
             if state.pool.owns(a) && w.is_alive(n) {
@@ -521,7 +521,7 @@ impl Qbac {
     }
 
     /// A `QDSet` member processes a departing head's resignation.
-    pub(crate) fn on_resign(&mut self, _w: &mut World<Msg>, member: NodeId, departing: NodeId) {
+    pub(crate) fn on_resign(&mut self, _w: &mut Net<'_, Msg>, member: NodeId, departing: NodeId) {
         if let Some(state) = self.head_state_mut(member) {
             state.qd_set.remove(&departing);
             state.suspended.remove(&departing);
@@ -532,7 +532,7 @@ impl Qbac {
     /// A common node learns its allocator changed.
     pub(crate) fn on_allocator_change(
         &mut self,
-        _w: &mut World<Msg>,
+        _w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         new_configurer: Addr,
@@ -547,7 +547,7 @@ impl Qbac {
     /// Abrupt departure: the node is already dead; nothing is sent.
     /// Detection and recovery happen through quorum adjustment (§V-B) and
     /// reclamation (§IV-D) at the surviving heads.
-    pub(crate) fn abrupt_leave(&mut self, _w: &mut World<Msg>, _node: NodeId) {
+    pub(crate) fn abrupt_leave(&mut self, _w: &mut Net<'_, Msg>, _node: NodeId) {
         // State intentionally retained: the harness audits what was lost,
         // and surviving heads discover the absence via probes.
     }

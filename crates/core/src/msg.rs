@@ -1,5 +1,5 @@
 use addrspace::{Addr, AddrBlock, AddrRecord, AllocationTable};
-use manet_sim::NodeId;
+use proto_io::NodeId;
 use quorum::VersionStamp;
 use serde::{Deserialize, Serialize};
 

@@ -1,5 +1,5 @@
 use addrspace::{Addr, AddrBlock};
-use manet_sim::SimDuration;
+use proto_io::SimDuration;
 
 /// How a common node reports its location as it moves (§IV-C.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

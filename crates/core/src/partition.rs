@@ -18,7 +18,7 @@ use crate::protocol::Qbac;
 use crate::roles::{HeadState, NodeRole};
 use crate::vote::VotePurpose;
 use addrspace::{Addr, AddrBlock, AddrRecord, AddrStatus, AddressPool};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
+use proto_io::{FlowKind, FlowStage, MsgCategory, Net, NodeId};
 
 impl Qbac {
     /// Re-initializes an isolated head's partition (§V-C).
@@ -26,7 +26,7 @@ impl Qbac {
     /// The head regains the full address space under a fresh random
     /// founder address (= new network ID), so later contact with any
     /// other network is detected and resolved by the merge rule.
-    pub(crate) fn reinitialize_network(&mut self, w: &mut World<Msg>, head: NodeId) {
+    pub(crate) fn reinitialize_network(&mut self, w: &mut Net<'_, Msg>, head: NodeId) {
         if self.head_state(head).is_none() {
             return;
         }
@@ -35,7 +35,7 @@ impl Qbac {
         let mut pool = AddressPool::from_block(self.cfg.space);
         // Fresh random founder address — see `become_first_head`: the new
         // network's ID must differ from every other live network's.
-        let offset = w.rng_mut().range_u64(0..u64::from(self.cfg.space.len())) as u32;
+        let offset = w.rng_range_u64(0..u64::from(self.cfg.space.len())) as u32;
         let ip = self.cfg.space.base().offset(offset);
         pool.allocate(ip, head.index())
             .expect("random address lies inside the fresh space");
@@ -60,7 +60,7 @@ impl Qbac {
     /// network dissolved as a duplicate).
     pub(crate) fn on_reinit(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         _from: NodeId,
         network_id: Addr,
@@ -93,7 +93,7 @@ impl Qbac {
     /// its own pool and opens (or feeds) a reconciliation per rival.
     /// Called on every hello tick and after each replica merge, so a
     /// claim dropped by a failed vote or a lost message is retried.
-    pub(crate) fn check_ownership_conflicts(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn check_ownership_conflicts(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let Some(state) = self.head_state(node) else {
             return;
         };
@@ -191,7 +191,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_own_claim(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         claimant_ip: Addr,
@@ -260,7 +260,7 @@ impl Qbac {
     /// region from our stored replica of the rival.
     pub(crate) fn on_own_grant(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         from: NodeId,
         blocks: Vec<AddrBlock>,
@@ -341,7 +341,7 @@ impl Qbac {
 mod tests {
     use crate::{ProtocolConfig, Qbac};
     use addrspace::Addr;
-    use manet_sim::NodeId;
+    use proto_io::NodeId;
 
     fn hardened() -> Qbac {
         Qbac::new(ProtocolConfig {

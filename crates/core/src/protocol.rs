@@ -3,7 +3,7 @@ use crate::params::{AllocatorChoice, ProtocolConfig};
 use crate::roles::{HeadState, JoinState, NodeRole};
 use crate::vote::PendingVote;
 use addrspace::{Addr, AddressPool};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, Protocol, World};
+use proto_io::{FlowKind, FlowStage, MsgCategory, Net, NodeId, ProtocolCore};
 use std::collections::HashMap;
 
 /// Timer tag kinds (low byte of the tag; payload in the high bits).
@@ -101,7 +101,7 @@ pub struct Qbac {
     pub(crate) claim_stamps: HashMap<(NodeId, Addr), u64>,
     /// Hardened rate limiter: `(window start, accepted)` `ADDR_REC`
     /// floods per `(receiver, initiator)`.
-    pub(crate) reclaim_accepts: HashMap<(NodeId, NodeId), (manet_sim::SimTime, u32)>,
+    pub(crate) reclaim_accepts: HashMap<(NodeId, NodeId), (proto_io::SimTime, u32)>,
     /// Monotonic counter stamping outgoing `OWN_CLAIM`s. Separate from
     /// `next_seq` so stamping claims never perturbs vote sequencing.
     pub(crate) next_claim_stamp: u64,
@@ -172,7 +172,7 @@ impl Qbac {
     /// `(distance, id)`. Optionally restricted to one network.
     pub(crate) fn heads_within(
         &self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         k: u32,
         network: Option<Addr>,
@@ -190,7 +190,7 @@ impl Qbac {
     /// distance.
     pub(crate) fn nearest_head(
         &self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         network: Option<Addr>,
     ) -> Option<(NodeId, u32)> {
@@ -204,12 +204,12 @@ impl Qbac {
     /// its surviving members' leases vacated.
     pub(crate) fn nearest_head_excluding(
         &self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         network: Option<Addr>,
         excluded: Option<NodeId>,
     ) -> Option<(NodeId, u32)> {
-        let dists = w.topology().distances_from(node);
+        let dists = w.distances_from(node);
         self.roles
             .iter()
             .filter(|(n, _)| **n != node && Some(**n) != excluded)
@@ -249,7 +249,7 @@ impl Qbac {
     // Join flow (§IV-B)
     // ------------------------------------------------------------------
 
-    pub(crate) fn attempt_join(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn attempt_join(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let target_network = match self.roles.get_mut(&node) {
             Some(NodeRole::Unconfigured(js)) => {
                 // Latency measures the successful exchange; hops of
@@ -353,7 +353,7 @@ impl Qbac {
         self.first_node_probe(w, node);
     }
 
-    pub(crate) fn first_node_probe(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn first_node_probe(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let _ = w.broadcast_within(node, 1, MsgCategory::Configuration, Msg::ComReq);
         let te = self.cfg.te;
         if let Some(NodeRole::Unconfigured(js)) = self.roles.get_mut(&node) {
@@ -364,7 +364,7 @@ impl Qbac {
         w.set_timer(node, te, tag::mk(tag::FIRST_RETRY, 0));
     }
 
-    pub(crate) fn become_first_head(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn become_first_head(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let (hops_spent, attempts) = match self.roles.get(&node) {
             Some(NodeRole::Unconfigured(js)) => (js.hops_spent, js.attempts),
             _ => return,
@@ -375,7 +375,7 @@ impl Qbac {
         // (the founder's address) is then distinct across independently
         // founded networks, so hello-based merge detection works at any
         // distance — with identical IDs no side would ever rejoin.
-        let offset = w.rng_mut().range_u64(0..u64::from(self.cfg.space.len())) as u32;
+        let offset = w.rng_range_u64(0..u64::from(self.cfg.space.len())) as u32;
         let ip = self.cfg.space.base().offset(offset);
         pool.allocate(ip, node.index())
             .expect("random address lies inside the fresh space");
@@ -393,7 +393,7 @@ impl Qbac {
     /// [`ProtocolStats::merges`] instead. Either way the corresponding
     /// flow span closes here: `Assigned` for a first configuration,
     /// `Finalized` for an open merge flow.
-    pub(crate) fn record_first_config(&mut self, w: &mut World<Msg>, node: NodeId, hops: u32) {
+    pub(crate) fn record_first_config(&mut self, w: &mut Net<'_, Msg>, node: NodeId, hops: u32) {
         if self.configured_once.insert(node) {
             w.metrics_mut().record_config_latency(hops);
             w.flow_event(FlowKind::Join, node, FlowStage::Assigned);
@@ -402,12 +402,12 @@ impl Qbac {
         }
     }
 
-    pub(crate) fn start_head_timers(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn start_head_timers(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let interval = self.cfg.hello_interval;
         w.set_timer(node, interval, tag::mk(tag::HELLO, 0));
     }
 
-    pub(crate) fn start_common_timers(&mut self, w: &mut World<Msg>, node: NodeId) {
+    pub(crate) fn start_common_timers(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         let interval = self.cfg.hello_interval;
         w.set_timer(node, interval, tag::mk(tag::HELLO, 0));
         if self.cfg.update_policy == crate::params::UpdatePolicy::Periodic {
@@ -417,17 +417,17 @@ impl Qbac {
     }
 }
 
-impl Protocol for Qbac {
+impl ProtocolCore for Qbac {
     type Msg = Msg;
 
-    fn on_join(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         self.roles
             .insert(node, NodeRole::Unconfigured(JoinState::default()));
         w.flow_event(FlowKind::Join, node, FlowStage::Started);
         self.attempt_join(w, node);
     }
 
-    fn on_message(&mut self, w: &mut World<Msg>, to: NodeId, from: NodeId, msg: Msg) {
+    fn on_message(&mut self, w: &mut Net<'_, Msg>, to: NodeId, from: NodeId, msg: Msg) {
         // Fault-plan attacker nodes divert delivery to the adversary
         // plane once their start time has passed. With no attack
         // directives in the plan both checks are a single `None` each —
@@ -553,7 +553,7 @@ impl Protocol for Qbac {
         }
     }
 
-    fn on_timer(&mut self, w: &mut World<Msg>, node: NodeId, t: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, Msg>, node: NodeId, t: u64) {
         // An active attacker repurposes its hello tick as the adversary
         // action beat and lets its other timers lapse; before it is
         // configured it stays honest so it can acquire an insider
@@ -578,7 +578,7 @@ impl Protocol for Qbac {
         }
     }
 
-    fn on_leave(&mut self, w: &mut World<Msg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, Msg>, node: NodeId, graceful: bool) {
         if graceful {
             self.graceful_leave(w, node);
         } else {

@@ -11,7 +11,7 @@ use crate::msg::Msg;
 use crate::protocol::{tag, Qbac};
 use crate::roles::NodeRole;
 use addrspace::{Addr, AddrStatus};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
+use proto_io::{FlowKind, FlowStage, MsgCategory, Net, NodeId};
 
 /// Collection state at a reclamation initiator.
 #[derive(Debug, Clone, Default)]
@@ -27,7 +27,7 @@ impl Qbac {
     /// to `initiator`.
     pub(crate) fn start_reclamation(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         initiator: NodeId,
         target: NodeId,
         target_ip: Addr,
@@ -81,7 +81,7 @@ impl Qbac {
     /// false-reclaim attacker evicting head after head needs many.
     pub(crate) fn accept_reclaim_rate(
         &mut self,
-        now: manet_sim::SimTime,
+        now: proto_io::SimTime,
         node: NodeId,
         initiator: NodeId,
     ) -> bool {
@@ -105,7 +105,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_addr_rec(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         node: NodeId,
         target: NodeId,
         target_ip: Addr,
@@ -184,7 +184,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_rec_rep(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         head: NodeId,
         _from: NodeId,
         target_ip: Addr,
@@ -229,7 +229,7 @@ impl Qbac {
     /// The collection window closed: absorb the vanished head's space.
     pub(crate) fn on_reclaim_finalize(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         initiator: NodeId,
         target: NodeId,
     ) {

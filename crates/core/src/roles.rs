@@ -1,5 +1,5 @@
 use addrspace::{Addr, AddrBlock, AddressPool, AllocationTable};
-use manet_sim::NodeId;
+use proto_io::NodeId;
 use std::collections::BTreeMap;
 
 /// A copy of another cluster head's space held in this head's

@@ -15,7 +15,7 @@
 use crate::msg::{Msg, QuorumOp};
 use crate::protocol::{tag, Qbac};
 use addrspace::{Addr, AddrBlock};
-use manet_sim::{FlowKind, FlowStage, MsgCategory, NodeId, World};
+use proto_io::{FlowKind, FlowStage, MsgCategory, Net, NodeId};
 use quorum::{DynamicLinearRule, VersionStamp};
 use std::collections::BTreeSet;
 
@@ -112,7 +112,7 @@ impl Qbac {
     /// electorate (a lone head) the vote succeeds immediately.
     pub(crate) fn start_vote(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         allocator: NodeId,
         op: QuorumOp,
         purpose: VotePurpose,
@@ -206,7 +206,7 @@ impl Qbac {
     /// (or its own pool, when it is the owner being asked for a borrow).
     pub(crate) fn on_quorum_clt(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         member: NodeId,
         allocator: NodeId,
         seq: u64,
@@ -281,7 +281,7 @@ impl Qbac {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_quorum_cfm(
         &mut self,
-        w: &mut World<Msg>,
+        w: &mut Net<'_, Msg>,
         allocator: NodeId,
         voter: NodeId,
         seq: u64,
@@ -321,7 +321,7 @@ impl Qbac {
     /// `T_d` expired: run the §V-B quorum adjustment — suspend silent
     /// members, probe them with `REP_REQ`, and re-evaluate the vote over
     /// the shrunken electorate.
-    pub(crate) fn on_vote_timeout(&mut self, w: &mut World<Msg>, allocator: NodeId, seq: u64) {
+    pub(crate) fn on_vote_timeout(&mut self, w: &mut Net<'_, Msg>, allocator: NodeId, seq: u64) {
         let Some(vote) = self.votes.get(&seq) else {
             return;
         };
@@ -362,7 +362,7 @@ impl Qbac {
     }
 
     /// Suspends a silent `QDSet` member and probes it (§V-B).
-    pub(crate) fn suspend_member(&mut self, w: &mut World<Msg>, head: NodeId, member: NodeId) {
+    pub(crate) fn suspend_member(&mut self, w: &mut Net<'_, Msg>, head: NodeId, member: NodeId) {
         let Some(state) = self.head_state_mut(head) else {
             return;
         };
@@ -382,7 +382,7 @@ impl Qbac {
     /// A probed member answered: restore it to the active electorate,
     /// and cancel any reclamation we started against it (a mobility
     /// pocket, not a death).
-    pub(crate) fn on_rep_ack(&mut self, w: &mut World<Msg>, head: NodeId, member: NodeId) {
+    pub(crate) fn on_rep_ack(&mut self, w: &mut Net<'_, Msg>, head: NodeId, member: NodeId) {
         self.probes.remove(&(head, member));
         if self.reclaim_initiators.get(&member) == Some(&head) {
             if self.reclaims.remove(&member).is_some() {
@@ -405,7 +405,7 @@ impl Qbac {
     /// a weak signal, so the probe is retried a few times; only a member
     /// that stays silent is declared gone and reclaimed (§V-B → §IV-D),
     /// or, if we are left with nothing, the partition re-initializes.
-    pub(crate) fn on_rep_timeout(&mut self, w: &mut World<Msg>, head: NodeId, member: NodeId) {
+    pub(crate) fn on_rep_timeout(&mut self, w: &mut Net<'_, Msg>, head: NodeId, member: NodeId) {
         let Some(attempts) = self.probes.get(&(head, member)).copied() else {
             return; // answered in time
         };

@@ -23,7 +23,7 @@
 use crate::msg::{Msg, QuorumOp};
 use addrspace::{Addr, AddrBlock, AddrRecord, AddrStatus, AllocationTable};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use manet_sim::NodeId;
+use proto_io::NodeId;
 use quorum::VersionStamp;
 use std::error::Error;
 use std::fmt;
@@ -116,6 +116,26 @@ pub fn decode(buf: &[u8]) -> Result<Msg, WireError> {
     let mut cur = buf;
     let msg = take_msg(&mut cur)?;
     Ok(msg)
+}
+
+/// Transcripts canonicalize QBAC messages as their wire encoding, so
+/// transcript equality across backends also proves the codec round-trips
+/// (the mesh records what it decoded off the socket; the simulator
+/// records what it encoded).
+impl proto_io::ProtoMsg for Msg {
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&encode(self));
+    }
+}
+
+impl proto_io::WireMsg for Msg {
+    fn wire_encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&encode(self));
+    }
+
+    fn wire_decode(bytes: &[u8]) -> Result<Self, String> {
+        decode(bytes).map_err(|e| e.to_string())
+    }
 }
 
 fn put_msg(b: &mut BytesMut, msg: &Msg) {

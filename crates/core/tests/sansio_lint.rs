@@ -1,0 +1,83 @@
+//! Lint: the protocol core stays sans-io.
+//!
+//! The whole point of the PR-9 refactor is that `qbac-core` (and the
+//! baseline protocols) talk to the world only through `proto-io`'s
+//! `Net`/`NetBackend` boundary. A `manet-sim` entry creeping back into
+//! `[dependencies]` would silently re-couple the core to backend #1 and
+//! make the transcript-differential suite vacuous, so this test fails
+//! the build the moment that happens. (`[dev-dependencies]` is exempt:
+//! tests drive the core *through* the simulator on purpose.)
+
+use std::path::Path;
+
+/// Returns the dependency names of the `[dependencies]` section only
+/// (stopping at the next `[section]` header).
+fn runtime_deps(manifest: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((key, _)) = line.split_once('=') {
+            // `foo.workspace = true` is a dotted key; the dependency
+            // name is the first path segment (crate names have no dots).
+            let name = key.trim().trim_matches('"').split('.').next().unwrap();
+            deps.push(name.to_string());
+        }
+    }
+    deps
+}
+
+fn assert_sans_io(crate_dir: &Path, label: &str) {
+    let manifest_path = crate_dir.join("Cargo.toml");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest_path.display()));
+    let deps = runtime_deps(&manifest);
+    assert!(
+        !deps.is_empty(),
+        "{label}: [dependencies] parse came back empty — lint is broken"
+    );
+    assert!(
+        !deps.iter().any(|d| d == "manet-sim"),
+        "{label}: [dependencies] must not contain manet-sim — the \
+         protocol core is sans-io and may only see the world through \
+         proto-io (manet-sim belongs in [dev-dependencies]); found: {deps:?}"
+    );
+    assert!(
+        deps.iter().any(|d| d == "proto-io"),
+        "{label}: expected proto-io in [dependencies]; found: {deps:?}"
+    );
+}
+
+#[test]
+fn qbac_core_has_no_simulator_dependency() {
+    assert_sans_io(Path::new(env!("CARGO_MANIFEST_DIR")), "qbac-core");
+}
+
+#[test]
+fn baselines_have_no_simulator_dependency() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("crates/ parent exists")
+        .join("baselines");
+    assert_sans_io(&dir, "baselines");
+}
+
+#[test]
+fn section_parser_sees_dev_dependencies_as_exempt() {
+    let manifest = "\
+[dependencies]
+proto-io = { workspace = true }
+serde.workspace = true
+
+[dev-dependencies]
+manet-sim.workspace = true
+";
+    assert_eq!(runtime_deps(manifest), vec!["proto-io", "serde"]);
+}

@@ -20,6 +20,9 @@
 //! repro sweep --soak --rounds 5              # chaos soak vs the oracle
 //! repro gate BENCH_sweep.json sweep.json     # regression gate vs baseline
 //! repro fuzz --time-budget 60s --seed 42     # coverage-guided schedule fuzz
+//! repro --backend mesh                       # storm + attack canary over real UDP,
+//!                                            # transcripts diffed against the simulator
+//! repro --backend mesh --quick               # the 2x2 CI equivalence smoke
 //! ```
 //!
 //! `repro` with no subcommand runs `figures`. The pre-subcommand flat
@@ -50,6 +53,7 @@ enum Mode {
     Sweep,
     Gate,
     Fuzz,
+    Mesh,
 }
 
 impl Mode {
@@ -63,6 +67,7 @@ impl Mode {
             Mode::Sweep => "sweep",
             Mode::Gate => "gate",
             Mode::Fuzz => "fuzz",
+            Mode::Mesh => "mesh",
         }
     }
 }
@@ -126,6 +131,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut artifact_dir = None;
     let mut sweep = SweepOpts::default();
     let mut fuzz = FuzzOpts::default();
+    let mut backend: Option<String> = None;
     let mut it = argv;
     let mut first = true;
     while let Some(arg) = it.next() {
@@ -138,6 +144,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 "sweep" => Some(Mode::Sweep),
                 "gate" => Some(Mode::Gate),
                 "fuzz" => Some(Mode::Fuzz),
+                "mesh" => Some(Mode::Mesh),
                 "replay" => {
                     let v = it.next().ok_or("replay needs an artifact file path")?;
                     if v.starts_with("--") {
@@ -170,6 +177,15 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 opts.seed = v.parse::<u64>().map_err(|e| format!("--seed: {e}"))?;
             }
             "--quick" => opts.quick = true,
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs a name (sim or mesh)")?;
+                match v.as_str() {
+                    "sim" | "mesh" => backend = Some(v),
+                    other => {
+                        return Err(format!("--backend: unknown backend {other:?} (sim, mesh)"))
+                    }
+                }
+            }
             "--chaos" => chaos = true,
             "--check" => check = true,
             "--replay" => {
@@ -269,6 +285,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \x20      repro gate BASELINE CANDIDATE [--tolerance F]\n\
                      \x20      repro fuzz [--time-budget 60s] [--seed S] [--protocol P] [--quick]\n\
                      \x20                 [--artifact-dir DIR] [--out FILE]\n\
+                     \x20      repro --backend mesh [--quick] [--seed S]\n\
                      Regenerates the evaluation figures (4-14, extras 15-18) of the quorum-based\n\
                      IP autoconfiguration paper. Default subcommand: figures, {} rounds.\n\
                      chaos runs the fault-injection suite: message-loss sweep plus scheduled\n\
@@ -297,7 +314,12 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      fuzz mutates fault schedules coverage-guided against the conformance\n\
                      oracle for a deterministic simulated-time budget; violations are\n\
                      shrunk to replayable artifacts (--artifact-dir) and the campaign\n\
-                     report (--out) is byte-identical for the same protocol/seed/budget.",
+                     report (--out) is byte-identical for the same protocol/seed/budget.\n\
+                     --backend mesh reruns the storm schedule and the squat attack canary\n\
+                     with every delivery carried over real UDP sockets (hop-by-hop along\n\
+                     the link map) and diffs the sans-io protocol transcripts against the\n\
+                     simulator backend; any divergence prints a minimized report and\n\
+                     exits nonzero. --quick shrinks it to the 2x2 CI smoke.",
                     FigOpts::default().rounds
                 );
                 std::process::exit(0);
@@ -325,6 +347,26 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             ))
         }
     };
+    // `--backend mesh` selects the UDP-mesh equivalence run; it is
+    // its own mode (a bare `repro --backend mesh` runs it), and the
+    // only subcommand it combines with is its alias `mesh`.
+    match backend.as_deref() {
+        Some("mesh") => {
+            if !matches!(mode, Mode::Figures | Mode::Mesh) || chaos || check {
+                return Err(format!(
+                    "--backend mesh runs the transcript-equivalence suite; \
+                     it does not combine with the {} mode",
+                    mode.name()
+                ));
+            }
+            mode = Mode::Mesh;
+        }
+        // The simulator is the default backend everywhere else.
+        Some("sim") if mode == Mode::Mesh => {
+            return Err("mesh with --backend sim is contradictory".into());
+        }
+        _ => {}
+    }
     if mode != Mode::Chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
         return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
     }
@@ -512,6 +554,29 @@ fn run_fuzz_mode(args: &Args) -> ExitCode {
     }
 }
 
+/// Runs `repro --backend mesh` (alias: `repro mesh`): the canned
+/// schedules end-to-end on both transports, demanding byte-identical
+/// transcripts. Exits nonzero on any divergence, printing the minimized
+/// first-difference report.
+fn run_mesh_mode(args: &Args) -> ExitCode {
+    let cells = harness::mesh_equiv_suite(args.common.opts.quick, args.common.opts.seed);
+    let mut failed = false;
+    for cell in &cells {
+        println!("{}", cell.line());
+        if let Some(diff) = &cell.diff {
+            failed = true;
+            eprintln!("{diff}");
+        }
+        failed |= !cell.ok();
+    }
+    if failed {
+        eprintln!("mesh: transcript divergence between simulator and UDP mesh (see diffs above)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Runs `repro gate BASELINE CANDIDATE`: nonzero exit on regression.
 fn run_gate_mode(args: &Args) -> ExitCode {
     let read = |path: &std::path::Path| -> Result<String, ExitCode> {
@@ -633,6 +698,9 @@ fn main() -> ExitCode {
     }
     if args.mode == Mode::Fuzz {
         return run_fuzz_mode(&args);
+    }
+    if args.mode == Mode::Mesh {
+        return run_mesh_mode(&args);
     }
     if args.mode == Mode::Attacks {
         let outcomes = harness::attacks::attack_suite();

@@ -21,6 +21,7 @@ pub mod figures;
 pub mod fuzz;
 pub mod gate;
 pub mod json;
+pub mod mesh_equiv;
 pub mod oracle;
 pub mod render;
 pub mod scenario;
@@ -33,10 +34,12 @@ pub use chaos::{chaos_suite, ChaosOpts};
 pub use fuzz::{mutate_input, parse_time_budget, run_fuzz, FuzzConfig, FuzzInput, FuzzReport};
 pub use gate::{gate, Finding, GateReport, Verdict};
 pub use json::Value;
+pub use mesh_equiv::{mesh_equiv_suite, EquivCell};
 pub use oracle::{check_suite, CheckCell};
 pub use render::Table;
 pub use scenario::{
-    run_scenario, RunMeasurements, RunReport, Scenario, ScenarioBuilder, ScenarioError,
+    run_scenario, run_scenario_with, RunMeasurements, RunReport, Scenario, ScenarioBuilder,
+    ScenarioError,
 };
 pub use snapshot::{Phase, ProtocolRun, Snapshot, SnapshotParams};
 pub use sweep::{run_jobs, run_soak, run_sweep, CellResult, SoakReport, SweepGrid, SweepReport};

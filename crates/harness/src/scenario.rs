@@ -459,6 +459,18 @@ impl<P: Protocol> RunReport<P> {
 /// Runs `protocol` through the scenario: sequential random arrivals, a
 /// settling period, then the departure phase, then cooldown.
 pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> RunReport<P> {
+    run_scenario_with(s, protocol, |_| {})
+}
+
+/// [`run_scenario`] with a setup hook that runs before the first
+/// arrival — the place to enable transcript recording or install a
+/// shadow transport (the transcript-differential suite runs the same
+/// scenario once per backend this way).
+pub fn run_scenario_with<P: Protocol>(
+    s: &Scenario,
+    protocol: P,
+    setup: impl FnOnce(&mut Sim<P>),
+) -> RunReport<P> {
     let mut sim = Sim::new(s.world_config(), protocol);
     if s.observe {
         sim.world_mut().enable_observer();
@@ -466,6 +478,7 @@ pub fn run_scenario<P: Protocol>(s: &Scenario, protocol: P) -> RunReport<P> {
     if s.trace_capacity > 0 {
         sim.world_mut().enable_trace(s.trace_capacity);
     }
+    setup(&mut sim);
 
     // Sequential arrivals. Positions are drawn when the node powers on,
     // so connected arrivals can anchor to wherever the network is *now*.

@@ -1,0 +1,106 @@
+//! Behavior-neutrality pins for the sans-io refactor.
+//!
+//! Captured on the tree *immediately before* the protocol cores were
+//! split from `manet-sim` (the sans-io refactor): each constant is the
+//! FNV-1a fingerprint of the full JSONL event trace of one canned
+//! chaos run. The sans-io drivers must reproduce every one of them
+//! byte-for-byte — the refactor is required to be provably
+//! behavior-neutral, so these values must never be "regenerated" to
+//! make the suite pass. If one moves, the refactor changed protocol
+//! behavior and the change itself is the bug.
+
+use harness::scenario::{run_scenario, Scenario};
+use manet_sim::FaultPlan;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The splitbrain-style probe plan: delays, a healing partition,
+/// crashes with one restart, and a head kill — every fault category
+/// that reorders or drops protocol traffic, with no attackers.
+fn probe_plan() -> FaultPlan {
+    FaultPlan::parse(
+        "seed 13\n\
+         delay 0.2 5ms 40ms\n\
+         loss 0.1\n\
+         crash 2 at 8s restart 16s\n\
+         crash 5 at 10s\n\
+         partition x=500 from 9s heal 14s\n\
+         headkill 1 at 15s\n",
+    )
+    .expect("probe plan parses")
+}
+
+fn probe_scenario() -> Scenario {
+    Scenario::builder()
+        .nn(16)
+        .settle_secs(5)
+        .depart_fraction(0.25)
+        .abrupt_ratio(0.5)
+        .depart_window_secs(8)
+        .cooldown_secs(8)
+        .post_arrivals(1)
+        .seed(23)
+        .fault_plan(probe_plan())
+        .observe(true)
+        .trace_capacity(1 << 18)
+        .build()
+        .expect("probe scenario is in-domain")
+}
+
+fn trace_fingerprint<P: manet_sim::Protocol>(protocol: P) -> String {
+    let report = run_scenario(&probe_scenario(), protocol);
+    let jsonl = report.world().trace().to_jsonl();
+    assert!(!jsonl.is_empty(), "trace captured events");
+    format!("fnv1a:{:016x}", fnv1a(jsonl.as_bytes()))
+}
+
+/// `(name, pinned pre-refactor fingerprint)` for every protocol.
+const PINS: &[(&str, &str)] = &[
+    ("quorum", "fnv1a:41251b476d2f1fdb"),
+    // Equal to the open pin by design: hardening is zero-cost on
+    // attacker-free plans (the PR 6 guarantee, re-proven here).
+    ("quorum-hardened", "fnv1a:41251b476d2f1fdb"),
+    ("manetconf", "fnv1a:a105025842510f33"),
+    ("buddy", "fnv1a:74112750877a682f"),
+    ("ctree", "fnv1a:7a71f727c9fc8370"),
+    ("dad", "fnv1a:05b9956e85af3268"),
+];
+
+fn fingerprint_of(name: &str) -> String {
+    match name {
+        "quorum" => trace_fingerprint(qbac_core::Qbac::new(qbac_core::ProtocolConfig::default())),
+        "quorum-hardened" => trace_fingerprint(qbac_core::Qbac::new(qbac_core::ProtocolConfig {
+            harden: true,
+            ..qbac_core::ProtocolConfig::default()
+        })),
+        "manetconf" => trace_fingerprint(baselines::manetconf::ManetConf::default()),
+        "buddy" => trace_fingerprint(baselines::buddy::Buddy::default()),
+        "ctree" => trace_fingerprint(baselines::ctree::CTree::default()),
+        "dad" => trace_fingerprint(baselines::dad::QueryDad::default()),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+#[test]
+fn sansio_drivers_reproduce_pre_refactor_traces() {
+    let mut failures = Vec::new();
+    for (name, pinned) in PINS {
+        let got = fingerprint_of(name);
+        println!("PIN {name} {got}");
+        if got != *pinned {
+            failures.push(format!("{name}: pinned {pinned}, got {got}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "sans-io refactor is not behavior-neutral:\n{}",
+        failures.join("\n")
+    );
+}

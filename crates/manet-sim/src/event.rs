@@ -1,19 +1,5 @@
-use crate::{NodeId, SimTime};
-use serde::{Deserialize, Serialize};
+use crate::{NodeId, SimTime, TimerId};
 use std::cmp::Ordering;
-use std::fmt;
-
-/// Handle to a pending timer, used for cancellation.
-///
-/// Returned by [`World::set_timer`](crate::World::set_timer).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct TimerId(pub(crate) u64);
-
-impl fmt::Display for TimerId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t{}", self.0)
-    }
-}
 
 /// What a scheduled event does when it fires.
 #[derive(Debug, Clone)]
@@ -103,6 +89,6 @@ mod tests {
 
     #[test]
     fn timer_id_display() {
-        assert_eq!(TimerId(9).to_string(), "t9");
+        assert_eq!(TimerId::from_raw(9).to_string(), "t9");
     }
 }

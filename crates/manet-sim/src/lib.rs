@@ -38,18 +38,18 @@
 //! # Example
 //!
 //! ```
-//! use manet_sim::{NodeId, Point, Protocol, Sim, SimDuration, World, WorldConfig};
+//! use manet_sim::{Net, NodeId, Point, Protocol, Sim, SimDuration, WorldConfig};
 //!
 //! /// A protocol in which every joining node pings node 0.
 //! struct Ping;
 //! impl Protocol for Ping {
 //!     type Msg = &'static str;
-//!     fn on_join(&mut self, w: &mut World<Self::Msg>, node: NodeId) {
+//!     fn on_join(&mut self, w: &mut Net<'_, Self::Msg>, node: NodeId) {
 //!         if node != NodeId::new(0) {
 //!             let _ = w.unicast(node, NodeId::new(0), Default::default(), "ping");
 //!         }
 //!     }
-//!     fn on_message(&mut self, _w: &mut World<Self::Msg>, _to: NodeId, _from: NodeId, _m: &'static str) {}
+//!     fn on_message(&mut self, _w: &mut Net<'_, Self::Msg>, _to: NodeId, _from: NodeId, _m: &'static str) {}
 //! }
 //!
 //! let mut sim = Sim::new(WorldConfig::default(), Ping);
@@ -65,34 +65,33 @@
 
 mod event;
 pub mod faults;
-mod geometry;
-pub mod histogram;
-mod ids;
-mod metrics;
 pub mod mobility;
 pub mod observer;
-mod protocol;
-mod rng;
 pub mod routing;
 mod sim;
-mod time;
 pub mod topology;
 pub mod trace;
 mod world;
 
-pub use event::TimerId;
-pub use faults::{AttackKind, AttackRole, FaultPlan};
-pub use geometry::{Arena, Point};
-pub use histogram::Histogram;
-pub use ids::NodeId;
-pub use metrics::{FaultCounters, Metrics, MsgCategory, PerfCounters};
+pub use proto_io::histogram;
+/// The simulator's historical name for the sans-io protocol contract.
+///
+/// The trait itself lives in `proto-io` as [`ProtocolCore`]; protocol
+/// crates implement it without depending on the simulator, and the
+/// simulator drives any implementation as backend #1.
+pub use proto_io::ProtocolCore as Protocol;
+pub use proto_io::{
+    Arena, AttackKind, Cast, FaultCounters, FlowKind, FlowStage, Histogram, Input, Metrics,
+    MsgCategory, Net, NetBackend, NodeId, Output, PerfCounters, Point, ProtoMsg, ProtocolCore,
+    SendError, SendResult, SimDuration, SimRng, SimTime, TimerId, Transcript, TranscriptDiff,
+    WireMsg,
+};
+
+pub use faults::{AttackRole, FaultPlan};
 pub use mobility::{MobilityConfig, MobilityModel, RetargetCtx};
-pub use observer::{FlowKind, FlowStage, FlowTally, Observer};
-pub use protocol::Protocol;
-pub use rng::SimRng;
+pub use observer::{FlowTally, Observer};
 pub use sim::Sim;
-pub use time::{SimDuration, SimTime};
-pub use world::{SendError, World, WorldConfig};
+pub use world::{WireShadow, World, WorldConfig};
 
 /// Schema version stamped into every JSON artifact the workspace emits
 /// (run manifests, `sweep.json`, `BENCH_*.json`). Readers check it

@@ -16,127 +16,8 @@
 
 use crate::NodeId;
 use std::collections::HashMap;
-use std::fmt;
 
-/// What kind of protocol undertaking a flow tracks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum FlowKind {
-    /// Address acquisition: join started → votes gathered → address
-    /// assigned (or abandoned after the retry budget).
-    Join,
-    /// Reclamation of a vanished head's space (§IV-D): flood started →
-    /// space absorbed (or abandoned when the head turned out alive).
-    Reclaim,
-    /// Partition-merge / re-init reconfiguration (§V-C): old address
-    /// dropped → reconfigured in the surviving network.
-    Merge,
-    /// Post-heal pool-ownership reconciliation: a head detected a rival
-    /// claiming overlapping blocks, won the quorum ownership vote, and
-    /// re-absorbed the contested space (or abandoned the claim when the
-    /// quorum refused).
-    MergeOwnership,
-    /// One Byzantine attack action by a fault-plan attacker node (a
-    /// squatted grant, a forged vote, an injected reclamation flood, a
-    /// replayed ownership claim). Opened and finalized per action, so
-    /// `started` counts attack attempts.
-    Attack,
-}
-
-impl FlowKind {
-    const ALL: [FlowKind; 5] = [
-        FlowKind::Join,
-        FlowKind::Reclaim,
-        FlowKind::Merge,
-        FlowKind::MergeOwnership,
-        FlowKind::Attack,
-    ];
-
-    fn index(self) -> usize {
-        match self {
-            FlowKind::Join => 0,
-            FlowKind::Reclaim => 1,
-            FlowKind::Merge => 2,
-            FlowKind::MergeOwnership => 3,
-            FlowKind::Attack => 4,
-        }
-    }
-}
-
-impl fmt::Display for FlowKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            FlowKind::Join => "join",
-            FlowKind::Reclaim => "reclaim",
-            FlowKind::Merge => "merge",
-            FlowKind::MergeOwnership => "merge_ownership",
-            FlowKind::Attack => "attack",
-        })
-    }
-}
-
-/// A lifecycle stage within a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum FlowStage {
-    /// The flow opened (assigns the correlation ID).
-    Started,
-    /// A quorum vote over the request completed with this tally.
-    VotesGathered {
-        /// Members that granted.
-        grants: u32,
-        /// Members that refused.
-        refusals: u32,
-    },
-    /// The flow retried (`attempt` = retry ordinal, 1-based).
-    Retry {
-        /// Which retry this is.
-        attempt: u32,
-    },
-    /// Terminal: an address was assigned.
-    Assigned,
-    /// Terminal: the flow gave up (retry budget exhausted, or a
-    /// reclamation cancelled by a live head).
-    Abandoned,
-    /// Terminal: the flow completed (reclamation absorbed the space, a
-    /// merge reconfiguration landed).
-    Finalized,
-}
-
-impl FlowStage {
-    /// Terminal stages close the flow and retire its correlation ID.
-    #[must_use]
-    pub fn is_terminal(&self) -> bool {
-        matches!(
-            self,
-            FlowStage::Assigned | FlowStage::Abandoned | FlowStage::Finalized
-        )
-    }
-
-    /// Stable lowercase name (used by trace rendering and JSONL).
-    #[must_use]
-    pub fn name(&self) -> &'static str {
-        match self {
-            FlowStage::Started => "started",
-            FlowStage::VotesGathered { .. } => "votes_gathered",
-            FlowStage::Retry { .. } => "retry",
-            FlowStage::Assigned => "assigned",
-            FlowStage::Abandoned => "abandoned",
-            FlowStage::Finalized => "finalized",
-        }
-    }
-}
-
-impl fmt::Display for FlowStage {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            FlowStage::VotesGathered { grants, refusals } => {
-                write!(f, "votes_gathered ({grants} grants, {refusals} refusals)")
-            }
-            FlowStage::Retry { attempt } => write!(f, "retry #{attempt}"),
-            other => f.write_str(other.name()),
-        }
-    }
-}
+pub use proto_io::{FlowKind, FlowStage};
 
 /// Outcome tallies for one [`FlowKind`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -259,7 +140,9 @@ impl Observer {
             FlowStage::Assigned => tally.assigned += 1,
             FlowStage::Abandoned => tally.abandoned += 1,
             FlowStage::Finalized => tally.finalized += 1,
-            FlowStage::Started | FlowStage::VotesGathered { .. } => {}
+            // `FlowStage` is non-exhaustive now that it lives in
+            // proto-io; unknown future stages tally nothing.
+            _ => {}
         }
         if stage.is_terminal() {
             self.open.remove(&key);

@@ -1,5 +1,5 @@
 use crate::event::EventKind;
-use crate::{NodeId, Point, Protocol, SimDuration, SimTime, World, WorldConfig};
+use crate::{Input, Net, NodeId, Point, Protocol, SimDuration, SimTime, World, WorldConfig};
 
 /// The simulation driver: owns the [`World`] and the [`Protocol`] and
 /// dispatches events to the protocol's callbacks in timestamp order.
@@ -65,7 +65,7 @@ impl<P: Protocol> Sim<P> {
     pub fn spawn_at(&mut self, pos: Point) -> NodeId {
         let node = self.world.create_node(pos);
         self.world.activate(node);
-        self.protocol.on_join(&mut self.world, node);
+        self.feed(node, Input::Join);
         node
     }
 
@@ -165,23 +165,32 @@ impl<P: Protocol> Sim<P> {
         processed
     }
 
+    /// Feeds one sans-io [`Input`] to the protocol core: records it in
+    /// the transcript (when recording) and dispatches through a [`Net`]
+    /// handle wrapping the world.
+    fn feed(&mut self, node: NodeId, input: Input<P::Msg>) {
+        self.world.record_input(node, &input);
+        let mut net = Net::new(&mut self.world);
+        self.protocol.handle(&mut net, node, input);
+    }
+
     fn dispatch(&mut self, kind: EventKind<P::Msg>) {
         match kind {
             EventKind::Deliver { to, from, msg } => {
                 if self.world.is_alive(to) {
                     self.world.metrics_mut().perf_mut().deliveries += 1;
-                    self.protocol.on_message(&mut self.world, to, from, msg);
+                    self.feed(to, Input::Message { from, msg });
                 }
             }
             EventKind::Timer { node, id, tag } => {
                 if !self.world.timer_cancelled(id) && self.world.is_alive(node) {
                     self.world.metrics_mut().perf_mut().timers_fired += 1;
-                    self.protocol.on_timer(&mut self.world, node, tag);
+                    self.feed(node, Input::TimerFired { tag });
                 }
             }
             EventKind::Join { node } => {
                 if self.world.activate(node) {
-                    self.protocol.on_join(&mut self.world, node);
+                    self.feed(node, Input::Join);
                 }
             }
             EventKind::Leave { node, graceful } => {
@@ -198,7 +207,7 @@ impl<P: Protocol> Sim<P> {
             }
             EventKind::Restart { node } => {
                 if self.world.revive(node) {
-                    self.protocol.on_join(&mut self.world, node);
+                    self.feed(node, Input::Join);
                 }
             }
             EventKind::HeadKill { count } => self.dispatch_head_kill(count),
@@ -234,10 +243,10 @@ impl<P: Protocol> Sim<P> {
         if graceful {
             // The protocol runs its handshake and is responsible for the
             // eventual `remove_node`.
-            self.protocol.on_leave(&mut self.world, node, true);
+            self.feed(node, Input::Leave { graceful: true });
         } else {
             self.world.remove_node(node);
-            self.protocol.on_leave(&mut self.world, node, false);
+            self.feed(node, Input::Leave { graceful: false });
         }
     }
 }
@@ -259,7 +268,7 @@ mod tests {
     impl Protocol for Echo {
         type Msg = &'static str;
 
-        fn on_join(&mut self, w: &mut World<Self::Msg>, node: NodeId) {
+        fn on_join(&mut self, w: &mut Net<'_, Self::Msg>, node: NodeId) {
             if node.index() != 0 {
                 let _ = w.unicast(node, NodeId::new(0), MsgCategory::Configuration, "req");
             }
@@ -267,7 +276,7 @@ mod tests {
 
         fn on_message(
             &mut self,
-            w: &mut World<Self::Msg>,
+            w: &mut Net<'_, Self::Msg>,
             to: NodeId,
             from: NodeId,
             msg: Self::Msg,
@@ -285,7 +294,7 @@ mod tests {
             }
         }
 
-        fn on_leave(&mut self, w: &mut World<Self::Msg>, node: NodeId, graceful: bool) {
+        fn on_leave(&mut self, w: &mut Net<'_, Self::Msg>, node: NodeId, graceful: bool) {
             self.left.push((node, graceful));
             if graceful {
                 w.remove_node(node);
@@ -390,13 +399,13 @@ mod tests {
         struct SendLater;
         impl Protocol for SendLater {
             type Msg = ();
-            fn on_join(&mut self, w: &mut World<()>, node: NodeId) {
+            fn on_join(&mut self, w: &mut Net<'_, ()>, node: NodeId) {
                 if node.index() == 1 {
                     // Queued for delivery one hop later.
                     let _ = w.unicast(node, NodeId::new(0), MsgCategory::Hello, ());
                 }
             }
-            fn on_message(&mut self, _w: &mut World<()>, _t: NodeId, _f: NodeId, _m: ()) {
+            fn on_message(&mut self, _w: &mut Net<'_, ()>, _t: NodeId, _f: NodeId, _m: ()) {
                 panic!("must not deliver to a dead node");
             }
         }
@@ -415,14 +424,14 @@ mod tests {
         }
         impl Protocol for Timers {
             type Msg = ();
-            fn on_join(&mut self, w: &mut World<()>, node: NodeId) {
+            fn on_join(&mut self, w: &mut Net<'_, ()>, node: NodeId) {
                 w.set_timer(node, SimDuration::from_millis(10), 1);
                 let cancel_me = w.set_timer(node, SimDuration::from_millis(20), 2);
                 w.set_timer(node, SimDuration::from_millis(30), 3);
                 w.cancel_timer(cancel_me);
             }
-            fn on_message(&mut self, _w: &mut World<()>, _t: NodeId, _f: NodeId, _m: ()) {}
-            fn on_timer(&mut self, _w: &mut World<()>, _node: NodeId, tag: u64) {
+            fn on_message(&mut self, _w: &mut Net<'_, ()>, _t: NodeId, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, _w: &mut Net<'_, ()>, _node: NodeId, tag: u64) {
                 self.fired.push(tag);
             }
         }
@@ -440,11 +449,11 @@ mod tests {
         }
         impl Protocol for T {
             type Msg = ();
-            fn on_join(&mut self, w: &mut World<()>, node: NodeId) {
+            fn on_join(&mut self, w: &mut Net<'_, ()>, node: NodeId) {
                 w.set_timer(node, SimDuration::from_millis(100), 0);
             }
-            fn on_message(&mut self, _w: &mut World<()>, _t: NodeId, _f: NodeId, _m: ()) {}
-            fn on_timer(&mut self, _w: &mut World<()>, _n: NodeId, _tag: u64) {
+            fn on_message(&mut self, _w: &mut Net<'_, ()>, _t: NodeId, _f: NodeId, _m: ()) {}
+            fn on_timer(&mut self, _w: &mut Net<'_, ()>, _n: NodeId, _tag: u64) {
                 self.fired += 1;
             }
         }
@@ -520,13 +529,13 @@ mod tests {
         struct Flooder;
         impl Protocol for Flooder {
             type Msg = ();
-            fn on_join(&mut self, w: &mut World<()>, node: NodeId) {
+            fn on_join(&mut self, w: &mut Net<'_, ()>, node: NodeId) {
                 if node.index() == 3 {
                     let got = w.flood(node, MsgCategory::Sync, ()).unwrap();
                     assert_eq!(got.len(), 3); // other three in the chain
                 }
             }
-            fn on_message(&mut self, _w: &mut World<()>, _t: NodeId, _f: NodeId, _m: ()) {}
+            fn on_message(&mut self, _w: &mut Net<'_, ()>, _t: NodeId, _f: NodeId, _m: ()) {}
         }
         let mut sim = Sim::new(still_config(), Flooder);
         for i in 0..4 {
@@ -541,14 +550,14 @@ mod tests {
         struct B;
         impl Protocol for B {
             type Msg = ();
-            fn on_join(&mut self, w: &mut World<()>, node: NodeId) {
+            fn on_join(&mut self, w: &mut Net<'_, ()>, node: NodeId) {
                 if node.index() == 4 {
                     // Chain of 5 nodes, 100 m apart; node 4 broadcasts 2 hops.
                     let got = w.broadcast_within(node, 2, MsgCategory::Hello, ()).unwrap();
                     assert_eq!(got.len(), 2); // nodes 3 and 2
                 }
             }
-            fn on_message(&mut self, _w: &mut World<()>, _t: NodeId, _f: NodeId, _m: ()) {}
+            fn on_message(&mut self, _w: &mut Net<'_, ()>, _t: NodeId, _f: NodeId, _m: ()) {}
         }
         let mut sim = Sim::new(still_config(), B);
         for i in 0..5 {

@@ -1,12 +1,16 @@
-use crate::event::{EventKind, Scheduled, TimerId};
+use crate::event::{EventKind, Scheduled};
 use crate::faults::{AttackKind, DeliveryFate, FaultPlan, FaultState};
 use crate::mobility::{MobilityConfig, MobilityModel, MobilityState, RetargetCtx};
 use crate::observer::{FlowKind, FlowStage, Observer};
 use crate::topology::Topology;
 use crate::trace::{Trace, TraceEvent};
-use crate::{Arena, Metrics, MsgCategory, NodeId, Point, SimDuration, SimRng, SimTime};
-use std::collections::{BinaryHeap, HashSet};
-use std::error::Error;
+use crate::TimerId;
+use crate::{
+    Arena, Metrics, MsgCategory, NetBackend, NodeId, Point, ProtoMsg, SendError, SimDuration,
+    SimRng, SimTime, Transcript,
+};
+use proto_io::Input;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::fmt;
 
 /// Static parameters of a simulation run.
@@ -61,28 +65,6 @@ impl Default for WorldConfig {
     }
 }
 
-/// Why a send failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum SendError {
-    /// The sender is not alive.
-    SenderDead,
-    /// No multi-hop path currently exists to the destination (different
-    /// partition, or the destination is gone).
-    Unreachable,
-}
-
-impl fmt::Display for SendError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SendError::SenderDead => write!(f, "sender is not alive"),
-            SendError::Unreachable => write!(f, "destination unreachable"),
-        }
-    }
-}
-
-impl Error for SendError {}
-
 #[derive(Debug, Clone)]
 struct NodeSlot {
     alive: bool,
@@ -98,6 +80,28 @@ struct NodeSlot {
 /// measurement sink. Protocols interact with the simulation exclusively
 /// through this type.
 ///
+/// A *shadow transport*: realizes every logical delivery as real I/O
+/// before it is scheduled.
+///
+/// When installed via [`World::set_wire_shadow`], the world calls
+/// [`carry`](WireShadow::carry) at its single delivery choke point with
+/// one deterministic shortest path per `(sender, recipient)` pair. The
+/// shadow moves the message hop-by-hop over its own medium (the UDP
+/// mesh backend moves real datagrams between per-node sockets) and
+/// returns the copy decoded at the destination — *that* copy is what
+/// gets delivered, so a lossy or lying transport shows up as a
+/// transcript divergence, not a silently patched-over bug.
+///
+/// The shadow must not touch virtual time, the world RNG, or the event
+/// queue: scheduling stays byte-identical with and without a shadow.
+pub trait WireShadow<M>: fmt::Debug + Send {
+    /// Carries `msg` along `path` (consecutive one-hop neighbors,
+    /// sender first, recipient last; a single-element path is a
+    /// self-delivery) and returns the message as decoded by the
+    /// recipient.
+    fn carry(&mut self, path: &[NodeId], category: MsgCategory, msg: &M) -> M;
+}
+
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct World<M> {
@@ -116,6 +120,8 @@ pub struct World<M> {
     observer: Observer,
     faults: Option<Box<FaultState>>,
     mobility_model: Box<dyn MobilityModel>,
+    transcript: Option<Transcript>,
+    shadow: Option<Box<dyn WireShadow<M>>>,
 }
 
 impl<M: Clone + fmt::Debug> World<M> {
@@ -140,6 +146,8 @@ impl<M: Clone + fmt::Debug> World<M> {
             observer: Observer::default(),
             faults,
             mobility_model,
+            transcript: None,
+            shadow: None,
         };
         world.schedule_fault_events();
         world
@@ -546,6 +554,10 @@ impl<M: Clone + fmt::Debug> World<M> {
         category: MsgCategory,
         msg: M,
     ) {
+        // The shadow transmits unconditionally — a datagram that the
+        // logical layer then loses was still physically sent, exactly
+        // like a real radio. Loss/fault draws below are untouched.
+        let msg = self.shadow_carry(from, to, dist_hops, category, msg);
         if self.lost() {
             return; // charged but never delivered
         }
@@ -626,7 +638,7 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// Arms a timer on `node` that fires after `delay`, delivering `tag`
     /// to [`Protocol::on_timer`](crate::Protocol::on_timer).
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
-        let id = TimerId(self.next_timer);
+        let id = TimerId::from_raw(self.next_timer);
         self.next_timer += 1;
         self.push_at(self.now + delay, EventKind::Timer { node, id, tag });
         id
@@ -862,5 +874,211 @@ impl<M: Clone + fmt::Debug> World<M> {
     #[must_use]
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+}
+
+impl<M: Clone + fmt::Debug> World<M> {
+    /// Installs a shadow transport (see [`WireShadow`]): from now on
+    /// every delivery is first carried over the shadow's medium and the
+    /// recipient-decoded copy is what gets scheduled.
+    pub fn set_wire_shadow(&mut self, shadow: Box<dyn WireShadow<M>>) {
+        self.shadow = Some(shadow);
+    }
+
+    /// Whether a shadow transport is installed.
+    #[must_use]
+    pub fn has_wire_shadow(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Reconstructs one deterministic shortest path `from → to` over the
+    /// current link map: walk back from the recipient, always picking
+    /// the lowest-id neighbor one hop closer to the sender. `dist_hops`
+    /// is the recipient's BFS depth (0 for a self-delivery).
+    fn shadow_route(&mut self, from: NodeId, to: NodeId, dist_hops: u32) -> Vec<NodeId> {
+        if from == to || dist_hops == 0 {
+            return vec![from];
+        }
+        let dists = self.topology().distances_from(from);
+        let mut path = vec![to];
+        let mut cur = to;
+        let mut d = dist_hops;
+        while d > 1 {
+            let prev = self
+                .topology()
+                .neighbors(cur)
+                .into_iter()
+                .filter(|n| dists.get(n) == Some(&(d - 1)))
+                .min()
+                .expect("BFS predecessor exists on a shortest path");
+            path.push(prev);
+            cur = prev;
+            d -= 1;
+        }
+        path.push(from);
+        path.reverse();
+        path
+    }
+
+    /// Runs the shadow transport for one `(from, to)` delivery and
+    /// returns the message copy the recipient decoded (or the original
+    /// when no shadow is installed).
+    fn shadow_carry(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        dist_hops: u32,
+        category: MsgCategory,
+        msg: M,
+    ) -> M {
+        if self.shadow.is_none() {
+            return msg;
+        }
+        let path = self.shadow_route(from, to, dist_hops);
+        let mut shadow = self.shadow.take().expect("checked above");
+        let carried = shadow.carry(&path, category, &msg);
+        self.shadow = Some(shadow);
+        carried
+    }
+
+    /// Enables transcript recording: every input the driver feeds and
+    /// every effect the protocol performs through [`Net`](crate::Net)
+    /// is appended in canonical form. Off by default (one `Option`
+    /// check per effect).
+    pub fn enable_transcript(&mut self) {
+        self.transcript = Some(Transcript::new());
+    }
+
+    /// The recorded transcript, when enabled.
+    #[must_use]
+    pub fn transcript(&self) -> Option<&Transcript> {
+        self.transcript.as_ref()
+    }
+
+    /// Takes the transcript out of the world (ends recording).
+    pub fn take_transcript(&mut self) -> Option<Transcript> {
+        self.transcript.take()
+    }
+}
+
+impl<M: ProtoMsg> World<M> {
+    /// Records one driver-side input when transcribing (the output half
+    /// is recorded by [`Net`](crate::Net) as effects happen).
+    pub(crate) fn record_input(&mut self, node: NodeId, input: &Input<M>) {
+        let now = self.now;
+        if let Some(t) = self.transcript.as_mut() {
+            t.push_input(now, node, input);
+        }
+    }
+}
+
+/// The simulator as sans-io backend #1: every [`NetBackend`] call
+/// forwards to the corresponding inherent method, so protocol effects
+/// hit the same choke points (metrics, trace, fault plane, scheduling)
+/// they always did, in the same order.
+impl<M: ProtoMsg> NetBackend<M> for World<M> {
+    fn now(&self) -> SimTime {
+        World::now(self)
+    }
+
+    fn is_alive(&self, node: NodeId) -> bool {
+        World::is_alive(self, node)
+    }
+
+    fn is_configured(&self, node: NodeId) -> bool {
+        World::is_configured(self, node)
+    }
+
+    fn neighbors(&mut self, node: NodeId) -> Vec<NodeId> {
+        World::neighbors(self, node)
+    }
+
+    fn nodes_within(&mut self, node: NodeId, k: u32) -> Vec<(NodeId, u32)> {
+        World::nodes_within(self, node, k)
+    }
+
+    fn hops_between(&mut self, a: NodeId, b: NodeId) -> Option<u32> {
+        World::hops_between(self, a, b)
+    }
+
+    fn distances_from(&mut self, node: NodeId) -> HashMap<NodeId, u32> {
+        self.topology().distances_from(node)
+    }
+
+    fn component_of(&mut self, node: NodeId) -> Vec<NodeId> {
+        World::component_of(self, node)
+    }
+
+    fn components(&mut self) -> Vec<Vec<NodeId>> {
+        World::components(self)
+    }
+
+    fn rng_range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        self.rng.range_u64(range)
+    }
+
+    fn attack_role(&self, node: NodeId) -> Option<AttackKind> {
+        World::attack_role(self, node)
+    }
+
+    fn attack_assigned(&self, node: NodeId) -> Option<AttackKind> {
+        World::attack_assigned(self, node)
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        World::metrics_mut(self)
+    }
+
+    fn flow_event(&mut self, kind: FlowKind, node: NodeId, stage: FlowStage) {
+        World::flow_event(self, kind, node, stage);
+    }
+
+    fn mark_configured(&mut self, node: NodeId) {
+        World::mark_configured(self, node);
+    }
+
+    fn remove_node(&mut self, node: NodeId) {
+        World::remove_node(self, node);
+    }
+
+    fn unicast(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        category: MsgCategory,
+        msg: M,
+    ) -> Result<u32, SendError> {
+        World::unicast(self, from, to, category, msg)
+    }
+
+    fn broadcast_within(
+        &mut self,
+        from: NodeId,
+        k: u32,
+        category: MsgCategory,
+        msg: M,
+    ) -> Result<Vec<NodeId>, SendError> {
+        World::broadcast_within(self, from, k, category, msg)
+    }
+
+    fn flood(
+        &mut self,
+        from: NodeId,
+        category: MsgCategory,
+        msg: M,
+    ) -> Result<Vec<NodeId>, SendError> {
+        World::flood(self, from, category, msg)
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) -> TimerId {
+        World::set_timer(self, node, delay, tag)
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        World::cancel_timer(self, id);
+    }
+
+    fn transcript_mut(&mut self) -> Option<&mut Transcript> {
+        self.transcript.as_mut()
     }
 }

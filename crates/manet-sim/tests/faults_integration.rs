@@ -2,7 +2,7 @@
 
 use manet_sim::faults::FaultPlan;
 use manet_sim::{
-    MsgCategory, NodeId, Point, Protocol, Sim, SimDuration, SimTime, World, WorldConfig,
+    MsgCategory, Net, NodeId, Point, Protocol, Sim, SimDuration, SimTime, WorldConfig,
 };
 
 /// Ping protocol: every joiner unicasts node 0 once; node 0 counts.
@@ -15,7 +15,7 @@ struct Ping {
 impl Protocol for Ping {
     type Msg = &'static str;
 
-    fn on_join(&mut self, w: &mut World<Self::Msg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, Self::Msg>, node: NodeId) {
         self.joins += 1;
         if node.index() != 0 {
             let _ = w.unicast(node, NodeId::new(0), MsgCategory::Configuration, "ping");
@@ -24,7 +24,7 @@ impl Protocol for Ping {
 
     fn on_message(
         &mut self,
-        _w: &mut World<Self::Msg>,
+        _w: &mut Net<'_, Self::Msg>,
         _to: NodeId,
         _from: NodeId,
         _m: &'static str,
@@ -39,8 +39,8 @@ struct HeadZero;
 
 impl Protocol for HeadZero {
     type Msg = ();
-    fn on_join(&mut self, _w: &mut World<()>, _node: NodeId) {}
-    fn on_message(&mut self, _w: &mut World<()>, _t: NodeId, _f: NodeId, _m: ()) {}
+    fn on_join(&mut self, _w: &mut Net<'_, ()>, _node: NodeId) {}
+    fn on_message(&mut self, _w: &mut Net<'_, ()>, _t: NodeId, _f: NodeId, _m: ()) {}
     fn is_cluster_head(&self, node: NodeId) -> bool {
         node.index() == 0
     }

@@ -3,7 +3,7 @@
 //! trace fingerprints per model).
 
 use manet_sim::mobility::{MobilityConfig, RetargetCtx};
-use manet_sim::{Arena, NodeId, Point, Sim, SimDuration, SimRng, SimTime, World, WorldConfig};
+use manet_sim::{Arena, Net, NodeId, Point, Sim, SimDuration, SimRng, SimTime, WorldConfig};
 
 /// Marks every joiner configured immediately so mobility starts.
 struct Idle;
@@ -11,11 +11,11 @@ struct Idle;
 impl manet_sim::Protocol for Idle {
     type Msg = ();
 
-    fn on_join(&mut self, w: &mut World<()>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, ()>, node: NodeId) {
         w.mark_configured(node);
     }
 
-    fn on_message(&mut self, _w: &mut World<()>, _to: NodeId, _from: NodeId, _msg: ()) {}
+    fn on_message(&mut self, _w: &mut Net<'_, ()>, _to: NodeId, _from: NodeId, _msg: ()) {}
 }
 
 const MODELS: [&str; 4] = [

@@ -11,7 +11,9 @@
 
 use manet_sim::mobility::MobilityState;
 use manet_sim::topology::Topology;
-use manet_sim::{Arena, NodeId, Point, Protocol, Sim, SimDuration, SimRng, World, WorldConfig};
+use manet_sim::{
+    Arena, Net, NodeId, Point, Protocol, Sim, SimDuration, SimRng, World, WorldConfig,
+};
 use proptest::prelude::*;
 
 fn random_layout(seed: u64, n: usize, area: f64) -> Vec<(NodeId, Point)> {
@@ -142,8 +144,8 @@ fn inclusive_boundary_across_cell_borders() {
 struct Inert;
 impl Protocol for Inert {
     type Msg = ();
-    fn on_join(&mut self, _w: &mut World<()>, _node: NodeId) {}
-    fn on_message(&mut self, _w: &mut World<()>, _to: NodeId, _from: NodeId, _m: ()) {}
+    fn on_join(&mut self, _w: &mut Net<'_, ()>, _node: NodeId) {}
+    fn on_message(&mut self, _w: &mut Net<'_, ()>, _to: NodeId, _from: NodeId, _m: ()) {}
 }
 
 /// The oracle for "what should the world's topology be right now":

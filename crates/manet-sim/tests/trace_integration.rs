@@ -1,18 +1,18 @@
 //! End-to-end check that the event trace captures simulator activity.
 
 use manet_sim::trace::TraceEvent;
-use manet_sim::{MsgCategory, NodeId, Point, Protocol, Sim, SimDuration, World, WorldConfig};
+use manet_sim::{MsgCategory, Net, NodeId, Point, Protocol, Sim, SimDuration, WorldConfig};
 
 struct PingAll;
 
 impl Protocol for PingAll {
     type Msg = u8;
-    fn on_join(&mut self, w: &mut World<u8>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, u8>, node: NodeId) {
         if node.index() > 0 {
             let _ = w.unicast(node, NodeId::new(0), MsgCategory::Configuration, 1);
         }
     }
-    fn on_message(&mut self, w: &mut World<u8>, to: NodeId, from: NodeId, msg: u8) {
+    fn on_message(&mut self, w: &mut Net<'_, u8>, to: NodeId, from: NodeId, msg: u8) {
         if msg == 1 {
             let _ = w.broadcast_within(to, 1, MsgCategory::Hello, 2);
             let _ = w.unicast(to, from, MsgCategory::Configuration, 3);

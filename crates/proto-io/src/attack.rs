@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// A Byzantine behaviour a designated attacker node runs once active.
+///
+/// Attacks are part of the fault plan, so they are seeded, deterministic,
+/// and round-trip through the text grammar like every other fault
+/// directive. The transport only *records* the role — the protocol under
+/// test decides what (if anything) the role means; the honest baselines
+/// simply ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// Claim addresses without running the quorum allocation procedure
+    /// (address squatting: the attacker grants from a block it never
+    /// acquired).
+    Squat,
+    /// Forge `QUORUM_CFM` grant votes on behalf of polled quorum
+    /// members so contested allocations pass.
+    SpoofCfm,
+    /// Inject `ADDR_REC` reclamation floods naming a live head so the
+    /// honest quorum evicts it and its leases become stealable.
+    FalseReclaim,
+    /// Replay a captured `OWN_CLAIM` after a partition merge to re-run
+    /// an ownership transfer that was already settled.
+    ReplayClaim,
+}
+
+impl AttackKind {
+    /// The keyword used in the fault-plan text grammar.
+    #[must_use]
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AttackKind::Squat => "squat",
+            AttackKind::SpoofCfm => "spoof-cfm",
+            AttackKind::FalseReclaim => "false-reclaim",
+            AttackKind::ReplayClaim => "replay-claim",
+        }
+    }
+
+    /// Every attack kind, in canonical order.
+    pub const ALL: [AttackKind; 4] = [
+        AttackKind::Squat,
+        AttackKind::SpoofCfm,
+        AttackKind::FalseReclaim,
+        AttackKind::ReplayClaim,
+    ];
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}

@@ -6,7 +6,7 @@ use std::fmt;
 /// # Example
 ///
 /// ```
-/// use manet_sim::Point;
+/// use proto_io::Point;
 ///
 /// let a = Point::new(0.0, 0.0);
 /// let b = Point::new(3.0, 4.0);
@@ -56,7 +56,7 @@ impl fmt::Display for Point {
 /// # Example
 ///
 /// ```
-/// use manet_sim::{Arena, Point};
+/// use proto_io::{Arena, Point};
 ///
 /// let arena = Arena::new(1000.0, 1000.0);
 /// assert!(arena.contains(Point::new(500.0, 999.0)));

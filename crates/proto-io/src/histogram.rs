@@ -26,7 +26,7 @@ const BUCKETS: usize = 65;
 /// # Example
 ///
 /// ```
-/// use manet_sim::Histogram;
+/// use proto_io::Histogram;
 ///
 /// let mut h = Histogram::new();
 /// for v in [1, 2, 3, 4, 100] {

@@ -7,7 +7,7 @@ use std::fmt;
 /// # Example
 ///
 /// ```
-/// use manet_sim::NodeId;
+/// use proto_io::NodeId;
 ///
 /// let n = NodeId::new(3);
 /// assert_eq!(n.index(), 3);

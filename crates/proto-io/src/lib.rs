@@ -1,0 +1,59 @@
+//! Transport-agnostic protocol vocabulary and the sans-io core contract.
+//!
+//! This crate is everything a protocol implementation needs and nothing a
+//! transport provides: identifiers ([`NodeId`]), integer virtual time
+//! ([`SimTime`]), accounting ([`Metrics`], [`Histogram`]), flow telemetry
+//! vocabulary ([`FlowKind`], [`FlowStage`]), the seeded [`SimRng`], and —
+//! at its heart — the **sans-io contract**:
+//!
+//! * [`ProtocolCore`] — the protocol state machine. It consumes
+//!   [`Input`]s (join, message, timer, link change, leave) and performs
+//!   every effect through a [`Net`] handle; it never touches a simulator
+//!   or a socket directly.
+//! * [`Net`] / [`NetBackend`] — the effect boundary. `Net` is a thin
+//!   facade over a backend (the discrete-event simulator, the UDP mesh,
+//!   anything else) that forwards every call *eagerly* — effect ordering
+//!   is exactly call ordering, which is what makes behavior across
+//!   backends comparable at all — and, when the backend carries a
+//!   [`Transcript`], records each effect in canonical form.
+//! * [`Transcript`] — the wall-clock-free canonical record of a run's
+//!   protocol I/O. Two backends are *equivalent on a scenario* when their
+//!   transcripts are byte-identical; [`Transcript::diff`] produces a
+//!   minimized first-divergence report when they are not.
+//!
+//! The crate deliberately has no dependency on any transport: protocol
+//! crates depending on `proto-io` alone provably cannot reach around the
+//! contract (a lint test in `qbac-core` enforces this).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attack;
+mod core;
+mod flow;
+mod geometry;
+pub mod histogram;
+mod ids;
+mod io;
+mod metrics;
+mod msg;
+mod net;
+mod rng;
+mod time;
+mod timer;
+mod transcript;
+
+pub use attack::AttackKind;
+pub use core::ProtocolCore;
+pub use flow::{FlowKind, FlowStage};
+pub use geometry::{Arena, Point};
+pub use histogram::Histogram;
+pub use ids::NodeId;
+pub use io::{Cast, Input, Output, SendResult};
+pub use metrics::{FaultCounters, Metrics, MsgCategory, PerfCounters};
+pub use msg::{ProtoMsg, WireMsg};
+pub use net::{Net, NetBackend, SendError};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use timer::TimerId;
+pub use transcript::{Transcript, TranscriptDiff};

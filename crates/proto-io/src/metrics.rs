@@ -57,7 +57,7 @@ pub struct CategoryCounter {
     pub hops: u64,
 }
 
-/// Counters for injected faults (see [`crate::faults::FaultPlan`]).
+/// Counters for injected faults (see the simulator's `FaultPlan`).
 ///
 /// All zeros unless a fault plan is active.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -207,7 +207,7 @@ impl PerfCounters {
 /// # Example
 ///
 /// ```
-/// use manet_sim::{Metrics, MsgCategory};
+/// use proto_io::{Metrics, MsgCategory};
 ///
 /// let mut m = Metrics::default();
 /// m.add_send(MsgCategory::Configuration, 3);

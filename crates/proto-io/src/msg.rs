@@ -1,0 +1,48 @@
+use std::fmt::Debug;
+
+/// A protocol message type usable with the sans-io contract.
+///
+/// The only requirement beyond `Clone + Debug` (what the simulator always
+/// demanded) is a *canonical byte form* for transcripts. The default uses
+/// the `Debug` rendering — deterministic and derive-friendly, but not an
+/// on-air format. Protocols with a real wire codec override [`canon`] with
+/// the encoded bytes so the transcript pins the wire representation
+/// itself (see [`WireMsg`]).
+///
+/// [`canon`]: ProtoMsg::canon
+pub trait ProtoMsg: Clone + Debug {
+    /// Appends this message's canonical byte form to `out`.
+    fn canon(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(format!("{self:?}").as_bytes());
+    }
+}
+
+/// A [`ProtoMsg`] with a self-contained binary wire codec, as required by
+/// transports that move real datagrams (the UDP mesh).
+///
+/// # Contract
+///
+/// `wire_decode(wire_encode(m)) == m` for every reachable message `m`,
+/// and [`ProtoMsg::canon`] should be overridden to equal `wire_encode` —
+/// then transcript equality across backends proves the codec round-trips
+/// faithfully end to end (the mesh records what it *decoded from the
+/// socket*, the simulator records what it *encoded*).
+pub trait WireMsg: ProtoMsg {
+    /// Appends the encoded message to `out`.
+    fn wire_encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one message from `bytes` (which must contain exactly one).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason when `bytes` is not a valid encoding.
+    fn wire_decode(bytes: &[u8]) -> Result<Self, String>;
+}
+
+impl ProtoMsg for () {}
+impl ProtoMsg for u8 {}
+impl ProtoMsg for u32 {}
+impl ProtoMsg for u64 {}
+impl ProtoMsg for &'static str {}
+impl ProtoMsg for String {}
+impl ProtoMsg for Vec<u8> {}

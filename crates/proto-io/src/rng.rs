@@ -10,7 +10,7 @@ use crate::{Arena, Point};
 /// # Example
 ///
 /// ```
-/// use manet_sim::SimRng;
+/// use proto_io::SimRng;
 ///
 /// let mut a = SimRng::seed_from(42);
 /// let mut b = SimRng::seed_from(42);

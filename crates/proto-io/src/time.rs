@@ -8,7 +8,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// # Example
 ///
 /// ```
-/// use manet_sim::{SimDuration, SimTime};
+/// use proto_io::{SimDuration, SimTime};
 ///
 /// let t = SimTime::ZERO + SimDuration::from_millis(1500);
 /// assert_eq!(t.as_micros(), 1_500_000);
@@ -88,7 +88,7 @@ impl fmt::Display for SimTime {
 /// # Example
 ///
 /// ```
-/// use manet_sim::SimDuration;
+/// use proto_io::SimDuration;
 ///
 /// assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
 /// assert_eq!(SimDuration::from_secs(3) / 2, SimDuration::from_millis(1500));

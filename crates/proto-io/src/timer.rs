@@ -1,0 +1,30 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to a pending timer, used for cancellation.
+///
+/// Backends allocate ids (from a single monotonic counter, so ids are
+/// deterministic per run); protocols treat them as opaque tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    /// Wraps a raw backend-assigned id. Only drivers call this;
+    /// protocol code has no reason to mint ids.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        TimerId(raw)
+    }
+
+    /// The raw id, for drivers that key tables by it.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}

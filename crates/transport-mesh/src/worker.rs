@@ -1,0 +1,124 @@
+//! The per-node socket task.
+//!
+//! Each simulated node gets one OS thread owning one UDP socket bound to
+//! `127.0.0.1:0`. The thread speaks the protocol's wire encoding: every
+//! datagram it accepts is decoded (a relay that cannot parse a message
+//! refuses to forward it) and re-encoded before the next hop, so a
+//! codec that loses information is caught at the first relay, not at
+//! the end of the run.
+//!
+//! Workers are command-driven over a channel — the coordinator decides
+//! *what* moves *where* (it owns the link map); the worker owns the
+//! socket I/O. The topology filter lives here: a `Recv` command names
+//! the one authorized source address (the link peer), and datagrams
+//! from anyone else are dropped and counted, never delivered.
+
+use proto_io::WireMsg;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Duration;
+
+/// How long one blocking read waits before the worker re-checks its
+/// receive budget.
+const READ_SLICE: Duration = Duration::from_millis(20);
+
+/// Read slices a worker spends waiting for one authorized datagram
+/// before reporting a timeout (the coordinator then retries the hop).
+const READ_BUDGET: u32 = 50;
+
+/// A command from the coordinator to one node's socket task.
+pub(crate) enum Cmd<M> {
+    /// Transmit `bytes` as one datagram to `to`.
+    Send { to: SocketAddr, bytes: Vec<u8> },
+    /// Wait for one datagram from `expect_from` (the link filter),
+    /// decode it, and report the outcome on `reply`.
+    Recv {
+        expect_from: SocketAddr,
+        reply: Sender<RecvOutcome<M>>,
+    },
+    /// Exit the task loop.
+    Shutdown,
+}
+
+/// What one `Recv` command produced.
+pub(crate) enum RecvOutcome<M> {
+    /// An authorized datagram arrived and decoded.
+    Got {
+        /// The decoded message (what this node *understood*).
+        msg: M,
+        /// The raw bytes as they arrived off the socket.
+        bytes: Vec<u8>,
+        /// Datagrams dropped by the link filter while waiting.
+        filtered: u64,
+    },
+    /// No authorized datagram arrived within the receive budget.
+    TimedOut {
+        /// Datagrams dropped by the link filter while waiting.
+        filtered: u64,
+    },
+    /// An authorized datagram arrived but did not parse.
+    DecodeError {
+        /// The decoder's reason.
+        reason: String,
+    },
+}
+
+/// The socket-task body: runs until `Shutdown` (or the command channel
+/// closes, which happens when the coordinator is dropped).
+pub(crate) fn run<M: WireMsg>(socket: UdpSocket, commands: Receiver<Cmd<M>>) {
+    socket
+        .set_read_timeout(Some(READ_SLICE))
+        .expect("loopback socket accepts a read timeout");
+    let mut buf = [0u8; 65536];
+    while let Ok(cmd) = commands.recv() {
+        match cmd {
+            Cmd::Send { to, bytes } => {
+                socket
+                    .send_to(&bytes, to)
+                    .expect("loopback datagram send succeeds");
+            }
+            Cmd::Recv { expect_from, reply } => {
+                let outcome = recv_one(&socket, &mut buf, expect_from);
+                // The coordinator may have given up (retry path); a
+                // closed reply channel is not an error.
+                let _ = reply.send(outcome);
+            }
+            Cmd::Shutdown => break,
+        }
+    }
+}
+
+fn recv_one<M: WireMsg>(
+    socket: &UdpSocket,
+    buf: &mut [u8],
+    expect_from: SocketAddr,
+) -> RecvOutcome<M> {
+    let mut filtered = 0;
+    for _ in 0..READ_BUDGET {
+        let (len, src) = match socket.recv_from(buf) {
+            Ok(ok) => ok,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => panic!("loopback recv failed: {e}"),
+        };
+        if src != expect_from {
+            // Topology filter: not my link peer for this transfer.
+            filtered += 1;
+            continue;
+        }
+        let bytes = buf[..len].to_vec();
+        return match M::wire_decode(&bytes) {
+            Ok(msg) => RecvOutcome::Got {
+                msg,
+                bytes,
+                filtered,
+            },
+            Err(reason) => RecvOutcome::DecodeError { reason },
+        };
+    }
+    RecvOutcome::TimedOut { filtered }
+}

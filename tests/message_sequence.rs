@@ -8,7 +8,7 @@
 //! using a wrapper protocol that records every delivered message.
 
 use qbac::core::{Msg, ProtocolConfig, Qbac};
-use qbac::sim::{NodeId, Point, Protocol, Sim, SimDuration, World, WorldConfig};
+use qbac::sim::{Net, NodeId, Point, Protocol, Sim, SimDuration, WorldConfig};
 
 /// Records `(to, from, variant)` for every delivered message, then
 /// delegates to the real protocol.
@@ -54,17 +54,17 @@ fn variant(msg: &Msg) -> &'static str {
 
 impl Protocol for Recorder {
     type Msg = Msg;
-    fn on_join(&mut self, w: &mut World<Msg>, node: NodeId) {
+    fn on_join(&mut self, w: &mut Net<'_, Msg>, node: NodeId) {
         self.inner.on_join(w, node);
     }
-    fn on_message(&mut self, w: &mut World<Msg>, to: NodeId, from: NodeId, msg: Msg) {
+    fn on_message(&mut self, w: &mut Net<'_, Msg>, to: NodeId, from: NodeId, msg: Msg) {
         self.log.push((to, from, variant(&msg)));
         self.inner.on_message(w, to, from, msg);
     }
-    fn on_timer(&mut self, w: &mut World<Msg>, node: NodeId, tag: u64) {
+    fn on_timer(&mut self, w: &mut Net<'_, Msg>, node: NodeId, tag: u64) {
         self.inner.on_timer(w, node, tag);
     }
-    fn on_leave(&mut self, w: &mut World<Msg>, node: NodeId, graceful: bool) {
+    fn on_leave(&mut self, w: &mut Net<'_, Msg>, node: NodeId, graceful: bool) {
         self.inner.on_leave(w, node, graceful);
     }
 }
