@@ -163,16 +163,14 @@ impl TopologyBaseline {
 /// Writes `contents` to `name` at the workspace root (resolved relative
 /// to this crate, so it works from any bench CWD). Returns the path.
 ///
+/// Delegates to [`harness::artifact::write_workspace`], the workspace's
+/// single artifact-emission seam.
+///
 /// # Errors
 ///
 /// Propagates the underlying I/O error.
 pub fn write_workspace_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()?;
-    let path = root.join(name);
-    std::fs::write(&path, contents)?;
-    Ok(path)
+    harness::artifact::write_workspace(name, contents)
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@
 //! repro sweep --quick --threads 4 --out sweep.json   # parallel grid sweep
 //! repro sweep --quick --mobility manhattan:100 --mobility group:4,50
 //! repro sweep --soak --rounds 5              # chaos soak vs the oracle
+//! repro scale --out BENCH_scale.json         # city-scale sharded join storm
+//! repro scale --quick --n 10000 --engine parallel:4  # CI smoke cell
 //! repro gate BENCH_sweep.json sweep.json     # regression gate vs baseline
+//! repro gate BENCH_scale.json scale.json --subset    # smoke vs committed baseline
 //! repro fuzz --time-budget 60s --seed 42     # coverage-guided schedule fuzz
 //! repro --backend mesh                       # storm + attack canary over real UDP,
 //!                                            # transcripts diffed against the simulator
@@ -35,7 +38,7 @@
 use harness::chaos::{chaos_suite, ChaosOpts};
 use harness::figures::{self, FigOpts};
 use harness::snapshot::{self, Phase, Snapshot, SnapshotParams};
-use manet_sim::FaultPlan;
+use manet_sim::{EngineConfig, FaultPlan, MobilityConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -54,6 +57,7 @@ enum Mode {
     Gate,
     Fuzz,
     Mesh,
+    Scale,
 }
 
 impl Mode {
@@ -68,17 +72,40 @@ impl Mode {
             Mode::Gate => "gate",
             Mode::Fuzz => "fuzz",
             Mode::Mesh => "mesh",
+            Mode::Scale => "scale",
         }
     }
 }
 
-/// Options every subcommand shares: replication parameters plus the
-/// snapshot/trace outputs.
+/// Which transport carries deliveries. `Sim` is the in-process
+/// simulator (the default everywhere); `Mesh` reruns the equivalence
+/// suite over real UDP sockets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum Backend {
+    #[default]
+    Sim,
+    Mesh,
+}
+
+/// Options every subcommand shares: replication parameters, the
+/// snapshot/trace outputs, and the promoted cross-cutting selectors.
+/// `backend`, `mobilities`, and `engine` are validated at parse time
+/// (unknown names and malformed specs error before any work starts);
+/// which modes *honor* each selector is enforced by the conflict
+/// checks at the end of [`parse_args`].
 #[derive(Debug, Default)]
 struct CommonOpts {
     opts: FigOpts,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    /// `--backend sim|mesh` (`repro mesh` is the subcommand alias).
+    backend: Backend,
+    /// `--mobility SPEC`, repeatable; each spec pre-validated against
+    /// the [`MobilityConfig::parse`] grammar.
+    mobilities: Option<Vec<String>>,
+    /// `--engine full|incremental|parallel[:N]`, pre-validated against
+    /// [`EngineConfig::parse`]. `None` means the mode's default.
+    engine: Option<EngineConfig>,
 }
 
 /// Options for the `sweep` and `gate` subcommands.
@@ -88,9 +115,16 @@ struct SweepOpts {
     out: Option<PathBuf>,
     soak: bool,
     chaos_axis: bool,
-    mobilities: Option<Vec<String>>,
     tolerance: Option<f64>,
+    subset: bool,
     gate_files: Vec<PathBuf>,
+}
+
+/// Options for the `scale` subcommand.
+#[derive(Debug, Default)]
+struct ScaleOpts {
+    /// `--n N`, repeatable: total node counts, one cell each.
+    sizes: Option<Vec<usize>>,
 }
 
 /// Options for the `fuzz` subcommand.
@@ -113,6 +147,7 @@ struct Args {
     artifact_dir: Option<PathBuf>,
     sweep: SweepOpts,
     fuzz: FuzzOpts,
+    scale: ScaleOpts,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -131,7 +166,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut artifact_dir = None;
     let mut sweep = SweepOpts::default();
     let mut fuzz = FuzzOpts::default();
-    let mut backend: Option<String> = None;
+    let mut scale = ScaleOpts::default();
+    let mut backend: Option<Backend> = None;
+    let mut mobilities: Option<Vec<String>> = None;
+    let mut engine: Option<EngineConfig> = None;
     let mut it = argv;
     let mut first = true;
     while let Some(arg) = it.next() {
@@ -145,6 +183,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 "gate" => Some(Mode::Gate),
                 "fuzz" => Some(Mode::Fuzz),
                 "mesh" => Some(Mode::Mesh),
+                "scale" => Some(Mode::Scale),
                 "replay" => {
                     let v = it.next().ok_or("replay needs an artifact file path")?;
                     if v.starts_with("--") {
@@ -180,11 +219,18 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--backend" => {
                 let v = it.next().ok_or("--backend needs a name (sim or mesh)")?;
                 match v.as_str() {
-                    "sim" | "mesh" => backend = Some(v),
+                    "sim" => backend = Some(Backend::Sim),
+                    "mesh" => backend = Some(Backend::Mesh),
                     other => {
                         return Err(format!("--backend: unknown backend {other:?} (sim, mesh)"))
                     }
                 }
+            }
+            "--engine" => {
+                let v = it
+                    .next()
+                    .ok_or("--engine needs a spec (full, incremental, parallel[:N])")?;
+                engine = Some(EngineConfig::parse(&v).map_err(|e| format!("--engine: {e}"))?);
             }
             "--chaos" => chaos = true,
             "--check" => check = true,
@@ -236,8 +282,18 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 let v = it
                     .next()
                     .ok_or("--mobility needs a model spec (e.g. manhattan:100)")?;
-                sweep.mobilities.get_or_insert_with(Vec::new).push(v);
+                MobilityConfig::parse(&v).map_err(|e| format!("--mobility: {e}"))?;
+                mobilities.get_or_insert_with(Vec::new).push(v);
             }
+            "--n" => {
+                let v = it.next().ok_or("--n needs a node count")?;
+                let n = v.parse::<usize>().map_err(|e| format!("--n: {e}"))?;
+                if n == 0 {
+                    return Err("--n must be at least 1".into());
+                }
+                scale.sizes.get_or_insert_with(Vec::new).push(n);
+            }
+            "--subset" => sweep.subset = true,
             "--time-budget" => {
                 let v = it
                     .next()
@@ -282,7 +338,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      \x20      repro sweep [--quick] [--threads N] [--out FILE] [--seed S] [--with-chaos]\n\
                      \x20                  [--mobility SPEC]...\n\
                      \x20      repro sweep --soak [--rounds R] [--quick] [--threads N]\n\
-                     \x20      repro gate BASELINE CANDIDATE [--tolerance F]\n\
+                     \x20      repro scale [--quick] [--n N]... [--engine full|incremental|parallel[:N]]\n\
+                     \x20                  [--threads N] [--seed S] [--out BENCH_scale.json]\n\
+                     \x20      repro gate BASELINE CANDIDATE [--tolerance F] [--subset]\n\
                      \x20      repro fuzz [--time-budget 60s] [--seed S] [--protocol P] [--quick]\n\
                      \x20                 [--artifact-dir DIR] [--out FILE]\n\
                      \x20      repro --backend mesh [--quick] [--seed S]\n\
@@ -308,9 +366,15 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                      violations per simulated hour. --mobility overrides the grid's\n\
                      mobility axis (random-waypoint, manhattan:SPACING, group:SIZE,RADIUS,\n\
                      flash-crowd:RADIUS,UNTIL; repeat the flag for several models).\n\
+                     scale decomposes a city-scale join storm into spatially disjoint\n\
+                     shard simulations fanned across worker threads (merged in a fixed\n\
+                     order, so the artifact is byte-identical for any --threads or\n\
+                     --engine choice) and microbenchmarks the full, incremental, and\n\
+                     parallel topology engines against each other at every size.\n\
                      gate compares two sweep artifacts and exits nonzero when a\n\
                      latency/overhead/configured metric regresses past the tolerance\n\
-                     (default 10%).\n\
+                     (default 10%); --subset compares only the cells both artifacts\n\
+                     share (for smoke runs gated against a larger committed baseline).\n\
                      fuzz mutates fault schedules coverage-guided against the conformance\n\
                      oracle for a deterministic simulated-time budget; violations are\n\
                      shrunk to replayable artifacts (--artifact-dir) and the campaign\n\
@@ -350,8 +414,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     // `--backend mesh` selects the UDP-mesh equivalence run; it is
     // its own mode (a bare `repro --backend mesh` runs it), and the
     // only subcommand it combines with is its alias `mesh`.
-    match backend.as_deref() {
-        Some("mesh") => {
+    match backend {
+        Some(Backend::Mesh) => {
             if !matches!(mode, Mode::Figures | Mode::Mesh) || chaos || check {
                 return Err(format!(
                     "--backend mesh runs the transcript-equivalence suite; \
@@ -362,29 +426,42 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             mode = Mode::Mesh;
         }
         // The simulator is the default backend everywhere else.
-        Some("sim") if mode == Mode::Mesh => {
+        Some(Backend::Sim) if mode == Mode::Mesh => {
             return Err("mesh with --backend sim is contradictory".into());
         }
         _ => {}
     }
+    // Normalize: the `mesh` subcommand implies the mesh backend, so
+    // `args.common.backend` is the single source of truth downstream.
+    if mode == Mode::Mesh {
+        backend = Some(Backend::Mesh);
+    }
     if mode != Mode::Chaos && (loss.is_some() || fault_plan.is_some() || head_kills.is_some()) {
         return Err("--loss / --head-kills / --fault-plan only apply to --chaos runs".into());
     }
-    if mode != Mode::Sweep
-        && (sweep.threads.is_some() || sweep.soak || sweep.chaos_axis || sweep.mobilities.is_some())
-    {
-        return Err(
-            "--threads / --soak / --with-chaos / --mobility only apply to sweep runs".into(),
-        );
+    if mode != Mode::Sweep && (sweep.soak || sweep.chaos_axis) {
+        return Err("--soak / --with-chaos only apply to sweep runs".into());
     }
-    if !matches!(mode, Mode::Sweep | Mode::Fuzz) && sweep.out.is_some() {
-        return Err("--out only applies to sweep and fuzz runs".into());
+    if !matches!(mode, Mode::Sweep | Mode::Scale) && sweep.threads.is_some() {
+        return Err("--threads only applies to sweep and scale runs".into());
+    }
+    if mode != Mode::Sweep && mobilities.is_some() {
+        return Err("--mobility only applies to sweep runs".into());
+    }
+    if !matches!(mode, Mode::Sweep | Mode::Scale) && engine.is_some() {
+        return Err("--engine only applies to sweep and scale runs".into());
+    }
+    if mode != Mode::Scale && scale.sizes.is_some() {
+        return Err("--n only applies to scale runs".into());
+    }
+    if !matches!(mode, Mode::Sweep | Mode::Fuzz | Mode::Scale) && sweep.out.is_some() {
+        return Err("--out only applies to sweep, fuzz, and scale runs".into());
     }
     if mode != Mode::Fuzz && (fuzz.time_budget.is_some() || fuzz.protocol.is_some()) {
         return Err("--time-budget / --protocol only apply to fuzz runs".into());
     }
-    if mode != Mode::Gate && sweep.tolerance.is_some() {
-        return Err("--tolerance only applies to gate runs".into());
+    if mode != Mode::Gate && (sweep.tolerance.is_some() || sweep.subset) {
+        return Err("--tolerance / --subset only apply to gate runs".into());
     }
     if mode == Mode::Gate && sweep.gate_files.len() != 2 {
         return Err("gate needs exactly two files: gate BASELINE CANDIDATE".into());
@@ -407,6 +484,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             opts,
             metrics_out,
             trace_out,
+            backend: backend.unwrap_or_default(),
+            mobilities,
+            engine,
         },
         fig,
         csv_dir,
@@ -417,6 +497,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         artifact_dir,
         sweep,
         fuzz,
+        scale,
     })
 }
 
@@ -451,8 +532,11 @@ fn run_sweep_mode(args: &Args) -> ExitCode {
             "reaper".into(),
         ];
     }
-    if let Some(mobilities) = &args.sweep.mobilities {
+    if let Some(mobilities) = &args.common.mobilities {
         grid.mobilities = mobilities.clone();
+    }
+    if let Some(engine) = args.common.engine {
+        grid.engine = engine;
     }
     let report = match harness::run_sweep(&grid, threads) {
         Ok(r) => r,
@@ -484,6 +568,70 @@ fn run_sweep_mode(args: &Args) -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     if report.failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs `repro scale`: the sharded city-scale join-storm plus the
+/// topology-engine microbenchmark, writing `BENCH_scale.json` when
+/// `--out` is given. Honors the promoted `--engine`, `--threads`,
+/// `--seed`, and `--quick` selectors; `--n` (repeatable) overrides the
+/// size axis.
+fn run_scale_mode(args: &Args) -> ExitCode {
+    let cfg = harness::ScaleConfig {
+        sizes: args.scale.sizes.clone().unwrap_or_else(|| {
+            if args.common.opts.quick {
+                vec![1_000]
+            } else {
+                harness::scale::DEFAULT_SIZES.to_vec()
+            }
+        }),
+        base_seed: args.common.opts.seed,
+        threads: args.sweep.threads.unwrap_or(0),
+        engine: args.common.engine.unwrap_or_default(),
+        quick: args.common.opts.quick,
+        ..harness::ScaleConfig::default()
+    };
+    let report = harness::run_scale(&cfg);
+    for (cell, shard, panic) in &report.failed {
+        eprintln!("scale FAIL {cell} shard {shard}: {panic}");
+    }
+    for c in &report.cells {
+        eprintln!(
+            "scale n={} shards={} configured={} sim={}s wall={}s",
+            c.nn,
+            c.shards,
+            c.metrics.configured_nodes(),
+            c.sim_us / 1_000_000,
+            c.wall_us / 1_000_000,
+        );
+    }
+    for r in &report.topo {
+        eprintln!(
+            "topo  n={} links={} agree={} full={:.0}us incremental={:.0}us parallel={:.0}us",
+            r.n, r.links, r.agree, r.full_us, r.incremental_us, r.parallel_us
+        );
+    }
+    eprintln!("scale: fingerprint fnv1a:{:016x}", report.fingerprint());
+    if let Some(path) = &args.sweep.out {
+        let json = if std::env::var_os("REPRO_NO_WALL_CLOCK").is_some() {
+            report.deterministic_json()
+        } else {
+            report.to_json()
+        };
+        if let Err(e) = harness::artifact::write_file(path, &json) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    let engines_agree = report.topo.iter().all(|r| r.agree);
+    if !engines_agree {
+        eprintln!("scale: topology engines disagreed (see topo rows above)");
+    }
+    if report.failed.is_empty() && engines_agree {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -591,7 +739,12 @@ fn run_gate_mode(args: &Args) -> ExitCode {
         (Err(code), _) | (_, Err(code)) => return code,
     };
     let tolerance = args.sweep.tolerance.unwrap_or(0.10);
-    match harness::gate(&base_text, &cand_text, tolerance) {
+    let result = if args.sweep.subset {
+        harness::gate_subset(&base_text, &cand_text, tolerance)
+    } else {
+        harness::gate(&base_text, &cand_text, tolerance)
+    };
+    match result {
         Ok(report) => {
             print!("{}", report.render_text());
             if report.pass() {
@@ -699,7 +852,10 @@ fn main() -> ExitCode {
     if args.mode == Mode::Fuzz {
         return run_fuzz_mode(&args);
     }
-    if args.mode == Mode::Mesh {
+    if args.mode == Mode::Scale {
+        return run_scale_mode(&args);
+    }
+    if args.common.backend == Backend::Mesh {
         return run_mesh_mode(&args);
     }
     if args.mode == Mode::Attacks {
@@ -1032,11 +1188,106 @@ mod tests {
         ))
         .unwrap();
         assert_eq!(
-            a.sweep.mobilities.as_deref(),
+            a.common.mobilities.as_deref(),
             Some(&["manhattan:100".to_string(), "group:4,50".to_string()][..])
         );
         assert!(parse_args(argv("figures --mobility manhattan:100")).is_err());
         assert!(parse_args(argv("fuzz --mobility manhattan:100")).is_err());
         assert!(parse_args(argv("sweep --mobility")).is_err());
+        // Malformed specs die at parse time, not mid-sweep.
+        let err = parse_args(argv("sweep --mobility warp:9")).unwrap_err();
+        assert!(err.contains("--mobility"), "{err}");
+    }
+
+    #[test]
+    fn scale_subcommand_parses_and_gates_its_flags() {
+        let a = parse_args(argv(
+            "scale --quick --n 1000 --n 10000 --engine parallel:4 --threads 8 --seed 7 --out BENCH_scale.json",
+        ))
+        .unwrap();
+        assert_eq!(a.mode, Mode::Scale);
+        assert!(a.common.opts.quick);
+        assert_eq!(a.common.opts.seed, 7);
+        assert_eq!(a.scale.sizes.as_deref(), Some(&[1000usize, 10000][..]));
+        assert_eq!(a.sweep.threads, Some(8));
+        assert_eq!(
+            a.sweep.out.as_deref().unwrap().to_str(),
+            Some("BENCH_scale.json")
+        );
+        let engine = a.common.engine.expect("--engine parsed");
+        assert_eq!(engine.engine_kind(), manet_sim::TopologyEngine::Parallel);
+        assert_eq!(engine.thread_count(), 4);
+
+        // Defaults: sizes and engine resolved at the run site.
+        let a = parse_args(argv("scale")).unwrap();
+        assert!(a.scale.sizes.is_none() && a.common.engine.is_none());
+
+        // Scale flags stay rejected outside scale runs.
+        assert!(parse_args(argv("figures --n 1000")).is_err());
+        assert!(parse_args(argv("chaos --n 1000")).is_err());
+        assert!(parse_args(argv("scale --n 0")).is_err());
+    }
+
+    #[test]
+    fn engine_selector_is_validated_and_mode_gated() {
+        for (spec, kind, threads) in [
+            ("full", manet_sim::TopologyEngine::Full, 1),
+            ("incremental", manet_sim::TopologyEngine::Incremental, 1),
+            ("parallel", manet_sim::TopologyEngine::Parallel, 1),
+            ("parallel:6", manet_sim::TopologyEngine::Parallel, 6),
+        ] {
+            let a = parse_args(argv(&format!("scale --engine {spec}"))).unwrap();
+            let e = a.common.engine.expect(spec);
+            assert_eq!(e.engine_kind(), kind, "{spec}");
+            assert_eq!(e.thread_count(), threads, "{spec}");
+        }
+        // Sweep honors the selector too.
+        let a = parse_args(argv("sweep --quick --engine incremental")).unwrap();
+        assert_eq!(
+            a.common.engine.unwrap().engine_kind(),
+            manet_sim::TopologyEngine::Incremental
+        );
+        // Malformed specs and unsupported modes error up front.
+        let err = parse_args(argv("scale --engine warp")).unwrap_err();
+        assert!(err.contains("--engine"), "{err}");
+        assert!(parse_args(argv("scale --engine parallel:0")).is_err());
+        let err = parse_args(argv("figures --engine full")).unwrap_err();
+        assert!(err.contains("sweep and scale"), "{err}");
+        assert!(parse_args(argv("chaos --engine full")).is_err());
+    }
+
+    #[test]
+    fn backend_flag_and_mesh_subcommand_are_aliases() {
+        // Both spellings resolve to the mesh mode with the mesh backend.
+        let flat = parse_args(argv("--backend mesh --quick")).unwrap();
+        assert_eq!(flat.mode, Mode::Mesh);
+        assert_eq!(flat.common.backend, super::Backend::Mesh);
+        let sub = parse_args(argv("mesh --quick")).unwrap();
+        assert_eq!(sub.mode, Mode::Mesh);
+        assert_eq!(sub.common.backend, super::Backend::Mesh);
+
+        // The explicit simulator backend is the default everywhere.
+        let a = parse_args(argv("figures --backend sim")).unwrap();
+        assert_eq!(a.common.backend, super::Backend::Sim);
+        assert_eq!(
+            parse_args(argv("")).unwrap().common.backend,
+            super::Backend::Sim
+        );
+
+        // Validation and contradictions error up front.
+        assert!(parse_args(argv("--backend bogus")).is_err());
+        assert!(parse_args(argv("mesh --backend sim")).is_err());
+        assert!(parse_args(argv("sweep --backend mesh")).is_err());
+    }
+
+    #[test]
+    fn gate_subset_flag_is_gated_to_gate_mode() {
+        let a = parse_args(argv("gate BENCH_scale.json scale.json --subset")).unwrap();
+        assert_eq!(a.mode, Mode::Gate);
+        assert!(a.sweep.subset);
+        let a = parse_args(argv("gate a.json b.json")).unwrap();
+        assert!(!a.sweep.subset);
+        let err = parse_args(argv("sweep --subset")).unwrap_err();
+        assert!(err.contains("gate"), "{err}");
     }
 }

@@ -11,8 +11,8 @@
 //! `REPRO_NO_WALL_CLOCK=1` so CI's fresh sweep under the same seed is
 //! byte-identical and the gate passes exactly.
 
+use crate::artifact::parse_verified;
 use crate::json::Value;
-use manet_sim::ARTIFACT_SCHEMA_VERSION;
 use std::fmt::Write as _;
 
 /// The gate's verdict on one metric of one cell.
@@ -221,22 +221,30 @@ fn judge(baseline: f64, candidate: f64, higher_is_worse: bool, tol: f64) -> Verd
 /// `cells` array, or carries a different `schema_version` than this
 /// build writes.
 pub fn gate(baseline: &str, candidate: &str, tolerance: f64) -> Result<GateReport, String> {
-    let parse = |label: &str, text: &str| -> Result<Value, String> {
-        Value::parse(text).map_err(|e| format!("{label}: {e}"))
-    };
-    let base = parse("baseline", baseline)?;
-    let cand = parse("candidate", candidate)?;
-    for (label, doc) in [("baseline", &base), ("candidate", &cand)] {
-        let version = doc
-            .get("schema_version")
-            .and_then(Value::as_u64)
-            .ok_or_else(|| format!("{label}: missing schema_version"))?;
-        if version != u64::from(ARTIFACT_SCHEMA_VERSION) {
-            return Err(format!(
-                "{label}: schema_version {version} != supported {ARTIFACT_SCHEMA_VERSION}"
-            ));
-        }
-    }
+    gate_impl(baseline, candidate, tolerance, false)
+}
+
+/// [`gate`] in subset mode: baseline cells absent from the candidate
+/// are skipped instead of failing, so a smoke-sized run can gate
+/// against a full committed baseline. Errors when *no* cell overlaps
+/// (an empty comparison would pass vacuously).
+///
+/// # Errors
+///
+/// As [`gate`], plus an error when the candidate shares no cell with
+/// the baseline.
+pub fn gate_subset(baseline: &str, candidate: &str, tolerance: f64) -> Result<GateReport, String> {
+    gate_impl(baseline, candidate, tolerance, true)
+}
+
+fn gate_impl(
+    baseline: &str,
+    candidate: &str,
+    tolerance: f64,
+    subset: bool,
+) -> Result<GateReport, String> {
+    let base = parse_verified("baseline", baseline)?;
+    let cand = parse_verified("candidate", candidate)?;
     let cells = |doc: &Value, label: &str| -> Result<Vec<(String, Value)>, String> {
         doc.get("cells")
             .and_then(Value::as_array)
@@ -253,11 +261,15 @@ pub fn gate(baseline: &str, candidate: &str, tolerance: f64) -> Result<GateRepor
     let cand_cells = cells(&cand, "candidate")?;
     let mut findings = Vec::new();
     let mut missing = Vec::new();
+    let mut compared_cells = 0usize;
     for (key, bcell) in &base_cells {
         let Some((_, ccell)) = cand_cells.iter().find(|(k, _)| k == key) else {
-            missing.push(key.clone());
+            if !subset {
+                missing.push(key.clone());
+            }
             continue;
         };
+        compared_cells += 1;
         for spec in &SPECS {
             // A quantile is null when the histogram is empty; an empty
             // baseline histogram gates nothing, an emptied candidate
@@ -280,6 +292,13 @@ pub fn gate(baseline: &str, candidate: &str, tolerance: f64) -> Result<GateRepor
                 }),
             }
         }
+    }
+    if subset && compared_cells == 0 {
+        return Err(
+            "candidate shares no cell with the baseline — nothing to gate (check the cell \
+             coordinates)"
+                .to_string(),
+        );
     }
     Ok(GateReport {
         findings,
@@ -304,6 +323,7 @@ mod tests {
             reps: 1,
             base_seed: 5,
             quick: true,
+            engine: manet_sim::EngineConfig::default(),
         };
         run_sweep(&grid, 1).unwrap().deterministic_json()
     }
@@ -390,6 +410,22 @@ mod tests {
         assert!(err.contains("schema_version"), "{err}");
         let err = gate("{not json", &json, 0.10).unwrap_err();
         assert!(err.contains("baseline"), "{err}");
+    }
+
+    #[test]
+    fn subset_mode_skips_missing_cells_but_rejects_empty_overlap() {
+        let base = tiny_sweep_json();
+        // A candidate whose only cell has foreign coordinates: strict
+        // mode fails on the missing cell, subset mode errors because
+        // nothing overlaps.
+        let foreign = base.replacen("\"protocol\":\"quorum\"", "\"protocol\":\"other\"", 1);
+        assert!(!gate(&base, &foreign, 0.10).unwrap().pass());
+        let err = gate_subset(&base, &foreign, 0.10).unwrap_err();
+        assert!(err.contains("no cell"), "{err}");
+        // Identical artifacts pass in subset mode too.
+        let report = gate_subset(&base, &base, 0.10).unwrap();
+        assert!(report.pass());
+        assert!(!report.findings.is_empty());
     }
 
     #[test]

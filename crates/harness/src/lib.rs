@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod attacks;
 pub mod chaos;
 pub mod figures;
@@ -24,19 +25,22 @@ pub mod json;
 pub mod mesh_equiv;
 pub mod oracle;
 pub mod render;
+pub mod scale;
 pub mod scenario;
 pub mod snapshot;
 pub mod stats;
 pub mod sweep;
 
+pub use artifact::{Artifact, ARTIFACT_SCHEMA_VERSION};
 pub use attacks::{attack_suite, attack_table, canary_suite, AttackOutcome, CanaryCell};
 pub use chaos::{chaos_suite, ChaosOpts};
 pub use fuzz::{mutate_input, parse_time_budget, run_fuzz, FuzzConfig, FuzzInput, FuzzReport};
-pub use gate::{gate, Finding, GateReport, Verdict};
+pub use gate::{gate, gate_subset, Finding, GateReport, Verdict};
 pub use json::Value;
 pub use mesh_equiv::{mesh_equiv_suite, EquivCell};
 pub use oracle::{check_suite, CheckCell};
 pub use render::Table;
+pub use scale::{run_scale, ScaleCell, ScaleConfig, ScaleReport};
 pub use scenario::{
     run_scenario, run_scenario_with, RunMeasurements, RunReport, Scenario, ScenarioBuilder,
     ScenarioError,

@@ -1,0 +1,536 @@
+//! `repro scale`: the sharded city-scale join-storm runner.
+//!
+//! The paper's evaluation tops out at a few hundred nodes; this module
+//! answers "what happens at city scale" by exploiting the protocol's
+//! own structure: before any merge event, spatially disjoint partitions
+//! are *independent components* — no message can cross between them.
+//! A 100k-node join storm therefore decomposes into ~`n / shard_nn`
+//! standalone shard simulations, each a self-contained [`Scenario`]
+//! with its own RNG stream, fanned across worker threads with
+//! [`crate::sweep::run_jobs`] and merged **in ascending shard order**.
+//!
+//! Determinism contract (same as `sweep.json`): the artifact records
+//! nothing about *how* the run executed — not the thread count, not the
+//! engine selector, not scheduling order. Per-shard seeds are a pure
+//! function of `(base_seed, size index, shard index)`, and the merge
+//! order is fixed, so the same config produces byte-identical
+//! deterministic renderings on one thread or sixteen, under the full,
+//! incremental, or parallel topology engine (the engines are proven
+//! output-equivalent by the differential suite). Wall-clock fields
+//! render as 0 under `REPRO_NO_WALL_CLOCK=1`; the fingerprint always
+//! covers the zeroed form.
+//!
+//! The `topo` section is the engine microbenchmark: per size, one
+//! constant-density layout timed under the full rebuild, the
+//! incremental maintainer (post-drift update), and the parallel
+//! builder, with a link-set equality check across all three.
+
+use crate::scenario::{run_scenario, Scenario};
+use manet_sim::topology::Topology;
+use manet_sim::{Arena, EngineConfig, IncrementalTopology, Metrics, NodeId, Point, SimRng};
+use qbac_core::{ProtocolConfig, Qbac};
+use std::fmt::Write as _;
+
+/// The sizes the committed `BENCH_scale.json` covers.
+pub const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Transmission range every shard and topo row uses (the paper's
+/// 150 m baseline).
+pub const RANGE: f64 = 150.0;
+
+/// Configuration of one scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Total node counts to run, one cell each.
+    pub sizes: Vec<usize>,
+    /// Target nodes per shard. Shards are sized `n / shards` rounded,
+    /// so every shard is within one node of the target's quotient.
+    pub shard_nn: usize,
+    /// Base RNG seed; per-shard seeds are mixed from it.
+    pub base_seed: u64,
+    /// Worker threads for the shard fan-out (`0` = one per CPU).
+    pub threads: usize,
+    /// Topology engine every shard's world runs under.
+    pub engine: EngineConfig,
+    /// Shrinks the per-shard drive (short arrival gap and settle
+    /// window) so smoke runs finish fast.
+    pub quick: bool,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            sizes: DEFAULT_SIZES.to_vec(),
+            shard_nn: 128,
+            base_seed: 42,
+            threads: 0,
+            engine: EngineConfig::default(),
+            quick: false,
+        }
+    }
+}
+
+/// One size's merged telemetry.
+#[derive(Debug, Clone)]
+pub struct ScaleCell {
+    /// Total node count across the cell's shards.
+    pub nn: usize,
+    /// Number of shards the cell decomposed into.
+    pub shards: usize,
+    /// Metrics merged across shards in ascending shard order.
+    pub metrics: Metrics,
+    /// Simulated microseconds, summed over shards (deterministic).
+    pub sim_us: u64,
+    /// Wall-clock microseconds for the cell (non-deterministic; zeroed
+    /// in the deterministic rendering).
+    pub wall_us: u64,
+}
+
+/// One engine-microbenchmark row.
+#[derive(Debug, Clone)]
+pub struct TopoRow {
+    /// Node count of the layout.
+    pub n: usize,
+    /// Directed link count of the full build (deterministic).
+    pub links: usize,
+    /// Whether full, incremental, and parallel builds produced the
+    /// same topology (deterministic; must be `true`).
+    pub agree: bool,
+    /// Microseconds per full rebuild (wall; zeroed deterministically).
+    pub full_us: f64,
+    /// Microseconds per incremental update after a small drift step.
+    pub incremental_us: f64,
+    /// Microseconds per parallel build (4 threads).
+    pub parallel_us: f64,
+}
+
+/// A completed scale run, ready to render as `BENCH_scale.json`.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Base seed the run used.
+    pub base_seed: u64,
+    /// Target shard size.
+    pub shard_nn: usize,
+    /// Whether the quick drive was active.
+    pub quick: bool,
+    /// One cell per requested size, in request order.
+    pub cells: Vec<ScaleCell>,
+    /// Shards that panicked: `(cell key, shard index, message)`.
+    pub failed: Vec<(String, usize, String)>,
+    /// Engine microbenchmark rows, one per size.
+    pub topo: Vec<TopoRow>,
+    /// Total wall-clock, microseconds.
+    pub wall_us: u64,
+}
+
+/// SplitMix64 finalizer: decorrelates per-shard seeds so shard 0 of
+/// every cell doesn't share a stream with its neighbors. Keyed by the
+/// cell's *size* (not its index in `sizes`), so a smoke run of one
+/// size reproduces the same cell a multi-size baseline recorded.
+fn mix_seed(base: u64, size: usize, shard: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + size as u64))
+        .wrapping_add(0x2545_F491_4F6C_DD1Du64.wrapping_mul(1 + shard as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits `n` nodes into shards within one node of `n / shards`.
+fn shard_sizes(n: usize, shard_nn: usize) -> Vec<usize> {
+    let shards = n.div_ceil(shard_nn.max(1)).max(1);
+    let base = n / shards;
+    let rem = n % shards;
+    (0..shards).map(|i| base + usize::from(i < rem)).collect()
+}
+
+/// The join-storm scenario one shard runs: every node arrives in a
+/// burst, then a short settle window. Static nodes — the storm is the
+/// workload, mobility is the sweep's axis.
+fn shard_scenario(nn: usize, seed: u64, quick: bool, engine: EngineConfig) -> Scenario {
+    Scenario::builder()
+        .nn(nn)
+        .speed_mps(0.0)
+        .arrival_gap_ms(if quick { 50 } else { 100 })
+        .settle_secs(if quick { 3 } else { 5 })
+        .connected_arrivals(true)
+        .engine(engine)
+        .seed(seed)
+        .build()
+        .expect("shard scenario is in-domain")
+}
+
+fn run_shard(nn: usize, seed: u64, quick: bool, engine: EngineConfig) -> (Metrics, u64) {
+    let s = shard_scenario(nn, seed, quick, engine);
+    let report = run_scenario(&s, Qbac::new(ProtocolConfig::default()));
+    let sim_us = report.world().now().as_micros();
+    (report.into_measurements().metrics, sim_us)
+}
+
+/// Median over `reps` samples of the mean per-call time of `f`, in
+/// microseconds (the same estimator the bench crate records with).
+fn time_us<R>(reps: usize, iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            for _ in 0..iters.max(1) {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_secs_f64() * 1e6 / iters.max(1) as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// A constant-density layout: the arena side grows with `sqrt(n)` so
+/// mean degree stays flat (~28 neighbors at 150 m) as `n` scales.
+fn dense_layout(n: usize, seed: u64) -> Vec<(NodeId, Point)> {
+    let side = (n as f64).sqrt() * 50.0;
+    let arena = Arena::new(side.max(1.0), side.max(1.0));
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| (NodeId::new(i as u64), rng.point_in(&arena)))
+        .collect()
+}
+
+/// Moves every node in the arena's bottom strip a few meters — the
+/// spatially localized drift the dirty-strip maintainer targets: only
+/// the touched rows are re-swept, so the update cost tracks the moving
+/// region, not the arena. (Arena-wide scatter degrades gracefully to a
+/// full rebuild; the differential suite covers that regime.)
+fn drift(nodes: &mut [(NodeId, Point)], step: f64) {
+    for (_, p) in nodes.iter_mut() {
+        if p.y < 300.0 {
+            p.x += step;
+        }
+    }
+}
+
+fn topo_row(n: usize, seed: u64) -> TopoRow {
+    let nodes = dense_layout(n, seed);
+    let full = Topology::build(&nodes, RANGE);
+    let links = full.link_count();
+    // Incremental: seed the maintainer, drift, and measure the update.
+    let mut inc = IncrementalTopology::default();
+    let mut moved = nodes.clone();
+    let _ = inc.update(&moved, RANGE);
+    drift(&mut moved, 3.0);
+    let inc_topo = inc.update(&moved, RANGE);
+    let par = Topology::build_parallel(&nodes, RANGE, 4);
+    let agree = par == full && inc_topo == Topology::build(&moved, RANGE);
+    // One sample per engine is enough below 100k; keep reps tiny so a
+    // full run stays dominated by the storm, not the microbench.
+    let iters = (200_000 / n.max(1)).clamp(1, 50);
+    let full_us = time_us(3, iters, || Topology::build(&nodes, RANGE));
+    let parallel_us = time_us(3, iters, || Topology::build_parallel(&nodes, RANGE, 4));
+    // Alternate between two pre-built layouts so every timed update
+    // sees a genuine diff without cloning inside the timer.
+    let alt = {
+        let mut m = moved.clone();
+        drift(&mut m, 0.5);
+        m
+    };
+    let mut flip = false;
+    let incremental_us = time_us(3, iters, || {
+        flip = !flip;
+        inc.update(if flip { &alt } else { &moved }, RANGE)
+    });
+    TopoRow {
+        n,
+        links,
+        agree,
+        full_us,
+        incremental_us,
+        parallel_us,
+    }
+}
+
+/// Stable cell key, mirroring the sweep grammar so `repro gate` can
+/// compare scale artifacts cell-by-cell.
+fn cell_key(nn: usize) -> String {
+    format!("quorum/n{nn}/v0/random-waypoint/loss0/scale-storm")
+}
+
+/// Runs the whole scale config: every size's shard fan-out, then the
+/// engine microbenchmark per size.
+#[must_use]
+pub fn run_scale(cfg: &ScaleConfig) -> ScaleReport {
+    let t0 = std::time::Instant::now();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        cfg.threads
+    };
+    // Flatten (cell, shard) pairs into one job list so small cells
+    // don't serialize behind big ones.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new(); // (cell, shard, nn)
+    for (ci, &n) in cfg.sizes.iter().enumerate() {
+        for (si, &nn) in shard_sizes(n, cfg.shard_nn).iter().enumerate() {
+            jobs.push((ci, si, nn));
+        }
+    }
+    let results = crate::sweep::run_jobs(jobs.len(), threads, |j| {
+        let (ci, si, nn) = jobs[j];
+        run_shard(
+            nn,
+            mix_seed(cfg.base_seed, cfg.sizes[ci], si),
+            cfg.quick,
+            cfg.engine,
+        )
+    });
+    let mut cells: Vec<ScaleCell> = cfg
+        .sizes
+        .iter()
+        .map(|&n| ScaleCell {
+            nn: n,
+            shards: 0,
+            metrics: Metrics::new(),
+            sim_us: 0,
+            wall_us: 0,
+        })
+        .collect();
+    let mut failed = Vec::new();
+    // `run_jobs` returns results in job order, and jobs were pushed in
+    // ascending (cell, shard) order — so this merge is the canonical
+    // ascending-shard merge no matter how the workers interleaved.
+    for (&(ci, si, _), r) in jobs.iter().zip(results) {
+        match r {
+            Ok((m, sim_us)) => {
+                cells[ci].metrics.merge(&m);
+                cells[ci].sim_us += sim_us;
+                cells[ci].shards += 1;
+            }
+            Err(msg) => failed.push((cell_key(cfg.sizes[ci]), si, msg)),
+        }
+    }
+    let per_cell_wall = t0.elapsed().as_micros() as u64 / cells.len().max(1) as u64;
+    for c in &mut cells {
+        c.wall_us = per_cell_wall;
+    }
+    let topo = cfg
+        .sizes
+        .iter()
+        .map(|&n| topo_row(n, cfg.base_seed))
+        .collect();
+    ScaleReport {
+        base_seed: cfg.base_seed,
+        shard_nn: cfg.shard_nn,
+        quick: cfg.quick,
+        cells,
+        failed,
+        topo,
+        wall_us: t0.elapsed().as_micros() as u64,
+    }
+}
+
+use crate::artifact::{fnv1a, json_usize_list};
+
+impl ScaleReport {
+    /// Renders the artifact with real wall-clock timings.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Renders the byte-identical-across-runs form: every wall-clock
+    /// field zeroed. This is what the fingerprint covers and what
+    /// `REPRO_NO_WALL_CLOCK=1` writes.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// FNV-1a fingerprint over the deterministic body.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.render_body(true).body().as_bytes())
+    }
+
+    fn render(&self, zero_walls: bool) -> String {
+        let mut doc = self.render_body(zero_walls);
+        let _ = write!(doc, "\"fingerprint\":\"fnv1a:{:016x}\"", self.fingerprint());
+        doc.seal()
+    }
+
+    /// Everything up to (and excluding) the fingerprint field. Thread
+    /// count and engine selector are deliberately absent: the artifact
+    /// must not depend on how the run executed.
+    fn render_body(&self, zero_walls: bool) -> crate::artifact::Artifact {
+        let mut s = crate::artifact::Artifact::begin();
+        let _ = write!(
+            s,
+            ",\"scale\":{{\"base_seed\":{},\"shard_nn\":{},\"quick\":{},\"sizes\":{}}}",
+            self.base_seed,
+            self.shard_nn,
+            self.quick,
+            json_usize_list(&self.cells.iter().map(|c| c.nn).collect::<Vec<_>>()),
+        );
+        s.push(",\"cells\":[");
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                s.push(",");
+            }
+            let wall = if zero_walls { 0 } else { c.wall_us };
+            let _ = write!(
+                s,
+                "{{\"protocol\":\"quorum\",\"nn\":{},\"speed\":0,\"mobility\":\"random-waypoint\",\"loss\":0,\"plan\":\"scale-storm\",\"reps\":{},\"sim_us\":{},\"wall_us\":{wall},\"metrics\":{},\"perf\":{},\"flows\":[]}}",
+                c.nn, c.shards, c.sim_us,
+                c.metrics.to_json(),
+                c.metrics.perf().to_json(),
+            );
+        }
+        s.push("],\"failed\":[");
+        for (i, (key, shard, msg)) in self.failed.iter().enumerate() {
+            if i > 0 {
+                s.push(",");
+            }
+            let clean: String = msg
+                .chars()
+                .map(|ch| match ch {
+                    '"' => '\'',
+                    '\n' | '\r' | '\t' => ' ',
+                    c => c,
+                })
+                .collect();
+            let _ = write!(
+                s,
+                "{{\"cell\":\"{key}\",\"shard\":{shard},\"panic\":\"{clean}\"}}"
+            );
+        }
+        s.push("],\"topo\":[");
+        for (i, r) in self.topo.iter().enumerate() {
+            if i > 0 {
+                s.push(",");
+            }
+            let (f, inc, par) = if zero_walls {
+                (0.0, 0.0, 0.0)
+            } else {
+                (r.full_us, r.incremental_us, r.parallel_us)
+            };
+            let _ = write!(
+                s,
+                "{{\"n\":{},\"links\":{},\"agree\":{},\"full_us\":{f:.2},\"incremental_us\":{inc:.2},\"parallel_us\":{par:.2}}}",
+                r.n, r.links, r.agree,
+            );
+        }
+        let wall = if zero_walls { 0 } else { self.wall_us };
+        let _ = write!(s, "],\"wall_us\":{wall},");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manet_sim::TopologyEngine;
+
+    fn tiny(engine: EngineConfig, threads: usize) -> ScaleReport {
+        run_scale(&ScaleConfig {
+            sizes: vec![96],
+            shard_nn: 48,
+            base_seed: 7,
+            threads,
+            engine,
+            quick: true,
+        })
+    }
+
+    #[test]
+    fn shard_sizes_stay_within_one_of_even() {
+        assert_eq!(shard_sizes(100, 128), vec![100]);
+        assert_eq!(shard_sizes(256, 128), vec![128, 128]);
+        let s = shard_sizes(1000, 128);
+        assert_eq!(s.iter().sum::<usize>(), 1000);
+        assert!(s.iter().all(|&x| x == 125));
+        let t = shard_sizes(1001, 128);
+        assert_eq!(t.iter().sum::<usize>(), 1001);
+        assert!(t.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+    }
+
+    #[test]
+    fn scale_is_byte_identical_across_threads_and_engines() {
+        // The tentpole's pinned determinism claim: one thread under the
+        // default full-rebuild engine vs. four threads under the
+        // parallel engine — same bytes.
+        let a = tiny(EngineConfig::full(), 1);
+        let b = tiny(EngineConfig::parallel(4), 4);
+        assert_eq!(
+            a.deterministic_json(),
+            b.deterministic_json(),
+            "scale artifact must not depend on threads or engine"
+        );
+        let c = tiny(EngineConfig::incremental(), 2);
+        assert_eq!(a.deterministic_json(), c.deterministic_json());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn scale_cells_configure_nodes_and_gate_against_themselves() {
+        let r = tiny(EngineConfig::default(), 0);
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(r.cells[0].shards, 2);
+        assert!(r.failed.is_empty(), "{:?}", r.failed);
+        assert!(
+            r.cells[0].metrics.configured_nodes() >= 90,
+            "storm should configure nearly every node: {}",
+            r.cells[0].metrics.configured_nodes()
+        );
+        let json = r.deterministic_json();
+        let report = crate::gate::gate(&json, &json, 0.01).expect("self-gate parses");
+        assert!(report.pass(), "{report:?}");
+    }
+
+    #[test]
+    fn subset_run_gates_against_superset_baseline() {
+        // The CI smoke shape: a one-size run gated against the
+        // committed multi-size baseline.
+        let full = run_scale(&ScaleConfig {
+            sizes: vec![64, 96],
+            shard_nn: 48,
+            base_seed: 7,
+            threads: 0,
+            engine: EngineConfig::default(),
+            quick: true,
+        });
+        let smoke = run_scale(&ScaleConfig {
+            sizes: vec![96],
+            shard_nn: 48,
+            base_seed: 7,
+            threads: 0,
+            engine: EngineConfig::default(),
+            quick: true,
+        });
+        // Size-keyed shard seeds make the shared cell an *exact*
+        // reproduction, so even a zero-tolerance subset gate passes.
+        let report =
+            crate::gate::gate_subset(&full.deterministic_json(), &smoke.deterministic_json(), 0.0)
+                .expect("subset gate parses");
+        assert!(report.pass(), "{report:?}");
+    }
+
+    #[test]
+    fn topo_rows_agree_across_engines() {
+        let r = topo_row(800, 11);
+        assert!(r.agree, "engines disagreed at n=800");
+        assert!(r.links > 0);
+        assert!(r.full_us > 0.0 && r.parallel_us > 0.0 && r.incremental_us > 0.0);
+    }
+
+    #[test]
+    fn mixed_seeds_do_not_collide_across_shards() {
+        let mut seen = std::collections::HashSet::new();
+        for cell in 0..8 {
+            for shard in 0..64 {
+                assert!(seen.insert(mix_seed(42, cell, shard)));
+            }
+        }
+    }
+
+    #[test]
+    fn engine_config_reaches_the_shard_world() {
+        let s = shard_scenario(48, 1, true, EngineConfig::parallel(3));
+        assert_eq!(s.engine.engine_kind(), TopologyEngine::Parallel);
+        assert_eq!(s.engine.thread_count(), 3);
+    }
+}

@@ -7,8 +7,8 @@
 //! chosen to depart gracefully or abruptly."
 
 use manet_sim::{
-    Arena, FaultPlan, Metrics, MobilityConfig, NodeId, Protocol, Sim, SimDuration, SimTime, World,
-    WorldConfig,
+    Arena, EngineConfig, FaultPlan, Metrics, MobilityConfig, NodeId, Protocol, Sim, SimDuration,
+    SimTime, World, WorldConfig,
 };
 
 /// A reproducible experiment scenario.
@@ -66,6 +66,15 @@ pub struct Scenario {
     /// When non-zero, enables bounded event tracing with this capacity
     /// so the run can be exported as JSONL (default: 0, off).
     pub trace_capacity: usize,
+    /// Topology engine the simulation world runs
+    /// (full-rebuild/incremental/parallel — all byte-identical; default
+    /// full, the historical engine).
+    pub engine: EngineConfig,
+    /// Size of the address pool the protocol allocates from (default
+    /// 2^16, the workspace's stock `/16`-equivalent block). The builder
+    /// rejects `nn > pool_size`: more nodes than addresses cannot all
+    /// configure, which every metric downstream assumes.
+    pub pool_size: usize,
 }
 
 impl Default for Scenario {
@@ -89,6 +98,8 @@ impl Default for Scenario {
             fault_plan: FaultPlan::default(),
             observe: false,
             trace_capacity: 0,
+            engine: EngineConfig::default(),
+            pool_size: 1 << 16,
         }
     }
 }
@@ -276,16 +287,42 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the topology engine (full-rebuild, incremental, or
+    /// parallel — all produce byte-identical snapshots; full is the
+    /// default).
+    #[must_use]
+    pub fn engine(mut self, engine: EngineConfig) -> Self {
+        self.s.engine = engine;
+        self
+    }
+
+    /// Size of the address pool the protocol allocates from (default
+    /// 2^16). Must be at least `nn`.
+    #[must_use]
+    pub fn pool_size(mut self, pool_size: usize) -> Self {
+        self.s.pool_size = pool_size;
+        self
+    }
+
     /// Validates the accumulated fields and produces the scenario.
     ///
     /// # Errors
     ///
     /// Rejects values outside their meaningful domain: `nn == 0`,
-    /// `tr <= 0`, `area <= 0`, `speed < 0`, `depart_fraction` or
-    /// `abrupt_ratio` outside `[0, 1]`, and mobility parameters that
-    /// cannot shape movement inside the arena (non-positive Manhattan
-    /// spacing or spacing wider than the arena, empty groups,
-    /// non-positive group/crowd radii, negative crowd deadlines).
+    /// `nn` larger than the address pool, `tr <= 0`, `area <= 0`,
+    /// `speed < 0`, `depart_fraction` or `abrupt_ratio` outside
+    /// `[0, 1]`, fault-plan crash/attack events naming nodes the
+    /// scenario never spawns (those would otherwise sit in the
+    /// schedule and silently never fire — or worse, fire against a
+    /// later-spawned post-arrival the author never meant to target),
+    /// and mobility parameters that cannot shape movement inside the
+    /// arena (non-positive Manhattan spacing or spacing wider than the
+    /// arena, empty groups, non-positive group/crowd radii, negative
+    /// crowd deadlines).
+    ///
+    /// There is deliberately no upper cap on `nn` itself: city-scale
+    /// runs (10⁵ nodes and beyond) are valid as long as the pool can
+    /// hold them.
     pub fn build(self) -> Result<Scenario, ScenarioError> {
         let out_of_range = |field: &'static str, value: String, expected: &'static str| {
             Err(ScenarioError::OutOfRange {
@@ -297,6 +334,38 @@ impl ScenarioBuilder {
         let s = self.s;
         if s.nn == 0 {
             return out_of_range("nn", s.nn.to_string(), "at least 1");
+        }
+        if s.pool_size < s.nn {
+            return out_of_range(
+                "pool_size",
+                s.pool_size.to_string(),
+                "at least nn (every node needs an address to draw)",
+            );
+        }
+        let spawned = (s.nn + s.post_arrivals) as u64;
+        if let Some(c) = s
+            .fault_plan
+            .crashes
+            .iter()
+            .find(|c| c.node.index() >= spawned)
+        {
+            return out_of_range(
+                "fault_plan",
+                format!("crash of node {}", c.node.index()),
+                "a node the scenario spawns",
+            );
+        }
+        if let Some(a) = s
+            .fault_plan
+            .attacks
+            .iter()
+            .find(|a| a.node.index() >= spawned)
+        {
+            return out_of_range(
+                "fault_plan",
+                format!("attack role on node {}", a.node.index()),
+                "a node the scenario spawns",
+            );
         }
         if s.tr.is_nan() || s.tr <= 0.0 {
             return out_of_range("tr_m", s.tr.to_string(), "positive");
@@ -379,6 +448,7 @@ impl Scenario {
             loss_rate: self.loss_rate,
             seed: self.seed,
             fault_plan: self.fault_plan.clone(),
+            engine: self.engine,
             ..WorldConfig::default()
         }
     }
@@ -718,6 +788,68 @@ mod tests {
             let ScenarioError::OutOfRange { field: got, .. } = err;
             assert_eq!(got, field);
         }
+    }
+
+    #[test]
+    fn builder_lifts_node_cap_but_requires_pool_capacity() {
+        // City-scale node counts are valid as long as the pool holds them.
+        let big = Scenario::builder()
+            .nn(100_000)
+            .pool_size(1 << 17)
+            .build()
+            .expect("large n with a large pool is valid");
+        assert_eq!(big.nn, 100_000);
+        // More nodes than addresses is rejected with an OutOfRange.
+        let err = Scenario::builder()
+            .nn(100_000)
+            .build()
+            .expect_err("default 2^16 pool cannot hold 100k nodes");
+        let ScenarioError::OutOfRange { field, .. } = err;
+        assert_eq!(field, "pool_size");
+    }
+
+    #[test]
+    fn builder_range_checks_fault_plan_node_references() {
+        use manet_sim::AttackKind;
+
+        // In-range references are fine, including post-arrival indices.
+        let plan = FaultPlan::default()
+            .with_crash(NodeId::new(9), SimTime::from_micros(1_000_000), None)
+            .with_attack(
+                NodeId::new(11),
+                AttackKind::Squat,
+                SimTime::from_micros(2_000_000),
+            );
+        assert!(Scenario::builder()
+            .nn(10)
+            .post_arrivals(2)
+            .fault_plan(plan.clone())
+            .build()
+            .is_ok());
+        // A crash of a node the scenario never spawns is rejected at
+        // build time instead of silently never firing.
+        let err = Scenario::builder()
+            .nn(10)
+            .fault_plan(plan)
+            .build()
+            .expect_err("node 11 is out of range for nn=10");
+        let ScenarioError::OutOfRange { field, value, .. } = err;
+        assert_eq!(field, "fault_plan");
+        assert!(value.contains("11"), "{value}");
+    }
+
+    #[test]
+    fn engine_flows_through_to_world_config() {
+        use manet_sim::TopologyEngine;
+        let s = Scenario::builder()
+            .engine(EngineConfig::parallel(4))
+            .build()
+            .expect("valid engine");
+        assert_eq!(
+            s.world_config().engine.engine_kind(),
+            TopologyEngine::Parallel
+        );
+        assert_eq!(s.world_config().engine.thread_count(), 4);
     }
 
     #[test]

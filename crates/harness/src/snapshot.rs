@@ -140,23 +140,7 @@ pub fn protocol_traces(seed: u64, quick: bool) -> Vec<(String, String)> {
     ]
 }
 
-/// FNV-1a 64-bit hash (stable, dependency-free).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn json_opt_u64(v: Option<u32>) -> String {
-    v.map_or_else(|| "null".into(), |x| x.to_string())
-}
-
-fn json_opt_f64(v: Option<f64>) -> String {
-    v.map_or_else(|| "null".into(), |x| format!("{x}"))
-}
+use crate::artifact::{fnv1a, json_opt_f64, json_opt_u64};
 
 impl Snapshot {
     /// Renders the snapshot as JSON, with real wall-clock timings.
@@ -178,23 +162,22 @@ impl Snapshot {
     /// itself).
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
-        fnv1a(self.render_body(true).as_bytes())
+        fnv1a(self.render_body(true).body().as_bytes())
     }
 
     fn render(&self, zero_walls: bool) -> String {
-        let mut s = self.render_body(zero_walls);
-        let _ = write!(s, "\"fingerprint\":\"fnv1a:{:016x}\"}}", self.fingerprint());
-        s
+        let mut doc = self.render_body(zero_walls);
+        let _ = write!(doc, "\"fingerprint\":\"fnv1a:{:016x}\"", self.fingerprint());
+        doc.seal()
     }
 
     /// Everything up to (and excluding) the fingerprint field.
-    fn render_body(&self, zero_walls: bool) -> String {
+    fn render_body(&self, zero_walls: bool) -> crate::artifact::Artifact {
         let p = &self.params;
-        let mut s = String::with_capacity(16 * 1024);
+        let mut s = crate::artifact::Artifact::begin();
         let _ = write!(
             s,
-            "{{\"schema_version\":{},\"manifest\":{{\"crate_version\":\"{}\",\"seed\":{},\"rounds\":{},\"quick\":{},\"fig\":{},\"chaos\":{},\"loss\":{},\"head_kills\":{}}}",
-            manet_sim::ARTIFACT_SCHEMA_VERSION,
+            ",\"manifest\":{{\"crate_version\":\"{}\",\"seed\":{},\"rounds\":{},\"quick\":{},\"fig\":{},\"chaos\":{},\"loss\":{},\"head_kills\":{}}}",
             env!("CARGO_PKG_VERSION"),
             p.seed,
             p.rounds,
@@ -204,18 +187,18 @@ impl Snapshot {
             json_opt_f64(p.loss),
             json_opt_u64(p.head_kills),
         );
-        s.push_str(",\"phases\":[");
+        s.push(",\"phases\":[");
         for (i, ph) in self.phases.iter().enumerate() {
             if i > 0 {
-                s.push(',');
+                s.push(",");
             }
             let wall = if zero_walls { 0 } else { ph.wall_us };
             let _ = write!(s, "{{\"name\":\"{}\",\"wall_us\":{wall}}}", ph.name);
         }
-        s.push_str("],\"protocols\":[");
+        s.push("],\"protocols\":[");
         for (i, pr) in self.protocols.iter().enumerate() {
             if i > 0 {
-                s.push(',');
+                s.push(",");
             }
             let _ = write!(
                 s,
@@ -225,7 +208,7 @@ impl Snapshot {
             );
             for (j, (kind, t)) in pr.flows.iter().enumerate() {
                 if j > 0 {
-                    s.push(',');
+                    s.push(",");
                 }
                 let _ = write!(
                     s,
@@ -233,9 +216,9 @@ impl Snapshot {
                     t.started, t.assigned, t.abandoned, t.finalized, t.retries, t.open()
                 );
             }
-            s.push_str("]}");
+            s.push("]}");
         }
-        s.push_str("],");
+        s.push("],");
         s
     }
 }

@@ -23,7 +23,7 @@
 use crate::scenario::{run_scenario, Scenario};
 use baselines::{buddy::Buddy, ctree::CTree, dad::QueryDad, manetconf::ManetConf};
 use manet_sim::observer::all_kinds;
-use manet_sim::{FaultPlan, FlowTally, Metrics, MobilityConfig, ARTIFACT_SCHEMA_VERSION};
+use manet_sim::{FaultPlan, FlowTally, Metrics, MobilityConfig};
 use qbac_core::{ProtocolConfig, Qbac};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -58,6 +58,11 @@ pub struct SweepGrid {
     /// Shrinks the per-cell drive (short settle/cooldown windows) so
     /// smoke grids finish in seconds.
     pub quick: bool,
+    /// Topology engine every cell's world runs under. Deliberately
+    /// absent from the rendered artifact: the engines are
+    /// output-equivalent, so this is an execution detail the
+    /// determinism contract must not record.
+    pub engine: manet_sim::EngineConfig,
 }
 
 impl SweepGrid {
@@ -79,6 +84,7 @@ impl SweepGrid {
             reps: 1,
             base_seed,
             quick: true,
+            engine: manet_sim::EngineConfig::default(),
         }
     }
 
@@ -99,6 +105,7 @@ impl SweepGrid {
             reps: 3,
             base_seed,
             quick: false,
+            engine: manet_sim::EngineConfig::default(),
         }
     }
 
@@ -294,8 +301,15 @@ fn plan_by_name(name: &str) -> Result<FaultPlan, SweepError> {
 }
 
 /// The scenario one cell replication runs.
-fn cell_scenario(p: &CellParams, plan: FaultPlan, seed: u64, quick: bool) -> Scenario {
+fn cell_scenario(
+    p: &CellParams,
+    plan: FaultPlan,
+    seed: u64,
+    quick: bool,
+    engine: manet_sim::EngineConfig,
+) -> Scenario {
     Scenario::builder()
+        .engine(engine)
         .nn(p.nn)
         .speed_mps(p.speed)
         .mobility(MobilityConfig::parse(&p.mobility).expect("mobility spec validated up front"))
@@ -321,8 +335,9 @@ fn run_rep(
     plan: FaultPlan,
     seed: u64,
     quick: bool,
+    engine: manet_sim::EngineConfig,
 ) -> (Metrics, Vec<FlowTally>, u64) {
-    let s = cell_scenario(p, plan, seed, quick);
+    let s = cell_scenario(p, plan, seed, quick, engine);
     macro_rules! run {
         ($proto:expr) => {{
             let report = run_scenario(&s, $proto);
@@ -351,6 +366,7 @@ fn run_cell(
     reps: u64,
     base_seed: u64,
     quick: bool,
+    engine: manet_sim::EngineConfig,
 ) -> CellResult {
     let t0 = std::time::Instant::now();
     let mut metrics = Metrics::new();
@@ -360,7 +376,7 @@ fn run_cell(
         .collect();
     let mut sim_us = 0u64;
     for rep in 0..reps.max(1) {
-        let (m, f, t) = run_rep(p, plan.clone(), base_seed.wrapping_add(rep), quick);
+        let (m, f, t) = run_rep(p, plan.clone(), base_seed.wrapping_add(rep), quick, engine);
         metrics.merge(&m);
         for (slot, tally) in flows.iter_mut().zip(f) {
             slot.1.merge(&tally);
@@ -417,7 +433,7 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, SweepE
             .find(|(name, _)| *name == p.plan)
             .expect("plan resolved above")
             .1;
-        run_cell(p, plan, grid.reps, grid.base_seed, grid.quick)
+        run_cell(p, plan, grid.reps, grid.base_seed, grid.quick, grid.engine)
     });
     let mut cells = Vec::with_capacity(params.len());
     let mut failed = Vec::new();
@@ -435,30 +451,7 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, SweepE
     })
 }
 
-/// FNV-1a 64-bit hash (stable, dependency-free).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in bytes {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn json_f64_list(vals: &[f64]) -> String {
-    let items: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
-    format!("[{}]", items.join(","))
-}
-
-fn json_usize_list(vals: &[usize]) -> String {
-    let items: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
-    format!("[{}]", items.join(","))
-}
-
-fn json_str_list(vals: &[String]) -> String {
-    let items: Vec<String> = vals.iter().map(|v| format!("\"{v}\"")).collect();
-    format!("[{}]", items.join(","))
-}
+use crate::artifact::{fnv1a, json_f64_list, json_str_list, json_usize_list};
 
 impl SweepReport {
     /// Renders the artifact with real wall-clock timings.
@@ -478,23 +471,26 @@ impl SweepReport {
     /// FNV-1a fingerprint over the deterministic body.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
-        fnv1a(self.render_body(true).as_bytes())
+        fnv1a(self.render_body(true).body().as_bytes())
     }
 
     fn render(&self, zero_walls: bool) -> String {
-        let mut s = self.render_body(zero_walls);
-        let _ = write!(s, "\"fingerprint\":\"fnv1a:{:016x}\"}}", self.fingerprint());
-        s
+        let mut doc = self.render_body(zero_walls);
+        // The fingerprint covers the *deterministic* body, so a
+        // wall-clocked rendering carries the same fingerprint as its
+        // zeroed twin.
+        let _ = write!(doc, "\"fingerprint\":\"fnv1a:{:016x}\"", self.fingerprint());
+        doc.seal()
     }
 
     /// Everything up to (and excluding) the fingerprint field. Thread
     /// count and execution order are deliberately absent.
-    fn render_body(&self, zero_walls: bool) -> String {
+    fn render_body(&self, zero_walls: bool) -> crate::artifact::Artifact {
         let g = &self.grid;
-        let mut s = String::with_capacity(32 * 1024);
+        let mut s = crate::artifact::Artifact::begin();
         let _ = write!(
             s,
-            "{{\"schema_version\":{ARTIFACT_SCHEMA_VERSION},\"sweep\":{{\"base_seed\":{},\"reps\":{},\"quick\":{},\"grid\":{{\"protocols\":{},\"sizes\":{},\"speeds\":{},\"mobilities\":{},\"losses\":{},\"plans\":{}}}}}",
+            ",\"sweep\":{{\"base_seed\":{},\"reps\":{},\"quick\":{},\"grid\":{{\"protocols\":{},\"sizes\":{},\"speeds\":{},\"mobilities\":{},\"losses\":{},\"plans\":{}}}}}",
             g.base_seed,
             g.reps,
             g.quick,
@@ -505,10 +501,10 @@ impl SweepReport {
             json_f64_list(&g.losses),
             json_str_list(&g.plans),
         );
-        s.push_str(",\"cells\":[");
+        s.push(",\"cells\":[");
         for (i, c) in self.cells.iter().enumerate() {
             if i > 0 {
-                s.push(',');
+                s.push(",");
             }
             let p = &c.params;
             let wall = if zero_walls { 0 } else { c.wall_us };
@@ -521,7 +517,7 @@ impl SweepReport {
             );
             for (j, (kind, t)) in c.flows.iter().enumerate() {
                 if j > 0 {
-                    s.push(',');
+                    s.push(",");
                 }
                 let _ = write!(
                     s,
@@ -529,12 +525,12 @@ impl SweepReport {
                     t.started, t.assigned, t.abandoned, t.finalized, t.retries
                 );
             }
-            s.push_str("]}");
+            s.push("]}");
         }
-        s.push_str("],\"failed\":[");
+        s.push("],\"failed\":[");
         for (i, (key, msg)) in self.failed.iter().enumerate() {
             if i > 0 {
-                s.push(',');
+                s.push(",");
             }
             let clean: String = msg
                 .chars()
@@ -708,6 +704,7 @@ mod tests {
             reps: 1,
             base_seed: 3,
             quick: true,
+            engine: manet_sim::EngineConfig::default(),
         }
     }
 

@@ -24,6 +24,7 @@ fn acceptance_grid() -> SweepGrid {
         reps: 1,
         base_seed: 42,
         quick: true,
+        engine: manet_sim::EngineConfig::default(),
     }
 }
 
@@ -53,6 +54,7 @@ fn sweep_artifact_parses_and_carries_schema_version() {
         reps: 1,
         base_seed: 7,
         quick: true,
+        engine: manet_sim::EngineConfig::default(),
     };
     let report = run_sweep(&grid, 2).expect("grid names are known");
     let doc = Value::parse(&report.deterministic_json()).expect("sweep JSON parses");

@@ -1,0 +1,773 @@
+//! The city-scale topology engine: one query API, three maintenance
+//! strategies.
+//!
+//! The paper's evaluation stops at a few hundred nodes, where rebuilding
+//! the connectivity snapshot from scratch every cache rotation is cheap.
+//! At 10k–100k nodes the rebuild dominates, so the engine behind
+//! [`World::topology`](crate::World::topology) becomes selectable via
+//! [`EngineConfig`]:
+//!
+//! * **full** (the default) — fresh strip-sweep per rotation, exactly
+//!   the historical behavior. Every pinned trace fingerprint is
+//!   captured under this engine.
+//! * **incremental** — a persistent [`IncrementalTopology`] maintainer
+//!   keeps the row bins, per-row x-orders, and per-row link buckets
+//!   from the previous instant and re-sweeps only the *dirty strips*:
+//!   the old and new rows of nodes that moved, joined, or left. Clean
+//!   buckets are reused verbatim.
+//! * **parallel** — fresh builds, but the row scan is chunked across
+//!   scoped worker threads ([`Topology::build_parallel`]).
+//!
+//! All three produce **byte-identical** [`Topology`] values for the
+//! same input. The argument, load-bearing for the differential
+//! proptests and the pinned fingerprints:
+//!
+//! 1. The CSR assembly ([`Topology::from_links`]) is insensitive to
+//!    link-list *order*: pass one groups directed edges by destination
+//!    (order within a group never shows in the output) and pass two
+//!    walks destinations ascending, so each node's neighbor run comes
+//!    out ascending no matter how the links were discovered. The CSR
+//!    is therefore a pure function of the link *set*.
+//! 2. Every strategy discovers exactly the set of in-range pairs, each
+//!    once. For the incremental engine this holds even with row
+//!    parameters *frozen* from a previous instant: `row_of` clamps to
+//!    `[0, nrows)`, the clamped map is monotone in `y`, and every
+//!    interior row spans at least the range — so two nodes whose rows
+//!    differ by ≥ 2 are vertically farther apart than the range, and
+//!    a pair within range is always in the same or adjacent rows,
+//!    found exactly once by the own-row/below-row sweep.
+//!
+//! Queries go through the [`TopologyView`] trait, so simulation,
+//! harness, and figure code can be written against the view rather
+//! than the concrete snapshot type.
+
+use crate::topology::{d2_threshold, xkey, Topology};
+use crate::{NodeId, Point};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which topology maintenance strategy a [`World`](crate::World) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologyEngine {
+    /// Fresh strip-sweep build per cache rotation (historical default).
+    #[default]
+    Full,
+    /// Dirty-strip incremental maintenance across rotations.
+    Incremental,
+    /// Fresh builds with the row scan fanned across worker threads.
+    Parallel,
+}
+
+impl TopologyEngine {
+    /// Canonical lowercase name (`full` / `incremental` / `parallel`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopologyEngine::Full => "full",
+            TopologyEngine::Incremental => "incremental",
+            TopologyEngine::Parallel => "parallel",
+        }
+    }
+}
+
+impl fmt::Display for TopologyEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builder-style engine selection carried by
+/// [`WorldConfig`](crate::WorldConfig) (and surfaced as
+/// `Scenario::builder().engine(..)` in the harness).
+///
+/// ```
+/// use manet_sim::{EngineConfig, TopologyEngine};
+///
+/// let cfg = EngineConfig::parallel(4);
+/// assert_eq!(cfg.engine_kind(), TopologyEngine::Parallel);
+/// assert_eq!(cfg.thread_count(), 4);
+/// assert_eq!(EngineConfig::parse("parallel:4").unwrap(), cfg);
+/// assert_eq!(cfg.to_string(), "parallel:4");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    engine: TopologyEngine,
+    threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            engine: TopologyEngine::Full,
+            threads: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default full-rebuild engine.
+    #[must_use]
+    pub fn full() -> Self {
+        EngineConfig::default()
+    }
+
+    /// The dirty-strip incremental engine.
+    #[must_use]
+    pub fn incremental() -> Self {
+        EngineConfig::default().engine(TopologyEngine::Incremental)
+    }
+
+    /// The thread-parallel engine with `threads` row-scan workers.
+    #[must_use]
+    pub fn parallel(threads: usize) -> Self {
+        EngineConfig::default()
+            .engine(TopologyEngine::Parallel)
+            .threads(threads)
+    }
+
+    /// Selects the maintenance strategy.
+    #[must_use]
+    pub fn engine(mut self, engine: TopologyEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1; only the
+    /// parallel engine consults it).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The selected strategy.
+    #[must_use]
+    pub fn engine_kind(&self) -> TopologyEngine {
+        self.engine
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Parses an engine spec: `full`, `incremental`, `parallel`, or
+    /// `parallel:N` with `N ≥ 1` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown engine names or a
+    /// malformed/zero thread count.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "full" => Ok(EngineConfig::full()),
+            "incremental" => Ok(EngineConfig::incremental()),
+            "parallel" => Ok(EngineConfig::parallel(1)),
+            other => {
+                if let Some(n) = other.strip_prefix("parallel:") {
+                    let threads: usize = n
+                        .parse()
+                        .map_err(|_| format!("invalid thread count in engine spec '{other}'"))?;
+                    if threads == 0 {
+                        return Err(format!("engine spec '{other}' needs at least one thread"));
+                    }
+                    Ok(EngineConfig::parallel(threads))
+                } else {
+                    Err(format!(
+                        "unknown engine '{other}' (expected full, incremental, parallel, or parallel:N)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.engine {
+            TopologyEngine::Parallel if self.threads > 1 => {
+                write!(f, "parallel:{}", self.threads)
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// The connectivity-snapshot query API every consumer codes against:
+/// the simulator's delivery engine, the routing mesh, the conformance
+/// oracle, and the figure/bench code all need exactly these reads, and
+/// none of them needs to know how the snapshot was maintained.
+pub trait TopologyView {
+    /// Number of nodes in the snapshot.
+    fn len(&self) -> usize;
+    /// Returns `true` if the snapshot contains no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Returns `true` if the snapshot contains `node`.
+    fn contains(&self, node: NodeId) -> bool;
+    /// The dense index of `node` within this snapshot.
+    fn index_of(&self, node: NodeId) -> Option<usize>;
+    /// The node at dense index `i`.
+    fn node_at(&self, i: usize) -> NodeId;
+    /// One-hop neighbors of `node` as dense indices, ascending, without
+    /// allocating (empty if unknown).
+    fn neighbor_indices(&self, node: NodeId) -> &[u32];
+    /// One-hop neighbors of the node at dense index `i`, ascending.
+    fn neighbor_indices_at(&self, i: usize) -> &[u32];
+    /// One-hop neighbors of `node` (empty if unknown).
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId>;
+    /// BFS distances (in hops) from `node` to every reachable node.
+    fn distances_from(&self, node: NodeId) -> HashMap<NodeId, u32>;
+    /// Shortest-path hop count between two nodes.
+    fn hops(&self, a: NodeId, b: NodeId) -> Option<u32>;
+    /// All nodes within `k` hops of `node`, with distances, sorted by
+    /// `(distance, id)`.
+    fn within(&self, node: NodeId, k: u32) -> Vec<(NodeId, u32)>;
+    /// The connected component containing `node`, sorted by id.
+    fn component_of(&self, node: NodeId) -> Vec<NodeId>;
+    /// All connected components, each sorted by id, ordered by their
+    /// smallest member.
+    fn components(&self) -> Vec<Vec<NodeId>>;
+    /// Returns `true` if `a` and `b` can reach each other.
+    fn connected(&self, a: NodeId, b: NodeId) -> bool;
+    /// Total number of undirected links.
+    fn link_count(&self) -> usize;
+}
+
+impl TopologyView for Topology {
+    fn len(&self) -> usize {
+        Topology::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        Topology::is_empty(self)
+    }
+    fn contains(&self, node: NodeId) -> bool {
+        Topology::contains(self, node)
+    }
+    fn index_of(&self, node: NodeId) -> Option<usize> {
+        Topology::index_of(self, node)
+    }
+    fn node_at(&self, i: usize) -> NodeId {
+        Topology::node_at(self, i)
+    }
+    fn neighbor_indices(&self, node: NodeId) -> &[u32] {
+        Topology::neighbor_indices(self, node)
+    }
+    fn neighbor_indices_at(&self, i: usize) -> &[u32] {
+        Topology::neighbor_indices_at(self, i)
+    }
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        Topology::neighbors(self, node)
+    }
+    fn distances_from(&self, node: NodeId) -> HashMap<NodeId, u32> {
+        Topology::distances_from(self, node)
+    }
+    fn hops(&self, a: NodeId, b: NodeId) -> Option<u32> {
+        Topology::hops(self, a, b)
+    }
+    fn within(&self, node: NodeId, k: u32) -> Vec<(NodeId, u32)> {
+        Topology::within(self, node, k)
+    }
+    fn component_of(&self, node: NodeId) -> Vec<NodeId> {
+        Topology::component_of(self, node)
+    }
+    fn components(&self) -> Vec<Vec<NodeId>> {
+        Topology::components(self)
+    }
+    fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        Topology::connected(self, a, b)
+    }
+    fn link_count(&self) -> usize {
+        Topology::link_count(self)
+    }
+}
+
+/// One node's slot in a row: the packed x sort key, its id, and its
+/// coordinates (kept inline so the re-sweep never chases back into the
+/// input slice).
+#[derive(Debug, Clone, Copy)]
+struct RowEntry {
+    key: u64,
+    id: NodeId,
+    x: f64,
+    y: f64,
+}
+
+/// Row geometry frozen at (re-)initialization. Frozen parameters stay
+/// *correct* under arbitrary drift (see the module docs' clamping
+/// argument); they only degrade efficiency when the population shifts
+/// wholesale, which the dirty-fraction refresh below catches.
+#[derive(Debug, Clone, Copy)]
+struct RowParams {
+    min_y: f64,
+    hrow: f64,
+    nrows: usize,
+    r_slack: f64,
+    /// Largest d² whose square root stays ≤ range (exact predicate).
+    t: f64,
+}
+
+impl RowParams {
+    fn new(nodes: &[(NodeId, Point)], range: f64) -> Self {
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, p) in nodes {
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        // Same row-height policy as the fresh build: at least one
+        // range tall (plus slack), floored to O(√n) rows.
+        let max_rows = (4.0 * nodes.len() as f64).sqrt().ceil().max(1.0);
+        let r_slack = range * (1.0 + 1e-9);
+        let hrow = r_slack
+            .max((max_y - min_y) / max_rows)
+            .max(f64::MIN_POSITIVE);
+        let nrows = ((max_y - min_y) / hrow) as usize + 1;
+        RowParams {
+            min_y,
+            hrow,
+            nrows,
+            r_slack,
+            t: d2_threshold(range),
+        }
+    }
+
+    fn row_of(&self, p: Point) -> usize {
+        (((p.y - self.min_y) / self.hrow) as usize).min(self.nrows - 1)
+    }
+}
+
+/// Carry-over state between instants.
+#[derive(Debug)]
+struct IncState {
+    range: f64,
+    params: RowParams,
+    /// The previous instant's input, verbatim (ascending by id).
+    last: Vec<(NodeId, Point)>,
+    /// Per-row membership, sorted by `(x key, id)`.
+    rows: Vec<Vec<RowEntry>>,
+    /// Links discovered scanning row `r` (own-row pairs plus pairs
+    /// into row `r + 1`), as id pairs — ids survive membership churn,
+    /// dense indices do not.
+    buckets: Vec<Vec<(NodeId, NodeId)>>,
+}
+
+/// Re-sweep accounting, for perf assertions and the scale artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Updates served by dirty-strip maintenance.
+    pub updates: u64,
+    /// Full (re-)initializations, including fallback builds.
+    pub full_builds: u64,
+    /// Row buckets re-swept across all updates.
+    pub buckets_rebuilt: u64,
+    /// Row buckets reused verbatim across all updates.
+    pub buckets_reused: u64,
+}
+
+/// The dirty-strip incremental topology maintainer.
+///
+/// Feed it the alive `(id, position)` list (ascending by id) each time
+/// the world's topology cache rotates; it returns a snapshot equal —
+/// byte-for-byte, including neighbor order — to what
+/// [`Topology::build`] would produce from scratch, while re-sweeping
+/// only the rows touched by nodes that moved, joined, or left.
+#[derive(Debug, Default)]
+pub struct IncrementalTopology {
+    state: Option<IncState>,
+    stats: IncrementalStats,
+}
+
+impl IncrementalTopology {
+    /// A maintainer with no carried state (the first update is a full
+    /// initialization).
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalTopology::default()
+    }
+
+    /// Re-sweep accounting so far.
+    #[must_use]
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Produces the snapshot for the current instant, reusing every
+    /// clean row bucket from the previous one.
+    pub fn update(&mut self, nodes: &[(NodeId, Point)], range: f64) -> Topology {
+        // The strip engine's own applicability conditions, plus the
+        // ascending-unique-id requirement the diff below relies on.
+        // The world always satisfies all of these; adversarial inputs
+        // fall back to the fresh build (and drop carried state so a
+        // later well-formed input re-initializes cleanly).
+        let usable = range > 0.0
+            && range.is_finite()
+            && nodes.len() >= 32
+            && nodes
+                .iter()
+                .all(|(_, p)| p.x.is_finite() && p.y.is_finite())
+            && nodes.windows(2).all(|w| w[0].0 < w[1].0);
+        if !usable {
+            self.state = None;
+            self.stats.full_builds += 1;
+            return Topology::build(nodes, range);
+        }
+        let reinit = match &self.state {
+            // A range change moves the link predicate and the row
+            // geometry: carried buckets are meaningless.
+            Some(st) => st.range != range,
+            None => true,
+        };
+        if reinit {
+            return self.init(nodes, range);
+        }
+        let st = self.state.as_mut().expect("checked above");
+        let nrows = st.params.nrows;
+
+        // Diff the previous input against the current one (both
+        // ascending by id) and mark the rows every change touches.
+        fn mark(r: usize, dirty: &mut [bool], count: &mut usize) {
+            if !dirty[r] {
+                dirty[r] = true;
+                *count += 1;
+            }
+        }
+        let mut dirty = vec![false; nrows];
+        let mut dirty_rows = 0usize;
+        {
+            let (mut i, mut j) = (0, 0);
+            while i < st.last.len() || j < nodes.len() {
+                match (st.last.get(i), nodes.get(j)) {
+                    (Some(&(aid, ap)), Some(&(bid, bp))) if aid == bid => {
+                        if ap != bp {
+                            mark(st.params.row_of(ap), &mut dirty, &mut dirty_rows);
+                            mark(st.params.row_of(bp), &mut dirty, &mut dirty_rows);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&(aid, ap)), Some(&(bid, _))) if aid < bid => {
+                        mark(st.params.row_of(ap), &mut dirty, &mut dirty_rows);
+                        i += 1;
+                    }
+                    (Some(_), Some(&(_, bp))) => {
+                        mark(st.params.row_of(bp), &mut dirty, &mut dirty_rows);
+                        j += 1;
+                    }
+                    (Some(&(_, ap)), None) => {
+                        mark(st.params.row_of(ap), &mut dirty, &mut dirty_rows);
+                        i += 1;
+                    }
+                    (None, Some(&(_, bp))) => {
+                        mark(st.params.row_of(bp), &mut dirty, &mut dirty_rows);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+        }
+        // Wholesale shifts (mass churn, arena-wide redeployment) dirty
+        // most rows; re-freezing the geometry then costs the same work
+        // and restores the O(√n) row balance for future updates.
+        if dirty_rows * 2 > nrows {
+            return self.init(nodes, range);
+        }
+        self.stats.updates += 1;
+
+        // Rebuild the membership of every dirty row in one pass over
+        // the current input, then restore each row's (x key, id) order.
+        for (r, row) in st.rows.iter_mut().enumerate() {
+            if dirty[r] {
+                row.clear();
+            }
+        }
+        for &(id, p) in nodes {
+            let r = st.params.row_of(p);
+            if dirty[r] {
+                st.rows[r].push(RowEntry {
+                    key: xkey(p.x),
+                    id,
+                    x: p.x,
+                    y: p.y,
+                });
+            }
+        }
+        for (r, row) in st.rows.iter_mut().enumerate() {
+            if dirty[r] {
+                row.sort_unstable_by_key(|e| (e.key, e.id));
+            }
+        }
+
+        // Bucket r covers pairs inside row r and into row r + 1, so it
+        // depends on exactly those two rows.
+        for r in 0..nrows {
+            let stale = dirty[r] || (r + 1 < nrows && dirty[r + 1]);
+            if stale {
+                let below = if r + 1 < nrows {
+                    std::mem::take(&mut st.rows[r + 1])
+                } else {
+                    Vec::new()
+                };
+                let mut bucket = std::mem::take(&mut st.buckets[r]);
+                bucket.clear();
+                scan_bucket(
+                    &st.rows[r],
+                    &below,
+                    st.params.r_slack,
+                    st.params.t,
+                    &mut bucket,
+                );
+                st.buckets[r] = bucket;
+                if r + 1 < nrows {
+                    st.rows[r + 1] = below;
+                }
+                self.stats.buckets_rebuilt += 1;
+            } else {
+                self.stats.buckets_reused += 1;
+            }
+        }
+
+        st.last.clear();
+        st.last.extend_from_slice(nodes);
+        assemble(nodes, &st.buckets)
+    }
+
+    /// Full (re-)initialization: fresh geometry, rows, and buckets.
+    fn init(&mut self, nodes: &[(NodeId, Point)], range: f64) -> Topology {
+        self.stats.full_builds += 1;
+        let params = RowParams::new(nodes, range);
+        let mut rows: Vec<Vec<RowEntry>> = vec![Vec::new(); params.nrows];
+        for &(id, p) in nodes {
+            rows[params.row_of(p)].push(RowEntry {
+                key: xkey(p.x),
+                id,
+                x: p.x,
+                y: p.y,
+            });
+        }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|e| (e.key, e.id));
+        }
+        let mut buckets: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); params.nrows];
+        for r in 0..params.nrows {
+            let below = if r + 1 < params.nrows {
+                std::mem::take(&mut rows[r + 1])
+            } else {
+                Vec::new()
+            };
+            scan_bucket(&rows[r], &below, params.r_slack, params.t, &mut buckets[r]);
+            if r + 1 < params.nrows {
+                rows[r + 1] = below;
+            }
+        }
+        let topo = assemble(nodes, &buckets);
+        self.state = Some(IncState {
+            range,
+            params,
+            last: nodes.to_vec(),
+            rows,
+            buckets,
+        });
+        topo
+    }
+}
+
+/// Scans one row pair — `row` against itself (rightward) and against
+/// `below` (two-pointer x-window) — with exactly the fresh build's
+/// break conditions and d² predicate, collecting accepted pairs as ids.
+fn scan_bucket(
+    row: &[RowEntry],
+    below: &[RowEntry],
+    r_slack: f64,
+    t: f64,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    let mut lo = 0usize;
+    for (k, a) in row.iter().enumerate() {
+        for b in &row[k + 1..] {
+            let dx = b.x - a.x;
+            if dx > r_slack {
+                break;
+            }
+            let dy = b.y - a.y;
+            if dx * dx + dy * dy <= t {
+                out.push((a.id, b.id));
+            }
+        }
+        while lo < below.len() && below[lo].x - a.x < -r_slack {
+            lo += 1;
+        }
+        for b in &below[lo..] {
+            let dx = b.x - a.x;
+            if dx > r_slack {
+                break;
+            }
+            let dy = b.y - a.y;
+            if dx * dx + dy * dy <= t {
+                out.push((a.id, b.id));
+            }
+        }
+    }
+}
+
+/// Maps every bucket's id pairs to dense indices over the current
+/// input and assembles the CSR. `from_links` is order-insensitive, so
+/// the result equals the fresh build's for any bucket traversal order.
+fn assemble(nodes: &[(NodeId, Point)], buckets: &[Vec<(NodeId, NodeId)>]) -> Topology {
+    let index_of = |id: NodeId| -> u64 {
+        nodes
+            .binary_search_by_key(&id, |&(nid, _)| nid)
+            .expect("bucket ids come from the current input") as u64
+    };
+    let total: usize = buckets.iter().map(Vec::len).sum();
+    let mut links = Vec::with_capacity(total);
+    for bucket in buckets {
+        for &(a, b) in bucket {
+            links.push(index_of(a) << 32 | index_of(b));
+        }
+    }
+    Topology::from_links(nodes, &links)
+}
+
+/// The per-[`World`](crate::World) maintenance strategy instance:
+/// stateless dispatch for the full and parallel engines, carried state
+/// for the incremental one.
+#[derive(Debug)]
+pub(crate) enum TopologyMaintainer {
+    Full,
+    Incremental(Box<IncrementalTopology>),
+    Parallel { threads: usize },
+}
+
+impl TopologyMaintainer {
+    pub(crate) fn new(cfg: &EngineConfig) -> Self {
+        match cfg.engine_kind() {
+            TopologyEngine::Full => TopologyMaintainer::Full,
+            TopologyEngine::Incremental => {
+                TopologyMaintainer::Incremental(Box::new(IncrementalTopology::new()))
+            }
+            TopologyEngine::Parallel => TopologyMaintainer::Parallel {
+                threads: cfg.thread_count(),
+            },
+        }
+    }
+
+    pub(crate) fn build(&mut self, nodes: &[(NodeId, Point)], range: f64) -> Topology {
+        match self {
+            TopologyMaintainer::Full => Topology::build(nodes, range),
+            TopologyMaintainer::Incremental(inc) => inc.update(nodes, range),
+            TopologyMaintainer::Parallel { threads } => {
+                Topology::build_parallel(nodes, range, *threads)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    fn layout(n: usize, seed: u64) -> Vec<(NodeId, Point)> {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    NodeId::new(i as u64),
+                    Point::new(
+                        rng.range_u64(0..1_000_000) as f64 / 1000.0,
+                        rng.range_u64(0..1_000_000) as f64 / 1000.0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_spec_round_trips() {
+        for (spec, display) in [
+            ("full", "full"),
+            ("incremental", "incremental"),
+            ("parallel", "parallel"),
+            ("parallel:4", "parallel:4"),
+        ] {
+            let cfg = EngineConfig::parse(spec).expect("spec parses");
+            assert_eq!(cfg.to_string(), display);
+            assert_eq!(EngineConfig::parse(&cfg.to_string()).unwrap(), cfg);
+        }
+        assert!(EngineConfig::parse("parallel:0").is_err());
+        assert!(EngineConfig::parse("parallel:x").is_err());
+        assert!(EngineConfig::parse("warp").is_err());
+    }
+
+    #[test]
+    fn parallel_build_matches_full_for_every_thread_count() {
+        let nodes = layout(300, 7);
+        let fresh = Topology::build(&nodes, 150.0);
+        for threads in [1, 2, 3, 4, 8] {
+            let par = Topology::build_parallel(&nodes, 150.0, threads);
+            assert_eq!(par, fresh, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_full_across_moves_joins_and_leaves() {
+        // Small range vs the 1000-unit arena → enough rows that local
+        // drift leaves most of them clean (realistic mobility moves a
+        // node a fraction of the arena per topology quantum).
+        let range = 60.0;
+        let mut nodes = layout(200, 11);
+        let mut inc = IncrementalTopology::new();
+        let mut rng = SimRng::seed_from(99);
+        for round in 0..12 {
+            assert_eq!(
+                inc.update(&nodes, range),
+                Topology::build(&nodes, range),
+                "round {round}"
+            );
+            // Drift a handful of nodes locally.
+            for _ in 0..4 {
+                let i = rng.range_u64(0..nodes.len() as u64) as usize;
+                let p = nodes[i].1;
+                let dx = rng.range_u64(0..40_000) as f64 / 1000.0 - 20.0;
+                let dy = rng.range_u64(0..40_000) as f64 / 1000.0 - 20.0;
+                nodes[i].1 =
+                    Point::new((p.x + dx).clamp(0.0, 1000.0), (p.y + dy).clamp(0.0, 1000.0));
+            }
+            // Occasionally churn membership.
+            if round % 3 == 0 && nodes.len() > 40 {
+                let i = rng.range_u64(0..nodes.len() as u64) as usize;
+                nodes.remove(i);
+            }
+            if round % 4 == 1 {
+                let id = NodeId::new(1000 + round as u64);
+                nodes.push((
+                    id,
+                    Point::new(500.0, rng.range_u64(0..1_000_000) as f64 / 1000.0),
+                ));
+                nodes.sort_unstable_by_key(|&(id, _)| id);
+            }
+        }
+        let stats = inc.stats();
+        assert!(stats.updates > 0, "dirty-strip path exercised: {stats:?}");
+        assert!(
+            stats.buckets_reused > 0,
+            "clean buckets were reused: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn incremental_survives_range_change_and_degenerate_input() {
+        let nodes = layout(100, 3);
+        let mut inc = IncrementalTopology::new();
+        assert_eq!(inc.update(&nodes, 150.0), Topology::build(&nodes, 150.0));
+        // Range change forces re-initialization, output still equal.
+        assert_eq!(inc.update(&nodes, 80.0), Topology::build(&nodes, 80.0));
+        // Small input falls back to the naive-backed fresh build.
+        let small = &nodes[..8];
+        assert_eq!(inc.update(small, 80.0), Topology::build(small, 80.0));
+        // And recovers carried operation afterwards.
+        assert_eq!(inc.update(&nodes, 80.0), Topology::build(&nodes, 80.0));
+    }
+}

@@ -53,7 +53,7 @@ use std::collections::{HashMap, VecDeque};
 /// rounded and therefore monotone over the non-negative floats, whose
 /// bit patterns order the same way, so a 64-step binary search over the
 /// bits finds the exact cutoff.
-fn d2_threshold(range: f64) -> f64 {
+pub(crate) fn d2_threshold(range: f64) -> f64 {
     let (mut lo, mut hi) = (0u64, f64::MAX.to_bits());
     if f64::MAX.sqrt() <= range {
         return f64::MAX;
@@ -67,6 +67,187 @@ fn d2_threshold(range: f64) -> f64 {
         }
     }
     f64::from_bits(lo)
+}
+
+/// Packs an `x` coordinate as its order-preserving integer bits
+/// (sign-magnitude flipped to two's-complement order), so row sorts
+/// compare a single integer.
+pub(crate) fn xkey(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if x.is_sign_negative() {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+/// The strip-sweep working set: nodes counting-sorted into y-rows and
+/// x-sorted within each row, plus the exact link-predicate constants.
+/// [`Topology::build`] scans all rows serially;
+/// [`Topology::build_parallel`] hands disjoint row chunks to scoped
+/// threads — both produce the identical link list per row, so the
+/// concatenation (and therefore the CSR) is byte-identical regardless
+/// of how the rows were scanned.
+pub(crate) struct StripLayout {
+    /// Row boundaries into the sweep-ordered arrays, length `nrows + 1`.
+    row_starts: Vec<u32>,
+    /// Original node index per sweep position.
+    order: Vec<u32>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    r_slack: f64,
+    t: f64,
+}
+
+impl StripLayout {
+    /// Bins and sorts `nodes`; `None` when the strip engine does not
+    /// apply (degenerate range, non-finite coordinates, or too few
+    /// nodes to beat the naive sweep).
+    pub(crate) fn new(nodes: &[(NodeId, Point)], range: f64) -> Option<Self> {
+        let range_usable = range > 0.0 && range.is_finite();
+        let finite = nodes
+            .iter()
+            .all(|(_, p)| p.x.is_finite() && p.y.is_finite());
+        if !range_usable || nodes.len() < 32 || !finite {
+            return None;
+        }
+        let n = nodes.len();
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, p) in nodes {
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        // Row height a hair over the range: a pair within range can then
+        // never be more than one row apart, even at the floating-point
+        // boundary where `distance` rounds down. The height is also
+        // floored so there are never more than O(√n) rows — a tiny
+        // range over a sprawling layout thickens the rows (more
+        // candidates per row) instead of exploding memory.
+        let max_rows = (4.0 * n as f64).sqrt().ceil().max(1.0);
+        let r_slack = range * (1.0 + 1e-9);
+        let hrow = r_slack
+            .max((max_y - min_y) / max_rows)
+            .max(f64::MIN_POSITIVE);
+        let nrows = ((max_y - min_y) / hrow) as usize + 1;
+        let row_of = |p: Point| -> usize { (((p.y - min_y) / hrow) as usize).min(nrows - 1) };
+        // Counting-sort nodes into rows, then sort each row by x, with
+        // the node index as tie-break so equal-x nodes keep a
+        // deterministic ascending-index order.
+        let mut row_starts = vec![0u32; nrows + 1];
+        for (_, p) in nodes {
+            row_starts[row_of(*p) + 1] += 1;
+        }
+        for r in 1..row_starts.len() {
+            row_starts[r] += row_starts[r - 1];
+        }
+        let mut fill: Vec<u32> = row_starts[..nrows].to_vec();
+        let mut keyed = vec![(0u64, 0u32); n];
+        for (i, (_, p)) in nodes.iter().enumerate() {
+            let r = row_of(*p);
+            keyed[fill[r] as usize] = (xkey(p.x), i as u32);
+            fill[r] += 1;
+        }
+        for r in 0..nrows {
+            let (s, e) = (row_starts[r] as usize, row_starts[r + 1] as usize);
+            keyed[s..e].sort_unstable();
+        }
+        // Coordinates and original indices in sweep order, so the scans
+        // stream through memory sequentially.
+        let mut order = vec![0u32; n];
+        let (mut xs, mut ys) = (vec![0.0f64; n], vec![0.0f64; n]);
+        for (k, &(_, i)) in keyed.iter().enumerate() {
+            order[k] = i;
+            let p = nodes[i as usize].1;
+            xs[k] = p.x;
+            ys[k] = p.y;
+        }
+        Some(StripLayout {
+            row_starts,
+            order,
+            xs,
+            ys,
+            r_slack,
+            // `distance(a, b) <= range` computes `sqrt(d2)` from exactly
+            // the d2 the scan forms (same subtractions, squares, and sum
+            // — see `Point::distance`), and sqrt is monotone, so
+            // comparing d2 against the largest d² whose sqrt stays ≤
+            // range decides *exactly* like the oracle with no square
+            // root in the loop.
+            t: d2_threshold(range),
+        })
+    }
+
+    pub(crate) fn nrows(&self) -> usize {
+        self.row_starts.len() - 1
+    }
+
+    /// Scans rows `r0..r1` and appends every accepted link, packed
+    /// `(src << 32 | dst)` in original node indices, one orientation
+    /// each. Link order within the scanned range is deterministic and
+    /// independent of how the full row range was chunked.
+    pub(crate) fn scan_rows(&self, r0: usize, r1: usize, links: &mut Vec<u64>) {
+        let n = self.order.len();
+        let (xs, ys, order) = (&self.xs[..], &self.ys[..], &self.order[..]);
+        let (r_slack, t) = (self.r_slack, self.t);
+        let nrows = self.nrows();
+        // Branchless accept: the slot is always written, the cursor only
+        // advances on a hit, so the ~35%-taken range test never
+        // mispredicts. The in-loop check keeps a full row of headroom so
+        // the stores run unconditionally.
+        let mut lc = links.len();
+        links.resize(lc + n + 1024, 0);
+        for r in r0..r1 {
+            let (s, e) = (self.row_starts[r] as usize, self.row_starts[r + 1] as usize);
+            let (bs, be) = if r + 1 < nrows {
+                (
+                    self.row_starts[r + 1] as usize,
+                    self.row_starts[r + 2] as usize,
+                )
+            } else {
+                (0, 0)
+            };
+            // Monotone left edge of the below-row x-window: sources
+            // only move right, so it never retreats.
+            let mut lo = bs;
+            for k in s..e {
+                let (px, py) = (xs[k], ys[k]);
+                let src = u64::from(order[k]) << 32;
+                if links.len() < lc + n {
+                    links.resize(lc + n + 1024, 0);
+                }
+                let lbuf = &mut links[..];
+                // Rest of the own row: everything to the right until
+                // the x-gap alone rules the pair out. The `r_slack`
+                // break is safe because a computed `dx` even one ulp
+                // above `range * (1 + 1e-9)` implies the true gap
+                // exceeds `range`.
+                for m in (k + 1)..e {
+                    let dx = xs[m] - px;
+                    if dx > r_slack {
+                        break;
+                    }
+                    let dy = ys[m] - py;
+                    let d2 = dx * dx + dy * dy;
+                    lbuf[lc] = src | u64::from(order[m]);
+                    lc += usize::from(d2 <= t);
+                }
+                while lo < be && xs[lo] - px < -r_slack {
+                    lo += 1;
+                }
+                for m in lo..be {
+                    let dx = xs[m] - px;
+                    if dx > r_slack {
+                        break;
+                    }
+                    let dy = ys[m] - py;
+                    let d2 = dx * dx + dy * dy;
+                    lbuf[lc] = src | u64::from(order[m]);
+                    lc += usize::from(d2 <= t);
+                }
+            }
+        }
+        links.truncate(lc);
+    }
 }
 
 /// Memoized query state for one snapshot. Interior-mutable so the
@@ -122,135 +303,54 @@ impl Topology {
         // coordinates have no row; the all-pairs sweep handles all of
         // them with the exact same predicate. These only occur in
         // adversarial tests.
-        let range_usable = range > 0.0 && range.is_finite();
-        let finite = nodes
-            .iter()
-            .all(|(_, p)| p.x.is_finite() && p.y.is_finite());
-        if !range_usable || nodes.len() < 32 || !finite {
+        let Some(layout) = StripLayout::new(nodes, range) else {
             return Self::build_naive(nodes, range);
+        };
+        let mut links = Vec::new();
+        layout.scan_rows(0, layout.nrows(), &mut links);
+        Self::from_links(nodes, &links)
+    }
+
+    /// Builds the same graph as [`Topology::build`], scanning row
+    /// chunks on `threads` scoped worker threads. Each chunk produces
+    /// exactly the link list the serial scan would for those rows, and
+    /// chunks are concatenated in row order, so the output is
+    /// byte-identical to `build` for every thread count.
+    #[must_use]
+    pub fn build_parallel(nodes: &[(NodeId, Point)], range: f64, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let Some(layout) = StripLayout::new(nodes, range) else {
+            return Self::build_naive(nodes, range);
+        };
+        let nrows = layout.nrows();
+        // Too few rows to amortize thread spawns: scan inline.
+        if threads == 1 || nrows < 2 * threads {
+            let mut links = Vec::new();
+            layout.scan_rows(0, nrows, &mut links);
+            return Self::from_links(nodes, &links);
         }
-        let n = nodes.len();
-        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
-        for (_, p) in nodes {
-            min_y = min_y.min(p.y);
-            max_y = max_y.max(p.y);
-        }
-        // Row height a hair over the range: a pair within range can then
-        // never be more than one row apart, even at the floating-point
-        // boundary where `distance` rounds down. The height is also
-        // floored so there are never more than O(√n) rows — a tiny
-        // range over a sprawling layout thickens the rows (more
-        // candidates per row) instead of exploding memory.
-        let max_rows = (4.0 * n as f64).sqrt().ceil().max(1.0);
-        let r_slack = range * (1.0 + 1e-9);
-        let hrow = r_slack
-            .max((max_y - min_y) / max_rows)
-            .max(f64::MIN_POSITIVE);
-        let nrows = ((max_y - min_y) / hrow) as usize + 1;
-        let row_of = |p: Point| -> usize { (((p.y - min_y) / hrow) as usize).min(nrows - 1) };
-        // Counting-sort nodes into rows, then sort each row by x. The
-        // sort key packs the x coordinate as its order-preserving
-        // integer bits (sign-magnitude flipped to two's-complement
-        // order) with the node index as tie-break, so equal-x nodes
-        // keep a deterministic ascending-index order and the comparator
-        // is a single integer compare.
-        let mut row_starts = vec![0u32; nrows + 1];
-        for (_, p) in nodes {
-            row_starts[row_of(*p) + 1] += 1;
-        }
-        for r in 1..row_starts.len() {
-            row_starts[r] += row_starts[r - 1];
-        }
-        let mut fill: Vec<u32> = row_starts[..nrows].to_vec();
-        let mut keyed = vec![(0u64, 0u32); n];
-        for (i, (_, p)) in nodes.iter().enumerate() {
-            let r = row_of(*p);
-            let bits = p.x.to_bits();
-            let key = if p.x.is_sign_negative() {
-                !bits
-            } else {
-                bits | (1 << 63)
-            };
-            keyed[fill[r] as usize] = (key, i as u32);
-            fill[r] += 1;
-        }
-        for r in 0..nrows {
-            let (s, e) = (row_starts[r] as usize, row_starts[r + 1] as usize);
-            keyed[s..e].sort_unstable();
-        }
-        // Coordinates and original indices in sweep order, so the scans
-        // below stream through memory sequentially.
-        let mut order = vec![0u32; n];
-        let (mut xs, mut ys) = (vec![0.0f64; n], vec![0.0f64; n]);
-        for (k, &(_, i)) in keyed.iter().enumerate() {
-            order[k] = i;
-            let p = nodes[i as usize].1;
-            xs[k] = p.x;
-            ys[k] = p.y;
-        }
-        // `distance(a, b) <= range` computes `sqrt(d2)` from exactly
-        // the d2 below (same subtractions, squares, and sum — see
-        // `Point::distance`), and sqrt is monotone, so comparing d2
-        // against the largest d² whose sqrt stays ≤ range decides
-        // *exactly* like the oracle with no square root in the loop.
-        let t = d2_threshold(range);
-        // Accepted links, one orientation each, packed (src << 32 |
-        // dst) in original node indices. Sized for ~12 links per node;
-        // the in-loop check keeps at least one full row of headroom so
-        // the stores below can run unconditionally (branchless accept:
-        // the slot is always written, the cursor only advances on a
-        // hit, so the ~35%-taken range test never mispredicts).
-        let mut links = vec![0u64; n * 12 + 64];
-        let mut lc = 0usize;
-        let (xs, ys, order) = (&xs[..], &ys[..], &order[..]);
-        for r in 0..nrows {
-            let (s, e) = (row_starts[r] as usize, row_starts[r + 1] as usize);
-            let (bs, be) = if r + 1 < nrows {
-                (row_starts[r + 1] as usize, row_starts[r + 2] as usize)
-            } else {
-                (0, 0)
-            };
-            // Monotone left edge of the below-row x-window: sources
-            // only move right, so it never retreats.
-            let mut lo = bs;
-            for k in s..e {
-                let (px, py) = (xs[k], ys[k]);
-                let src = u64::from(order[k]) << 32;
-                if links.len() < lc + n {
-                    links.resize(lc + n + 1024, 0);
-                }
-                let lbuf = &mut links[..];
-                // Rest of the own row: everything to the right until
-                // the x-gap alone rules the pair out. The `r_slack`
-                // break is safe because a computed `dx` even one ulp
-                // above `range * (1 + 1e-9)` implies the true gap
-                // exceeds `range`.
-                for m in (k + 1)..e {
-                    let dx = xs[m] - px;
-                    if dx > r_slack {
-                        break;
-                    }
-                    let dy = ys[m] - py;
-                    let d2 = dx * dx + dy * dy;
-                    lbuf[lc] = src | u64::from(order[m]);
-                    lc += usize::from(d2 <= t);
-                }
-                while lo < be && xs[lo] - px < -r_slack {
-                    lo += 1;
-                }
-                for m in lo..be {
-                    let dx = xs[m] - px;
-                    if dx > r_slack {
-                        break;
-                    }
-                    let dy = ys[m] - py;
-                    let d2 = dx * dx + dy * dy;
-                    lbuf[lc] = src | u64::from(order[m]);
-                    lc += usize::from(d2 <= t);
-                }
-            }
-        }
-        Self::from_links(nodes, &links[..lc])
+        let chunk = nrows.div_ceil(threads);
+        let parts: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let layout = &layout;
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let (r0, r1) = (w * chunk, ((w + 1) * chunk).min(nrows));
+                        let mut links = Vec::new();
+                        if r0 < r1 {
+                            layout.scan_rows(r0, r1, &mut links);
+                        }
+                        links
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("row-scan worker panicked"))
+                .collect()
+        });
+        let links = parts.concat();
+        Self::from_links(nodes, &links)
     }
 
     /// Builds the same graph with the naive O(n²) all-pairs sweep. This
@@ -282,7 +382,7 @@ impl Topology {
     /// in the output), which frees pass one to interleave four
     /// independent scatter chains so the read-modify-write latency of
     /// the position cursors overlaps instead of serializing.
-    fn from_links(nodes: &[(NodeId, Point)], links: &[u64]) -> Self {
+    pub(crate) fn from_links(nodes: &[(NodeId, Point)], links: &[u64]) -> Self {
         let n = nodes.len();
         let ne = links.len() * 2;
         let mut deg = vec![0u32; n + 1];
@@ -597,6 +697,19 @@ impl Topology {
         self.adj.len() / 2
     }
 }
+
+/// Structural equality: same nodes in the same dense order with the
+/// same CSR adjacency. Memo caches are query state, not structure, so
+/// they are ignored — a fresh build and an incrementally-maintained
+/// build of the same instant compare equal even if one has answered
+/// queries and the other has not.
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids == other.ids && self.adj_starts == other.adj_starts && self.adj == other.adj
+    }
+}
+
+impl Eq for Topology {}
 
 #[cfg(test)]
 mod tests {

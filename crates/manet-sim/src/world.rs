@@ -1,3 +1,4 @@
+use crate::engine::{EngineConfig, TopologyMaintainer};
 use crate::event::{EventKind, Scheduled};
 use crate::faults::{AttackKind, DeliveryFate, FaultPlan, FaultState};
 use crate::mobility::{MobilityConfig, MobilityModel, MobilityState, RetargetCtx};
@@ -40,6 +41,11 @@ pub struct WorldConfig {
     /// magnitude fewer O(n²) rebuilds. Set to zero to rebuild per
     /// instant.
     pub topology_quantum: SimDuration,
+    /// Topology maintenance strategy (full rebuild, dirty-strip
+    /// incremental, or thread-parallel row scans). All engines produce
+    /// byte-identical snapshots; the default full engine is the
+    /// historical behavior every pinned fingerprint was captured under.
+    pub engine: EngineConfig,
     /// RNG seed; runs with equal configs and scenarios are bit-identical.
     pub seed: u64,
     /// Deterministic fault-injection plan (empty by default). Non-empty
@@ -59,21 +65,50 @@ impl Default for WorldConfig {
             hop_delay: SimDuration::from_millis(5),
             loss_rate: 0.0,
             topology_quantum: SimDuration::from_millis(100),
+            engine: EngineConfig::default(),
             seed: 0,
             fault_plan: FaultPlan::default(),
         }
     }
 }
 
-#[derive(Debug, Clone)]
-struct NodeSlot {
-    alive: bool,
+/// Node state in struct-of-arrays layout: each per-node attribute is
+/// its own column, so the hot loops — collecting alive positions for a
+/// topology rebuild, scanning liveness — stream through one dense
+/// array instead of striding over a wide per-node struct. Columns grow
+/// in lockstep; a node's id is its index in every column.
+#[derive(Debug, Default)]
+struct NodeTable {
+    alive: Vec<bool>,
     /// Created but not yet joined (scheduled arrival).
-    dormant: bool,
-    configured: bool,
-    mobility: MobilityState,
-    mobility_epoch: u64,
-    joined_at: SimTime,
+    dormant: Vec<bool>,
+    configured: Vec<bool>,
+    mobility: Vec<MobilityState>,
+    mobility_epoch: Vec<u64>,
+    joined_at: Vec<SimTime>,
+}
+
+impl NodeTable {
+    fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Appends a dormant, unconfigured, parked node; returns its index.
+    fn push_parked(&mut self, pos: Point) -> usize {
+        self.alive.push(false);
+        self.dormant.push(true);
+        self.configured.push(false);
+        self.mobility.push(MobilityState::parked(pos));
+        self.mobility_epoch.push(0);
+        self.joined_at.push(SimTime::ZERO);
+        self.alive.len() - 1
+    }
+
+    /// The column index of `node`, if it exists.
+    fn idx(&self, node: NodeId) -> Option<usize> {
+        let i = node.index() as usize;
+        (i < self.len()).then_some(i)
+    }
 }
 
 /// The simulated network: virtual time, nodes, radio, event queue, and
@@ -109,7 +144,8 @@ pub struct World<M> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Scheduled<M>>,
-    nodes: Vec<NodeSlot>,
+    nodes: NodeTable,
+    maintainer: TopologyMaintainer,
     rng: SimRng,
     metrics: Metrics,
     cancelled_timers: HashSet<TimerId>,
@@ -130,12 +166,14 @@ impl<M: Clone + fmt::Debug> World<M> {
         let faults = (!config.fault_plan.is_empty())
             .then(|| Box::new(FaultState::new(config.fault_plan.clone())));
         let mobility_model = config.mobility.build(config.seed);
+        let maintainer = TopologyMaintainer::new(&config.engine);
         let mut world = World {
             config,
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            nodes: Vec::new(),
+            nodes: NodeTable::default(),
+            maintainer,
             rng,
             metrics: Metrics::new(),
             cancelled_timers: HashSet::new(),
@@ -268,36 +306,43 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// Returns `true` if `node` exists and is alive.
     #[must_use]
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.slot(node).is_some_and(|s| s.alive)
+        self.nodes.idx(node).is_some_and(|i| self.nodes.alive[i])
     }
 
     /// Returns `true` if `node` has been marked configured.
     #[must_use]
     pub fn is_configured(&self, node: NodeId) -> bool {
-        self.slot(node).is_some_and(|s| s.configured)
+        self.nodes
+            .idx(node)
+            .is_some_and(|i| self.nodes.configured[i])
     }
 
     /// When `node` joined the network (meaningless for dormant nodes).
     #[must_use]
     pub fn joined_at(&self, node: NodeId) -> Option<SimTime> {
-        self.slot(node).filter(|s| s.alive).map(|s| s.joined_at)
+        self.nodes
+            .idx(node)
+            .filter(|&i| self.nodes.alive[i])
+            .map(|i| self.nodes.joined_at[i])
     }
 
     /// Position of `node` right now, if alive.
     #[must_use]
     pub fn position(&self, node: NodeId) -> Option<Point> {
-        self.slot(node)
-            .filter(|s| s.alive)
-            .map(|s| s.mobility.position(self.now))
+        self.nodes
+            .idx(node)
+            .filter(|&i| self.nodes.alive[i])
+            .map(|i| self.nodes.mobility[i].position(self.now))
     }
 
     /// All alive node ids, ascending.
     #[must_use]
     pub fn alive_nodes(&self) -> Vec<NodeId> {
         self.nodes
+            .alive
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.alive)
+            .filter(|(_, &a)| a)
             .map(|(i, _)| NodeId::new(i as u64))
             .collect()
     }
@@ -305,15 +350,7 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// Number of alive nodes.
     #[must_use]
     pub fn alive_count(&self) -> usize {
-        self.nodes.iter().filter(|s| s.alive).count()
-    }
-
-    fn slot(&self, node: NodeId) -> Option<&NodeSlot> {
-        self.nodes.get(node.index() as usize)
-    }
-
-    fn slot_mut(&mut self, node: NodeId) -> Option<&mut NodeSlot> {
-        self.nodes.get_mut(node.index() as usize)
+        self.nodes.alive.iter().filter(|&&a| a).count()
     }
 
     // ------------------------------------------------------------------
@@ -342,14 +379,16 @@ impl<M: Clone + fmt::Debug> World<M> {
         let stale = !matches!(&self.topo_cache, Some((t, v, _)) if (*t, *v) == key);
         if stale {
             self.metrics.perf_mut().topo_builds += 1;
+            let now = self.now;
             let positions: Vec<(NodeId, Point)> = self
                 .nodes
+                .alive
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| s.alive)
-                .map(|(i, s)| (NodeId::new(i as u64), s.mobility.position(self.now)))
+                .filter(|(_, &a)| a)
+                .map(|(i, _)| (NodeId::new(i as u64), self.nodes.mobility[i].position(now)))
                 .collect();
-            let topo = Topology::build(&positions, self.config.range);
+            let topo = self.maintainer.build(&positions, self.config.range);
             self.topo_cache = Some((key.0, key.1, topo));
         } else {
             self.metrics.perf_mut().topo_hits += 1;
@@ -567,10 +606,14 @@ impl<M: Clone + fmt::Debug> World<M> {
             return;
         }
         let now = self.now;
-        let pos =
-            |slot: Option<&NodeSlot>| slot.filter(|s| s.alive).map(|s| s.mobility.position(now));
-        let from_pos = pos(self.slot(from));
-        let to_pos = pos(self.slot(to));
+        let pos = |nodes: &NodeTable, node: NodeId| {
+            nodes
+                .idx(node)
+                .filter(|&i| nodes.alive[i])
+                .map(|i| nodes.mobility[i].position(now))
+        };
+        let from_pos = pos(&self.nodes, from);
+        let to_pos = pos(&self.nodes, to);
         let fate = self
             .faults
             .as_mut()
@@ -656,31 +699,23 @@ impl<M: Clone + fmt::Debug> World<M> {
 
     /// Creates a node slot at `pos`. Dormant until joined.
     pub(crate) fn create_node(&mut self, pos: Point) -> NodeId {
-        let id = NodeId::new(self.nodes.len() as u64);
-        self.nodes.push(NodeSlot {
-            alive: false,
-            dormant: true,
-            configured: false,
-            mobility: MobilityState::parked(self.config.arena.clamp(pos)),
-            mobility_epoch: 0,
-            joined_at: SimTime::ZERO,
-        });
-        id
+        let idx = self.nodes.push_parked(self.config.arena.clamp(pos));
+        NodeId::new(idx as u64)
     }
 
     /// Marks a dormant node alive. Returns `false` if it was already
     /// joined or removed.
     pub(crate) fn activate(&mut self, node: NodeId) -> bool {
         let now = self.now;
-        let Some(slot) = self.slot_mut(node) else {
+        let Some(i) = self.nodes.idx(node) else {
             return false;
         };
-        if !slot.dormant {
+        if !self.nodes.dormant[i] {
             return false;
         }
-        slot.dormant = false;
-        slot.alive = true;
-        slot.joined_at = now;
+        self.nodes.dormant[i] = false;
+        self.nodes.alive[i] = true;
+        self.nodes.joined_at[i] = now;
         self.topo_version += 1;
         self.trace.record(now, TraceEvent::Join { node });
         true
@@ -692,10 +727,10 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// by the simulator before the protocol hears about them.
     pub fn remove_node(&mut self, node: NodeId) {
         let now = self.now;
-        if let Some(slot) = self.slot_mut(node) {
-            if slot.alive {
-                slot.alive = false;
-                slot.dormant = false;
+        if let Some(i) = self.nodes.idx(node) {
+            if self.nodes.alive[i] {
+                self.nodes.alive[i] = false;
+                self.nodes.dormant[i] = false;
                 self.topo_version += 1;
                 self.trace.record(now, TraceEvent::Remove { node });
             }
@@ -715,17 +750,17 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// alive, or never joined in the first place.
     pub(crate) fn revive(&mut self, node: NodeId) -> bool {
         let now = self.now;
-        let Some(slot) = self.slot_mut(node) else {
+        let Some(i) = self.nodes.idx(node) else {
             return false;
         };
-        if slot.alive || slot.dormant {
+        if self.nodes.alive[i] || self.nodes.dormant[i] {
             return false;
         }
-        let pos = slot.mobility.position(now);
-        slot.mobility = MobilityState::parked(pos);
-        slot.mobility_epoch += 1;
-        slot.configured = false;
-        slot.dormant = true;
+        let pos = self.nodes.mobility[i].position(now);
+        self.nodes.mobility[i] = MobilityState::parked(pos);
+        self.nodes.mobility_epoch[i] += 1;
+        self.nodes.configured[i] = false;
+        self.nodes.dormant[i] = true;
         self.metrics.faults_mut().restarts += 1;
         self.trace.record(now, TraceEvent::Restart { node });
         self.activate(node)
@@ -764,13 +799,13 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// configuration with the network").
     pub fn mark_configured(&mut self, node: NodeId) {
         let speed = self.config.speed;
-        let Some(slot) = self.slot_mut(node) else {
+        let Some(i) = self.nodes.idx(node) else {
             return;
         };
-        if !slot.alive || slot.configured {
+        if !self.nodes.alive[i] || self.nodes.configured[i] {
             return;
         }
-        slot.configured = true;
+        self.nodes.configured[i] = true;
         if speed > 0.0 {
             self.start_leg(node);
         }
@@ -784,7 +819,11 @@ impl<M: Clone + fmt::Debug> World<M> {
         let now = self.now;
         let arena = self.config.arena;
         let speed = self.config.speed;
-        let Some(here) = self.slot(node).map(|s| s.mobility.position(now)) else {
+        let Some(here) = self
+            .nodes
+            .idx(node)
+            .map(|i| self.nodes.mobility[i].position(now))
+        else {
             return;
         };
         let mut rng = self.rng.clone();
@@ -797,13 +836,13 @@ impl<M: Clone + fmt::Debug> World<M> {
         };
         let (dest, leg_speed) = self.mobility_model.next_leg(&ctx, &mut rng);
         let dest = arena.clamp(dest);
-        let Some(slot) = self.slot_mut(node) else {
+        let Some(i) = self.nodes.idx(node) else {
             return;
         };
-        slot.mobility.set_leg(now, here, dest, leg_speed);
-        slot.mobility_epoch += 1;
-        let epoch = slot.mobility_epoch;
-        let arrival = slot.mobility.arrival();
+        self.nodes.mobility[i].set_leg(now, here, dest, leg_speed);
+        self.nodes.mobility_epoch[i] += 1;
+        let epoch = self.nodes.mobility_epoch[i];
+        let arrival = self.nodes.mobility[i].arrival();
         self.rng = rng;
         self.topo_version += 1;
         // A model may park a node (e.g. a degenerate street grid); no
@@ -816,9 +855,9 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// Stops `node` where it stands.
     pub fn park_node(&mut self, node: NodeId) {
         let now = self.now;
-        if let Some(slot) = self.slot_mut(node) {
-            slot.mobility.park(now);
-            slot.mobility_epoch += 1;
+        if let Some(i) = self.nodes.idx(node) {
+            self.nodes.mobility[i].park(now);
+            self.nodes.mobility_epoch[i] += 1;
             self.topo_version += 1;
         }
     }
@@ -826,10 +865,10 @@ impl<M: Clone + fmt::Debug> World<M> {
     /// Handles a waypoint-arrival event: picks the next leg.
     pub(crate) fn handle_waypoint(&mut self, node: NodeId, epoch: u64) {
         let speed = self.config.speed;
-        let Some(slot) = self.slot(node) else {
+        let Some(i) = self.nodes.idx(node) else {
             return;
         };
-        if !slot.alive || slot.mobility_epoch != epoch || speed <= 0.0 {
+        if !self.nodes.alive[i] || self.nodes.mobility_epoch[i] != epoch || speed <= 0.0 {
             return;
         }
         self.start_leg(node);
